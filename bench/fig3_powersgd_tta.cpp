@@ -1,0 +1,50 @@
+// Reproduces Figure 3: TTA of PowerSGD across ranks r in {1, 4, 16, 64}
+// against the dense baselines. Low ranks trade accuracy for round speed;
+// the crossover between r values is the paper's example of TTA curves
+// intersecting.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace gcs;
+using namespace gcs::bench;
+
+const std::vector<std::string> kSchemes = {
+    "fp16", "fp32", "powersgd:r=1", "powersgd:r=4", "powersgd:r=16",
+    "powersgd:r=64",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  print_header("Figure 3", "TTA of PowerSGD across ranks");
+
+  {
+    std::cout << "\n--- (a) BERT proxy ---\n";
+    const auto data = lm_proxy_task();
+    const auto results = run_tta_suite(data, kSchemes,
+                                       sim::make_bert_large_workload(),
+                                       nullptr, /*lower_is_better=*/true);
+    std::cout << '\n' << sim::tabulate_curves(results, 10);
+    maybe_write_csv(flags, "fig3_bert.csv", sim::curves_to_csv(results));
+  }
+  {
+    std::cout << "\n--- (b) VGG proxy ---\n";
+    const auto data = classifier_proxy_task();
+    const auto results = run_tta_suite(data, kSchemes,
+                                       sim::make_vgg19_workload(), nullptr,
+                                       /*lower_is_better=*/false);
+    std::cout << '\n' << sim::tabulate_curves(results, 10);
+    maybe_write_csv(flags, "fig3_vgg.csv", sim::curves_to_csv(results));
+  }
+
+  std::cout << "\nShape checks (paper Fig. 3): r=1 has the highest "
+               "throughput but converges slower / lower (visible on the "
+               "classifier); r=4 beats Baseline FP32 clearly but offers "
+               "only a modest edge over the stronger FP16 baseline — "
+               "the paper's argument for baseline choice.\n";
+  return 0;
+}

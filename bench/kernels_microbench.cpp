@@ -1,0 +1,173 @@
+// google-benchmark microbenchmarks for the compression kernels.
+//
+// These measure the REAL CPU kernels (the tables' throughput numbers come
+// from the calibrated testbed model; these benches validate the relative
+// ordering the model assumes: selection > chunk-norms, full RHT > partial
+// RHT, orthogonalization superlinear in r, etc.).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hadamard/hadamard.h"
+#include "lowrank/orthogonalize.h"
+#include "numeric/half.h"
+#include "quant/packing.h"
+#include "quant/quantize.h"
+#include "quant/satint.h"
+#include "sparse/chunks.h"
+#include "sparse/sparse_wire.h"
+#include "sparse/topk.h"
+
+namespace {
+
+using namespace gcs;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+  return x;
+}
+
+void BM_FwhtFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(n);
+  for (auto _ : state) {
+    fwht(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FwhtFull)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_FwhtPartial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto iters = static_cast<unsigned>(state.range(1));
+  auto x = random_vec(n);
+  for (auto _ : state) {
+    fwht(std::span<float>(x), iters);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FwhtPartial)->Args({1 << 20, 13})->Args({1 << 20, 8});
+
+void BM_TopKSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto x = random_vec(n);
+  for (auto _ : state) {
+    auto idx = top_k_indices(x, k);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TopKSelect)
+    ->Args({1 << 20, 1 << 14})
+    ->Args({1 << 20, 1 << 17});
+
+void BM_ChunkNorms(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n);
+  std::vector<float> norms(num_chunks(n, 64));
+  for (auto _ : state) {
+    chunk_squared_norms(x, 64, norms);
+    benchmark::DoNotOptimize(norms.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ChunkNorms)->Arg(1 << 20);
+
+void BM_QuantizeStochastic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<unsigned>(state.range(1));
+  const auto x = random_vec(n);
+  const auto range = compute_range(x);
+  std::vector<std::uint16_t> levels(n);
+  Rng rng(2);
+  for (auto _ : state) {
+    quantize_stochastic(x, range, q, rng, levels);
+    benchmark::DoNotOptimize(levels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_QuantizeStochastic)->Args({1 << 18, 2})->Args({1 << 18, 4});
+
+void BM_PackLanes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bits = static_cast<unsigned>(state.range(1));
+  std::vector<std::uint16_t> levels(n);
+  Rng rng(3);
+  for (auto& l : levels) {
+    l = static_cast<std::uint16_t>(rng.next_u64() & ((1u << bits) - 1));
+  }
+  for (auto _ : state) {
+    auto packed = pack_lanes(levels, bits);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PackLanes)->Args({1 << 18, 2})->Args({1 << 18, 4});
+
+void BM_SatAddLanes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> acc(n, 1), in(n, 2);
+  SatStats stats;
+  for (auto _ : state) {
+    sat_add_lanes(acc, in, 8, &stats);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SatAddLanes)->Arg(1 << 18);
+
+void BM_Orthogonalize(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  const auto src = random_vec(rows * r, 5);
+  std::vector<float> m = src;
+  for (auto _ : state) {
+    m = src;
+    orthogonalize_columns(m, rows, r);
+    benchmark::DoNotOptimize(m.data());
+  }
+  // FLOP count grows as r^2: the superlinear term behind Table 9.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              orthogonalize_flops(rows, r)));
+}
+BENCHMARK(BM_Orthogonalize)
+    ->Args({4096, 4})
+    ->Args({4096, 16})
+    ->Args({4096, 64});
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(n, 6);
+  for (auto _ : state) {
+    round_trip_half(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Fp16RoundTrip)->Arg(1 << 18);
+
+void BM_SparseEncodeDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto x = random_vec(n, 7);
+  const auto idx = top_k_indices(x, k);
+  const auto sparse = extract_sparse(x, idx);
+  for (auto _ : state) {
+    const auto buf = encode_sparse_fp16(sparse);
+    auto back = decode_sparse_fp16(buf);
+    benchmark::DoNotOptimize(back.indices.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_SparseEncodeDecode)->Args({1 << 20, 1 << 14});
+
+}  // namespace
+
+BENCHMARK_MAIN();

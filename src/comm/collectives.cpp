@@ -1,0 +1,182 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace gcs::comm {
+namespace {
+
+// Tag layout: [collective id : 8][phase : 8][step : 16] — strict tagging
+// catches protocol mistakes as loud failures rather than silent data mixup.
+constexpr std::uint64_t tag_of(unsigned collective, unsigned phase,
+                               unsigned step) noexcept {
+  return (static_cast<std::uint64_t>(collective) << 24) |
+         (static_cast<std::uint64_t>(phase) << 16) | step;
+}
+
+constexpr unsigned kRing = 1;
+constexpr unsigned kTree = 2;
+constexpr unsigned kGather = 3;
+constexpr unsigned kBcast = 4;
+constexpr unsigned kPs = 5;
+
+std::span<std::byte> block_span(ByteBuffer& data,
+                                const std::vector<std::size_t>& off,
+                                int block) {
+  return {data.data() + off[static_cast<std::size_t>(block)],
+          off[static_cast<std::size_t>(block) + 1] -
+              off[static_cast<std::size_t>(block)]};
+}
+
+}  // namespace
+
+std::vector<std::size_t> ring_block_offsets(std::size_t size, int world_size,
+                                            std::size_t granularity) {
+  GCS_CHECK(granularity > 0);
+  GCS_CHECK_MSG(size % granularity == 0,
+                "payload size " << size << " not a multiple of granularity "
+                                << granularity);
+  const std::size_t elems = size / granularity;
+  const auto n = static_cast<std::size_t>(world_size);
+  const std::size_t base = elems / n;
+  const std::size_t rem = elems % n;
+  std::vector<std::size_t> off(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    off[i + 1] = off[i] + (base + (i < rem ? 1 : 0)) * granularity;
+  }
+  return off;
+}
+
+void ring_all_reduce(Communicator& comm, ByteBuffer& data,
+                     const ReduceOp& op) {
+  const int n = comm.world_size();
+  if (n == 1) return;
+  const int rank = comm.rank();
+  const auto off = ring_block_offsets(data.size(), n, op.granularity());
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+
+  // Phase 1: reduce-scatter. After step s, the partial for block
+  // (rank - s - 1 + n) % n has folded in this rank's contribution.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (rank - s + n) % n;
+    const int recv_block = (rank - s - 1 + n) % n;
+    auto out = block_span(data, off, send_block);
+    comm.send(next, tag_of(kRing, 1, static_cast<unsigned>(s)),
+              ByteBuffer(out.begin(), out.end()));
+    Message msg =
+        comm.recv(prev, tag_of(kRing, 1, static_cast<unsigned>(s)));
+    auto acc = block_span(data, off, recv_block);
+    GCS_CHECK(msg.payload.size() == acc.size());
+    // combine(local, partial): both our ops are commutative, and this
+    // orientation is what the local reference aggregator replicates.
+    op.accumulate(acc, msg.payload);
+  }
+
+  // Phase 2: all-gather. Rank i owns fully reduced block (i + 1) % n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (rank + 1 - s + n) % n;
+    const int recv_block = (rank - s + n) % n;
+    auto out = block_span(data, off, send_block);
+    comm.send(next, tag_of(kRing, 2, static_cast<unsigned>(s)),
+              ByteBuffer(out.begin(), out.end()));
+    Message msg =
+        comm.recv(prev, tag_of(kRing, 2, static_cast<unsigned>(s)));
+    auto dst = block_span(data, off, recv_block);
+    GCS_CHECK(msg.payload.size() == dst.size());
+    std::copy(msg.payload.begin(), msg.payload.end(), dst.begin());
+  }
+}
+
+void tree_all_reduce(Communicator& comm, ByteBuffer& data,
+                     const ReduceOp& op) {
+  const int n = comm.world_size();
+  if (n == 1) return;
+  const int rank = comm.rank();
+
+  // Binomial reduce to rank 0: rank r sends once, at step == lowest set
+  // bit of r; before that it folds in children r+step in increasing order.
+  for (int step = 1; step < n; step <<= 1) {
+    if ((rank & step) != 0) {
+      comm.send(rank - step, tag_of(kTree, 1, static_cast<unsigned>(step)),
+                data);
+      break;
+    }
+    if (rank + step < n) {
+      Message msg = comm.recv(rank + step,
+                              tag_of(kTree, 1, static_cast<unsigned>(step)));
+      GCS_CHECK(msg.payload.size() == data.size());
+      op.accumulate(data, msg.payload);
+    }
+  }
+
+  broadcast(comm, data, 0);
+}
+
+std::vector<ByteBuffer> all_gather(Communicator& comm, ByteBuffer mine) {
+  const int n = comm.world_size();
+  const int rank = comm.rank();
+  std::vector<ByteBuffer> blocks(static_cast<std::size_t>(n));
+  blocks[static_cast<std::size_t>(rank)] = std::move(mine);
+  if (n == 1) return blocks;
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (rank - s + n) % n;
+    const int recv_block = (rank - s - 1 + n) % n;
+    comm.send(next, tag_of(kGather, 1, static_cast<unsigned>(s)),
+              blocks[static_cast<std::size_t>(send_block)]);
+    Message msg =
+        comm.recv(prev, tag_of(kGather, 1, static_cast<unsigned>(s)));
+    blocks[static_cast<std::size_t>(recv_block)] = std::move(msg.payload);
+  }
+  return blocks;
+}
+
+void broadcast(Communicator& comm, ByteBuffer& data, int root) {
+  const int n = comm.world_size();
+  if (n == 1) return;
+  // Rotate ranks so the root is virtual rank 0.
+  const int vrank = (comm.rank() - root + n) % n;
+  const auto top = static_cast<int>(std::bit_ceil(static_cast<unsigned>(n)));
+  for (int step = top / 2; step >= 1; step >>= 1) {
+    const int mask = 2 * step - 1;
+    if ((vrank & mask) == 0 && vrank + step < n) {
+      const int dst = (vrank + step + root) % n;
+      comm.send(dst, tag_of(kBcast, 1, static_cast<unsigned>(step)), data);
+    } else if ((vrank & mask) == step) {
+      const int src = (vrank - step + root) % n;
+      Message msg =
+          comm.recv(src, tag_of(kBcast, 1, static_cast<unsigned>(step)));
+      data = std::move(msg.payload);
+    }
+  }
+}
+
+void ps_aggregate(Communicator& comm, ByteBuffer& data, const ReduceOp& op,
+                  int server) {
+  const int n = comm.world_size();
+  if (n == 1) return;
+  const int rank = comm.rank();
+  if (rank == server) {
+    // Fold clients in rank order — the canonical PS reduction order.
+    for (int src = 0; src < n; ++src) {
+      if (src == server) continue;
+      Message msg = comm.recv(src, tag_of(kPs, 1, 0));
+      GCS_CHECK(msg.payload.size() == data.size());
+      op.accumulate(data, msg.payload);
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == server) continue;
+      comm.send(dst, tag_of(kPs, 2, 0), data);
+    }
+  } else {
+    comm.send(server, tag_of(kPs, 1, 0), data);
+    Message msg = comm.recv(server, tag_of(kPs, 2, 0));
+    data = std::move(msg.payload);
+  }
+}
+
+}  // namespace gcs::comm

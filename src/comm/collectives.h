@@ -1,0 +1,82 @@
+// Collective operations over the in-process fabric.
+//
+// Implemented from scratch, mirroring NCCL's algorithm families:
+//   * ring all-reduce  — reduce-scatter + all-gather, 2(n-1)/n x payload on
+//     the wire per worker; bandwidth-optimal (Baidu ring).
+//   * tree all-reduce  — binomial reduce to rank 0 + binomial broadcast;
+//     latency-optimal for small payloads (Sanders et al. two-tree family).
+//   * all-gather       — ring; every worker ends with every worker's
+//     payload (the only collective plain TopK can use).
+//   * parameter server — many-to-one gather + reduce at one rank, then
+//     one-to-many broadcast (the incast-prone pattern the paper critiques).
+//
+// Reduction order is deterministic and documented per collective so that
+// non-associative ops (FP16 sum, saturating add) reproduce bit-for-bit:
+//   ring:  block j is folded in worker order j, j+1, ..., j+n-1 (mod n),
+//          each hop computing combine(local, partial).
+//   tree:  rank r accumulates children r+1, r+2, r+4, ... in that order.
+//   PS:    the server folds clients in rank order 0, 1, ..., n-1.
+//
+// Every function is SPMD: all ranks call it on their own thread with their
+// own Communicator, like an MPI/NCCL program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "comm/reduce_op.h"
+
+namespace gcs::comm {
+
+/// Per-rank handle onto the fabric. Cheap to copy.
+class Communicator {
+ public:
+  Communicator(Fabric& fabric, int rank) noexcept
+      : fabric_(&fabric), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int world_size() const noexcept { return fabric_->world_size(); }
+
+  void send(int dst, std::uint64_t tag, ByteBuffer payload) {
+    fabric_->send(rank_, dst, tag, std::move(payload));
+  }
+  Message recv(int src, std::uint64_t tag) {
+    return fabric_->recv(rank_, src, tag);
+  }
+
+  Fabric& fabric() noexcept { return *fabric_; }
+
+ private:
+  Fabric* fabric_;
+  int rank_;
+};
+
+/// Ring all-reduce, in place. `data` must have identical size on all ranks
+/// and the size must be a multiple of op.granularity().
+void ring_all_reduce(Communicator& comm, ByteBuffer& data,
+                     const ReduceOp& op);
+
+/// Binomial-tree all-reduce (reduce to rank 0, broadcast), in place.
+void tree_all_reduce(Communicator& comm, ByteBuffer& data,
+                     const ReduceOp& op);
+
+/// Ring all-gather: returns all ranks' payloads, indexed by rank.
+/// Payload sizes may differ across ranks.
+std::vector<ByteBuffer> all_gather(Communicator& comm, ByteBuffer mine);
+
+/// Binomial broadcast from `root`, in place (non-roots receive into data).
+void broadcast(Communicator& comm, ByteBuffer& data, int root);
+
+/// Parameter-server aggregation: all ranks send to `server`, which folds
+/// them in rank order and broadcasts the result. In place.
+void ps_aggregate(Communicator& comm, ByteBuffer& data, const ReduceOp& op,
+                  int server);
+
+/// Block offsets used by the ring to split `size` bytes into world_size
+/// contiguous blocks aligned to `granularity`. Exposed for the local
+/// reference aggregator and for tests.
+std::vector<std::size_t> ring_block_offsets(std::size_t size, int world_size,
+                                            std::size_t granularity);
+
+}  // namespace gcs::comm

@@ -1,0 +1,74 @@
+#include "comm/fabric.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gcs::comm {
+
+Fabric::Fabric(int world_size) : world_size_(world_size) {
+  GCS_CHECK(world_size >= 1);
+  channels_.resize(static_cast<std::size_t>(world_size) * world_size);
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+  sent_bytes_.assign(static_cast<std::size_t>(world_size), 0);
+}
+
+Fabric::Channel& Fabric::channel(int src, int dst) {
+  GCS_CHECK(src >= 0 && src < world_size_ && dst >= 0 && dst < world_size_);
+  return *channels_[static_cast<std::size_t>(src) * world_size_ + dst];
+}
+
+const Fabric::Channel& Fabric::channel(int src, int dst) const {
+  GCS_CHECK(src >= 0 && src < world_size_ && dst >= 0 && dst < world_size_);
+  return *channels_[static_cast<std::size_t>(src) * world_size_ + dst];
+}
+
+void Fabric::send(int src, int dst, std::uint64_t tag, ByteBuffer payload) {
+  const std::size_t bytes = payload.size();
+  Channel& ch = channel(src, dst);
+  {
+    std::lock_guard lock(ch.mu);
+    ch.queue.push_back(Message{tag, std::move(payload)});
+  }
+  ch.cv.notify_one();
+  {
+    std::lock_guard lock(counter_mu_);
+    sent_bytes_[static_cast<std::size_t>(src)] += bytes;
+  }
+}
+
+Message Fabric::recv(int dst, int src, std::uint64_t expected_tag) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock lock(ch.mu);
+  ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+  Message msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  lock.unlock();
+  if (msg.tag != expected_tag) {
+    std::ostringstream os;
+    os << "Fabric::recv tag mismatch at rank " << dst << " from rank " << src
+       << ": expected " << expected_tag << ", got " << msg.tag;
+    throw Error(os.str());
+  }
+  return msg;
+}
+
+std::uint64_t Fabric::bytes_sent(int rank) const {
+  GCS_CHECK(rank >= 0 && rank < world_size_);
+  std::lock_guard lock(counter_mu_);
+  return sent_bytes_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::lock_guard lock(counter_mu_);
+  std::uint64_t total = 0;
+  for (auto b : sent_bytes_) total += b;
+  return total;
+}
+
+void Fabric::reset_counters() {
+  std::lock_guard lock(counter_mu_);
+  for (auto& b : sent_bytes_) b = 0;
+}
+
+}  // namespace gcs::comm

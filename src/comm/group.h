@@ -1,0 +1,40 @@
+// SPMD thread runner and local reference aggregators.
+//
+// run_workers executes one function per rank on its own thread against a
+// shared fabric — the standard way to drive the collectives "for real".
+//
+// The local_* reference aggregators compute, without any threads or
+// message passing, exactly the value the corresponding fabric collective
+// produces — including the reduction order, so results are bit-identical
+// even for non-associative ops (FP16 sum, saturating add). The training
+// simulator uses these on its hot path; tests assert the bit-equality
+// against the threaded fabric versions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/collectives.h"
+
+namespace gcs::comm {
+
+/// Runs `body(rank_communicator)` on one thread per rank and joins.
+/// The first exception thrown by any worker is rethrown after join.
+void run_workers(Fabric& fabric,
+                 const std::function<void(Communicator&)>& body);
+
+/// Reference result of ring_all_reduce over `inputs` (one buffer per rank,
+/// equal sizes). Folds block j in worker order j, j+1, ..., j+n-1 with the
+/// same operand orientation as the ring hops.
+ByteBuffer local_ring_all_reduce(const std::vector<ByteBuffer>& inputs,
+                                 const ReduceOp& op);
+
+/// Reference result of tree_all_reduce (binomial fold toward rank 0).
+ByteBuffer local_tree_all_reduce(const std::vector<ByteBuffer>& inputs,
+                                 const ReduceOp& op);
+
+/// Reference result of ps_aggregate with the given server rank.
+ByteBuffer local_ps_aggregate(const std::vector<ByteBuffer>& inputs,
+                              const ReduceOp& op, int server = 0);
+
+}  // namespace gcs::comm

@@ -1,0 +1,41 @@
+// Small bit-manipulation helpers shared by the quantization packers and the
+// Hadamard transform (both care about power-of-two sizes and bit widths).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace gcs {
+
+/// Returns true iff x is a (non-zero) power of two.
+constexpr bool is_pow2(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x must be >= 1; next_pow2(0) == 1).
+constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  return std::bit_ceil(x == 0 ? std::size_t{1} : x);
+}
+
+/// floor(log2(x)); x must be non-zero.
+constexpr unsigned log2_floor(std::size_t x) noexcept {
+  return static_cast<unsigned>(std::bit_width(x) - 1);
+}
+
+/// ceil(log2(x)); x must be non-zero. log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::size_t x) noexcept {
+  return x <= 1 ? 0u : static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Number of bytes needed to hold `count` lanes of `bits` bits each, packed.
+constexpr std::size_t packed_bytes(std::size_t count, unsigned bits) noexcept {
+  return ceil_div(count * bits, 8u);
+}
+
+}  // namespace gcs

@@ -1,0 +1,10 @@
+#include "common/bytes.h"
+
+namespace gcs {
+
+std::span<const std::byte> as_bytes_span(std::span<const float> values) noexcept {
+  return {reinterpret_cast<const std::byte*>(values.data()),
+          values.size_bytes()};
+}
+
+}  // namespace gcs

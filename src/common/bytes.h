@@ -1,0 +1,101 @@
+// Byte-buffer primitives for compressor wire formats.
+//
+// Compressed gradients in GCS are real byte payloads (the reported
+// bits-per-coordinate is computed from these buffers, not from formulas),
+// so every scheme serializes through ByteWriter / ByteReader. Scalars are
+// encoded little-endian, which is the native order on every platform we
+// target; the explicit encode/decode keeps payloads well-defined anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gcs {
+
+using ByteBuffer = std::vector<std::byte>;
+
+/// Appends POD scalars and raw spans to a growing byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteBuffer& out) noexcept : out_(&out) {}
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = out_->size();
+    out_->resize(old + sizeof(T));
+    std::memcpy(out_->data() + old, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = out_->size();
+    out_->resize(old + values.size_bytes());
+    if (!values.empty()) {
+      std::memcpy(out_->data() + old, values.data(), values.size_bytes());
+    }
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) { put_span(bytes); }
+
+  std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  ByteBuffer* out_;
+};
+
+/// Sequentially decodes scalars and spans from a byte payload.
+/// Throws gcs::Error on truncated input (payloads may cross the simulated
+/// network, so malformed input is a runtime error, not a logic error).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::span<const T> get_span(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(count * sizeof(T));
+    const auto* ptr = reinterpret_cast<const T*>(data_.data() + pos_);
+    pos_ += count * sizeof(T);
+    return {ptr, count};
+  }
+
+  std::span<const std::byte> get_bytes(std::size_t count) {
+    return get_span<std::byte>(count);
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw Error("ByteReader: truncated payload");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reinterprets a float span as bytes (for zero-copy payload construction).
+std::span<const std::byte> as_bytes_span(std::span<const float> values) noexcept;
+
+}  // namespace gcs

@@ -1,0 +1,51 @@
+// Lightweight always-on invariant checking.
+//
+// GCS_CHECK is used for programmer errors (violated preconditions,
+// impossible states). It is active in all build types: the library is a
+// research artefact and silent corruption of an experiment is strictly
+// worse than an abort. Runtime failures that a caller could reasonably
+// handle (bad config files, malformed wire payloads) throw gcs::Error
+// instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcs {
+
+/// Exception type for recoverable runtime failures (bad input, bad config).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GCS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace gcs
+
+#define GCS_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::gcs::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                   \
+  } while (false)
+
+#define GCS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream gcs_check_os_;                                 \
+      gcs_check_os_ << msg;                                             \
+      ::gcs::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                  gcs_check_os_.str());                 \
+    }                                                                   \
+  } while (false)

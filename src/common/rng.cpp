@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace gcs {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the stream id through splitmix so consecutive streams decorrelate.
+  std::uint64_t s = seed ^ (0xA0761D6478BD642Full * (stream + 1));
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  return a ^ rotl(b, 23);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ull;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_float() noexcept {
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded generation with rejection for an
+  // exactly uniform result.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_gaussian() noexcept {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint32_t>(i);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace gcs

@@ -1,0 +1,75 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// Every stochastic component in GCS (datasets, initializers, stochastic
+// rounding, Hadamard sign diagonals, the permutation ablation) draws from a
+// gcs::Rng constructed from an explicit 64-bit seed, so every experiment is
+// reproducible bit-for-bit across runs. We implement xoshiro256++ with a
+// splitmix64 seeder rather than <random> engines because the standard
+// distributions are not specified deterministically across library
+// implementations, and the paper's methodology (comparing schemes on equal
+// footing) depends on identical draws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gcs {
+
+/// splitmix64 step; used to expand one seed into generator state and to
+/// derive independent sub-seeds (e.g. one per worker, one per round).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Derives a decorrelated child seed from (seed, stream). Children with
+/// different stream ids behave as independent generators.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept;
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, 1). 53-bit resolution.
+  double next_double() noexcept;
+  /// Uniform in [0, 1). 24-bit resolution; used by stochastic rounding.
+  float next_float() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double next_gaussian() noexcept;
+
+  /// +1.0f or -1.0f with equal probability (RHT sign diagonal).
+  float next_sign() noexcept { return (next_u64() >> 63) != 0 ? -1.0f : 1.0f; }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<std::uint32_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace gcs

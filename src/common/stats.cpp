@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcs {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+RollingAverage::RollingAverage(std::size_t window) : window_(window) {
+  GCS_CHECK(window_ > 0);
+}
+
+void RollingAverage::add(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+}
+
+double RollingAverage::value() const noexcept {
+  if (buf_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+double percentile(std::vector<double> samples, double q) {
+  GCS_CHECK(!samples.empty());
+  GCS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double idx = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace gcs

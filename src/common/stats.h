@@ -1,0 +1,58 @@
+// Streaming summary statistics and rolling averages.
+//
+// RollingAverage implements the smoothing the paper applies to TTA curves
+// ("rolling average over 3750 rounds for BERT-large and 7810 rounds for
+// VGG19"); Welford accumulation backs vNMSE aggregation and benchmark
+// timing summaries.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gcs {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-window rolling mean over the most recent `window` samples.
+class RollingAverage {
+ public:
+  explicit RollingAverage(std::size_t window);
+
+  void add(double x);
+  /// Mean over the current window (over fewer samples while warming up).
+  double value() const noexcept;
+  bool empty() const noexcept { return buf_.empty(); }
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample set; used by the
+/// collective micro-benches. `q` in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace gcs

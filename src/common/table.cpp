@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gcs {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GCS_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  GCS_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << " | ";
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << "-+-";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string AsciiTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      const bool needs_quote =
+          row[c].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        os << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_sig(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace gcs

@@ -1,0 +1,47 @@
+// ASCII table and CSV rendering for the benchmark harness.
+//
+// Every table/figure bench prints rows in the same layout as the paper's
+// tables, via this helper, and can optionally dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// Column-aligned ASCII table, e.g.
+///   Task   | b = 0.5 | b = 2 | b = 8
+///   -------+---------+-------+------
+///   BERT   | 5.53    | 3.87  | 2.50
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space padding and '|' separators.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing ',' are quoted).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (matches the paper's
+/// 3-significant-figure table style).
+std::string format_sig(double value, int digits = 3);
+
+/// Formats as fixed-point with `decimals` digits after the point.
+std::string format_fixed(double value, int decimals = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.097 -> "9.7%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace gcs

@@ -1,0 +1,90 @@
+#include "core/baselines.h"
+
+#include <cstring>
+
+#include "comm/group.h"
+#include "common/check.h"
+#include "numeric/half.h"
+
+namespace gcs::core {
+namespace {
+
+class DenseBaseline final : public Compressor {
+ public:
+  explicit DenseBaseline(const BaselineConfig& config) : config_(config) {
+    GCS_CHECK(config.dimension > 0);
+    GCS_CHECK(config.comm_precision == Precision::kFp32 ||
+              config.comm_precision == Precision::kFp16);
+    op_ = config.comm_precision == Precision::kFp16 ? comm::make_fp16_sum()
+                                                    : comm::make_fp32_sum();
+  }
+
+  std::string name() const override {
+    return "Baseline " + gcs::to_string(config_.comm_precision);
+  }
+
+  AggregationPath path() const override {
+    return AggregationPath::kAllReduce;
+  }
+
+  int world_size() const override { return config_.world_size; }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t /*round*/) override {
+    GCS_CHECK(static_cast<int>(grads.size()) == config_.world_size);
+    const std::size_t d = config_.dimension;
+    std::vector<ByteBuffer> payloads(grads.size());
+    for (std::size_t w = 0; w < grads.size(); ++w) {
+      GCS_CHECK(grads[w].size() == d);
+      payloads[w] = encode(grads[w]);
+    }
+    const ByteBuffer reduced =
+        config_.use_tree ? comm::local_tree_all_reduce(payloads, *op_)
+                         : comm::local_ring_all_reduce(payloads, *op_);
+    decode(reduced, out);
+
+    RoundStats stats;
+    stats.payload_bytes = payloads[0].size();
+    return stats;
+  }
+
+  void reset() override {}
+
+ private:
+  ByteBuffer encode(std::span<const float> grad) const {
+    ByteBuffer buf;
+    ByteWriter w(buf);
+    if (config_.comm_precision == Precision::kFp32) {
+      w.put_span<float>(grad);
+    } else {
+      for (float v : grad) w.put<std::uint16_t>(float_to_half_bits(v));
+    }
+    return buf;
+  }
+
+  void decode(const ByteBuffer& payload, std::span<float> out) const {
+    const std::size_t d = config_.dimension;
+    if (config_.comm_precision == Precision::kFp32) {
+      GCS_CHECK(payload.size() == d * sizeof(float));
+      std::memcpy(out.data(), payload.data(), d * sizeof(float));
+    } else {
+      GCS_CHECK(payload.size() == d * 2);
+      const auto* bits =
+          reinterpret_cast<const std::uint16_t*>(payload.data());
+      for (std::size_t i = 0; i < d; ++i) {
+        out[i] = half_bits_to_float(bits[i]);
+      }
+    }
+  }
+
+  BaselineConfig config_;
+  std::unique_ptr<comm::ReduceOp> op_;
+};
+
+}  // namespace
+
+CompressorPtr make_baseline(const BaselineConfig& config) {
+  return std::make_unique<DenseBaseline>(config);
+}
+
+}  // namespace gcs::core

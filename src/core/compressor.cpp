@@ -1,0 +1,14 @@
+#include "core/compressor.h"
+
+namespace gcs::core {
+
+std::string to_string(AggregationPath path) {
+  switch (path) {
+    case AggregationPath::kAllReduce: return "all-reduce";
+    case AggregationPath::kAllGather: return "all-gather";
+    case AggregationPath::kParameterServer: return "parameter-server";
+  }
+  return "?";
+}
+
+}  // namespace gcs::core

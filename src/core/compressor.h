@@ -1,0 +1,89 @@
+// The gradient-aggregation compressor interface — the paper's subject.
+//
+// A Compressor owns one *cluster-wide* aggregation pipeline: given the n
+// workers' local gradients for a round, it produces the aggregated-sum
+// estimate every worker ends up holding, plus wire-accounting statistics.
+// Implementations are required to be faithful to a distributed execution:
+// anything that crosses the simulated network is a real byte payload, the
+// hop-by-hop reduction goes through gcs::comm reduce ops in the canonical
+// ring order (via the bit-identical local reference aggregator), and the
+// reported bits-per-coordinate is measured from those payloads.
+//
+// The AggregationPath type records the paper's central structural
+// distinction: a scheme either produces hop-reducible payloads
+// (kAllReduce — TopKC, THC, PowerSGD, the dense baselines) or it must fall
+// back to all-gather (plain TopK) or a parameter server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/satint.h"
+
+namespace gcs::core {
+
+/// How a scheme's traffic is carried (determines scalability and, through
+/// the network model, time). See DESIGN.md section 5.
+enum class AggregationPath : std::uint8_t {
+  kAllReduce,        ///< payload is reducible at intermediate hops
+  kAllGather,        ///< every worker must see every worker's payload
+  kParameterServer,  ///< many-to-one gather, reduce at server, broadcast
+};
+
+std::string to_string(AggregationPath path);
+
+/// Wire/compute accounting for one aggregation round.
+struct RoundStats {
+  /// Bytes of the main (per-worker) payload — the all-reduce input size,
+  /// matching the paper's definition of b.
+  std::uint64_t payload_bytes = 0;
+  /// Bytes of consensus metadata exchanged before the main round
+  /// (TopKC chunk norms, THC chunk ranges), also per worker.
+  std::uint64_t metadata_bytes = 0;
+  /// Saturation clip accounting (THC with saturation; zero otherwise).
+  SatStats sat;
+
+  /// The paper's b: all-reduce input bits per gradient coordinate,
+  /// including consensus metadata.
+  double bits_per_coordinate(std::size_t dimension) const noexcept {
+    return dimension == 0 ? 0.0
+                          : 8.0 *
+                                static_cast<double>(payload_bytes +
+                                                    metadata_bytes) /
+                                static_cast<double>(dimension);
+  }
+};
+
+/// Cluster-wide gradient aggregation pipeline (see file comment).
+/// Stateful: error-feedback memories, PowerSGD iterates and RHT contexts
+/// persist across rounds for reproducibility of training runs.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Scheme name as used in the paper's tables ("TopK", "TopKC", "THC",
+  /// "PowerSGD", "Baseline FP16", ...).
+  virtual std::string name() const = 0;
+
+  virtual AggregationPath path() const = 0;
+
+  /// Runs one aggregation round. `grads[i]` is worker i's local gradient
+  /// (all the same size d, matching the compressor's configuration);
+  /// `out` (size d) receives the aggregated *sum* estimate that every
+  /// worker holds after the round. `round` indexes shared randomness.
+  virtual RoundStats aggregate(std::span<const std::span<const float>> grads,
+                               std::span<float> out, std::uint64_t round) = 0;
+
+  /// Clears cross-round state (EF memories, warm starts).
+  virtual void reset() = 0;
+
+  /// Number of workers this pipeline was configured for.
+  virtual int world_size() const = 0;
+};
+
+using CompressorPtr = std::unique_ptr<Compressor>;
+
+}  // namespace gcs::core

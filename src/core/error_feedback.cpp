@@ -1,0 +1,59 @@
+#include "core/error_feedback.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace gcs::core {
+
+ErrorFeedback::ErrorFeedback(int world_size, std::size_t dimension,
+                             bool enabled)
+    : world_size_(world_size), dimension_(dimension), enabled_(enabled) {
+  GCS_CHECK(world_size >= 1);
+  if (enabled_) {
+    memories_.resize(static_cast<std::size_t>(world_size));
+    for (auto& m : memories_) m.assign(dimension, 0.0f);
+  }
+}
+
+void ErrorFeedback::compensate(int worker, std::span<const float> grad,
+                               std::span<float> y) const {
+  GCS_CHECK(grad.size() == dimension_ && y.size() == dimension_);
+  if (!enabled_) {
+    std::copy(grad.begin(), grad.end(), y.begin());
+    return;
+  }
+  const auto& m = memories_[static_cast<std::size_t>(worker)];
+  for (std::size_t i = 0; i < dimension_; ++i) y[i] = grad[i] + m[i];
+}
+
+void ErrorFeedback::absorb(int worker, std::span<const float> y,
+                           std::span<const float> contribution) {
+  if (!enabled_) return;
+  GCS_CHECK(y.size() == dimension_ && contribution.size() == dimension_);
+  auto& m = memories_[static_cast<std::size_t>(worker)];
+  for (std::size_t i = 0; i < dimension_; ++i) m[i] = y[i] - contribution[i];
+}
+
+void ErrorFeedback::absorb_masked(int worker, std::span<const float> y,
+                                  std::span<const std::uint8_t> sent_mask) {
+  if (!enabled_) return;
+  GCS_CHECK(y.size() == dimension_ && sent_mask.size() == dimension_);
+  auto& m = memories_[static_cast<std::size_t>(worker)];
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    m[i] = sent_mask[i] != 0 ? 0.0f : y[i];
+  }
+}
+
+void ErrorFeedback::reset() {
+  for (auto& m : memories_) std::fill(m.begin(), m.end(), 0.0f);
+}
+
+std::span<const float> ErrorFeedback::memory(int worker) const {
+  GCS_CHECK(enabled_);
+  const auto& m = memories_[static_cast<std::size_t>(worker)];
+  return {m.data(), m.size()};
+}
+
+}  // namespace gcs::core

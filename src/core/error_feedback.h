@@ -1,0 +1,58 @@
+// Error feedback (Seide et al. 2014; Karimireddy et al. 2019).
+//
+// Lossy compressors drop part of each gradient; error feedback keeps the
+// dropped remainder in a per-worker memory and adds it back before the next
+// round's compression, turning a biased compressor into an asymptotically
+// convergent one. The paper applies EF to TopK and TopKC; PowerSGD carries
+// its own variant (memory = accumulated gradient minus the shared low-rank
+// reconstruction, Vogels et al. 2019).
+//
+// Semantics captured here:
+//   y_i = x_i + m_i                       (compensate)
+//   m_i' = y_i - contribution_i           (store what was NOT transmitted)
+// where contribution_i is scheme-specific — each compressor tells the
+// memory what it actually sent on behalf of worker i.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcs::core {
+
+/// Per-worker error memories for an n-worker, d-dimensional pipeline.
+class ErrorFeedback {
+ public:
+  ErrorFeedback(int world_size, std::size_t dimension, bool enabled);
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// y = grads[i] + memory[i]. If disabled, y = grads[i] unchanged.
+  /// `y` must have size dimension.
+  void compensate(int worker, std::span<const float> grad,
+                  std::span<float> y) const;
+
+  /// Stores m_i' = y - contribution. No-op when disabled.
+  void absorb(int worker, std::span<const float> y,
+              std::span<const float> contribution);
+
+  /// Variant used when only selected coordinates were transmitted:
+  /// m_i'[j] = 0 for transmitted j (exactly what was sent was y[j]),
+  /// m_i'[j] = y[j] otherwise. `sent_mask` has one byte per coordinate.
+  void absorb_masked(int worker, std::span<const float> y,
+                     std::span<const std::uint8_t> sent_mask);
+
+  void reset();
+
+  /// Direct access for tests / diagnostics.
+  std::span<const float> memory(int worker) const;
+
+ private:
+  int world_size_;
+  std::size_t dimension_;
+  bool enabled_;
+  std::vector<std::vector<float>> memories_;
+};
+
+}  // namespace gcs::core

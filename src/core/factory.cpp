@@ -1,0 +1,146 @@
+#include "core/factory.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "core/baselines.h"
+#include "core/powersgd_compressor.h"
+#include "core/thc_compressor.h"
+#include "core/topk_compressor.h"
+#include "core/topkc_compressor.h"
+
+namespace gcs::core {
+namespace {
+
+struct Spec {
+  std::string kind;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& f) const {
+    for (const auto& x : flags) {
+      if (x == f) return true;
+    }
+    return false;
+  }
+
+  double get_double(const std::string& key, double fallback,
+                    bool* found = nullptr) const {
+    const auto it = options.find(key);
+    if (found != nullptr) *found = it != options.end();
+    if (it == options.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      throw Error("compressor spec: option " + key + " expects a number, got '" +
+                  it->second + "'");
+    }
+    return v;
+  }
+};
+
+Spec parse_spec(const std::string& text) {
+  Spec spec;
+  std::istringstream is(text);
+  std::string token;
+  bool first = true;
+  while (std::getline(is, token, ':')) {
+    if (first) {
+      spec.kind = token;
+      first = false;
+      continue;
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      spec.flags.push_back(token);
+    } else {
+      spec.options[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  if (spec.kind.empty()) throw Error("empty compressor spec");
+  return spec;
+}
+
+}  // namespace
+
+CompressorPtr make_compressor(const std::string& text,
+                              const ModelLayout& layout, int world_size) {
+  const Spec spec = parse_spec(text);
+  const std::size_t d = layout.total_size();
+
+  if (spec.kind == "fp32" || spec.kind == "fp16") {
+    BaselineConfig config;
+    config.dimension = d;
+    config.world_size = world_size;
+    config.comm_precision =
+        spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
+    config.use_tree = spec.has_flag("tree");
+    return make_baseline(config);
+  }
+
+  if (spec.kind == "topk") {
+    TopKConfig config;
+    config.dimension = d;
+    config.world_size = world_size;
+    config.error_feedback = !spec.has_flag("noef");
+    config.delta_indices = spec.has_flag("delta");
+    bool has_k = false;
+    const double k = spec.get_double("k", 0, &has_k);
+    if (has_k) {
+      config.k = static_cast<std::size_t>(k);
+    } else {
+      bool has_b = false;
+      const double b = spec.get_double("b", 8.0, &has_b);
+      if (!has_b) throw Error("topk spec needs k= or b=");
+      config.k = TopKConfig::k_for_bits(d, b, config.delta_indices);
+    }
+    return make_topk(config);
+  }
+
+  if (spec.kind == "topkc") {
+    TopKCConfig config;
+    config.dimension = d;
+    config.world_size = world_size;
+    config.error_feedback = !spec.has_flag("noef");
+    config.permute = spec.has_flag("perm");
+    bool has_b = false;
+    const double b = spec.get_double("b", 8.0, &has_b);
+    if (!has_b) throw Error("topkc spec needs b=");
+    config.chunk_size = static_cast<std::size_t>(spec.get_double(
+        "c", static_cast<double>(TopKCConfig::default_chunk_size(b))));
+    config.num_top_chunks = TopKCConfig::j_for_bits(d, config.chunk_size, b);
+    return make_topkc(config);
+  }
+
+  if (spec.kind == "thc") {
+    ThcConfig config;
+    config.dimension = d;
+    config.world_size = world_size;
+    config.q = static_cast<unsigned>(spec.get_double("q", 4));
+    config.b = static_cast<unsigned>(spec.get_double("b", config.q));
+    config.saturation = config.b == config.q;
+    if (spec.has_flag("sat")) config.saturation = true;
+    if (spec.has_flag("wide")) config.saturation = false;
+    if (spec.has_flag("full")) config.rotation = RotationMode::kFull;
+    if (spec.has_flag("partial")) config.rotation = RotationMode::kPartial;
+    if (spec.has_flag("norot")) config.rotation = RotationMode::kNone;
+    return make_thc(config);
+  }
+
+  if (spec.kind == "powersgd") {
+    PowerSgdConfig config;
+    config.layout = layout;
+    config.world_size = world_size;
+    config.rank = static_cast<std::size_t>(spec.get_double("r", 4));
+    config.error_feedback = !spec.has_flag("noef");
+    return make_powersgd(config);
+  }
+
+  throw Error("unknown compressor kind '" + spec.kind + "' in spec '" + text +
+              "'");
+}
+
+}  // namespace gcs::core

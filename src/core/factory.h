@@ -1,0 +1,32 @@
+// String-spec compressor factory for examples and benchmark harnesses.
+//
+// Grammar (colon-separated, key=value options):
+//   "fp32"                      Baseline FP32
+//   "fp16"                      Baseline FP16
+//   "topk:b=8"                  TopK at 8 bits/coordinate (K = d*b/48)
+//   "topk:k=1000"               TopK with explicit K
+//   "topkc:b=2"                 TopKC at 2 bits/coordinate (paper's C rule)
+//   "topkc:b=2:c=64:perm"       explicit chunk size; permutation ablation
+//   "thc:q=4:b=4:sat:partial"   THC, saturating, partial rotation
+//   "thc:q=4:b=8:full"          THC baseline (wide bits, full rotation)
+//   "powersgd:r=4"              PowerSGD rank 4
+// Common options: "noef" disables error feedback where it defaults on.
+//
+// Throws gcs::Error on malformed specs — a typo must not silently run a
+// different experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/compressor.h"
+#include "tensor/layout.h"
+
+namespace gcs::core {
+
+/// Builds a compressor from a spec string. `layout` provides the layer
+/// structure (required by PowerSGD; others use only its total size).
+CompressorPtr make_compressor(const std::string& spec,
+                              const ModelLayout& layout, int world_size);
+
+}  // namespace gcs::core

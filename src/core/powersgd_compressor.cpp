@@ -1,0 +1,222 @@
+#include "core/powersgd_compressor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "comm/group.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/error_feedback.h"
+#include "lowrank/orthogonalize.h"
+#include "lowrank/powersgd_step.h"
+#include "numeric/half.h"
+
+namespace gcs::core {
+namespace {
+
+/// Encodes a float span as FP16 into a growing buffer.
+void put_fp16(ByteBuffer& buf, std::span<const float> values) {
+  ByteWriter w(buf);
+  for (float v : values) w.put<std::uint16_t>(float_to_half_bits(v));
+}
+
+/// Decodes `count` FP16 values starting at byte `offset`.
+void get_fp16(const ByteBuffer& buf, std::size_t offset,
+              std::span<float> out) {
+  GCS_CHECK(offset + out.size() * 2 <= buf.size());
+  const auto* bits =
+      reinterpret_cast<const std::uint16_t*>(buf.data() + offset);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = half_bits_to_float(bits[i]);
+  }
+}
+
+class PowerSgdCompressor final : public Compressor {
+ public:
+  explicit PowerSgdCompressor(const PowerSgdConfig& config)
+      : config_(config),
+        ef_(config.world_size, config.layout.total_size(),
+            config.error_feedback),
+        fp16_sum_(comm::make_fp16_sum()) {
+    GCS_CHECK(config_.layout.total_size() > 0);
+    GCS_CHECK(config_.rank >= 1);
+    Rng rng(config_.seed);  // shared: all workers hold identical Q iterates
+    for (std::size_t l = 0; l < config_.layout.num_layers(); ++l) {
+      const auto& layer = config_.layout.layer(l);
+      if (is_low_rank(layer)) {
+        states_.push_back(PowerSgdLayerState::init(layer.rows, layer.cols,
+                                                   config_.rank, rng));
+      } else {
+        states_.push_back(PowerSgdLayerState{});  // dense-exact layer
+      }
+    }
+  }
+
+  std::string name() const override {
+    return "PowerSGD-" + std::to_string(config_.rank);
+  }
+
+  AggregationPath path() const override {
+    return AggregationPath::kAllReduce;
+  }
+
+  int world_size() const override { return config_.world_size; }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t /*round*/) override {
+    const std::size_t d = config_.layout.total_size();
+    const auto n = static_cast<std::size_t>(config_.world_size);
+    GCS_CHECK(grads.size() == n);
+    GCS_CHECK(out.size() == d);
+
+    // EF compensation.
+    std::vector<std::vector<float>> ys(n, std::vector<float>(d));
+    for (std::size_t w = 0; w < n; ++w) {
+      GCS_CHECK(grads[w].size() == d);
+      ef_.compensate(static_cast<int>(w), grads[w], ys[w]);
+    }
+
+    // ---- Phase A: P = M Q per low-rank layer; dense layers ride along
+    // uncompressed (both are FP16 payloads under the same fp16-sum ring).
+    std::vector<ByteBuffer> payload_a(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      for (std::size_t l = 0; l < states_.size(); ++l) {
+        const auto& layer = config_.layout.layer(l);
+        auto m = layer_span(ys[w], l);
+        if (states_[l].rank == 0) {
+          put_fp16(payload_a[w], m);
+        } else {
+          std::vector<float> p(layer.rows * states_[l].rank);
+          powersgd_compute_p(m, states_[l], p);
+          put_fp16(payload_a[w], p);
+        }
+      }
+    }
+    const ByteBuffer reduced_a =
+        comm::local_ring_all_reduce(payload_a, *fp16_sum_);
+
+    // Decode phase A: orthonormalize each P sum (identical on every
+    // worker since the input is identical); stash dense-layer sums.
+    std::vector<std::vector<float>> p_hats(states_.size());
+    std::vector<std::vector<float>> dense_sums(states_.size());
+    {
+      std::size_t offset = 0;
+      for (std::size_t l = 0; l < states_.size(); ++l) {
+        const auto& layer = config_.layout.layer(l);
+        if (states_[l].rank == 0) {
+          dense_sums[l].resize(layer.size());
+          get_fp16(reduced_a, offset, dense_sums[l]);
+          offset += layer.size() * 2;
+        } else {
+          p_hats[l].resize(layer.rows * states_[l].rank);
+          get_fp16(reduced_a, offset, p_hats[l]);
+          offset += p_hats[l].size() * 2;
+          orthogonalize_columns(p_hats[l], layer.rows, states_[l].rank);
+        }
+      }
+    }
+
+    // ---- Phase B: Q = M^T P_hat per low-rank layer.
+    std::vector<ByteBuffer> payload_b(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      for (std::size_t l = 0; l < states_.size(); ++l) {
+        if (states_[l].rank == 0) continue;
+        const auto& layer = config_.layout.layer(l);
+        auto m = layer_span(ys[w], l);
+        std::vector<float> q(layer.cols * states_[l].rank);
+        powersgd_compute_q(m, states_[l], p_hats[l], q);
+        put_fp16(payload_b[w], q);
+      }
+    }
+    ByteBuffer reduced_b;
+    if (!payload_b[0].empty()) {
+      reduced_b = comm::local_ring_all_reduce(payload_b, *fp16_sum_);
+    }
+
+    // Reconstruct the aggregated sum estimate and update warm starts.
+    {
+      std::size_t offset = 0;
+      for (std::size_t l = 0; l < states_.size(); ++l) {
+        const auto& layer = config_.layout.layer(l);
+        auto out_slice = layer_span_mut(out, l);
+        if (states_[l].rank == 0) {
+          std::copy(dense_sums[l].begin(), dense_sums[l].end(),
+                    out_slice.begin());
+          continue;
+        }
+        std::vector<float> q_sum(layer.cols * states_[l].rank);
+        get_fp16(reduced_b, offset, q_sum);
+        offset += q_sum.size() * 2;
+        powersgd_reconstruct(states_[l], p_hats[l], q_sum, out_slice);
+        states_[l].q = std::move(q_sum);  // warm start for the next round
+      }
+    }
+
+    // EF: memory = y - reconstruction/n on low-rank layers only (dense
+    // layers are transmitted exactly, modulo FP16 rounding).
+    if (ef_.enabled()) {
+      std::vector<float> contribution(d);
+      const float inv_n = 1.0f / static_cast<float>(n);
+      for (std::size_t w = 0; w < n; ++w) {
+        for (std::size_t l = 0; l < states_.size(); ++l) {
+          auto slice = layer_span_mut(contribution, l);
+          auto ow = layer_span(std::span<const float>(out), l);
+          auto yw = layer_span(std::span<const float>(ys[w]), l);
+          if (states_[l].rank == 0) {
+            // Exact transmission: nothing left behind.
+            std::copy(yw.begin(), yw.end(), slice.begin());
+          } else {
+            for (std::size_t i = 0; i < slice.size(); ++i) {
+              slice[i] = ow[i] * inv_n;
+            }
+          }
+        }
+        ef_.absorb(static_cast<int>(w), ys[w], contribution);
+      }
+    }
+
+    RoundStats stats;
+    stats.payload_bytes = payload_a[0].size() + payload_b[0].size();
+    return stats;
+  }
+
+  void reset() override {
+    ef_.reset();
+    Rng rng(config_.seed);
+    for (std::size_t l = 0; l < states_.size(); ++l) {
+      const auto& layer = config_.layout.layer(l);
+      if (states_[l].rank != 0) {
+        states_[l] = PowerSgdLayerState::init(layer.rows, layer.cols,
+                                              config_.rank, rng);
+      }
+    }
+  }
+
+ private:
+  bool is_low_rank(const LayerSpec& layer) const noexcept {
+    // Layers whose smaller side does not exceed r are cheaper to send
+    // exactly (the reference implementation's rule for vectors).
+    return std::min(layer.rows, layer.cols) > config_.rank;
+  }
+
+  std::span<const float> layer_span(std::span<const float> x,
+                                    std::size_t l) const {
+    return x.subspan(config_.layout.offset(l), config_.layout.layer(l).size());
+  }
+  std::span<float> layer_span_mut(std::span<float> x, std::size_t l) const {
+    return x.subspan(config_.layout.offset(l), config_.layout.layer(l).size());
+  }
+
+  PowerSgdConfig config_;
+  ErrorFeedback ef_;
+  std::unique_ptr<comm::ReduceOp> fp16_sum_;
+  std::vector<PowerSgdLayerState> states_;
+};
+
+}  // namespace
+
+CompressorPtr make_powersgd(const PowerSgdConfig& config) {
+  return std::make_unique<PowerSgdCompressor>(config);
+}
+
+}  // namespace gcs::core

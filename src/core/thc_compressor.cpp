@@ -1,0 +1,212 @@
+#include "core/thc_compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+
+#include "comm/group.h"
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "hadamard/hadamard.h"
+#include "quant/quantize.h"
+
+namespace gcs::core {
+namespace {
+
+class ThcCompressor final : public Compressor {
+ public:
+  explicit ThcCompressor(const ThcConfig& config) : config_(config) {
+    GCS_CHECK(config_.dimension > 0);
+    GCS_CHECK_MSG(config_.valid_bits(),
+                  "THC: saturation requires b == q; wide mode requires "
+                  "b >= q (got b="
+                      << config_.b << ", q=" << config_.q << ")");
+    GCS_CHECK(config_.b == 2 || config_.b == 4 || config_.b == 8);
+    if (!config_.saturation) {
+      // Headroom check: n centered q-bit levels must fit in b bits.
+      const double need =
+          config_.q + std::ceil(std::log2(config_.world_size));
+      GCS_CHECK_MSG(config_.b >= need,
+                    "wide mode needs b >= q + log2(n) to be overflow-free");
+    }
+    const std::size_t pow2 = next_pow2(config_.dimension);
+    const unsigned full = full_iterations(pow2);
+    switch (config_.rotation) {
+      case RotationMode::kNone: iters_ = 0; break;
+      case RotationMode::kFull: iters_ = full; break;
+      case RotationMode::kPartial:
+        iters_ = partial_iterations(pow2, config_.shared_memory_bytes);
+        break;
+    }
+    if (config_.rotation != RotationMode::kNone) {
+      rht_.emplace(config_.dimension, iters_, config_.seed);
+      padded_ = rht_->padded_size();  // full: next pow2; partial: next block
+    } else {
+      // No transform: pad only to whole bytes of packed lanes (8 lanes
+      // always byte-aligns for q in {2, 4, 8}).
+      padded_ = ceil_div(config_.dimension, 8) * 8;
+    }
+    // Range-consensus blocks mirror the rotation structure: per 2^l'
+    // block for partial rotation, one global block otherwise.
+    block_ = config_.rotation == RotationMode::kPartial
+                 ? (std::size_t{1} << iters_)
+                 : padded_;
+    n_blocks_ = ceil_div(padded_, block_);
+  }
+
+  std::string name() const override {
+    std::string n = "THC b=" + std::to_string(config_.b) +
+                    ",q=" + std::to_string(config_.q);
+    n += config_.saturation ? " Sat" : " BL";
+    n += " " + to_string(config_.rotation);
+    return n;
+  }
+
+  AggregationPath path() const override {
+    return AggregationPath::kAllReduce;
+  }
+
+  int world_size() const override { return config_.world_size; }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t round) override {
+    const std::size_t d = config_.dimension;
+    const auto n = static_cast<std::size_t>(config_.world_size);
+    GCS_CHECK(grads.size() == n);
+    GCS_CHECK(out.size() == d);
+
+    // Stage 1: rotate each worker's gradient (shared sign diagonal, so the
+    // transform commutes with summation across workers).
+    std::vector<std::vector<float>> rotated(n,
+                                            std::vector<float>(padded_));
+    for (std::size_t w = 0; w < n; ++w) {
+      GCS_CHECK(grads[w].size() == d);
+      if (rht_) {
+        rht_->forward(grads[w], rotated[w], round);
+      } else {
+        std::memcpy(rotated[w].data(), grads[w].data(), d * sizeof(float));
+        std::memset(rotated[w].data() + d, 0, (padded_ - d) * sizeof(float));
+      }
+    }
+
+    // Stage 2: per-block range consensus via min/max all-reduce.
+    std::vector<ByteBuffer> lo_payloads(n), hi_payloads(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      std::vector<float> lo(n_blocks_), hi(n_blocks_);
+      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
+        const auto range = compute_range(block_span(rotated[w], blk));
+        lo[blk] = range.lo;
+        hi[blk] = range.hi;
+      }
+      ByteWriter wl(lo_payloads[w]);
+      wl.put_span<float>(lo);
+      ByteWriter wh(hi_payloads[w]);
+      wh.put_span<float>(hi);
+    }
+    const auto min_op = comm::make_fp32_min();
+    const auto max_op = comm::make_fp32_max();
+    const ByteBuffer lo_red = comm::local_ring_all_reduce(lo_payloads, *min_op);
+    const ByteBuffer hi_red = comm::local_ring_all_reduce(hi_payloads, *max_op);
+    std::vector<QuantRange> ranges(n_blocks_);
+    {
+      const auto* lo = reinterpret_cast<const float*>(lo_red.data());
+      const auto* hi = reinterpret_cast<const float*>(hi_red.data());
+      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
+        ranges[blk] = QuantRange{lo[blk], hi[blk]};
+      }
+    }
+
+    // Stage 3+4: quantize against the shared ranges; centered signed
+    // lanes; aggregate through the canonical ring with Sat(.,.).
+    RoundStats stats;
+    const std::int32_t offset = 1 << (config_.q - 1);
+    std::vector<ByteBuffer> payloads(n);
+    std::vector<std::uint16_t> levels(padded_);
+    std::vector<std::int32_t> lanes(padded_);
+    for (std::size_t w = 0; w < n; ++w) {
+      Rng rng(derive_seed(config_.seed ^ 0x5707c457,
+                          round * n + w));  // per-worker stochastic rounding
+      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
+        auto xs = block_span(rotated[w], blk);
+        quantize_stochastic(xs, ranges[blk], config_.q, rng,
+                            std::span<std::uint16_t>(levels).subspan(
+                                blk * block_, xs.size()));
+      }
+      for (std::size_t i = 0; i < padded_; ++i) {
+        lanes[i] = static_cast<std::int32_t>(levels[i]) - offset;
+      }
+      // Centered q-bit levels span [-2^{q-1}, 2^{q-1}-1], which fits the
+      // two's-complement lane domain exactly at b == q; the clamp only
+      // matters defensively.
+      sat_clamp_lanes(lanes, config_.b);
+      payloads[w] = pack_signed_lanes(lanes, config_.b);
+    }
+    const auto sat_op = comm::make_sat_int(config_.b, &stats.sat);
+    const ByteBuffer reduced =
+        comm::local_ring_all_reduce(payloads, *sat_op);
+    if (!config_.saturation) {
+      // Wide mode allocates enough headroom that clipping is impossible.
+      GCS_CHECK_MSG(stats.sat.clips == 0,
+                    "overflow in wide (non-saturating) THC aggregation");
+    }
+
+    // Stage 5: homomorphic decode + inverse rotation.
+    const auto sums = unpack_signed_lanes(reduced, padded_, config_.b);
+    std::vector<float> rotated_sum(padded_);
+    for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
+      const std::size_t begin = blk * block_;
+      const std::size_t len = std::min(block_, padded_ - begin);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::int64_t level_sum =
+            static_cast<std::int64_t>(sums[begin + i]) +
+            static_cast<std::int64_t>(n) * offset;
+        rotated_sum[begin + i] = dequantize_level_sum(
+            level_sum, static_cast<unsigned>(n), ranges[blk], config_.q);
+      }
+    }
+    if (rht_) {
+      rht_->inverse(rotated_sum, out, round);
+    } else {
+      std::memcpy(out.data(), rotated_sum.data(), d * sizeof(float));
+    }
+
+    stats.payload_bytes = payloads[0].size();
+    stats.metadata_bytes = lo_payloads[0].size() + hi_payloads[0].size();
+    return stats;
+  }
+
+  void reset() override {}
+
+ private:
+  std::span<float> block_span(std::vector<float>& x, std::size_t blk) const {
+    const std::size_t begin = blk * block_;
+    const std::size_t len = std::min(block_, padded_ - begin);
+    return {x.data() + begin, len};
+  }
+
+  ThcConfig config_;
+  std::size_t padded_;
+  unsigned iters_ = 0;
+  std::size_t block_ = 0;
+  std::size_t n_blocks_ = 0;
+  std::optional<RhtTransform> rht_;
+};
+
+}  // namespace
+
+std::string to_string(RotationMode mode) {
+  switch (mode) {
+    case RotationMode::kNone: return "no-rotation";
+    case RotationMode::kPartial: return "partial-rotation";
+    case RotationMode::kFull: return "full-rotation";
+  }
+  return "?";
+}
+
+CompressorPtr make_thc(const ThcConfig& config) {
+  return std::make_unique<ThcCompressor>(config);
+}
+
+}  // namespace gcs::core

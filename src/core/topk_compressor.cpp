@@ -1,0 +1,93 @@
+#include "core/topk_compressor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/error_feedback.h"
+#include "sparse/sparse_wire.h"
+#include "sparse/topk.h"
+
+namespace gcs::core {
+namespace {
+
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(const TopKConfig& config)
+      : config_(config),
+        ef_(config.world_size, config.dimension, config.error_feedback) {
+    GCS_CHECK(config_.dimension > 0);
+    GCS_CHECK(config_.k >= 1 && config_.k <= config_.dimension);
+  }
+
+  std::string name() const override { return "TopK"; }
+
+  AggregationPath path() const override {
+    return AggregationPath::kAllGather;
+  }
+
+  int world_size() const override { return config_.world_size; }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t /*round*/) override {
+    const std::size_t d = config_.dimension;
+    const auto n = static_cast<std::size_t>(config_.world_size);
+    GCS_CHECK(grads.size() == n);
+    GCS_CHECK(out.size() == d);
+
+    RoundStats stats;
+    std::vector<float> y(d);
+    std::vector<std::uint8_t> mask(d);
+    std::vector<ByteBuffer> payloads(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      GCS_CHECK(grads[w].size() == d);
+      ef_.compensate(static_cast<int>(w), grads[w], y);
+      const auto idx = top_k_indices(y, config_.k);
+      SparseVector sparse = extract_sparse(y, idx);
+      payloads[w] = config_.delta_indices ? encode_sparse_delta16(sparse)
+                                          : encode_sparse_fp16(sparse);
+      // The transmitted contribution is the FP16-rounded selected values;
+      // the EF memory keeps everything else (and the FP16 rounding error
+      // rides along as part of the untransmitted remainder only if we
+      // treat the sent values as exact — use the decoded values so memory
+      // is consistent with the wire).
+      std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+      for (auto i : idx) mask[i] = 1;
+      ef_.absorb_masked(static_cast<int>(w), y, mask);
+    }
+
+    // All-gather: every worker receives all payloads and scatter-adds.
+    // (Payload sizes are equal across workers; total received traffic is
+    // (n-1) x payload per worker — the scalability cost of this path.)
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (std::size_t w = 0; w < n; ++w) {
+      const SparseVector decoded =
+          config_.delta_indices ? decode_sparse_delta16(payloads[w])
+                                : decode_sparse_fp16(payloads[w]);
+      scatter_add(decoded, out);
+    }
+
+    stats.payload_bytes = payloads[0].size();
+    return stats;
+  }
+
+  void reset() override { ef_.reset(); }
+
+ private:
+  TopKConfig config_;
+  ErrorFeedback ef_;
+};
+
+}  // namespace
+
+std::size_t TopKConfig::k_for_bits(std::size_t dimension, double bits,
+                                   bool delta_indices) {
+  const double per_entry = delta_indices ? 32.0 : 48.0;
+  const double k = static_cast<double>(dimension) * bits / per_entry;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(k));
+}
+
+CompressorPtr make_topk(const TopKConfig& config) {
+  return std::make_unique<TopKCompressor>(config);
+}
+
+}  // namespace gcs::core

@@ -1,0 +1,185 @@
+#include "core/topkc_compressor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "comm/group.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/error_feedback.h"
+#include "numeric/half.h"
+#include "sparse/chunks.h"
+
+namespace gcs::core {
+namespace {
+
+class TopKCCompressor final : public Compressor {
+ public:
+  explicit TopKCCompressor(const TopKCConfig& config)
+      : config_(config),
+        ef_(config.world_size, config.dimension, config.error_feedback),
+        fp16_sum_(comm::make_fp16_sum()) {
+    GCS_CHECK(config_.dimension > 0);
+    GCS_CHECK(config_.chunk_size >= 1);
+    n_chunks_ = num_chunks(config_.dimension, config_.chunk_size);
+    GCS_CHECK(config_.num_top_chunks >= 1 &&
+              config_.num_top_chunks <= n_chunks_);
+    if (config_.permute) {
+      Rng rng(config_.permute_seed);
+      perm_ = rng.permutation(config_.dimension);
+      inv_perm_.resize(config_.dimension);
+      for (std::size_t i = 0; i < perm_.size(); ++i) {
+        inv_perm_[perm_[i]] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+
+  std::string name() const override {
+    return config_.permute ? "TopKC Permutation" : "TopKC";
+  }
+
+  AggregationPath path() const override {
+    return AggregationPath::kAllReduce;
+  }
+
+  int world_size() const override { return config_.world_size; }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t /*round*/) override {
+    const std::size_t d = config_.dimension;
+    const std::size_t c = config_.chunk_size;
+    const auto n = static_cast<std::size_t>(config_.world_size);
+    GCS_CHECK(grads.size() == n);
+    GCS_CHECK(out.size() == d);
+
+    // Stage 0: optional locality-destroying permutation (identical on
+    // every worker), then EF compensation. The permutation happens first
+    // so the EF memories live consistently in the permuted domain.
+    std::vector<std::vector<float>> ys(n, std::vector<float>(d));
+    std::vector<float> local(d);
+    for (std::size_t w = 0; w < n; ++w) {
+      GCS_CHECK(grads[w].size() == d);
+      std::copy(grads[w].begin(), grads[w].end(), local.begin());
+      if (config_.permute) permute_in_place(local);
+      ef_.compensate(static_cast<int>(w), local, ys[w]);
+    }
+
+    // Stage 1: consensus on chunk scores. Squared norms are rounded to
+    // FP16 and all-reduced with the FP16-sum op, exactly as they would
+    // travel on the wire.
+    std::vector<ByteBuffer> norm_payloads(n);
+    std::vector<float> scores(n_chunks_);
+    for (std::size_t w = 0; w < n; ++w) {
+      chunk_squared_norms(ys[w], c, scores);
+      ByteWriter writer(norm_payloads[w]);
+      for (float s : scores) writer.put<std::uint16_t>(float_to_half_bits(s));
+    }
+    const ByteBuffer reduced_norms =
+        comm::local_ring_all_reduce(norm_payloads, *fp16_sum_);
+    GCS_CHECK(reduced_norms.size() == n_chunks_ * 2);
+    const auto* score_bits =
+        reinterpret_cast<const std::uint16_t*>(reduced_norms.data());
+    for (std::size_t i = 0; i < n_chunks_; ++i) {
+      scores[i] = half_bits_to_float(score_bits[i]);
+    }
+
+    // Stage 2: every worker independently (and identically) picks the
+    // global top-J chunks.
+    const auto top_chunks = select_top_chunks(scores, config_.num_top_chunks);
+
+    // Stage 3: all-reduce the selected chunks in FP16.
+    const std::size_t payload_coords = payload_size(top_chunks);
+    std::vector<ByteBuffer> payloads(n);
+    std::vector<float> gathered(payload_coords);
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::size_t got = gather_chunks(ys[w], c, top_chunks, gathered);
+      GCS_CHECK(got == payload_coords);
+      ByteWriter writer(payloads[w]);
+      for (float v : gathered) writer.put<std::uint16_t>(float_to_half_bits(v));
+    }
+    const ByteBuffer reduced =
+        comm::local_ring_all_reduce(payloads, *fp16_sum_);
+
+    // Decode + scatter back to the dense vector.
+    GCS_CHECK(reduced.size() == payload_coords * 2);
+    const auto* value_bits =
+        reinterpret_cast<const std::uint16_t*>(reduced.data());
+    std::vector<float> summed(payload_coords);
+    for (std::size_t i = 0; i < payload_coords; ++i) {
+      summed[i] = half_bits_to_float(value_bits[i]);
+    }
+    scatter_chunks(summed, c, top_chunks, out);
+    if (config_.permute) unpermute_in_place(out);
+
+    // EF: the transmitted contribution per worker is its selected chunks.
+    if (ef_.enabled()) {
+      std::vector<std::uint8_t> mask(d, 0);
+      for (auto chunk : top_chunks) {
+        const std::size_t begin = static_cast<std::size_t>(chunk) * c;
+        const std::size_t end = std::min(begin + c, d);
+        std::fill(mask.begin() + static_cast<std::ptrdiff_t>(begin),
+                  mask.begin() + static_cast<std::ptrdiff_t>(end),
+                  std::uint8_t{1});
+      }
+      for (std::size_t w = 0; w < n; ++w) {
+        ef_.absorb_masked(static_cast<int>(w), ys[w], mask);
+      }
+    }
+
+    RoundStats stats;
+    stats.payload_bytes = payloads[0].size();
+    stats.metadata_bytes = norm_payloads[0].size();
+    return stats;
+  }
+
+  void reset() override { ef_.reset(); }
+
+ private:
+  std::size_t payload_size(std::span<const std::uint32_t> chunks) const {
+    std::size_t coords = 0;
+    for (auto chunk : chunks) {
+      const std::size_t begin =
+          static_cast<std::size_t>(chunk) * config_.chunk_size;
+      coords += std::min(config_.chunk_size, config_.dimension - begin);
+    }
+    return coords;
+  }
+
+  void permute_in_place(std::span<float> x) const {
+    scratch_.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) scratch_[i] = x[perm_[i]];
+    std::copy(scratch_.begin(), scratch_.end(), x.begin());
+  }
+
+  void unpermute_in_place(std::span<float> x) const {
+    scratch_.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) scratch_[i] = x[inv_perm_[i]];
+    std::copy(scratch_.begin(), scratch_.end(), x.begin());
+  }
+
+  TopKCConfig config_;
+  std::size_t n_chunks_ = 0;
+  ErrorFeedback ef_;
+  std::unique_ptr<comm::ReduceOp> fp16_sum_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> inv_perm_;
+  mutable std::vector<float> scratch_;
+};
+
+}  // namespace
+
+std::size_t TopKCConfig::j_for_bits(std::size_t dimension,
+                                    std::size_t chunk_size, double bits) {
+  const double d = static_cast<double>(dimension);
+  const double c = static_cast<double>(chunk_size);
+  const double j = (bits / 16.0 - 1.0 / c) * d / c;
+  const auto max_j = num_chunks(dimension, chunk_size);
+  if (j < 1.0) return 1;
+  return std::min<std::size_t>(static_cast<std::size_t>(j), max_j);
+}
+
+CompressorPtr make_topkc(const TopKCConfig& config) {
+  return std::make_unique<TopKCCompressor>(config);
+}
+
+}  // namespace gcs::core

@@ -1,0 +1,113 @@
+#include "hadamard/hadamard.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gcs {
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+
+}  // namespace
+
+void fwht(std::span<float> x, unsigned l_iters) {
+  const std::size_t n = x.size();
+  // The first l' butterfly levels only mix within 2^l'-aligned blocks, so
+  // any size that is a whole number of blocks is valid (this is what makes
+  // partial rotation cheaper to pad for than the full transform).
+  GCS_CHECK_MSG(n > 0 && n % (std::size_t{1} << l_iters) == 0,
+                "FWHT size " << n << " must be a multiple of 2^" << l_iters);
+  // Iteration k pairs elements at stride 2^k; after l iterations, elements
+  // within each 2^l-aligned block are fully mixed and distinct blocks have
+  // not interacted — this is precisely the partial-rotation semantics.
+  for (unsigned k = 0; k < l_iters; ++k) {
+    const std::size_t h = std::size_t{1} << k;
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+      for (std::size_t i = base; i < base + h; ++i) {
+        const float a = x[i];
+        const float b = x[i + h];
+        x[i] = (a + b) * kInvSqrt2;
+        x[i + h] = (a - b) * kInvSqrt2;
+      }
+    }
+  }
+}
+
+void fwht(std::span<float> x) { fwht(x, full_iterations(x.size())); }
+
+void fwht_inverse(std::span<float> x, unsigned l_iters) { fwht(x, l_iters); }
+
+std::vector<float> rht_signs(std::size_t size, std::uint64_t seed,
+                             std::uint64_t round) {
+  Rng rng(derive_seed(seed, round));
+  std::vector<float> signs(size);
+  for (float& s : signs) s = rng.next_sign();
+  return signs;
+}
+
+void apply_signs(std::span<float> x, std::span<const float> signs) noexcept {
+  const std::size_t n = x.size() < signs.size() ? x.size() : signs.size();
+  for (std::size_t i = 0; i < n; ++i) x[i] *= signs[i];
+}
+
+unsigned full_iterations(std::size_t padded_size) noexcept {
+  return padded_size <= 1 ? 0u : log2_floor(padded_size);
+}
+
+unsigned partial_iterations(std::size_t padded_size,
+                            std::size_t shared_memory_bytes) noexcept {
+  const unsigned full = full_iterations(padded_size);
+  if (full == 0) return 0;
+  const std::size_t max_floats = shared_memory_bytes / sizeof(float);
+  unsigned l = 0;
+  while (l < full && (std::size_t{2} << l) <= max_floats) ++l;
+  return l == 0 ? 1u : l;  // at least one mixing level
+}
+
+RhtTransform::RhtTransform(std::size_t size, unsigned l_iters,
+                           std::uint64_t seed)
+    : size_(size), seed_(seed) {
+  GCS_CHECK(size > 0);
+  const unsigned full = full_iterations(next_pow2(size));
+  if (l_iters == 0 || l_iters >= full) {
+    // Full transform: pad to the next power of two.
+    l_iters_ = full;
+    padded_ = next_pow2(size);
+  } else {
+    // Partial transform == independent 2^l'-blocks: pad only to a whole
+    // number of blocks (much cheaper than next_pow2 for large d).
+    l_iters_ = l_iters;
+    const std::size_t block = std::size_t{1} << l_iters_;
+    padded_ = ceil_div(size, block) * block;
+  }
+}
+
+void RhtTransform::forward(std::span<const float> x, std::span<float> out,
+                           std::uint64_t round) const {
+  GCS_CHECK(x.size() == size_);
+  GCS_CHECK(out.size() == padded_);
+  std::memcpy(out.data(), x.data(), size_ * sizeof(float));
+  if (padded_ > size_) {
+    std::memset(out.data() + size_, 0, (padded_ - size_) * sizeof(float));
+  }
+  const auto signs = rht_signs(padded_, seed_, round);
+  apply_signs(out, signs);
+  fwht(out, l_iters_);
+}
+
+void RhtTransform::inverse(std::span<const float> in, std::span<float> x,
+                           std::uint64_t round) const {
+  GCS_CHECK(in.size() == padded_);
+  GCS_CHECK(x.size() == size_);
+  std::vector<float> tmp(in.begin(), in.end());
+  fwht(std::span<float>(tmp), l_iters_);  // orthonormal involution
+  const auto signs = rht_signs(padded_, seed_, round);
+  apply_signs(tmp, signs);  // signs are +-1: self-inverse
+  std::memcpy(x.data(), tmp.data(), size_ * sizeof(float));
+}
+
+}  // namespace gcs

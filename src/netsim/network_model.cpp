@@ -1,0 +1,69 @@
+#include "netsim/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcs::netsim {
+
+double incast_penalty(int senders) noexcept {
+  // Mild super-linear penalty: goodput collapse grows with simultaneous
+  // flows (cf. TCP/RDMA incast studies). 1 sender -> 1.0; 3 -> ~1.22;
+  // 15 -> ~1.78. Applied on top of the serialized (n-1) x payload volume.
+  if (senders <= 1) return 1.0;
+  return 1.0 + 0.2 * std::log2(static_cast<double>(senders));
+}
+
+double NetworkModel::ring_all_reduce_time(int n,
+                                          double payload_bytes) const noexcept {
+  if (n <= 1 || payload_bytes <= 0.0) return 0.0;
+  const double steps = 2.0 * (n - 1);
+  const double bytes_per_step = payload_bytes / n;
+  return steps * (link_.latency_sec +
+                  bytes_per_step / (link_.bandwidth_bytes_per_sec * eff_.ring));
+}
+
+double NetworkModel::tree_all_reduce_time(int n,
+                                          double payload_bytes) const noexcept {
+  if (n <= 1 || payload_bytes <= 0.0) return 0.0;
+  const double steps = 2.0 * std::ceil(std::log2(static_cast<double>(n)));
+  return steps * (link_.latency_sec +
+                  payload_bytes / (link_.bandwidth_bytes_per_sec * eff_.tree));
+}
+
+double NetworkModel::all_gather_time(int n,
+                                     double bytes_per_worker) const noexcept {
+  if (n <= 1 || bytes_per_worker <= 0.0) return 0.0;
+  const double steps = static_cast<double>(n - 1);
+  return steps *
+         (link_.latency_sec +
+          bytes_per_worker / (link_.bandwidth_bytes_per_sec * eff_.all_gather));
+}
+
+double NetworkModel::ps_aggregate_time(int n, double payload_bytes,
+                                       bool colocated) const noexcept {
+  if (n <= 1 || payload_bytes <= 0.0) return 0.0;
+  // Gather: (n-1) client payloads serialized through the server link with
+  // the incast penalty; broadcast: (n-1) copies out of the same link.
+  const double senders = static_cast<double>(n - 1);
+  const double bw = link_.bandwidth_bytes_per_sec * eff_.ps;
+  double gather = link_.latency_sec +
+                  senders * payload_bytes * incast_penalty(n - 1) / bw;
+  double bcast = link_.latency_sec + senders * payload_bytes / bw;
+  double total = gather + bcast;
+  if (colocated) {
+    // Co-located PS shards the server role n ways: each shard ingests
+    // (n-1) x payload/n, still with the many-to-one penalty.
+    total /= static_cast<double>(n);
+  }
+  return total;
+}
+
+double NetworkModel::broadcast_time(int n,
+                                    double payload_bytes) const noexcept {
+  if (n <= 1 || payload_bytes <= 0.0) return 0.0;
+  const double steps = std::ceil(std::log2(static_cast<double>(n)));
+  return steps * (link_.latency_sec +
+                  payload_bytes / (link_.bandwidth_bytes_per_sec * eff_.tree));
+}
+
+}  // namespace gcs::netsim

@@ -1,0 +1,113 @@
+#include "numeric/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace gcs {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+constexpr std::uint32_t kF32ExpMask = 0x7F80'0000u;
+constexpr std::uint32_t kF32MantMask = 0x007F'FFFFu;
+
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint32_t exp = (f & kF32ExpMask) >> 23;
+  std::uint32_t mant = f & kF32MantMask;
+
+  if (exp == 0xFF) {  // Inf or NaN
+    // Preserve NaN-ness (set a mantissa bit), signal nothing else.
+    const std::uint16_t payload =
+        mant != 0 ? static_cast<std::uint16_t>(0x0200 | (mant >> 13)) : 0;
+    return static_cast<std::uint16_t>(sign | 0x7C00 | payload);
+  }
+
+  // Re-bias from 127 to 15.
+  const std::int32_t new_exp = static_cast<std::int32_t>(exp) - 127 + 15;
+
+  if (new_exp >= 0x1F) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7C00);
+  }
+
+  if (new_exp <= 0) {
+    // Subnormal half (or zero). The implicit leading 1 becomes explicit and
+    // the mantissa is shifted right by (1 - new_exp) extra places.
+    if (new_exp < -10) {
+      return sign;  // rounds to +-0
+    }
+    mant |= 0x0080'0000u;  // make leading 1 explicit
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - new_exp);
+    const std::uint32_t half_mant = mant >> shift;
+    // Round-to-nearest-even on the bits shifted out.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t rounded = half_mant;
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) {
+      ++rounded;  // may carry into the exponent field: that is correct
+    }
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal half. Keep 10 mantissa bits, RNE on the 13 dropped bits.
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1FFFu;
+  std::uint32_t bits =
+      static_cast<std::uint32_t>(sign) | (static_cast<std::uint32_t>(new_exp) << 10) | half_mant;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++bits;  // mantissa carry rolls into the exponent correctly (and to inf)
+  }
+  return static_cast<std::uint16_t>(bits);
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits & 0x7C00u) >> 10;
+  const std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // +-0
+    } else {
+      // Subnormal: value = mant * 2^-24. Normalize by shifting the leading
+      // 1 up to bit 10; s shifts give value = (1 + frac) * 2^(-14 - s),
+      // i.e. a biased binary32 exponent of 113 - s.
+      std::uint32_t m = mant;
+      std::uint32_t shifts = 0;
+      while ((m & 0x0400u) == 0) {
+        m <<= 1;
+        ++shifts;
+      }
+      m &= 0x03FFu;  // drop the now-implicit leading 1
+      const std::uint32_t new_exp = 113u - shifts;
+      f = sign | (new_exp << 23) | (m << 13);
+    }
+  } else if (exp == 0x1F) {
+    f = sign | 0x7F80'0000u | (mant << 13);  // inf / NaN
+  } else {
+    const std::uint32_t new_exp = exp - 15 + 127;
+    f = sign | (new_exp << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+std::vector<Half> to_half(std::span<const float> values) {
+  std::vector<Half> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = Half(values[i]);
+  return out;
+}
+
+std::vector<float> to_float(std::span<const Half> values) {
+  std::vector<float> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i].to_float();
+  return out;
+}
+
+void round_trip_half(std::span<float> values) noexcept {
+  for (float& v : values) v = half_bits_to_float(float_to_half_bits(v));
+}
+
+}  // namespace gcs

@@ -1,0 +1,65 @@
+// Software IEEE-754 binary16 ("FP16", the paper's strong baseline format).
+//
+// The environment has no hardware half support, so we implement binary16 at
+// the bit level: conversion from binary32 with round-to-nearest-even
+// (including gradual underflow to subnormals), conversion back, and the
+// handful of operations the aggregation paths need. Arithmetic is performed
+// in binary32 and rounded back, which matches how GPUs execute FP16
+// accumulate-in-FP32 pipelines and, more importantly, defines a
+// deterministic semantics for the simulated collectives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcs {
+
+/// Raw binary16 <-> binary32 conversions (bit-exact, RNE).
+std::uint16_t float_to_half_bits(float value) noexcept;
+float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Value type wrapping a binary16 pattern. Trivially copyable (wire-safe).
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float value) noexcept : bits_(float_to_half_bits(value)) {}
+
+  static Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const noexcept { return half_bits_to_float(bits_); }
+  std::uint16_t bits() const noexcept { return bits_; }
+
+  /// FP16 sum: add in FP32, round back to FP16 (GPU-accumulator semantics).
+  friend Half operator+(Half a, Half b) noexcept {
+    return Half(a.to_float() + b.to_float());
+  }
+
+  friend bool operator==(Half a, Half b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2);
+
+/// Largest finite binary16 value (65504).
+inline constexpr float kHalfMax = 65504.0f;
+
+/// Converts a float span to halves (RNE).
+std::vector<Half> to_half(std::span<const float> values);
+
+/// Converts halves back to floats.
+std::vector<float> to_float(std::span<const Half> values);
+
+/// In-place round-trip through binary16: x <- fp16(x). This is exactly the
+/// precision loss the FP16-communication baselines incur per round.
+void round_trip_half(std::span<float> values) noexcept;
+
+}  // namespace gcs

@@ -1,0 +1,86 @@
+#include "numeric/precision.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "numeric/half.h"
+
+namespace gcs {
+namespace {
+
+/// Rounds a binary32 bit pattern to `mant_bits` mantissa bits with RNE.
+/// Works for any mant_bits < 23; exponent range is unchanged (so this is
+/// exact for TF32/BF16 whose exponent field matches binary32).
+float truncate_mantissa_rne(float value, unsigned mant_bits) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  if (exp == 0xFFu) return value;  // inf/NaN pass through
+  const unsigned drop = 23 - mant_bits;
+  const std::uint32_t keep_mask = ~((1u << drop) - 1u);
+  const std::uint32_t rem = f & ~keep_mask;
+  const std::uint32_t halfway = 1u << (drop - 1);
+  std::uint32_t out = f & keep_mask;
+  const std::uint32_t lsb = 1u << drop;
+  if (rem > halfway || (rem == halfway && (out & lsb))) {
+    out += lsb;  // carry may bump the exponent; that is correct RNE behaviour
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace
+
+std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "FP32";
+    case Precision::kTf32: return "TF32";
+    case Precision::kFp16: return "FP16";
+    case Precision::kBf16: return "BF16";
+  }
+  return "?";
+}
+
+unsigned wire_bits(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp32: return 32;
+    case Precision::kTf32: return 19;  // 1 + 8 + 10 (as stored by cuBLAS)
+    case Precision::kFp16: return 16;
+    case Precision::kBf16: return 16;
+  }
+  return 32;
+}
+
+float to_tf32(float value) noexcept { return truncate_mantissa_rne(value, 10); }
+
+float to_bf16(float value) noexcept { return truncate_mantissa_rne(value, 7); }
+
+float round_to_precision(float value, Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp32: return value;
+    case Precision::kTf32: return to_tf32(value);
+    case Precision::kFp16: return half_bits_to_float(float_to_half_bits(value));
+    case Precision::kBf16: return to_bf16(value);
+  }
+  return value;
+}
+
+void round_span_to_precision(std::span<float> values, Precision p) noexcept {
+  if (p == Precision::kFp32) return;
+  for (float& v : values) v = round_to_precision(v, p);
+}
+
+std::uint32_t stochastic_level(float value, float lo, float hi, unsigned q,
+                               float u) noexcept {
+  const std::uint32_t levels = (1u << q) - 1u;
+  if (!(hi > lo)) return 0;  // degenerate range: everything maps to level 0
+  float x = (value - lo) / (hi - lo) * static_cast<float>(levels);
+  if (x <= 0.0f) return 0;
+  if (x >= static_cast<float>(levels)) return levels;
+  const float floor_level = std::floor(x);
+  const float frac = x - floor_level;
+  // Round up with probability equal to the fractional part: unbiased.
+  const auto level = static_cast<std::uint32_t>(floor_level) + (u < frac ? 1u : 0u);
+  return level;
+}
+
+}  // namespace gcs

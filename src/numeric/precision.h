@@ -1,0 +1,51 @@
+// Precision formats used by the paper's baselines (Table 2).
+//
+// The paper evaluates {TF32, FP32} training precision x {FP16, FP32}
+// communication precision. TF32 is NVIDIA's TensorFloat: FP32 range
+// (8 exponent bits) with a 10-bit mantissa; we emulate it by truncating the
+// binary32 mantissa, which is what A100 tensor cores do on input. BF16 is
+// included for completeness (same emulation strategy, 7-bit mantissa).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace gcs {
+
+/// Scalar storage/compute formats modelled by the suite.
+enum class Precision : std::uint8_t {
+  kFp32,  ///< IEEE binary32
+  kTf32,  ///< FP32 range, 10-bit mantissa (NVIDIA TensorFloat-32)
+  kFp16,  ///< IEEE binary16
+  kBf16,  ///< bfloat16: FP32 range, 7-bit mantissa
+};
+
+/// Human-readable name, matching the paper's notation ("FP32", "TF32", ...).
+std::string to_string(Precision p);
+
+/// Bits per value on the wire for a given precision.
+unsigned wire_bits(Precision p) noexcept;
+
+/// Rounds one binary32 value to the given precision (RNE) and back.
+float round_to_precision(float value, Precision p) noexcept;
+
+/// In-place rounding of a whole span, e.g. simulating a TF32 matmul input
+/// path or an FP16 communication payload.
+void round_span_to_precision(std::span<float> values, Precision p) noexcept;
+
+/// TF32 truncation of a single value (keeps 10 mantissa bits, RNE).
+float to_tf32(float value) noexcept;
+
+/// bfloat16 rounding of a single value (keeps 7 mantissa bits, RNE).
+float to_bf16(float value) noexcept;
+
+/// Stochastic rounding of `value` onto the grid {floor, ceil} spanned by the
+/// two nearest representable values of a q-bit uniform grid on
+/// [lo, hi]. Returns the *integer level* in [0, 2^q - 1]. Used by the THC
+/// quantizer; exposed here for reuse and property tests.
+/// `u` must be uniform in [0, 1).
+std::uint32_t stochastic_level(float value, float lo, float hi, unsigned q,
+                               float u) noexcept;
+
+}  // namespace gcs

@@ -1,0 +1,68 @@
+#include "quant/packing.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace gcs {
+
+void pack_lanes_into(std::span<const std::uint16_t> values, unsigned bits,
+                     ByteBuffer& out) {
+  GCS_CHECK(bits >= 1 && bits <= 16);
+  const std::size_t start = out.size();
+  out.resize(start + packed_bytes(values.size(), bits), std::byte{0});
+  auto* bytes = reinterpret_cast<std::uint8_t*>(out.data() + start);
+  const std::uint32_t mask = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  std::size_t bitpos = 0;
+  for (std::uint16_t raw : values) {
+    const std::uint32_t v = raw & mask;
+    GCS_CHECK_MSG((raw & ~mask) == 0, "lane value " << raw
+                                                    << " exceeds " << bits
+                                                    << " bits");
+    const std::size_t byte = bitpos >> 3;
+    const unsigned shift = static_cast<unsigned>(bitpos & 7u);
+    // A lane spans at most 3 bytes for bits <= 16.
+    std::uint32_t chunk = v << shift;
+    bytes[byte] |= static_cast<std::uint8_t>(chunk & 0xFFu);
+    if (shift + bits > 8) {
+      bytes[byte + 1] |= static_cast<std::uint8_t>((chunk >> 8) & 0xFFu);
+    }
+    if (shift + bits > 16) {
+      bytes[byte + 2] |= static_cast<std::uint8_t>((chunk >> 16) & 0xFFu);
+    }
+    bitpos += bits;
+  }
+}
+
+ByteBuffer pack_lanes(std::span<const std::uint16_t> values, unsigned bits) {
+  ByteBuffer out;
+  pack_lanes_into(values, bits, out);
+  return out;
+}
+
+std::vector<std::uint16_t> unpack_lanes(std::span<const std::byte> data,
+                                        std::size_t count, unsigned bits) {
+  GCS_CHECK(bits >= 1 && bits <= 16);
+  if (data.size() < packed_bytes(count, bits)) {
+    throw Error("unpack_lanes: payload too short");
+  }
+  std::vector<std::uint16_t> out(count);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::uint32_t mask = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t byte = bitpos >> 3;
+    const unsigned shift = static_cast<unsigned>(bitpos & 7u);
+    std::uint32_t chunk = bytes[byte];
+    if (shift + bits > 8) {
+      chunk |= static_cast<std::uint32_t>(bytes[byte + 1]) << 8;
+    }
+    if (shift + bits > 16) {
+      chunk |= static_cast<std::uint32_t>(bytes[byte + 2]) << 16;
+    }
+    out[i] = static_cast<std::uint16_t>((chunk >> shift) & mask);
+    bitpos += bits;
+  }
+  return out;
+}
+
+}  // namespace gcs

@@ -1,0 +1,31 @@
+// Dense q-bit lane packing — the actual wire format of quantized payloads.
+//
+// The bits-per-coordinate b that the framework reports is derived from
+// these buffers, so the packing must be tight: `count` lanes of `bits`
+// bits occupy exactly ceil(count*bits/8) bytes. Lanes are packed LSB-first
+// within a little-endian bit stream (lane i occupies bit positions
+// [i*bits, (i+1)*bits)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gcs {
+
+/// Packs `values` (each < 2^bits) into a tight bit stream.
+/// bits must be in [1, 16].
+ByteBuffer pack_lanes(std::span<const std::uint16_t> values, unsigned bits);
+
+/// Appends the packed stream to an existing buffer (for composite formats).
+void pack_lanes_into(std::span<const std::uint16_t> values, unsigned bits,
+                     ByteBuffer& out);
+
+/// Unpacks `count` lanes of `bits` bits from `data`.
+/// Throws gcs::Error if `data` is too short.
+std::vector<std::uint16_t> unpack_lanes(std::span<const std::byte> data,
+                                        std::size_t count, unsigned bits);
+
+}  // namespace gcs

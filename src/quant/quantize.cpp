@@ -1,0 +1,78 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "numeric/precision.h"
+
+namespace gcs {
+
+QuantRange compute_range(std::span<const float> x) noexcept {
+  if (x.empty()) return {};
+  float lo = x[0], hi = x[0];
+  for (float v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+QuantRange merge_ranges(QuantRange a, QuantRange b) noexcept {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+void quantize_stochastic(std::span<const float> x, QuantRange range,
+                         unsigned q, Rng& rng,
+                         std::span<std::uint16_t> out_levels) {
+  GCS_CHECK(q >= 1 && q <= 16);
+  GCS_CHECK(out_levels.size() >= x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out_levels[i] = static_cast<std::uint16_t>(
+        stochastic_level(x[i], range.lo, range.hi, q, rng.next_float()));
+  }
+}
+
+void quantize_nearest(std::span<const float> x, QuantRange range, unsigned q,
+                      std::span<std::uint16_t> out_levels) noexcept {
+  const auto levels = static_cast<float>((1u << q) - 1u);
+  const float width = range.width();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (width <= 0.0f) {
+      out_levels[i] = 0;
+      continue;
+    }
+    float t = (x[i] - range.lo) / width * levels;
+    t = std::clamp(t, 0.0f, levels);
+    out_levels[i] = static_cast<std::uint16_t>(std::lround(t));
+  }
+}
+
+float dequantize_level(std::uint32_t level, QuantRange range,
+                       unsigned q) noexcept {
+  const auto levels = static_cast<float>((1u << q) - 1u);
+  if (levels == 0.0f || range.width() <= 0.0f) return range.lo;
+  return range.lo + (range.width() / levels) * static_cast<float>(level);
+}
+
+void dequantize(std::span<const std::uint16_t> levels, QuantRange range,
+                unsigned q, std::span<float> out) noexcept {
+  const std::size_t n = std::min(levels.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = dequantize_level(levels[i], range, q);
+  }
+}
+
+float dequantize_level_sum(std::int64_t level_sum, unsigned n_workers,
+                           QuantRange range, unsigned q) noexcept {
+  const auto levels = static_cast<float>((1u << q) - 1u);
+  if (levels == 0.0f || range.width() <= 0.0f) {
+    return range.lo * static_cast<float>(n_workers);
+  }
+  const float delta = range.width() / levels;
+  return range.lo * static_cast<float>(n_workers) +
+         delta * static_cast<float>(level_sum);
+}
+
+}  // namespace gcs

@@ -1,0 +1,249 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "core/topk_compressor.h"
+#include "core/topkc_compressor.h"
+#include "hadamard/hadamard.h"
+#include "lowrank/orthogonalize.h"
+#include "lowrank/powersgd_step.h"
+
+namespace gcs::sim {
+namespace {
+
+/// Minimal re-parse of the factory spec grammar (kind + options + flags).
+struct ParsedSpec {
+  std::string kind;
+  std::vector<std::pair<std::string, double>> options;
+  std::vector<std::string> flags;
+
+  bool flag(const std::string& f) const {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  }
+  double option(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+ParsedSpec parse(const std::string& text) {
+  ParsedSpec out;
+  std::istringstream is(text);
+  std::string token;
+  bool first = true;
+  while (std::getline(is, token, ':')) {
+    if (first) {
+      out.kind = token;
+      first = false;
+      continue;
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      out.flags.push_back(token);
+    } else {
+      out.options.emplace_back(token.substr(0, eq),
+                               std::strtod(token.substr(eq + 1).c_str(),
+                                           nullptr));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double CostModel::train_compute(const WorkloadSpec& w,
+                                Precision train_precision) const {
+  const double base = w.fp32_compute_seconds;
+  return train_precision == Precision::kTf32
+             ? base * constants_.tf32_speedup_factor
+             : base;
+}
+
+RoundTime CostModel::baseline_round(const WorkloadSpec& w,
+                                    Precision train_precision,
+                                    Precision comm_precision) const {
+  RoundTime t;
+  t.compute_s = train_compute(w, train_precision);
+  t.fixed_s = constants_.fixed_overhead_s;
+  const double bytes =
+      static_cast<double>(w.dimension()) * wire_bits(comm_precision) / 8.0;
+  t.comm_s = net_.ring_all_reduce_time(n_, bytes);
+  return t;
+}
+
+RoundTime CostModel::topk_round(const WorkloadSpec& w, double bits) const {
+  const auto d = static_cast<double>(w.dimension());
+  const double k = d * bits / 48.0;  // FP16 value + 32-bit index
+  RoundTime t;
+  t.compute_s = train_compute(w, Precision::kFp32);
+  t.fixed_s = constants_.fixed_overhead_s;
+  // Selection + rearrangement on the full vector; decode scatters n*K
+  // received coordinates with poor locality.
+  t.compress_s = constants_.topk_select_per_coord_s * d +
+                 constants_.scatter_add_per_coord_s * k * n_;
+  t.comm_s = net_.all_gather_time(n_, d * bits / 8.0);
+  return t;
+}
+
+RoundTime CostModel::topkc_round(const WorkloadSpec& w, double bits,
+                                 std::size_t chunk_size) const {
+  const auto d = static_cast<double>(w.dimension());
+  const auto c = static_cast<double>(chunk_size);
+  const std::size_t j =
+      core::TopKCConfig::j_for_bits(w.dimension(), chunk_size, bits);
+  const double payload_coords = static_cast<double>(j) * c;
+  const double norm_coords = std::ceil(d / c);
+  RoundTime t;
+  t.compute_s = train_compute(w, Precision::kFp32);
+  t.fixed_s = constants_.fixed_overhead_s;
+  // Sequential norm pass + a top-J selection over only d/C candidates +
+  // sequential chunk gather/scatter.
+  t.compress_s = constants_.chunk_norm_per_coord_s * d +
+                 constants_.topk_select_per_coord_s * norm_coords +
+                 constants_.chunk_norm_per_coord_s * payload_coords;
+  t.comm_s = net_.ring_all_reduce_time(n_, norm_coords * 2.0) +
+             net_.ring_all_reduce_time(n_, payload_coords * 2.0);
+  return t;
+}
+
+unsigned CostModel::rotation_iters(const WorkloadSpec& w,
+                                   const std::string& mode) const {
+  const std::size_t padded = next_pow2(w.dimension());
+  if (mode == "none" || mode == "norot") return 0;
+  if (mode == "partial") {
+    return partial_iterations(padded, constants_.shared_memory_bytes);
+  }
+  return full_iterations(padded);
+}
+
+RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
+                               unsigned rot_iters) const {
+  // Padding matches the compressor: full rotation needs the next power of
+  // two; partial rotation only a whole number of 2^l' blocks; no rotation
+  // only byte alignment.
+  const std::size_t pow2 = next_pow2(w.dimension());
+  const unsigned full = full_iterations(pow2);
+  double d_padded;
+  if (rot_iters == 0) {
+    d_padded = static_cast<double>(ceil_div(w.dimension(), 8) * 8);
+  } else if (rot_iters >= full) {
+    d_padded = static_cast<double>(pow2);
+  } else {
+    const std::size_t block = std::size_t{1} << rot_iters;
+    d_padded = static_cast<double>(ceil_div(w.dimension(), block) * block);
+  }
+  RoundTime t;
+  t.compute_s = train_compute(w, Precision::kFp32);
+  t.fixed_s = constants_.fixed_overhead_s;
+  t.compress_s = constants_.rht_per_coord_iter_s * d_padded * rot_iters +
+                 constants_.quantize_per_coord_s * d_padded;
+  // Range metadata: 8 bytes per rotation block (or one global block).
+  const double blocks =
+      rot_iters == 0
+          ? 1.0
+          : d_padded / static_cast<double>(
+                           std::size_t{1} << std::min<unsigned>(rot_iters, 62));
+  t.comm_s = net_.ring_all_reduce_time(n_, d_padded * bits / 8.0) +
+             net_.ring_all_reduce_time(n_, std::max(blocks, 1.0) * 8.0);
+  return t;
+}
+
+double CostModel::powersgd_bits(const WorkloadSpec& w,
+                                std::size_t rank) const {
+  double payload_bytes = 0.0;
+  for (const auto& layer : w.layout.layers()) {
+    const bool low_rank = std::min(layer.rows, layer.cols) > rank;
+    if (low_rank) {
+      const std::size_t r = effective_rank(layer.rows, layer.cols, rank);
+      payload_bytes += 2.0 * static_cast<double>(r) *
+                       static_cast<double>(layer.rows + layer.cols);
+    } else {
+      payload_bytes += 2.0 * static_cast<double>(layer.size());
+    }
+  }
+  return payload_bytes * 8.0 / static_cast<double>(w.dimension());
+}
+
+RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
+                                    std::size_t rank) const {
+  RoundTime t;
+  t.compute_s = train_compute(w, Precision::kFp32);
+  t.fixed_s = constants_.fixed_overhead_s;
+
+  double matmul_flops = 0.0;
+  double ortho_flops = 0.0;
+  double qr_steps = 0.0;
+  double launches = 0.0;
+  double payload_bytes = 0.0;
+  for (const auto& layer : w.layout.layers()) {
+    const bool low_rank = std::min(layer.rows, layer.cols) > rank;
+    if (!low_rank) {
+      payload_bytes += 2.0 * static_cast<double>(layer.size());
+      continue;
+    }
+    const std::size_t r = effective_rank(layer.rows, layer.cols, rank);
+    // P = M Q, Q = M^T P, M_hat = P Q^T: 2*m*c*r MACs each.
+    matmul_flops += 3.0 * 2.0 * static_cast<double>(layer.size()) *
+                    static_cast<double>(r);
+    ortho_flops +=
+        static_cast<double>(orthogonalize_flops(layer.rows, r));
+    qr_steps += static_cast<double>(r);  // sequential column steps
+    launches += 2.0;  // one kernel sequence per phase per matrix
+    payload_bytes += 2.0 * static_cast<double>(r) *
+                     static_cast<double>(layer.rows + layer.cols);
+  }
+  t.compress_s = matmul_flops / constants_.matmul_flops_per_sec +
+                 ortho_flops / constants_.ortho_flops_per_sec +
+                 qr_steps * constants_.qr_step_launch_s +
+                 launches * constants_.layer_launch_s;
+  t.comm_s = net_.ring_all_reduce_time(n_, payload_bytes);
+  return t;
+}
+
+RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
+                                    const std::string& text) const {
+  const ParsedSpec spec = parse(text);
+  if (spec.kind == "fp32" || spec.kind == "fp16") {
+    const Precision comm =
+        spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
+    const Precision train =
+        spec.flag("tf32") ? Precision::kTf32 : Precision::kFp32;
+    return baseline_round(w, train, comm);
+  }
+  if (spec.kind == "topk") {
+    double bits = spec.option("b", 0.0);
+    if (bits == 0.0) {
+      bits = spec.option("k", 0.0) * 48.0 / static_cast<double>(w.dimension());
+    }
+    return topk_round(w, bits);
+  }
+  if (spec.kind == "topkc") {
+    const double bits = spec.option("b", 8.0);
+    const auto c = static_cast<std::size_t>(spec.option(
+        "c",
+        static_cast<double>(core::TopKCConfig::default_chunk_size(bits))));
+    return topkc_round(w, bits, c);
+  }
+  if (spec.kind == "thc") {
+    const auto q = static_cast<unsigned>(spec.option("q", 4));
+    const auto b = static_cast<unsigned>(spec.option("b", q));
+    std::string mode = "partial";
+    if (spec.flag("full")) mode = "full";
+    if (spec.flag("norot")) mode = "none";
+    return thc_round(w, b, rotation_iters(w, mode));
+  }
+  if (spec.kind == "powersgd") {
+    return powersgd_round(w,
+                          static_cast<std::size_t>(spec.option("r", 4)));
+  }
+  throw Error("CostModel: unknown scheme spec '" + text + "'");
+}
+
+}  // namespace gcs::sim

@@ -1,0 +1,78 @@
+#include "sim/tta.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace gcs::sim {
+
+std::optional<double> time_to_target(const DdpResult& result, double target,
+                                     train::MetricDirection direction) {
+  for (const auto& point : result.curve) {
+    const bool met = direction == train::MetricDirection::kHigherIsBetter
+                         ? point.metric >= target
+                         : point.metric <= target;
+    if (met) return point.time_s;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> utility_vs_baseline(const DdpResult& scheme,
+                                          const DdpResult& baseline,
+                                          double target,
+                                          train::MetricDirection direction) {
+  const auto ts = time_to_target(scheme, target, direction);
+  const auto tb = time_to_target(baseline, target, direction);
+  if (!ts || !tb || *ts <= 0.0) return std::nullopt;
+  return *tb / *ts;
+}
+
+namespace {
+
+/// Metric value at (or just before) time t; empty string if the run had
+/// not produced a point yet / had already finished.
+std::string metric_at(const DdpResult& run, double t) {
+  const TtaPoint* last = nullptr;
+  for (const auto& point : run.curve) {
+    if (point.time_s > t) break;
+    last = &point;
+  }
+  if (last == nullptr) return "-";
+  if (t > run.simulated_seconds) return format_sig(run.final_metric, 4) + "*";
+  return format_sig(last->metric, 4);
+}
+
+}  // namespace
+
+std::string tabulate_curves(const std::vector<DdpResult>& runs, int samples) {
+  double horizon = 0.0;
+  for (const auto& run : runs) {
+    horizon = std::max(horizon, run.simulated_seconds);
+  }
+  std::vector<std::string> header{"time"};
+  for (const auto& run : runs) header.push_back(run.scheme);
+  AsciiTable table(std::move(header));
+  for (int s = 1; s <= samples; ++s) {
+    const double t = horizon * s / samples;
+    std::vector<std::string> row;
+    row.push_back(format_fixed(t / 3600.0, 2) + "h");
+    for (const auto& run : runs) row.push_back(metric_at(run, t));
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string curves_to_csv(const std::vector<DdpResult>& runs) {
+  std::ostringstream os;
+  os << "scheme,round,time_s,metric,raw_metric\n";
+  for (const auto& run : runs) {
+    for (const auto& point : run.curve) {
+      os << run.scheme << ',' << point.round << ',' << point.time_s << ','
+         << point.metric << ',' << point.raw_metric << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gcs::sim

@@ -1,0 +1,42 @@
+// TTA-curve utilities: target extraction, curve tabulation, CSV export.
+//
+// The paper argues TTA is two-dimensional — every scheme is a curve, and
+// curves can cross. These helpers extract the standard summaries from a
+// DdpResult: the time to reach a given accuracy/perplexity target, a
+// side-by-side table of several schemes' curves at common time points,
+// and the paper's headline "utility" number (TTA improvement over the
+// FP16 baseline at a target).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/ddp_trainer.h"
+
+namespace gcs::sim {
+
+/// First simulated time at which the rolling metric meets `target`
+/// (>= target for accuracy-like metrics, <= target for perplexity-like).
+/// nullopt if the run never reaches it — which the paper stresses is a
+/// real outcome for aggressive compression.
+std::optional<double> time_to_target(const DdpResult& result, double target,
+                                     train::MetricDirection direction);
+
+/// Utility of a scheme versus a baseline at a target: baseline TTA divided
+/// by scheme TTA (values > 1 mean the scheme genuinely helps). nullopt if
+/// either run misses the target.
+std::optional<double> utility_vs_baseline(const DdpResult& scheme,
+                                          const DdpResult& baseline,
+                                          double target,
+                                          train::MetricDirection direction);
+
+/// Renders several runs as an aligned text table sampled at `samples`
+/// evenly spaced time points up to the longest run.
+std::string tabulate_curves(const std::vector<DdpResult>& runs,
+                            int samples = 12);
+
+/// CSV with columns scheme,round,time_s,metric,raw_metric for plotting.
+std::string curves_to_csv(const std::vector<DdpResult>& runs);
+
+}  // namespace gcs::sim

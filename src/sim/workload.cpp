@@ -1,0 +1,80 @@
+#include "sim/workload.h"
+
+#include <vector>
+
+namespace gcs::sim {
+
+ModelLayout bert_large_layout() {
+  constexpr std::size_t h = 1024;
+  constexpr std::size_t ff = 4096;
+  constexpr std::size_t vocab = 30522;
+  std::vector<LayerSpec> layers;
+  layers.push_back({"embeddings.word", vocab, h});
+  layers.push_back({"embeddings.position", 512, h});
+  layers.push_back({"embeddings.token_type", 2, h});
+  layers.push_back({"embeddings.ln", 2 * h, 1});
+  for (int l = 0; l < 24; ++l) {
+    const std::string p = "encoder." + std::to_string(l) + ".";
+    layers.push_back({p + "attn.q", h, h});
+    layers.push_back({p + "attn.q_bias", h, 1});
+    layers.push_back({p + "attn.k", h, h});
+    layers.push_back({p + "attn.k_bias", h, 1});
+    layers.push_back({p + "attn.v", h, h});
+    layers.push_back({p + "attn.v_bias", h, 1});
+    layers.push_back({p + "attn.out", h, h});
+    layers.push_back({p + "attn.out_bias", h, 1});
+    layers.push_back({p + "ln1", 2 * h, 1});
+    layers.push_back({p + "ff.up", ff, h});
+    layers.push_back({p + "ff.up_bias", ff, 1});
+    layers.push_back({p + "ff.down", h, ff});
+    layers.push_back({p + "ff.down_bias", h, 1});
+    layers.push_back({p + "ln2", 2 * h, 1});
+  }
+  layers.push_back({"pooler.dense", h, h});
+  layers.push_back({"pooler.bias", h, 1});
+  layers.push_back({"mlm.transform", h, h});
+  layers.push_back({"mlm.transform_bias", h, 1});
+  layers.push_back({"mlm.ln", 2 * h, 1});
+  layers.push_back({"mlm.decoder_bias", vocab, 1});
+  return ModelLayout(std::move(layers));
+}
+
+ModelLayout vgg19_layout() {
+  // (out_channels, in_channels) pairs of the 16 conv layers; all 3x3.
+  const std::size_t conv[][2] = {
+      {64, 3},    {64, 64},   {128, 64},  {128, 128}, {256, 128}, {256, 256},
+      {256, 256}, {256, 256}, {512, 256}, {512, 512}, {512, 512}, {512, 512},
+      {512, 512}, {512, 512}, {512, 512}, {512, 512}};
+  std::vector<LayerSpec> layers;
+  int idx = 0;
+  for (const auto& c : conv) {
+    const std::string p = "conv" + std::to_string(idx++);
+    layers.push_back({p, c[0], c[1] * 9});
+    layers.push_back({p + ".bias", c[0], 1});
+  }
+  layers.push_back({"fc6", 4096, 25088});
+  layers.push_back({"fc6.bias", 4096, 1});
+  layers.push_back({"fc7", 4096, 4096});
+  layers.push_back({"fc7.bias", 4096, 1});
+  layers.push_back({"fc8", 1000, 4096});
+  layers.push_back({"fc8.bias", 1000, 1});
+  return ModelLayout(std::move(layers));
+}
+
+WorkloadSpec make_bert_large_workload() {
+  WorkloadSpec spec;
+  spec.name = "BERT";
+  spec.layout = bert_large_layout();
+  spec.fp32_compute_seconds = 0.130;
+  return spec;
+}
+
+WorkloadSpec make_vgg19_workload() {
+  WorkloadSpec spec;
+  spec.name = "VGG19";
+  spec.layout = vgg19_layout();
+  spec.fp32_compute_seconds = 0.040;
+  return spec;
+}
+
+}  // namespace gcs::sim

@@ -1,0 +1,42 @@
+// Paper-scale workload descriptions.
+//
+// Throughput and communication time are charged at the *paper's* scale —
+// BERT-large (≈340M parameters, per-worker batch 4) and VGG19 (≈144M,
+// batch 32) on 4 workers with 100 Gbps NICs — while accuracy dynamics come
+// from the proxy training tasks. A WorkloadSpec carries everything the
+// cost model needs about the paper-scale model: the full per-layer layout
+// (PowerSGD costs and payload sizes depend on matrix shapes) and the
+// calibrated forward+backward time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "tensor/layout.h"
+
+namespace gcs::sim {
+
+struct WorkloadSpec {
+  std::string name;
+  ModelLayout layout;  ///< paper-scale layer shapes
+  /// Calibrated FP32 forward+backward seconds per round on the testbed
+  /// (see cost_model.h for the calibration derivation).
+  double fp32_compute_seconds = 0.0;
+
+  std::size_t dimension() const noexcept { return layout.total_size(); }
+};
+
+/// BERT-large masked-LM: 24 encoder layers (h=1024, FF 4096), WordPiece
+/// embeddings, pooler and MLM head — ≈336M parameters.
+WorkloadSpec make_bert_large_workload();
+
+/// VGG19 (ImageNet-shaped classifier head): 16 conv layers + 3 FC layers,
+/// ≈143.7M parameters (the FC block dominates, as the paper notes for
+/// PowerSGD).
+WorkloadSpec make_vgg19_workload();
+
+/// Exact layer tables for the two models (exposed for tests).
+ModelLayout bert_large_layout();
+ModelLayout vgg19_layout();
+
+}  // namespace gcs::sim

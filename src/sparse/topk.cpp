@@ -1,0 +1,67 @@
+#include "sparse/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gcs {
+namespace {
+
+// Orders candidate indices by (|value| desc, index asc): deterministic
+// selection even in the presence of ties.
+struct AbsGreater {
+  std::span<const float> x;
+  bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+    const float ma = std::fabs(x[a]);
+    const float mb = std::fabs(x[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> top_k_indices(std::span<const float> x,
+                                         std::size_t k) {
+  k = std::min(k, x.size());
+  std::vector<std::uint32_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  if (k < x.size()) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                     idx.end(), AbsGreater{x});
+    idx.resize(k);
+  }
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<std::uint32_t> top_k_indices_reference(std::span<const float> x,
+                                                   std::size_t k) {
+  k = std::min(k, x.size());
+  std::vector<std::uint32_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(), AbsGreater{x});
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<std::uint32_t> top_j_by_value(std::span<const float> scores,
+                                          std::size_t j) {
+  j = std::min(j, scores.size());
+  std::vector<std::uint32_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  auto greater = [&scores](std::uint32_t a, std::uint32_t b) noexcept {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  if (j < scores.size()) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(j),
+                     idx.end(), greater);
+    idx.resize(j);
+  }
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace gcs

@@ -1,0 +1,30 @@
+// Top-K selection by absolute value.
+//
+// Local TopK sparsification keeps each worker's K largest-|.| coordinates.
+// Selection is the scheme's computational bottleneck on GPUs (poor memory
+// locality); here we provide an exact nth_element-based selector plus a
+// reference full-sort selector used to cross-check it in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcs {
+
+/// Indices of the K largest |x[i]|, in ascending index order.
+/// Ties broken toward the lower index (deterministic). K is clamped to
+/// x.size().
+std::vector<std::uint32_t> top_k_indices(std::span<const float> x,
+                                         std::size_t k);
+
+/// Reference implementation via full sort; O(d log d). Same tie-breaking.
+std::vector<std::uint32_t> top_k_indices_reference(std::span<const float> x,
+                                                   std::size_t k);
+
+/// Indices of the J largest values (not |.|; used for chunk-score
+/// selection where scores are already non-negative norms).
+std::vector<std::uint32_t> top_j_by_value(std::span<const float> scores,
+                                          std::size_t j);
+
+}  // namespace gcs

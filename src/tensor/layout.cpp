@@ -1,0 +1,95 @@
+#include "tensor/layout.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcs {
+
+ModelLayout::ModelLayout(std::vector<LayerSpec> layers)
+    : layers_(std::move(layers)) {
+  offsets_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    GCS_CHECK_MSG(l.size() > 0, "layer '" << l.name << "' is empty");
+    offsets_.push_back(total_);
+    total_ += l.size();
+  }
+}
+
+std::size_t ModelLayout::layer_of(std::size_t coord) const {
+  GCS_CHECK(coord < total_);
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), coord) - 1;
+  return static_cast<std::size_t>(it - offsets_.begin());
+}
+
+ModelLayout make_transformer_like_layout(std::size_t target_params) {
+  GCS_CHECK(target_params >= 4096);
+  // One "block" mirrors a transformer encoder layer at hidden width h:
+  //   qkv projection (h x 3h), output projection (h x h),
+  //   mlp up (h x 4h), mlp down (4h x h), plus bias/LayerNorm vectors.
+  // Per-block parameter count is ~12 h^2 + 10 h. Pick h so that a handful
+  // of blocks lands near target_params.
+  std::size_t h = 64;
+  while (2 * (12 * h * 2 * h) < target_params && h < 4096) h *= 2;
+  std::vector<LayerSpec> layers;
+  std::size_t used = 0;
+  int block = 0;
+  while (used + 12 * h * h + 10 * h <= target_params) {
+    const std::string p = "block" + std::to_string(block) + ".";
+    layers.push_back({p + "attn.qkv", h, 3 * h});
+    layers.push_back({p + "attn.qkv_bias", 3 * h, 1});
+    layers.push_back({p + "attn.out", h, h});
+    layers.push_back({p + "attn.out_bias", h, 1});
+    layers.push_back({p + "ln1", 2 * h, 1});
+    layers.push_back({p + "mlp.up", h, 4 * h});
+    layers.push_back({p + "mlp.up_bias", 4 * h, 1});
+    layers.push_back({p + "mlp.down", 4 * h, h});
+    layers.push_back({p + "mlp.down_bias", h, 1});
+    layers.push_back({p + "ln2", 2 * h, 1});
+    used += 12 * h * h + 10 * h;
+    ++block;
+  }
+  if (layers.empty()) {
+    // target too small for one block at this width: single matrix fallback.
+    const std::size_t rows = std::max<std::size_t>(target_params / 64, 1);
+    layers.push_back({"fc", rows, 64});
+  }
+  return ModelLayout(std::move(layers));
+}
+
+ModelLayout make_convnet_like_layout(std::size_t target_params) {
+  GCS_CHECK(target_params >= 4096);
+  // VGG-like: a stack of conv blocks with channel doubling, then 2-3 FC
+  // layers that dominate the parameter count (as in VGG19, where fc6 holds
+  // ~70% of all parameters).
+  std::vector<LayerSpec> layers;
+  std::size_t used = 0;
+  std::size_t ch_in = 3, ch_out = 16;
+  int idx = 0;
+  // Conv stack uses ~15% of the budget.
+  const std::size_t conv_budget = target_params * 15 / 100;
+  while (used + ch_out * ch_in * 9 + ch_out <= conv_budget) {
+    layers.push_back(
+        {"conv" + std::to_string(idx), ch_out, ch_in * 9});  // 3x3 kernels
+    layers.push_back({"conv" + std::to_string(idx) + ".bias", ch_out, 1});
+    used += ch_out * ch_in * 9 + ch_out;
+    ch_in = ch_out;
+    if (ch_out < 512) ch_out *= 2;
+    ++idx;
+  }
+  // FC layers take the rest; fc0 gets ~3/4 of the remaining budget.
+  const std::size_t rest = target_params - used;
+  const std::size_t fc0 = rest * 3 / 4;
+  std::size_t fc0_cols = std::max<std::size_t>(ch_in * 4, 64);
+  std::size_t fc0_rows = std::max<std::size_t>(fc0 / fc0_cols, 1);
+  layers.push_back({"fc0", fc0_rows, fc0_cols});
+  layers.push_back({"fc0.bias", fc0_rows, 1});
+  const std::size_t fc1 = rest - fc0_rows * fc0_cols - fc0_rows;
+  std::size_t fc1_cols = std::max<std::size_t>(fc0_rows / 4, 16);
+  std::size_t fc1_rows = std::max<std::size_t>(fc1 / fc1_cols, 1);
+  layers.push_back({"fc1", fc1_rows, fc1_cols});
+  return ModelLayout(std::move(layers));
+}
+
+}  // namespace gcs

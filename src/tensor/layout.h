@@ -1,0 +1,57 @@
+// Per-layer structure of a flat gradient.
+//
+// PowerSGD compresses each layer's gradient as a rows x cols matrix, and
+// the spatial-locality structure that TopKC exploits arises from layer
+// boundaries (adjacent coordinates belong to the same layer and share
+// magnitude statistics). ModelLayout records where each layer lives inside
+// the flat tensor and how it reshapes to a matrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// One layer: `rows x cols` parameters occupying a contiguous range of the
+/// flat gradient. 1-D layers (biases, LayerNorm gains) use cols == 1.
+struct LayerSpec {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 1;
+
+  std::size_t size() const noexcept { return rows * cols; }
+};
+
+/// Ordered list of layers with precomputed offsets into the flat tensor.
+class ModelLayout {
+ public:
+  ModelLayout() = default;
+  explicit ModelLayout(std::vector<LayerSpec> layers);
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  std::size_t total_size() const noexcept { return total_; }
+
+  const LayerSpec& layer(std::size_t i) const { return layers_.at(i); }
+  std::size_t offset(std::size_t i) const { return offsets_.at(i); }
+
+  const std::vector<LayerSpec>& layers() const noexcept { return layers_; }
+
+  /// Index of the layer containing flat coordinate `coord` (binary search).
+  std::size_t layer_of(std::size_t coord) const;
+
+ private:
+  std::vector<LayerSpec> layers_;
+  std::vector<std::size_t> offsets_;
+  std::size_t total_ = 0;
+};
+
+/// A BERT-large-shaped layout scaled down to ~`target_params` parameters:
+/// interleaves big attention/MLP matrices with small bias/LayerNorm vectors,
+/// mirroring the size heterogeneity of a real transformer.
+ModelLayout make_transformer_like_layout(std::size_t target_params);
+
+/// A VGG-shaped layout: a few huge FC matrices plus conv-like blocks.
+ModelLayout make_convnet_like_layout(std::size_t target_params);
+
+}  // namespace gcs

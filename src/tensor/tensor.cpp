@@ -1,0 +1,20 @@
+#include "tensor/tensor.h"
+
+#include "common/rng.h"
+
+namespace gcs {
+
+void fill_gaussian(std::span<float> out, Rng& rng, float stddev) {
+  for (float& v : out) {
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+}
+
+void fill_uniform(std::span<float> out, Rng& rng, float lo, float hi) {
+  const float width = hi - lo;
+  for (float& v : out) {
+    v = lo + rng.next_float() * width;
+  }
+}
+
+}  // namespace gcs

@@ -1,0 +1,71 @@
+// Flat FP32 gradient/parameter storage.
+//
+// A gradient in DDP is logically the concatenation of per-layer tensors; all
+// compression schemes in the paper operate on this flat view (PowerSGD
+// additionally reshapes each layer to a matrix — see tensor/layout.h). We
+// keep a single contiguous FP32 buffer: simple, cache-friendly, and exactly
+// what NCCL sees.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gcs {
+
+class Rng;
+
+/// Contiguous 1-D FP32 tensor with value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::size_t size, float fill = 0.0f) : data_(size, fill) {}
+  explicit Tensor(std::vector<float> values) : data_(std::move(values)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<float> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Sub-span [offset, offset + count).
+  std::span<float> slice(std::size_t offset, std::size_t count) {
+    GCS_CHECK(offset + count <= data_.size());
+    return {data_.data() + offset, count};
+  }
+  std::span<const float> slice(std::size_t offset, std::size_t count) const {
+    GCS_CHECK(offset + count <= data_.size());
+    return {data_.data() + offset, count};
+  }
+
+  void fill(float value) noexcept {
+    for (float& v : data_) v = value;
+  }
+
+  void resize(std::size_t size) { data_.resize(size, 0.0f); }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<float> data_;
+};
+
+/// Fills with i.i.d. N(0, stddev^2) entries.
+void fill_gaussian(std::span<float> out, Rng& rng, float stddev = 1.0f);
+
+/// Fills with i.i.d. Uniform[lo, hi) entries.
+void fill_uniform(std::span<float> out, Rng& rng, float lo, float hi);
+
+}  // namespace gcs

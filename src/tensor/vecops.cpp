@@ -1,0 +1,108 @@
+#include "tensor/vecops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gcs {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+  for (float& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) noexcept {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+double norm(std::span<const float> x) noexcept {
+  return std::sqrt(squared_norm(x));
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) noexcept {
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) noexcept {
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+std::size_t argmax_abs(std::span<const float> x) noexcept {
+  std::size_t best = 0;
+  float best_mag = -1.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float mag = std::fabs(x[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double mse(std::span<const float> a, std::span<const float> b) noexcept {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+void matmul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, std::size_t m, std::size_t k,
+            std::size_t n) {
+  GCS_CHECK(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  std::memset(c.data(), 0, m * n * sizeof(float));
+  // i-k-j order: streams through B and C rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = &b[p * n];
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void matmul_at(std::span<const float> a, std::span<const float> b,
+               std::span<float> c, std::size_t m, std::size_t k,
+               std::size_t n) {
+  GCS_CHECK(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  std::memset(c.data(), 0, m * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = &a[p * m];
+    const float* brow = &b[p * n];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+}  // namespace gcs

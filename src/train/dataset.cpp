@@ -1,0 +1,154 @@
+#include "train/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gcs::train {
+
+// ---------------------------------------------------------------- MarkovLm
+
+MarkovLmDataset::MarkovLmDataset(const Config& config) : config_(config) {
+  GCS_CHECK(config_.vocab >= 2);
+  const std::size_t v = config_.vocab;
+  Rng rng(derive_seed(config_.seed, 0x7ab1e));
+
+  // Build per-context categorical distributions with a Dirichlet-like
+  // shape: raw weights w = (-log u)^{1/concentration} are heavy for small
+  // concentration, giving peaky (learnable) transition rows.
+  cumulative_.assign(v * v * v, 0.0);
+  for (std::size_t ctx = 0; ctx < v * v; ++ctx) {
+    double total = 0.0;
+    double* row = &cumulative_[ctx * v];
+    for (std::size_t t = 0; t < v; ++t) {
+      double u = 0.0;
+      do {
+        u = rng.next_double();
+      } while (u <= 0.0);
+      const double w = std::pow(-std::log(u), 1.0 / config_.concentration);
+      row[t] = w;
+      total += w;
+    }
+    double acc = 0.0;
+    for (std::size_t t = 0; t < v; ++t) {
+      acc += row[t] / total;
+      row[t] = acc;
+    }
+    row[v - 1] = 1.0;  // guard against rounding
+  }
+
+  // Fixed held-out set: one long chain sampled with a dedicated stream.
+  Rng eval_rng(derive_seed(config_.seed, 0xe7a1));
+  eval_.batch = config_.eval_samples;
+  eval_.features = feature_dim();
+  eval_.x.assign(eval_.batch * eval_.features, 0.0f);
+  eval_.y.resize(eval_.batch);
+  int t2 = 0, t1 = 1;
+  for (std::size_t s = 0; s < eval_.batch; ++s) {
+    encode(t2, t1, &eval_.x[s * eval_.features]);
+    const int t0 = next_token(t2, t1, eval_rng.next_double());
+    eval_.y[s] = t0;
+    t2 = t1;
+    t1 = t0;
+  }
+}
+
+int MarkovLmDataset::next_token(int t2, int t1, double u) const {
+  const std::size_t v = config_.vocab;
+  const double* row =
+      &cumulative_[(static_cast<std::size_t>(t2) * v + t1) * v];
+  const auto it = std::lower_bound(row, row + v, u);
+  return static_cast<int>(std::min<std::ptrdiff_t>(it - row,
+                                                   static_cast<std::ptrdiff_t>(v) - 1));
+}
+
+void MarkovLmDataset::encode(int t2, int t1, float* row) const {
+  std::memset(row, 0, feature_dim() * sizeof(float));
+  row[t2] = 1.0f;
+  row[config_.vocab + t1] = 1.0f;
+}
+
+void MarkovLmDataset::sample_batch(int worker, std::uint64_t round,
+                                   std::size_t batch_size, Batch& out) const {
+  out.batch = batch_size;
+  out.features = feature_dim();
+  out.x.assign(batch_size * out.features, 0.0f);
+  out.y.resize(batch_size);
+  // Each (worker, round) streams its own chain segment — workers see
+  // disjoint data, like sharded corpus readers.
+  Rng rng(derive_seed(config_.seed ^ 0xc0a905,
+                      (round << 8) ^ static_cast<std::uint64_t>(worker)));
+  int t2 = static_cast<int>(rng.next_below(config_.vocab));
+  int t1 = static_cast<int>(rng.next_below(config_.vocab));
+  for (std::size_t s = 0; s < batch_size; ++s) {
+    encode(t2, t1, &out.x[s * out.features]);
+    const int t0 = next_token(t2, t1, rng.next_double());
+    out.y[s] = t0;
+    t2 = t1;
+    t1 = t0;
+  }
+}
+
+// ---------------------------------------------------------- GaussianMixture
+
+GaussianMixtureDataset::GaussianMixtureDataset(const Config& config)
+    : config_(config) {
+  GCS_CHECK(config_.classes >= 2);
+  GCS_CHECK(config_.features >= config_.classes);
+  Rng rng(derive_seed(config_.seed, 0x3ea9));
+  means_.resize(config_.classes * config_.features);
+  for (auto& m : means_) {
+    m = static_cast<float>(rng.next_gaussian());
+  }
+  // Normalize each mean to length `separation` so class difficulty is
+  // uniform and controlled by one knob.
+  for (std::size_t c = 0; c < config_.classes; ++c) {
+    float* mean = &means_[c * config_.features];
+    double nrm2 = 0.0;
+    for (std::size_t f = 0; f < config_.features; ++f) {
+      nrm2 += static_cast<double>(mean[f]) * mean[f];
+    }
+    const auto inv = static_cast<float>(
+        config_.separation / std::max(std::sqrt(nrm2), 1e-9));
+    for (std::size_t f = 0; f < config_.features; ++f) mean[f] *= inv;
+  }
+
+  Rng eval_rng(derive_seed(config_.seed, 0xe7a1));
+  eval_.batch = config_.eval_samples;
+  eval_.features = config_.features;
+  eval_.x.resize(eval_.batch * eval_.features);
+  eval_.y.resize(eval_.batch);
+  for (std::size_t s = 0; s < eval_.batch; ++s) {
+    sample_one(eval_rng, &eval_.x[s * eval_.features], &eval_.y[s]);
+  }
+}
+
+void GaussianMixtureDataset::sample_one(Rng& rng, float* row,
+                                        int* label) const {
+  const auto c = static_cast<int>(rng.next_below(config_.classes));
+  const float* mean = &means_[static_cast<std::size_t>(c) * config_.features];
+  const auto noise = static_cast<float>(config_.noise);
+  for (std::size_t f = 0; f < config_.features; ++f) {
+    row[f] = mean[f] + noise * static_cast<float>(rng.next_gaussian());
+  }
+  *label = c;
+}
+
+void GaussianMixtureDataset::sample_batch(int worker, std::uint64_t round,
+                                          std::size_t batch_size,
+                                          Batch& out) const {
+  out.batch = batch_size;
+  out.features = config_.features;
+  out.x.resize(batch_size * out.features);
+  out.y.resize(batch_size);
+  Rng rng(derive_seed(config_.seed ^ 0x6a0555,
+                      (round << 8) ^ static_cast<std::uint64_t>(worker)));
+  for (std::size_t s = 0; s < batch_size; ++s) {
+    sample_one(rng, &out.x[s * out.features], &out.y[s]);
+  }
+}
+
+}  // namespace gcs::train

@@ -1,0 +1,115 @@
+// Synthetic training tasks standing in for the paper's workloads.
+//
+// The paper trains BERT-large on WikiText-103 (masked LM, perplexity) and
+// VGG19 on TinyImageNet (classification, top-1 accuracy). Neither dataset
+// nor a GPU exists in this environment, so we train proxy tasks whose
+// *convergence behaviour responds to gradient compression error* the same
+// way — that is the property the TTA experiments measure:
+//
+//   * MarkovLmDataset — next-token prediction over a seeded second-order
+//     Markov chain; the held-out metric is perplexity (BERT proxy).
+//   * GaussianMixtureDataset — classification of noisy samples from a
+//     seeded Gaussian mixture with class-correlated structure; the
+//     held-out metric is top-1 accuracy (VGG proxy).
+//
+// Both are deterministic given their seed, stream mini-batches per
+// (worker, round) so DDP workers see disjoint data, and carry a fixed
+// held-out evaluation set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gcs {
+class Rng;
+}
+
+namespace gcs::train {
+
+/// A dense minibatch: `batch` rows of `features` floats plus integer labels.
+struct Batch {
+  std::size_t batch = 0;
+  std::size_t features = 0;
+  std::vector<float> x;  ///< row-major batch x features
+  std::vector<int> y;    ///< labels in [0, classes)
+};
+
+/// Common dataset interface for the DDP trainer.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::size_t feature_dim() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Deterministic minibatch for (worker, round).
+  virtual void sample_batch(int worker, std::uint64_t round,
+                            std::size_t batch_size, Batch& out) const = 0;
+
+  /// Fixed held-out evaluation set.
+  virtual const Batch& eval_set() const = 0;
+};
+
+/// Second-order Markov-chain language modelling (perplexity task).
+/// Tokens over a vocabulary of `vocab` symbols; the feature vector is the
+/// concatenated one-hot encoding of the two preceding tokens (2 x vocab).
+class MarkovLmDataset final : public Dataset {
+ public:
+  struct Config {
+    std::size_t vocab = 64;
+    /// Dirichlet-like concentration of transition rows: smaller = peakier
+    /// (more predictable text, lower achievable perplexity).
+    double concentration = 0.25;
+    std::size_t eval_samples = 2048;
+    std::uint64_t seed = 0x11A9C0;
+  };
+
+  explicit MarkovLmDataset(const Config& config);
+
+  std::size_t feature_dim() const override { return 2 * config_.vocab; }
+  std::size_t num_classes() const override { return config_.vocab; }
+  void sample_batch(int worker, std::uint64_t round, std::size_t batch_size,
+                    Batch& out) const override;
+  const Batch& eval_set() const override { return eval_; }
+
+ private:
+  /// Samples the token following (t2, t1) using uniform variate u.
+  int next_token(int t2, int t1, double u) const;
+  void encode(int t2, int t1, float* row) const;
+
+  Config config_;
+  /// Cumulative transition distribution per (t2, t1) context.
+  std::vector<double> cumulative_;
+  Batch eval_;
+};
+
+/// Gaussian-mixture classification (top-1 accuracy task).
+class GaussianMixtureDataset final : public Dataset {
+ public:
+  struct Config {
+    std::size_t features = 256;
+    std::size_t classes = 16;
+    /// Distance between class means relative to noise; smaller = harder.
+    double separation = 1.0;
+    double noise = 1.0;
+    std::size_t eval_samples = 2048;
+    std::uint64_t seed = 0x96A055;
+  };
+
+  explicit GaussianMixtureDataset(const Config& config);
+
+  std::size_t feature_dim() const override { return config_.features; }
+  std::size_t num_classes() const override { return config_.classes; }
+  void sample_batch(int worker, std::uint64_t round, std::size_t batch_size,
+                    Batch& out) const override;
+  const Batch& eval_set() const override { return eval_; }
+
+ private:
+  void sample_one(gcs::Rng& rng, float* row, int* label) const;
+
+  Config config_;
+  std::vector<float> means_;  ///< classes x features
+  Batch eval_;
+};
+
+}  // namespace gcs::train

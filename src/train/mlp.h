@@ -1,0 +1,67 @@
+// Multilayer perceptron with softmax cross-entropy, flat parameter storage.
+//
+// The DDP trainer's model substrate. Parameters live in one contiguous
+// FP32 tensor whose per-layer structure is described by a ModelLayout
+// (weights as rows=out x cols=in matrices, biases as vectors) — the exact
+// shape gcs::core compressors consume. forward_backward produces the full
+// flat gradient for a minibatch, so the training loop is:
+//     grad_w = model.forward_backward(batch_w)        (per worker)
+//     sum    = compressor.aggregate({grad_w})         (the system under test)
+//     params -= lr * sum / n                          (optimizer)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+#include "train/dataset.h"
+
+namespace gcs::train {
+
+/// Loss/metric pair returned by evaluation.
+struct EvalResult {
+  double mean_loss = 0.0;  ///< mean cross-entropy (nats)
+  double accuracy = 0.0;   ///< top-1 accuracy
+  double perplexity() const noexcept;
+};
+
+class MlpModel {
+ public:
+  /// dims = {input, hidden..., classes}; ReLU between layers, softmax CE
+  /// at the top. Weights use He initialization from `seed` (all DDP
+  /// workers construct the identical model).
+  MlpModel(std::vector<std::size_t> dims, std::uint64_t seed);
+
+  const ModelLayout& layout() const noexcept { return layout_; }
+  std::size_t dimension() const noexcept { return layout_.total_size(); }
+
+  std::span<float> params() noexcept { return params_.span(); }
+  std::span<const float> params() const noexcept { return params_.span(); }
+
+  /// Mean-over-batch gradient of the CE loss into `grad` (size
+  /// dimension()); returns the mean loss. Thread-safe across distinct
+  /// model instances, not within one (scratch buffers).
+  double forward_backward(const Batch& batch, std::span<float> grad);
+
+  /// Loss and accuracy on a batch (no gradient).
+  EvalResult evaluate(const Batch& batch);
+
+ private:
+  /// Runs the forward pass for `batch`, filling activations_; returns the
+  /// mean loss and leaves softmax probabilities in probs_.
+  double forward(const Batch& batch);
+
+  std::vector<std::size_t> dims_;
+  ModelLayout layout_;
+  Tensor params_;
+  // Scratch (resized per batch): activations per layer, probabilities,
+  // and the backpropagated delta.
+  std::vector<std::vector<float>> acts_;
+  std::vector<float> probs_;
+  std::vector<float> delta_;
+  std::vector<float> delta_next_;
+};
+
+}  // namespace gcs::train

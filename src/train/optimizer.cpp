@@ -1,0 +1,35 @@
+#include "train/optimizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcs::train {
+
+SgdMomentum::SgdMomentum(std::size_t dimension, double learning_rate,
+                         double momentum, double weight_decay)
+    : lr_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      velocity_(dimension, 0.0f) {
+  GCS_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdMomentum::step(std::span<float> params, std::span<const float> grad) {
+  GCS_CHECK(params.size() == velocity_.size() &&
+            grad.size() == velocity_.size());
+  const auto mu = static_cast<float>(momentum_);
+  const auto lr = static_cast<float>(lr_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < velocity_.size(); ++i) {
+    const float g = grad[i] + wd * params[i];
+    velocity_[i] = mu * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+void SgdMomentum::reset() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0f);
+}
+
+}  // namespace gcs::train

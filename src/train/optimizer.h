@@ -1,0 +1,34 @@
+// SGD with momentum — the optimizer used for all TTA runs.
+//
+// DDP semantics: every worker holds identical parameters; the optimizer
+// consumes the *mean* aggregated gradient (the compressor returns a sum;
+// the trainer divides by n) and applies the same update everywhere.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gcs::train {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(std::size_t dimension, double learning_rate,
+              double momentum = 0.9, double weight_decay = 0.0);
+
+  /// params -= lr * (velocity <- momentum * velocity + grad + wd * params)
+  void step(std::span<float> params, std::span<const float> grad);
+
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+  double learning_rate() const noexcept { return lr_; }
+
+  void reset();
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<float> velocity_;
+};
+
+}  // namespace gcs::train

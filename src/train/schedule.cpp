@@ -1,0 +1,48 @@
+#include "train/schedule.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gcs::train {
+
+double StepDecaySchedule::at(std::size_t round) const noexcept {
+  if (every_ == 0) return base_lr_;
+  const auto steps = static_cast<double>(round / every_);
+  return base_lr_ * std::pow(gamma_, steps);
+}
+
+EarlyStopping::EarlyStopping(MetricDirection direction, int patience,
+                             double min_delta)
+    : direction_(direction), patience_(patience), min_delta_(min_delta) {
+  GCS_CHECK(patience >= 1);
+  GCS_CHECK(min_delta >= 0.0);
+}
+
+bool EarlyStopping::improved(double metric) const noexcept {
+  if (!has_best_) return true;
+  return direction_ == MetricDirection::kHigherIsBetter
+             ? metric > best_ + min_delta_
+             : metric < best_ - min_delta_;
+}
+
+bool EarlyStopping::update(double metric) {
+  if (improved(metric)) {
+    best_ = metric;
+    has_best_ = true;
+    since_best_ = 0;
+  } else {
+    ++since_best_;
+    if (since_best_ >= patience_) converged_ = true;
+  }
+  return converged_;
+}
+
+void EarlyStopping::reset() {
+  has_best_ = false;
+  since_best_ = 0;
+  converged_ = false;
+  best_ = 0.0;
+}
+
+}  // namespace gcs::train

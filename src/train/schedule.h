@@ -1,0 +1,56 @@
+// Learning-rate schedules and early stopping.
+//
+// Early stopping follows Prechelt ("Early stopping — but when?", the
+// paper's [39]): training terminates once the held-out metric has not
+// improved by min_delta for `patience` consecutive evaluations; the
+// TTA experiments then run a fixed number of extra rounds past
+// convergence ("stops after a given number of epochs after convergence").
+#pragma once
+
+#include <cstddef>
+
+namespace gcs::train {
+
+/// Piecewise-constant LR decay: lr = base * gamma^(#milestones passed).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double base_lr, double gamma, std::size_t every_rounds)
+      : base_lr_(base_lr), gamma_(gamma), every_(every_rounds) {}
+
+  double at(std::size_t round) const noexcept;
+
+ private:
+  double base_lr_;
+  double gamma_;
+  std::size_t every_;
+};
+
+/// Whether larger metric values are better (accuracy) or worse (perplexity).
+enum class MetricDirection { kHigherIsBetter, kLowerIsBetter };
+
+class EarlyStopping {
+ public:
+  EarlyStopping(MetricDirection direction, int patience, double min_delta);
+
+  /// Feeds one evaluation; returns true when training should stop.
+  bool update(double metric);
+
+  bool converged() const noexcept { return converged_; }
+  double best() const noexcept { return best_; }
+  int evals_since_best() const noexcept { return since_best_; }
+
+  void reset();
+
+ private:
+  bool improved(double metric) const noexcept;
+
+  MetricDirection direction_;
+  int patience_;
+  double min_delta_;
+  double best_ = 0.0;
+  bool has_best_ = false;
+  int since_best_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace gcs::train

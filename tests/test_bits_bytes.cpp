@@ -1,0 +1,117 @@
+// Tests for common/bits and common/bytes.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace gcs {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4096), 12u);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4096), 12u);
+  EXPECT_EQ(log2_ceil(4097), 13u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Bits, PackedBytes) {
+  EXPECT_EQ(packed_bytes(0, 4), 0u);
+  EXPECT_EQ(packed_bytes(1, 4), 1u);
+  EXPECT_EQ(packed_bytes(2, 4), 1u);
+  EXPECT_EQ(packed_bytes(3, 4), 2u);
+  EXPECT_EQ(packed_bytes(5, 2), 2u);
+  EXPECT_EQ(packed_bytes(7, 8), 7u);
+}
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<float>(3.25f);
+  w.put<std::uint16_t>(77);
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<float>(), 3.25f);
+  EXPECT_EQ(r.get<std::uint16_t>(), 77);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, SpanRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  const std::vector<float> values{1.0f, -2.0f, 0.5f};
+  w.put_span<float>(values);
+  ByteReader r(buf);
+  const auto back = r.get_span<float>(3);
+  EXPECT_EQ(std::vector<float>(back.begin(), back.end()), values);
+}
+
+TEST(Bytes, TruncatedPayloadThrows) {
+  ByteBuffer buf(3);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint32_t>(), Error);
+}
+
+TEST(Bytes, TruncatedSpanThrows) {
+  ByteBuffer buf(7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get_span<float>(2), Error);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteBuffer buf(10);
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 10u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 6u);
+}
+
+TEST(Check, ThrowsLogicError) {
+  EXPECT_THROW(GCS_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(GCS_CHECK(1 == 1));
+}
+
+TEST(Check, MessageIncluded) {
+  try {
+    GCS_CHECK_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,89 @@
+// Tests for sparse/chunks: norms, consensus selection, gather/scatter.
+#include "sparse/chunks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "numeric/half.h"
+
+namespace gcs {
+namespace {
+
+TEST(Chunks, Count) {
+  EXPECT_EQ(num_chunks(100, 10), 10u);
+  EXPECT_EQ(num_chunks(101, 10), 11u);
+  EXPECT_EQ(num_chunks(5, 10), 1u);
+  EXPECT_EQ(num_chunks(0, 10), 0u);
+}
+
+TEST(Chunks, SquaredNorms) {
+  const std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  std::vector<float> norms(3);
+  chunk_squared_norms(x, 2, norms);
+  EXPECT_FLOAT_EQ(norms[0], 5.0f);
+  EXPECT_FLOAT_EQ(norms[1], 25.0f);
+  EXPECT_FLOAT_EQ(norms[2], 25.0f);  // partial last chunk
+}
+
+TEST(Chunks, Fp16RoundingOfScores) {
+  std::vector<float> scores{2049.0f};  // not representable in fp16
+  round_scores_fp16(scores);
+  EXPECT_EQ(scores[0], 2048.0f);
+}
+
+TEST(Chunks, SelectTopIsByScore) {
+  const std::vector<float> scores{1.0f, 9.0f, 3.0f, 9.5f};
+  EXPECT_EQ(select_top_chunks(scores, 2), (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(Chunks, GatherScatterRoundTrip) {
+  Rng rng(1);
+  std::vector<float> x(103);
+  for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+  const std::vector<std::uint32_t> ids{0, 5, 10};  // chunk 10 is partial (3)
+  std::vector<float> payload(2 * 10 + 3);
+  const auto got = gather_chunks(x, 10, ids, payload);
+  EXPECT_EQ(got, 23u);
+
+  std::vector<float> back(x.size(), -1.0f);
+  scatter_chunks(std::span<const float>(payload).first(got), 10, ids, back);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t chunk = i / 10;
+    const bool selected = chunk == 0 || chunk == 5 || chunk == 10;
+    EXPECT_EQ(back[i], selected ? x[i] : 0.0f) << i;
+  }
+}
+
+TEST(Chunks, GatherOutOfRangeThrows) {
+  std::vector<float> x(10);
+  std::vector<float> out(10);
+  const std::vector<std::uint32_t> ids{5};
+  EXPECT_THROW(gather_chunks(x, 10, ids, out), std::logic_error);
+}
+
+TEST(Chunks, ConsensusIsIdenticalAcrossWorkersGivenSameScores) {
+  // The correctness core of TopKC: identical aggregated scores =>
+  // identical selection, regardless of local data.
+  Rng rng(2);
+  std::vector<float> scores(500);
+  for (auto& s : scores) s = std::fabs(static_cast<float>(rng.next_gaussian()));
+  round_scores_fp16(scores);
+  const auto sel1 = select_top_chunks(scores, 50);
+  const auto sel2 = select_top_chunks(scores, 50);
+  EXPECT_EQ(sel1, sel2);
+  ASSERT_EQ(sel1.size(), 50u);
+}
+
+TEST(Chunks, HighNormChunksWin) {
+  std::vector<float> x(100, 0.01f);
+  for (int i = 30; i < 40; ++i) x[i] = 5.0f;  // chunk 3 is hot
+  std::vector<float> norms(10);
+  chunk_squared_norms(x, 10, norms);
+  const auto sel = select_top_chunks(norms, 1);
+  EXPECT_EQ(sel[0], 3u);
+}
+
+}  // namespace
+}  // namespace gcs

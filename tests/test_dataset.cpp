@@ -1,0 +1,188 @@
+// Tests for train/dataset: determinism, sharding, learnability structure.
+#include "train/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace gcs::train {
+namespace {
+
+TEST(MarkovLm, ShapesAndDeterminism) {
+  MarkovLmDataset::Config config;
+  config.vocab = 16;
+  config.eval_samples = 100;
+  MarkovLmDataset data(config);
+  EXPECT_EQ(data.feature_dim(), 32u);
+  EXPECT_EQ(data.num_classes(), 16u);
+
+  Batch a, b;
+  data.sample_batch(0, 5, 8, a);
+  data.sample_batch(0, 5, 8, b);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  data.sample_batch(1, 5, 8, b);
+  EXPECT_NE(a.x, b.x);  // different worker, different shard
+}
+
+TEST(MarkovLm, OneHotEncoding) {
+  MarkovLmDataset::Config config;
+  config.vocab = 8;
+  MarkovLmDataset data(config);
+  Batch batch;
+  data.sample_batch(0, 0, 16, batch);
+  for (std::size_t s = 0; s < batch.batch; ++s) {
+    float sum = 0.0f;
+    for (std::size_t f = 0; f < batch.features; ++f) {
+      const float v = batch.x[s * batch.features + f];
+      EXPECT_TRUE(v == 0.0f || v == 1.0f);
+      sum += v;
+    }
+    EXPECT_EQ(sum, 2.0f);  // exactly two one-hots (two context tokens)
+    EXPECT_GE(batch.y[s], 0);
+    EXPECT_LT(batch.y[s], 8);
+  }
+}
+
+TEST(MarkovLm, TransitionsArePeaky) {
+  // With small concentration, contexts should have a dominant next token
+  // (otherwise the task is unlearnable noise).
+  MarkovLmDataset::Config config;
+  config.vocab = 8;
+  config.concentration = 0.25;
+  MarkovLmDataset data(config);
+  // Estimate the empirical distribution of y given a fixed context by
+  // sampling many batches and conditioning.
+  std::map<std::pair<int, int>, std::map<int, int>> counts;
+  Batch batch;
+  for (int r = 0; r < 200; ++r) {
+    data.sample_batch(0, r, 32, batch);
+    for (std::size_t s = 0; s < batch.batch; ++s) {
+      int t2 = -1, t1 = -1;
+      for (int f = 0; f < 8; ++f) {
+        if (batch.x[s * batch.features + f] == 1.0f) t2 = f;
+        if (batch.x[s * batch.features + 8 + f] == 1.0f) t1 = f;
+      }
+      counts[{t2, t1}][batch.y[s]]++;
+    }
+  }
+  // Over sampled contexts with enough data, the mode should dominate.
+  int peaky = 0, tested = 0;
+  for (const auto& [ctx, dist] : counts) {
+    int total = 0, best = 0;
+    for (const auto& [y, c] : dist) {
+      total += c;
+      best = std::max(best, c);
+    }
+    if (total >= 50) {
+      ++tested;
+      if (static_cast<double>(best) / total > 0.4) ++peaky;
+    }
+  }
+  ASSERT_GT(tested, 3);
+  EXPECT_GT(static_cast<double>(peaky) / tested, 0.5);
+}
+
+TEST(MarkovLm, EvalSetIsFixed) {
+  MarkovLmDataset::Config config;
+  config.vocab = 8;
+  config.eval_samples = 64;
+  MarkovLmDataset d1(config), d2(config);
+  EXPECT_EQ(d1.eval_set().x, d2.eval_set().x);
+  EXPECT_EQ(d1.eval_set().y, d2.eval_set().y);
+  EXPECT_EQ(d1.eval_set().batch, 64u);
+}
+
+TEST(GaussianMixture, ShapesAndLabels) {
+  GaussianMixtureDataset::Config config;
+  config.features = 32;
+  config.classes = 4;
+  config.eval_samples = 50;
+  GaussianMixtureDataset data(config);
+  EXPECT_EQ(data.feature_dim(), 32u);
+  EXPECT_EQ(data.num_classes(), 4u);
+  Batch batch;
+  data.sample_batch(2, 9, 16, batch);
+  EXPECT_EQ(batch.batch, 16u);
+  EXPECT_EQ(batch.x.size(), 16u * 32u);
+  for (int y : batch.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(GaussianMixture, Determinism) {
+  GaussianMixtureDataset::Config config;
+  GaussianMixtureDataset data(config);
+  Batch a, b;
+  data.sample_batch(1, 2, 8, a);
+  data.sample_batch(1, 2, 8, b);
+  EXPECT_EQ(a.x, b.x);
+  data.sample_batch(1, 3, 8, b);
+  EXPECT_NE(a.x, b.x);
+}
+
+TEST(GaussianMixture, ClassesAreSeparable) {
+  // Nearest-mean classification on clean means should beat chance by a
+  // lot — the task must be learnable.
+  GaussianMixtureDataset::Config config;
+  config.features = 64;
+  config.classes = 8;
+  config.separation = 3.0;
+  config.noise = 1.0;
+  config.eval_samples = 512;
+  GaussianMixtureDataset data(config);
+  const Batch& eval = data.eval_set();
+  // Estimate class means from many training samples.
+  std::vector<double> means(8 * 64, 0.0);
+  std::vector<int> counts(8, 0);
+  Batch batch;
+  for (int r = 0; r < 100; ++r) {
+    data.sample_batch(0, r, 32, batch);
+    for (std::size_t s = 0; s < batch.batch; ++s) {
+      counts[batch.y[s]]++;
+      for (std::size_t f = 0; f < 64; ++f) {
+        means[batch.y[s] * 64 + f] += batch.x[s * 64 + f];
+      }
+    }
+  }
+  for (int c = 0; c < 8; ++c) {
+    for (std::size_t f = 0; f < 64; ++f) {
+      means[c * 64 + f] /= std::max(counts[c], 1);
+    }
+  }
+  int correct = 0;
+  for (std::size_t s = 0; s < eval.batch; ++s) {
+    int best = 0;
+    double best_d = 1e300;
+    for (int c = 0; c < 8; ++c) {
+      double dist = 0.0;
+      for (std::size_t f = 0; f < 64; ++f) {
+        const double diff = eval.x[s * 64 + f] - means[c * 64 + f];
+        dist += diff * diff;
+      }
+      if (dist < best_d) {
+        best_d = dist;
+        best = c;
+      }
+    }
+    if (best == eval.y[s]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / eval.batch, 0.8);
+}
+
+TEST(GaussianMixture, SeparationControlsDifficulty) {
+  // Larger separation -> eval samples sit closer to their own mean than
+  // to others more often. Probe via mean pairwise distances.
+  GaussianMixtureDataset::Config easy;
+  easy.separation = 4.0;
+  GaussianMixtureDataset::Config hard;
+  hard.separation = 0.5;
+  // Just verify both construct and produce distinct eval sets.
+  GaussianMixtureDataset de(easy), dh(hard);
+  EXPECT_NE(de.eval_set().x, dh.eval_set().x);
+}
+
+}  // namespace
+}  // namespace gcs::train

@@ -1,0 +1,94 @@
+// Tests for core/error_feedback: compensation and memory semantics.
+#include "core/error_feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gcs::core {
+namespace {
+
+TEST(ErrorFeedback, DisabledIsPassThrough) {
+  ErrorFeedback ef(2, 3, /*enabled=*/false);
+  const std::vector<float> grad{1.0f, 2.0f, 3.0f};
+  std::vector<float> y(3);
+  ef.compensate(0, grad, y);
+  EXPECT_EQ(y, grad);
+  EXPECT_FALSE(ef.enabled());
+  // absorb is a no-op; no crash.
+  ef.absorb(0, y, grad);
+}
+
+TEST(ErrorFeedback, MemoryStartsZero) {
+  ErrorFeedback ef(1, 2, true);
+  const std::vector<float> grad{5.0f, -1.0f};
+  std::vector<float> y(2);
+  ef.compensate(0, grad, y);
+  EXPECT_EQ(y, grad);
+}
+
+TEST(ErrorFeedback, AbsorbStoresResidual) {
+  ErrorFeedback ef(1, 2, true);
+  const std::vector<float> y{4.0f, 2.0f};
+  const std::vector<float> sent{3.0f, 2.0f};
+  ef.absorb(0, y, sent);
+  const auto mem = ef.memory(0);
+  EXPECT_EQ(mem[0], 1.0f);
+  EXPECT_EQ(mem[1], 0.0f);
+
+  // Next round: memory is added back.
+  const std::vector<float> grad{10.0f, 10.0f};
+  std::vector<float> y2(2);
+  ef.compensate(0, grad, y2);
+  EXPECT_EQ(y2[0], 11.0f);
+  EXPECT_EQ(y2[1], 10.0f);
+}
+
+TEST(ErrorFeedback, MaskedAbsorbKeepsUnsent) {
+  ErrorFeedback ef(1, 4, true);
+  const std::vector<float> y{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<std::uint8_t> mask{1, 0, 1, 0};
+  ef.absorb_masked(0, y, mask);
+  const auto mem = ef.memory(0);
+  EXPECT_EQ(mem[0], 0.0f);
+  EXPECT_EQ(mem[1], 2.0f);
+  EXPECT_EQ(mem[2], 0.0f);
+  EXPECT_EQ(mem[3], 4.0f);
+}
+
+TEST(ErrorFeedback, WorkersAreIndependent) {
+  ErrorFeedback ef(2, 1, true);
+  ef.absorb(0, std::vector<float>{7.0f}, std::vector<float>{0.0f});
+  EXPECT_EQ(ef.memory(0)[0], 7.0f);
+  EXPECT_EQ(ef.memory(1)[0], 0.0f);
+}
+
+TEST(ErrorFeedback, ResetClears) {
+  ErrorFeedback ef(1, 1, true);
+  ef.absorb(0, std::vector<float>{3.0f}, std::vector<float>{0.0f});
+  ef.reset();
+  EXPECT_EQ(ef.memory(0)[0], 0.0f);
+}
+
+TEST(ErrorFeedback, EnergyIsConserved) {
+  // Over two rounds where nothing is transmitted, the memory accumulates
+  // the full gradient sum (no leakage).
+  ErrorFeedback ef(1, 2, true);
+  const std::vector<float> zero{0.0f, 0.0f};
+  std::vector<float> y(2);
+  ef.compensate(0, std::vector<float>{1.0f, 2.0f}, y);
+  ef.absorb(0, y, zero);
+  ef.compensate(0, std::vector<float>{1.0f, 2.0f}, y);
+  EXPECT_EQ(y[0], 2.0f);
+  EXPECT_EQ(y[1], 4.0f);
+}
+
+TEST(ErrorFeedback, SizeMismatchThrows) {
+  ErrorFeedback ef(1, 3, true);
+  std::vector<float> y(2);
+  EXPECT_THROW(ef.compensate(0, std::vector<float>{1.0f}, y),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gcs::core

@@ -1,0 +1,81 @@
+// Tests for comm/fabric: delivery, ordering, tags, traffic metering.
+#include "comm/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace gcs::comm {
+namespace {
+
+ByteBuffer bytes_of(std::initializer_list<int> xs) {
+  ByteBuffer b;
+  for (int x : xs) b.push_back(static_cast<std::byte>(x));
+  return b;
+}
+
+TEST(Fabric, DeliversInFifoOrder) {
+  Fabric fabric(2);
+  fabric.send(0, 1, 1, bytes_of({1}));
+  fabric.send(0, 1, 2, bytes_of({2}));
+  EXPECT_EQ(fabric.recv(1, 0, 1).payload, bytes_of({1}));
+  EXPECT_EQ(fabric.recv(1, 0, 2).payload, bytes_of({2}));
+}
+
+TEST(Fabric, ChannelsAreIndependentPerPair) {
+  Fabric fabric(3);
+  fabric.send(0, 2, 9, bytes_of({7}));
+  fabric.send(1, 2, 9, bytes_of({8}));
+  // Receive from rank 1 first even though rank 0 sent earlier.
+  EXPECT_EQ(fabric.recv(2, 1, 9).payload, bytes_of({8}));
+  EXPECT_EQ(fabric.recv(2, 0, 9).payload, bytes_of({7}));
+}
+
+TEST(Fabric, TagMismatchThrows) {
+  Fabric fabric(2);
+  fabric.send(0, 1, 5, bytes_of({1}));
+  EXPECT_THROW(fabric.recv(1, 0, 6), Error);
+}
+
+TEST(Fabric, BlocksUntilMessageArrives) {
+  Fabric fabric(2);
+  std::thread sender([&fabric] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.send(0, 1, 3, bytes_of({42}));
+  });
+  const auto msg = fabric.recv(1, 0, 3);
+  sender.join();
+  EXPECT_EQ(msg.payload, bytes_of({42}));
+}
+
+TEST(Fabric, MetersBytesPerRank) {
+  Fabric fabric(2);
+  fabric.send(0, 1, 1, ByteBuffer(100));
+  fabric.send(0, 1, 2, ByteBuffer(50));
+  fabric.send(1, 0, 3, ByteBuffer(7));
+  EXPECT_EQ(fabric.bytes_sent(0), 150u);
+  EXPECT_EQ(fabric.bytes_sent(1), 7u);
+  EXPECT_EQ(fabric.total_bytes(), 157u);
+  (void)fabric.recv(1, 0, 1);
+  (void)fabric.recv(1, 0, 2);
+  (void)fabric.recv(0, 1, 3);
+  fabric.reset_counters();
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+}
+
+TEST(Fabric, SelfSendWorks) {
+  Fabric fabric(1);
+  fabric.send(0, 0, 1, bytes_of({9}));
+  EXPECT_EQ(fabric.recv(0, 0, 1).payload, bytes_of({9}));
+}
+
+TEST(Fabric, InvalidRankThrows) {
+  Fabric fabric(2);
+  EXPECT_THROW(fabric.send(0, 5, 1, ByteBuffer{}), std::logic_error);
+  EXPECT_THROW(fabric.bytes_sent(9), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gcs::comm

@@ -1,0 +1,91 @@
+// Tests for core/factory: the spec grammar and error handling.
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gcs::core {
+namespace {
+
+ModelLayout layout() { return make_transformer_like_layout(1 << 14); }
+
+TEST(Factory, Baselines) {
+  const auto l = layout();
+  EXPECT_EQ(make_compressor("fp16", l, 4)->name(), "Baseline FP16");
+  EXPECT_EQ(make_compressor("fp32", l, 4)->name(), "Baseline FP32");
+}
+
+TEST(Factory, TopKByBits) {
+  const auto l = layout();
+  auto c = make_compressor("topk:b=8", l, 4);
+  EXPECT_EQ(c->name(), "TopK");
+  EXPECT_EQ(c->path(), AggregationPath::kAllGather);
+}
+
+TEST(Factory, TopKByK) {
+  const auto l = layout();
+  EXPECT_NO_THROW(make_compressor("topk:k=100", l, 2));
+}
+
+TEST(Factory, TopKC) {
+  const auto l = layout();
+  auto c = make_compressor("topkc:b=2", l, 4);
+  EXPECT_EQ(c->name(), "TopKC");
+  EXPECT_EQ(c->path(), AggregationPath::kAllReduce);
+  auto p = make_compressor("topkc:b=2:perm", l, 4);
+  EXPECT_EQ(p->name(), "TopKC Permutation");
+}
+
+TEST(Factory, ThcVariants) {
+  const auto l = layout();
+  auto sat = make_compressor("thc:q=4:b=4:sat:partial", l, 4);
+  EXPECT_NE(sat->name().find("Sat"), std::string::npos);
+  auto wide = make_compressor("thc:q=4:b=8:full", l, 4);
+  EXPECT_NE(wide->name().find("BL"), std::string::npos);
+  EXPECT_NE(wide->name().find("full"), std::string::npos);
+  auto norot = make_compressor("thc:q=2:b=2:norot", l, 4);
+  EXPECT_NE(norot->name().find("no-rotation"), std::string::npos);
+}
+
+TEST(Factory, PowerSgd) {
+  const auto l = layout();
+  auto c = make_compressor("powersgd:r=16", l, 4);
+  EXPECT_EQ(c->name(), "PowerSGD-16");
+}
+
+TEST(Factory, WorldSizePropagates) {
+  const auto l = layout();
+  EXPECT_EQ(make_compressor("fp16", l, 7)->world_size(), 7);
+}
+
+TEST(Factory, UnknownKindThrows) {
+  const auto l = layout();
+  EXPECT_THROW(make_compressor("zipzap", l, 4), Error);
+}
+
+TEST(Factory, EmptySpecThrows) {
+  const auto l = layout();
+  EXPECT_THROW(make_compressor("", l, 4), Error);
+}
+
+TEST(Factory, MalformedNumberThrows) {
+  const auto l = layout();
+  EXPECT_THROW(make_compressor("topkc:b=abc", l, 4), Error);
+}
+
+TEST(Factory, TopKWithoutSizeThrows) {
+  const auto l = layout();
+  EXPECT_THROW(make_compressor("topk", l, 4), Error);
+}
+
+TEST(Factory, NoEfFlag) {
+  // Spec parsing must accept the noef flag everywhere it is documented.
+  const auto l = layout();
+  EXPECT_NO_THROW(make_compressor("topk:b=2:noef", l, 4));
+  EXPECT_NO_THROW(make_compressor("topkc:b=2:noef", l, 4));
+  EXPECT_NO_THROW(make_compressor("powersgd:r=4:noef", l, 4));
+}
+
+}  // namespace
+}  // namespace gcs::core

@@ -1,0 +1,129 @@
+// Tests for numeric/half: bit-exact binary16 conversion semantics.
+#include "numeric/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace gcs {
+namespace {
+
+TEST(Half, ExactSmallValues) {
+  // Values exactly representable in binary16 must round-trip unchanged.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, 0.25f, -65504.0f,
+                  65504.0f, 1.5f, 0.0999755859375f}) {
+    EXPECT_EQ(half_bits_to_float(float_to_half_bits(v)), v) << v;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_half_bits(-2.0f), 0xC000);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7BFF);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(float_to_half_bits(std::ldexp(1.0f, -24)), 0x0001);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(float_to_half_bits(std::ldexp(1.0f, -14)), 0x0400);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(float_to_half_bits(70000.0f), 0x7C00);
+  EXPECT_EQ(float_to_half_bits(-1e30f), 0xFC00);
+  EXPECT_TRUE(std::isinf(half_bits_to_float(0x7C00)));
+}
+
+TEST(Half, InfinityAndNanPassThrough) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float_to_half_bits(inf), 0x7C00);
+  EXPECT_EQ(float_to_half_bits(-inf), 0xFC00);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const auto bits = float_to_half_bits(nan);
+  EXPECT_TRUE(std::isnan(half_bits_to_float(bits)));
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(float_to_half_bits(1e-12f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-1e-12f), 0x8000);
+}
+
+TEST(Half, SubnormalRoundTrip) {
+  // All 1024 positive subnormal patterns decode/encode losslessly.
+  for (std::uint16_t bits = 1; bits < 0x0400; ++bits) {
+    const float v = half_bits_to_float(bits);
+    EXPECT_EQ(float_to_half_bits(v), bits) << bits;
+  }
+}
+
+TEST(Half, AllFiniteBitPatternsRoundTrip) {
+  // Every finite half decodes to a float that encodes back to itself:
+  // conversion is exact in that direction.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if ((h & 0x7C00) == 0x7C00) continue;  // skip inf/NaN
+    const float v = half_bits_to_float(h);
+    EXPECT_EQ(float_to_half_bits(v), h) << std::hex << h;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1+2^-10);
+  // RNE keeps the even mantissa (1.0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half_bits(halfway), 0x3C00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even
+  // (mantissa 2).
+  const float halfway2 = 1.0f + 3 * std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half_bits(halfway2), 0x3C02);
+  // Just above halfway rounds up.
+  EXPECT_EQ(float_to_half_bits(std::nextafterf(halfway, 2.0f)), 0x3C01);
+}
+
+TEST(Half, RoundingErrorBounded) {
+  // Relative error of one round-trip is at most 2^-11 for normal values.
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const float v =
+        static_cast<float>(rng.next_gaussian()) * 100.0f + 0.01f;
+    const float back = half_bits_to_float(float_to_half_bits(v));
+    EXPECT_LE(std::fabs(back - v), std::fabs(v) * (1.0f / 2048.0f) + 1e-7f)
+        << v;
+  }
+}
+
+TEST(Half, MonotoneOnSamples) {
+  // Encoding preserves order (sampled).
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const float a = static_cast<float>(rng.next_gaussian()) * 10.0f;
+    const float b = a + 0.25f;
+    EXPECT_LE(half_bits_to_float(float_to_half_bits(a)),
+              half_bits_to_float(float_to_half_bits(b)));
+  }
+}
+
+TEST(Half, OperatorPlusRoundsPerOp) {
+  const Half a(1.0f);
+  const Half b(std::ldexp(1.0f, -12));  // too small to move 1.0 in fp16
+  EXPECT_EQ((a + b).to_float(), 1.0f);
+}
+
+TEST(Half, SpanHelpers) {
+  const std::vector<float> xs{0.1f, -0.2f, 3.0f};
+  const auto hs = to_half(xs);
+  const auto back = to_float(hs);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[2], 3.0f);
+  std::vector<float> ys = xs;
+  round_trip_half(ys);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_EQ(ys[i], back[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,70 @@
+// Tests for tensor/layout: offsets, lookup, and the synthetic layouts.
+#include "tensor/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace gcs {
+namespace {
+
+TEST(ModelLayout, OffsetsAndTotals) {
+  ModelLayout layout({{"a", 2, 3}, {"b", 4, 1}, {"c", 1, 5}});
+  EXPECT_EQ(layout.num_layers(), 3u);
+  EXPECT_EQ(layout.total_size(), 6u + 4u + 5u);
+  EXPECT_EQ(layout.offset(0), 0u);
+  EXPECT_EQ(layout.offset(1), 6u);
+  EXPECT_EQ(layout.offset(2), 10u);
+}
+
+TEST(ModelLayout, LayerOf) {
+  ModelLayout layout({{"a", 2, 3}, {"b", 4, 1}});
+  EXPECT_EQ(layout.layer_of(0), 0u);
+  EXPECT_EQ(layout.layer_of(5), 0u);
+  EXPECT_EQ(layout.layer_of(6), 1u);
+  EXPECT_EQ(layout.layer_of(9), 1u);
+  EXPECT_THROW(layout.layer_of(10), std::logic_error);
+}
+
+TEST(ModelLayout, EmptyLayerRejected) {
+  EXPECT_THROW(ModelLayout({{"zero", 0, 1}}), std::logic_error);
+}
+
+TEST(TransformerLayout, HitsTargetApproximately) {
+  const std::size_t target = 1 << 20;
+  const auto layout = make_transformer_like_layout(target);
+  EXPECT_GT(layout.total_size(), target / 4);
+  EXPECT_LE(layout.total_size(), target);
+  EXPECT_GT(layout.num_layers(), 5u);
+}
+
+TEST(TransformerLayout, MixesMatrixAndVectorLayers) {
+  const auto layout = make_transformer_like_layout(1 << 20);
+  bool has_matrix = false, has_vector = false;
+  for (const auto& l : layout.layers()) {
+    if (l.cols > 1) has_matrix = true;
+    if (l.cols == 1) has_vector = true;
+  }
+  EXPECT_TRUE(has_matrix);
+  EXPECT_TRUE(has_vector);
+}
+
+TEST(ConvnetLayout, FcDominates) {
+  const auto layout = make_convnet_like_layout(1 << 20);
+  std::size_t fc = 0;
+  for (const auto& l : layout.layers()) {
+    if (l.name.rfind("fc", 0) == 0) fc += l.size();
+  }
+  // VGG-like: the FC block holds most parameters.
+  EXPECT_GT(static_cast<double>(fc) /
+                static_cast<double>(layout.total_size()),
+            0.6);
+}
+
+TEST(SyntheticLayouts, Deterministic) {
+  const auto a = make_transformer_like_layout(1 << 18);
+  const auto b = make_transformer_like_layout(1 << 18);
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  EXPECT_EQ(a.total_size(), b.total_size());
+}
+
+}  // namespace
+}  // namespace gcs

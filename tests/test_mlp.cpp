@@ -1,0 +1,137 @@
+// Tests for train/mlp: numerical gradient check, loss sanity, learning.
+#include "train/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "train/optimizer.h"
+
+namespace gcs::train {
+namespace {
+
+Batch tiny_batch() {
+  Batch b;
+  b.batch = 3;
+  b.features = 4;
+  b.x = {0.5f, -1.0f, 0.2f, 0.9f,   //
+         1.5f, 0.3f, -0.7f, 0.1f,   //
+         -0.2f, 0.8f, 0.4f, -1.1f};
+  b.y = {0, 2, 1};
+  return b;
+}
+
+TEST(Mlp, LayoutMatchesDims) {
+  MlpModel model({4, 8, 3}, 1);
+  // w0 (8x4) + b0 (8) + w1 (3x8) + b1 (3).
+  EXPECT_EQ(model.dimension(), 32u + 8u + 24u + 3u);
+  EXPECT_EQ(model.layout().num_layers(), 4u);
+}
+
+TEST(Mlp, InitialLossNearUniform) {
+  MlpModel model({4, 16, 3}, 2);
+  const auto eval = model.evaluate(tiny_batch());
+  // Softmax over 3 classes with random small weights: loss ~ ln(3).
+  EXPECT_NEAR(eval.mean_loss, std::log(3.0), 0.5);
+}
+
+TEST(Mlp, PerplexityIsExpLoss) {
+  EvalResult r;
+  r.mean_loss = 1.0;
+  EXPECT_NEAR(r.perplexity(), std::exp(1.0), 1e-12);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  MlpModel model({4, 6, 3}, 3);
+  const Batch batch = tiny_batch();
+  std::vector<float> grad(model.dimension());
+  model.forward_backward(batch, grad);
+
+  Rng rng(4);
+  const float eps = 1e-3f;
+  // Spot-check 40 random parameters against central differences.
+  for (int t = 0; t < 40; ++t) {
+    const auto i = static_cast<std::size_t>(
+        rng.next_below(model.dimension()));
+    const float orig = model.params()[i];
+    model.params()[i] = orig + eps;
+    const double lp = model.evaluate(batch).mean_loss;
+    model.params()[i] = orig - eps;
+    const double lm = model.evaluate(batch).mean_loss;
+    model.params()[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric, 5e-3 + 0.05 * std::fabs(numeric))
+        << "param " << i;
+  }
+}
+
+TEST(Mlp, SameSeedSameModel) {
+  MlpModel a({4, 8, 2}, 7), b({4, 8, 2}, 7);
+  EXPECT_TRUE(std::equal(a.params().begin(), a.params().end(),
+                         b.params().begin()));
+  MlpModel c({4, 8, 2}, 8);
+  EXPECT_FALSE(std::equal(a.params().begin(), a.params().end(),
+                          c.params().begin()));
+}
+
+TEST(Mlp, LearnsLinearlySeparableTask) {
+  // Tiny task: class = argmax of first two features.
+  MlpModel model({2, 16, 2}, 9);
+  SgdMomentum opt(model.dimension(), 0.1, 0.9);
+  Rng rng(10);
+  Batch batch;
+  batch.batch = 32;
+  batch.features = 2;
+  std::vector<float> grad(model.dimension());
+  for (int step = 0; step < 200; ++step) {
+    batch.x.resize(64);
+    batch.y.resize(32);
+    for (int s = 0; s < 32; ++s) {
+      const float a = static_cast<float>(rng.next_gaussian());
+      const float b = static_cast<float>(rng.next_gaussian());
+      batch.x[2 * s] = a;
+      batch.x[2 * s + 1] = b;
+      batch.y[s] = a > b ? 0 : 1;
+    }
+    model.forward_backward(batch, grad);
+    opt.step(model.params(), grad);
+  }
+  const auto eval = model.evaluate(batch);
+  EXPECT_GT(eval.accuracy, 0.95);
+}
+
+TEST(Mlp, EvaluateAccuracyCountsArgmax) {
+  MlpModel model({2, 2}, 11);
+  // Force weights: logit0 = x0, logit1 = x1 (biases zero).
+  auto params = model.params();
+  std::fill(params.begin(), params.end(), 0.0f);
+  params[0] = 1.0f;  // w0[0,0]
+  params[3] = 1.0f;  // w0[1,1]
+  Batch batch;
+  batch.batch = 2;
+  batch.features = 2;
+  batch.x = {2.0f, 0.0f, 0.0f, 2.0f};
+  batch.y = {0, 0};
+  const auto eval = model.evaluate(batch);
+  EXPECT_DOUBLE_EQ(eval.accuracy, 0.5);
+}
+
+TEST(Mlp, GradientIsMeanOverBatch) {
+  // Duplicating every sample must leave the gradient unchanged.
+  MlpModel model({4, 5, 3}, 12);
+  const Batch batch = tiny_batch();
+  Batch doubled = batch;
+  doubled.batch = 6;
+  doubled.x.insert(doubled.x.end(), batch.x.begin(), batch.x.end());
+  doubled.y.insert(doubled.y.end(), batch.y.begin(), batch.y.end());
+  std::vector<float> g1(model.dimension()), g2(model.dimension());
+  model.forward_backward(batch, g1);
+  model.forward_backward(doubled, g2);
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g1[i], g2[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace gcs::train

@@ -1,0 +1,109 @@
+// Tests for netsim: cost formulas, monotonicity, incast behaviour.
+#include "netsim/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gcs::netsim {
+namespace {
+
+NetworkModel ideal() {
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1e9;
+  link.latency_sec = 0.0;
+  CollectiveEfficiency eff;
+  eff.ring = eff.tree = eff.all_gather = eff.ps = 1.0;
+  return NetworkModel(link, eff);
+}
+
+TEST(NetworkModel, RingFormula) {
+  // 2(n-1)/n x payload / BW with n=4: 1.5 x.
+  const auto m = ideal();
+  EXPECT_NEAR(m.ring_all_reduce_time(4, 1e9), 1.5, 1e-9);
+  EXPECT_NEAR(m.ring_all_reduce_time(2, 1e9), 1.0, 1e-9);
+}
+
+TEST(NetworkModel, SingleWorkerIsFree) {
+  const auto m = ideal();
+  EXPECT_EQ(m.ring_all_reduce_time(1, 1e9), 0.0);
+  EXPECT_EQ(m.all_gather_time(1, 1e9), 0.0);
+  EXPECT_EQ(m.ps_aggregate_time(1, 1e9), 0.0);
+}
+
+TEST(NetworkModel, AllGatherFormula) {
+  const auto m = ideal();
+  EXPECT_NEAR(m.all_gather_time(4, 1e9), 3.0, 1e-9);
+}
+
+TEST(NetworkModel, TreeUsesLogSteps) {
+  const auto m = ideal();
+  EXPECT_NEAR(m.tree_all_reduce_time(4, 1e9), 4.0, 1e-9);   // 2*log2(4)
+  EXPECT_NEAR(m.tree_all_reduce_time(8, 1e9), 6.0, 1e-9);
+}
+
+TEST(NetworkModel, LatencyTermCountsSteps) {
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1e12;
+  link.latency_sec = 1e-3;
+  CollectiveEfficiency eff;
+  const NetworkModel m(link, eff);
+  // 2(n-1) = 6 latency terms dominate a tiny payload.
+  EXPECT_NEAR(m.ring_all_reduce_time(4, 8.0), 6e-3, 1e-4);
+}
+
+TEST(NetworkModel, IncastPenaltyGrows) {
+  EXPECT_EQ(incast_penalty(1), 1.0);
+  EXPECT_GT(incast_penalty(3), 1.0);
+  EXPECT_GT(incast_penalty(15), incast_penalty(3));
+}
+
+TEST(NetworkModel, PsSlowerThanRingForLargeN) {
+  const auto m = ideal();
+  // PS serializes (n-1)x payload through one link both ways (plus incast),
+  // so it must lose to the ring for any n >= 3.
+  for (int n : {3, 4, 8, 16}) {
+    EXPECT_GT(m.ps_aggregate_time(n, 1e9), m.ring_all_reduce_time(n, 1e9))
+        << n;
+  }
+}
+
+TEST(NetworkModel, ColocatedPsShardsTheLoad) {
+  const auto m = ideal();
+  EXPECT_LT(m.ps_aggregate_time(4, 1e9, /*colocated=*/true),
+            m.ps_aggregate_time(4, 1e9, /*colocated=*/false));
+}
+
+TEST(NetworkModel, MonotoneInPayload) {
+  const NetworkModel m;  // testbed defaults
+  double prev = 0.0;
+  for (double bytes : {1e6, 1e7, 1e8, 1e9}) {
+    const double t = m.ring_all_reduce_time(4, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, EfficiencyScalesTime) {
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1e9;
+  link.latency_sec = 0.0;
+  CollectiveEfficiency full, half;
+  full.ring = 1.0;
+  half.ring = 0.5;
+  EXPECT_NEAR(NetworkModel(link, half).ring_all_reduce_time(4, 1e9),
+              2.0 * NetworkModel(link, full).ring_all_reduce_time(4, 1e9),
+              1e-9);
+}
+
+TEST(NetworkModel, TestbedDefaultsMatchPaperScale) {
+  // Sanity: FP32 ring all-reduce of BERT-large-sized gradients at the
+  // default efficiencies lands in the hundreds of milliseconds — the
+  // regime the paper's Table 2 implies.
+  const NetworkModel m;
+  const double bytes = 336e6 * 4.0;
+  const double t = m.ring_all_reduce_time(4, bytes);
+  EXPECT_GT(t, 0.1);
+  EXPECT_LT(t, 0.5);
+}
+
+}  // namespace
+}  // namespace gcs::netsim

@@ -1,0 +1,115 @@
+// Tests for train/optimizer and train/schedule.
+#include <gtest/gtest.h>
+
+#include "train/optimizer.h"
+#include "train/schedule.h"
+
+namespace gcs::train {
+namespace {
+
+TEST(Sgd, PlainStepWithoutMomentum) {
+  SgdMomentum opt(2, 0.5, 0.0);
+  std::vector<float> params{1.0f, 2.0f};
+  const std::vector<float> grad{2.0f, -2.0f};
+  opt.step(params, grad);
+  EXPECT_EQ(params[0], 0.0f);
+  EXPECT_EQ(params[1], 3.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SgdMomentum opt(1, 1.0, 0.5);
+  std::vector<float> params{0.0f};
+  const std::vector<float> grad{1.0f};
+  opt.step(params, grad);  // v=1, p=-1
+  EXPECT_EQ(params[0], -1.0f);
+  opt.step(params, grad);  // v=1.5, p=-2.5
+  EXPECT_EQ(params[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  SgdMomentum opt(1, 0.1, 0.0, 0.5);
+  std::vector<float> params{10.0f};
+  const std::vector<float> grad{0.0f};
+  opt.step(params, grad);
+  EXPECT_NEAR(params[0], 10.0f - 0.1f * 5.0f, 1e-6f);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  SgdMomentum opt(1, 1.0, 0.9);
+  std::vector<float> params{0.0f};
+  const std::vector<float> grad{1.0f};
+  opt.step(params, grad);
+  opt.reset();
+  params[0] = 0.0f;
+  opt.step(params, grad);
+  EXPECT_EQ(params[0], -1.0f);  // no leftover momentum
+}
+
+TEST(Sgd, LearningRateSetter) {
+  SgdMomentum opt(1, 1.0, 0.0);
+  opt.set_learning_rate(0.25);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.25);
+  std::vector<float> params{0.0f};
+  opt.step(params, std::vector<float>{4.0f});
+  EXPECT_EQ(params[0], -1.0f);
+}
+
+TEST(Sgd, SizeMismatchThrows) {
+  SgdMomentum opt(2, 0.1);
+  std::vector<float> params{1.0f};
+  EXPECT_THROW(opt.step(params, std::vector<float>{1.0f}),
+               std::logic_error);
+}
+
+TEST(StepDecay, DecaysAtMilestones) {
+  StepDecaySchedule sched(1.0, 0.5, 100);
+  EXPECT_DOUBLE_EQ(sched.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.at(99), 1.0);
+  EXPECT_DOUBLE_EQ(sched.at(100), 0.5);
+  EXPECT_DOUBLE_EQ(sched.at(250), 0.25);
+}
+
+TEST(StepDecay, ZeroMilestoneMeansConstant) {
+  StepDecaySchedule sched(0.3, 0.5, 0);
+  EXPECT_DOUBLE_EQ(sched.at(100000), 0.3);
+}
+
+TEST(EarlyStopping, StopsAfterPatience) {
+  EarlyStopping stop(MetricDirection::kHigherIsBetter, 3, 0.0);
+  EXPECT_FALSE(stop.update(0.5));
+  EXPECT_FALSE(stop.update(0.6));  // improvement
+  EXPECT_FALSE(stop.update(0.6));  // 1
+  EXPECT_FALSE(stop.update(0.59));  // 2
+  EXPECT_TRUE(stop.update(0.58));   // 3 -> converged
+  EXPECT_TRUE(stop.converged());
+  EXPECT_DOUBLE_EQ(stop.best(), 0.6);
+}
+
+TEST(EarlyStopping, LowerIsBetterDirection) {
+  EarlyStopping stop(MetricDirection::kLowerIsBetter, 2, 0.0);
+  EXPECT_FALSE(stop.update(5.0));
+  EXPECT_FALSE(stop.update(4.0));
+  EXPECT_FALSE(stop.update(4.5));
+  EXPECT_TRUE(stop.update(4.2));
+  EXPECT_DOUBLE_EQ(stop.best(), 4.0);
+}
+
+TEST(EarlyStopping, MinDeltaIgnoresTinyImprovements) {
+  EarlyStopping stop(MetricDirection::kHigherIsBetter, 2, 0.1);
+  EXPECT_FALSE(stop.update(0.5));
+  EXPECT_FALSE(stop.update(0.55));  // below min_delta: counts as no gain
+  EXPECT_TRUE(stop.update(0.59));
+}
+
+TEST(EarlyStopping, ResetRestartsTracking) {
+  EarlyStopping stop(MetricDirection::kHigherIsBetter, 1, 0.0);
+  stop.update(1.0);
+  stop.update(0.9);
+  ASSERT_TRUE(stop.converged());
+  stop.reset();
+  EXPECT_FALSE(stop.converged());
+  EXPECT_FALSE(stop.update(0.1));
+}
+
+}  // namespace
+}  // namespace gcs::train

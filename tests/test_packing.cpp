@@ -1,0 +1,78 @@
+// Tests for quant/packing: tightness, round-trips, error handling.
+#include "quant/packing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gcs {
+namespace {
+
+TEST(Packing, ExactByteCount) {
+  const std::vector<std::uint16_t> v(13, 1);
+  EXPECT_EQ(pack_lanes(v, 1).size(), 2u);
+  EXPECT_EQ(pack_lanes(v, 2).size(), 4u);
+  EXPECT_EQ(pack_lanes(v, 4).size(), 7u);
+  EXPECT_EQ(pack_lanes(v, 8).size(), 13u);
+  EXPECT_EQ(pack_lanes(v, 3).size(), 5u);  // 39 bits -> 5 bytes
+}
+
+TEST(Packing, KnownPattern4Bit) {
+  const std::vector<std::uint16_t> v{0x1, 0x2, 0xF};
+  const auto buf = pack_lanes(v, 4);
+  ASSERT_EQ(buf.size(), 2u);
+  // LSB-first: byte0 = 0x2 << 4 | 0x1, byte1 = 0xF.
+  EXPECT_EQ(std::to_integer<std::uint8_t>(buf[0]), 0x21);
+  EXPECT_EQ(std::to_integer<std::uint8_t>(buf[1]), 0x0F);
+}
+
+TEST(Packing, ValueExceedingWidthThrows) {
+  const std::vector<std::uint16_t> v{4};  // needs 3 bits
+  EXPECT_THROW(pack_lanes(v, 2), std::logic_error);
+}
+
+TEST(Packing, TruncatedUnpackThrows) {
+  ByteBuffer buf(1);
+  EXPECT_THROW(unpack_lanes(buf, 9, 1), Error);
+}
+
+TEST(Packing, EmptyInput) {
+  EXPECT_TRUE(pack_lanes({}, 4).empty());
+  EXPECT_TRUE(unpack_lanes({}, 0, 4).empty());
+}
+
+TEST(Packing, PackIntoAppends) {
+  ByteBuffer buf(3, std::byte{0xAB});
+  const std::vector<std::uint16_t> v{0xF};
+  pack_lanes_into(v, 4, buf);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(std::to_integer<std::uint8_t>(buf[0]), 0xAB);
+  EXPECT_EQ(std::to_integer<std::uint8_t>(buf[3]), 0x0F);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PackRoundTrip, RandomLanes) {
+  const unsigned bits = GetParam();
+  Rng rng(bits);
+  for (std::size_t count : {1u, 7u, 8u, 63u, 256u, 1000u}) {
+    std::vector<std::uint16_t> v(count);
+    const std::uint32_t mask = (bits == 16) ? 0xFFFF : ((1u << bits) - 1);
+    for (auto& x : v) {
+      x = static_cast<std::uint16_t>(rng.next_u64() & mask);
+    }
+    const auto packed = pack_lanes(v, bits);
+    EXPECT_EQ(packed.size(), packed_bytes(count, bits));
+    const auto back = unpack_lanes(packed, count, bits);
+    EXPECT_EQ(back, v) << "bits=" << bits << " count=" << count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u,
+                                           16u));
+
+}  // namespace
+}  // namespace gcs

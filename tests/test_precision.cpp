@@ -1,0 +1,115 @@
+// Tests for numeric/precision: TF32/BF16 truncation and stochastic levels.
+#include "numeric/precision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gcs {
+namespace {
+
+TEST(Precision, Names) {
+  EXPECT_EQ(to_string(Precision::kFp32), "FP32");
+  EXPECT_EQ(to_string(Precision::kTf32), "TF32");
+  EXPECT_EQ(to_string(Precision::kFp16), "FP16");
+  EXPECT_EQ(to_string(Precision::kBf16), "BF16");
+}
+
+TEST(Precision, WireBits) {
+  EXPECT_EQ(wire_bits(Precision::kFp32), 32u);
+  EXPECT_EQ(wire_bits(Precision::kFp16), 16u);
+  EXPECT_EQ(wire_bits(Precision::kTf32), 19u);
+}
+
+TEST(Tf32, PreservesTenMantissaBits) {
+  // 1 + 2^-10 is representable in TF32; 1 + 2^-11 is not and rounds.
+  EXPECT_EQ(to_tf32(1.0f + std::ldexp(1.0f, -10)),
+            1.0f + std::ldexp(1.0f, -10));
+  const float t = to_tf32(1.0f + std::ldexp(1.0f, -11) * 1.5f);
+  EXPECT_EQ(t, 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Tf32, KeepsFp32Range) {
+  // TF32 keeps the full binary32 exponent: huge/tiny magnitudes survive
+  // (only mantissa precision is lost, bounded by 2^-10 relatively).
+  const float big = to_tf32(1e30f);
+  EXPECT_TRUE(std::isfinite(big));
+  EXPECT_NEAR(big / 1e30f, 1.0f, 1e-3f);
+  EXPECT_GT(to_tf32(1e-30f), 0.0f);  // no underflow either
+}
+
+TEST(Bf16, SevenMantissaBits) {
+  EXPECT_EQ(to_bf16(1.0f + std::ldexp(1.0f, -7)),
+            1.0f + std::ldexp(1.0f, -7));
+  EXPECT_EQ(to_bf16(1.0f + std::ldexp(1.0f, -9)), 1.0f);
+}
+
+TEST(Precision, RelativeErrorBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.next_gaussian()) * 3.0f + 0.001f;
+    EXPECT_LE(std::fabs(to_tf32(v) - v), std::fabs(v) * std::ldexp(1.0f, -10));
+    EXPECT_LE(std::fabs(to_bf16(v) - v), std::fabs(v) * std::ldexp(1.0f, -7));
+  }
+}
+
+TEST(Precision, Fp32IsIdentity) {
+  EXPECT_EQ(round_to_precision(3.14159f, Precision::kFp32), 3.14159f);
+}
+
+TEST(Precision, SpanRounding) {
+  std::vector<float> xs{1.0f + std::ldexp(1.0f, -9), 2.0f};
+  round_span_to_precision(xs, Precision::kBf16);
+  EXPECT_EQ(xs[0], 1.0f);
+  EXPECT_EQ(xs[1], 2.0f);
+}
+
+TEST(StochasticLevel, BoundaryBehaviour) {
+  EXPECT_EQ(stochastic_level(-1.0f, 0.0f, 1.0f, 4, 0.5f), 0u);
+  EXPECT_EQ(stochastic_level(2.0f, 0.0f, 1.0f, 4, 0.5f), 15u);
+  EXPECT_EQ(stochastic_level(0.0f, 0.0f, 1.0f, 4, 0.99f), 0u);
+  EXPECT_EQ(stochastic_level(1.0f, 0.0f, 1.0f, 4, 0.0f), 15u);
+}
+
+TEST(StochasticLevel, DegenerateRange) {
+  EXPECT_EQ(stochastic_level(5.0f, 5.0f, 5.0f, 4, 0.3f), 0u);
+}
+
+TEST(StochasticLevel, ExactGridPointsAreStable) {
+  // A value exactly on a level never moves regardless of u.
+  const unsigned q = 3;
+  const float levels = 7.0f;
+  for (unsigned l = 0; l <= 7; ++l) {
+    const float v = static_cast<float>(l) / levels;
+    EXPECT_EQ(stochastic_level(v, 0.0f, 1.0f, q, 0.0f), l);
+    EXPECT_EQ(stochastic_level(v, 0.0f, 1.0f, q, 0.999f), l);
+  }
+}
+
+// Property: stochastic rounding is unbiased — E[level * delta + lo] == x.
+class StochasticUnbiasedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StochasticUnbiasedTest, MeanMatchesValue) {
+  const unsigned q = GetParam();
+  Rng rng(100 + q);
+  const float lo = -2.0f, hi = 3.0f;
+  const float delta = (hi - lo) / static_cast<float>((1u << q) - 1u);
+  for (float x : {-1.3f, 0.0f, 0.77f, 2.9f}) {
+    double sum = 0.0;
+    const int trials = 40000;
+    for (int t = 0; t < trials; ++t) {
+      const auto level = stochastic_level(x, lo, hi, q, rng.next_float());
+      sum += lo + static_cast<double>(level) * delta;
+    }
+    EXPECT_NEAR(sum / trials, x, 3.0 * delta / std::sqrt(trials) + 1e-3)
+        << "q=" << q << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQ, StochasticUnbiasedTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,79 @@
+// Tests for tensor/tensor.
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gcs {
+namespace {
+
+TEST(Tensor, ConstructAndFill) {
+  Tensor t(5, 2.0f);
+  EXPECT_EQ(t.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.0f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[4], -1.0f);
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t(std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, SliceViewsUnderlyingData) {
+  Tensor t(10, 0.0f);
+  auto s = t.slice(3, 4);
+  s[0] = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Tensor, SliceOutOfRangeThrows) {
+  Tensor t(4);
+  EXPECT_THROW(t.slice(2, 3), std::logic_error);
+}
+
+TEST(Tensor, Equality) {
+  Tensor a(std::vector<float>{1.0f, 2.0f});
+  Tensor b(std::vector<float>{1.0f, 2.0f});
+  Tensor c(std::vector<float>{1.0f, 3.0f});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, Resize) {
+  Tensor t(2, 1.0f);
+  t.resize(4);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[3], 0.0f);
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, GaussianFillMoments) {
+  Tensor t(100000);
+  Rng rng(1);
+  fill_gaussian(t.span(), rng, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : t.span()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const auto n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.1);
+}
+
+TEST(Tensor, UniformFillRange) {
+  Tensor t(10000);
+  Rng rng(2);
+  fill_uniform(t.span(), rng, -1.0f, 3.0f);
+  for (float v : t.span()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,89 @@
+// Tests for sim/tta: target extraction, utility, tabulation, CSV.
+#include "sim/tta.h"
+
+#include <gtest/gtest.h>
+
+namespace gcs::sim {
+namespace {
+
+DdpResult make_run(std::string scheme, std::vector<double> times,
+                   std::vector<double> metrics) {
+  DdpResult r;
+  r.scheme = std::move(scheme);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    TtaPoint p;
+    p.round = static_cast<int>(i + 1);
+    p.time_s = times[i];
+    p.metric = metrics[i];
+    p.raw_metric = metrics[i];
+    r.curve.push_back(p);
+  }
+  r.simulated_seconds = times.empty() ? 0.0 : times.back();
+  r.final_metric = metrics.empty() ? 0.0 : metrics.back();
+  return r;
+}
+
+TEST(TimeToTarget, HigherIsBetter) {
+  const auto run = make_run("a", {1, 2, 3}, {0.3, 0.5, 0.7});
+  const auto t =
+      time_to_target(run, 0.5, train::MetricDirection::kHigherIsBetter);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.0);
+}
+
+TEST(TimeToTarget, LowerIsBetter) {
+  const auto run = make_run("a", {1, 2, 3}, {5.0, 4.0, 3.5});
+  const auto t =
+      time_to_target(run, 3.6, train::MetricDirection::kLowerIsBetter);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 3.0);
+}
+
+TEST(TimeToTarget, UnreachedIsNullopt) {
+  const auto run = make_run("a", {1, 2}, {0.1, 0.2});
+  EXPECT_FALSE(
+      time_to_target(run, 0.9, train::MetricDirection::kHigherIsBetter)
+          .has_value());
+}
+
+TEST(Utility, RatioOfBaselineToScheme) {
+  const auto fast = make_run("fast", {1, 2}, {0.4, 0.8});
+  const auto slow = make_run("slow", {2, 4}, {0.4, 0.8});
+  const auto u = utility_vs_baseline(
+      fast, slow, 0.8, train::MetricDirection::kHigherIsBetter);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_DOUBLE_EQ(*u, 2.0);  // baseline takes 4, scheme takes 2
+}
+
+TEST(Utility, MissedTargetGivesNullopt) {
+  const auto fast = make_run("fast", {1}, {0.5});
+  const auto slow = make_run("slow", {1}, {0.9});
+  EXPECT_FALSE(utility_vs_baseline(fast, slow, 0.8,
+                                   train::MetricDirection::kHigherIsBetter)
+                   .has_value());
+}
+
+TEST(Tabulate, ContainsSchemesAndSamples) {
+  const auto a = make_run("SchemeA", {100, 200}, {0.1, 0.2});
+  const auto b = make_run("SchemeB", {150, 300}, {0.15, 0.25});
+  const auto table = tabulate_curves({a, b}, 4);
+  EXPECT_NE(table.find("SchemeA"), std::string::npos);
+  EXPECT_NE(table.find("SchemeB"), std::string::npos);
+  EXPECT_NE(table.find("time"), std::string::npos);
+}
+
+TEST(Csv, OneRowPerPoint) {
+  const auto a = make_run("s", {1, 2, 3}, {0.1, 0.2, 0.3});
+  const auto csv = curves_to_csv({a});
+  // Header + 3 rows.
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(csv.find("scheme,round,time_s,metric,raw_metric"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcs::sim
