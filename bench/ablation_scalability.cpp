@@ -39,6 +39,7 @@ void path_scalability() {
             << "Ring time is ~flat in n (2(n-1)/n); all-gather and PS grow "
                "linearly (with incast on top for PS) — the paper's "
                "scalability argument for all-reduce compatibility.\n";
+  write_table_json(table);
 }
 
 void saturation_vs_workers() {
@@ -79,6 +80,7 @@ void saturation_vs_workers() {
   std::cout << table.to_string()
             << "Clip rate (and with it, bias) grows with n at fixed b=q — "
                "the paper's own caveat quantified; larger n needs b > q.\n";
+  write_table_json(table);
 }
 
 void delta_indices() {
@@ -119,6 +121,7 @@ void delta_indices() {
             << "Delta encoding carries the same coordinates in ~2/3 the "
                "bits; the paper skips it because the encode/decode pattern "
                "is GPU-unfriendly (charged in the cost model, not here).\n";
+  write_table_json(table);
 }
 
 }  // namespace

@@ -4,11 +4,25 @@
 // reproduction's numbers side by side, so EXPERIMENTS.md rows can be read
 // straight off the output. The `--csv` flag additionally dumps
 // machine-readable curves/rows next to the binary's working directory.
+//
+// Alongside the human-readable tables, each bench emits a machine-readable
+// BENCH_<name>.json (BenchJson below): print_header names the artefact,
+// run_tta_suite records the per-scheme summaries into it automatically,
+// and table benches can add their own rows — the files are how the perf
+// trajectory is tracked across PRs.
 #pragma once
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/cli.h"
@@ -22,6 +36,135 @@
 #include "train/dataset.h"
 
 namespace gcs::bench {
+
+/// Machine-readable metric sink: an ordered list of labelled rows, each a
+/// flat map of metric name -> number or string. write() renders
+/// BENCH_<name>.json into the working directory (or `dir`).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name = "bench") : name_(std::move(name)) {}
+
+  void reset(std::string name) {
+    name_ = std::move(name);
+    rows_.clear();
+  }
+
+  void set(const std::string& row, const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // JSON has no NaN/Inf literal; null keeps the file parseable.
+      set_raw(row, key, "null");
+      return;
+    }
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    set_raw(row, key, os.str());
+  }
+  void set(const std::string& row, const std::string& key,
+           const std::string& value) {
+    set_raw(row, key, "\"" + escape(value) + "\"");
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    {\"label\": \""
+         << escape(rows_[i].first) << "\"";
+      for (const auto& [key, value] : rows_[i].second) {
+        os << ", \"" << escape(key) << "\": " << value;
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+  }
+
+  /// Writes BENCH_<name>.json; reports the location on stdout.
+  void write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << '\n';
+      return;
+    }
+    out << to_string();
+    std::cout << "(json written to " << path << ")\n";
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else if (c == '\r') {
+        out += "\\r";
+      } else if (u < 0x20) {
+        char hex[8];
+        std::snprintf(hex, sizeof(hex), "\\u%04x", u);
+        out += hex;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void set_raw(const std::string& row, const std::string& key,
+               std::string value) {
+    for (auto& r : rows_) {
+      if (r.first == row) {
+        for (auto& kv : r.second) {
+          if (kv.first == key) {
+            kv.second = std::move(value);
+            return;
+          }
+        }
+        r.second.emplace_back(key, std::move(value));
+        return;
+      }
+    }
+    rows_.emplace_back(row,
+                       std::vector<std::pair<std::string, std::string>>{
+                           {key, std::move(value)}});
+  }
+
+  std::string name_;
+  std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, std::string>>>>
+      rows_;
+};
+
+/// The current bench's JSON sink; print_header names it after the
+/// artefact.
+inline BenchJson& bench_json() {
+  static BenchJson json;
+  return json;
+}
+
+/// "Figure 1" -> "figure_1" (file-name-safe artefact slug).
+inline std::string artefact_slug(const std::string& artefact) {
+  std::string slug;
+  for (char c : artefact) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "bench" : slug;
+}
+
 
 /// Synthetic gradient source mimicking BERT-large gradient structure at a
 /// tractable dimension (used by the vNMSE tables; vNMSE is intensive in d,
@@ -99,6 +242,34 @@ inline sim::DdpConfig classifier_run_config(const std::string& scheme) {
   return config;
 }
 
+/// Records an AsciiTable into the bench JSON sink (one JSON row per table
+/// row, keyed by the header; numeric cells stay numbers) and writes
+/// BENCH_<artefact>.json. Call after printing the table.
+inline void write_table_json(const AsciiTable& table) {
+  auto& json = bench_json();
+  const auto& header = table.header();
+  std::size_t index = 0;
+  for (const auto& row : table.rows()) {
+    std::string label = "row" + std::to_string(index++);
+    if (!row.empty()) {
+      label = row[0];
+      // Disambiguate repeated first-column labels ("BERT" appears once per
+      // scheme) by appending the second column when present.
+      if (row.size() > 1) label += " | " + row[1];
+    }
+    for (std::size_t c = 0; c < row.size() && c < header.size(); ++c) {
+      char* end = nullptr;
+      const double v = std::strtod(row[c].c_str(), &end);
+      if (end != row[c].c_str() && *end == '\0') {
+        json.set(label, header[c], v);
+      } else {
+        json.set(label, header[c], row[c]);
+      }
+    }
+  }
+  json.write();
+}
+
 /// Human-readable label for a compressor spec ("topkc:b=2" -> "TopKC b=2").
 inline std::string pretty_label(const std::string& spec,
                                 const std::string& compressor_name) {
@@ -117,12 +288,15 @@ inline std::string pretty_label(const std::string& spec,
   return compressor_name + " " + params;
 }
 
-/// Prints the standard bench header.
+/// Prints the standard bench header and (re)opens the JSON sink under the
+/// artefact's slug.
 inline void print_header(const std::string& artefact,
                          const std::string& description) {
   std::cout << "==================================================\n"
             << artefact << " — " << description << '\n'
             << "==================================================\n";
+  bench_json().reset(artefact_slug(artefact));
+  bench_json().set("meta", "description", description);
 }
 
 /// Writes `content` to `path` if --csv was passed; reports the location.
@@ -162,7 +336,23 @@ inline std::vector<sim::DdpResult> run_tta_suite(
               << " rounds/s, b=" << format_sig(r.mean_bits_per_coordinate, 3)
               << ", final=" << format_sig(r.final_metric, 4)
               << (r.converged ? " (converged)" : " (round-capped)") << '\n';
+    const std::string row = workload.name + " " + r.scheme;
+    auto& json = bench_json();
+    json.set(row, "spec", scheme);
+    json.set(row, "workload", workload.name);
+    json.set(row, "rounds_run", static_cast<double>(r.rounds_run));
+    json.set(row, "rounds_per_second", r.rounds_per_second);
+    json.set(row, "bits_per_coordinate", r.mean_bits_per_coordinate);
+    json.set(row, "final_metric", r.final_metric);
+    json.set(row, "best_metric", r.best_metric);
+    json.set(row, "simulated_seconds", r.simulated_seconds);
+    json.set(row, "mean_vnmse", r.mean_vnmse);
+    json.set(row, "converged", r.converged ? 1.0 : 0.0);
+    json.set(row, "pipeline_chunks",
+             static_cast<double>(r.pipeline_chunks));
+    json.set(row, "overlap_saved_s_per_round", r.overlap_saved_s_per_round);
   }
+  bench_json().write();
   return results;
 }
 

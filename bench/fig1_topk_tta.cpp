@@ -39,6 +39,7 @@ void summarize(const std::vector<sim::DdpResult>& results,
                    format_sig(r.final_metric, 4)});
   }
   std::cout << table.to_string();
+  write_table_json(table);
 }
 
 }  // namespace

@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
             << "Shape checks: FP16 comm > FP32 comm throughput for every "
                "training precision; TF32 > FP32 training.\n";
   maybe_write_csv(flags, "table2.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

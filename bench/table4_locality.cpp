@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
             << "Shape checks: permutation strictly increases vNMSE at "
                "every b; error falls as b grows.\n";
   maybe_write_csv(flags, "table4.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
                "throughput decreases with b; the TopKC advantage widens "
                "as b grows because all-gather traffic scales with n.\n";
   maybe_write_csv(flags, "table5.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

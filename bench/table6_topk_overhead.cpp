@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
             << "Shape checks: TopK overhead ~8-13% across b; TopKC well "
                "under 5%.\n";
   maybe_write_csv(flags, "table6.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

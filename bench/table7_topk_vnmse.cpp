@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
             << "Shape checks: TopKC <= TopK vNMSE at every b (J' > K at "
                "equal budget); both fall with b.\n";
   maybe_write_csv(flags, "table7.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
                "Sat(b=q) beats BL(b=8) by ~25-30%; b=2 > b=4 in throughput "
                "(but see Figure 2 for its TTA collapse).\n";
   maybe_write_csv(flags, "table8.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
                "orthogonalization compute dominates (the paper's point "
                "that compression ratio alone says nothing about utility).\n";
   maybe_write_csv(flags, "table9.csv", table.to_csv());
+  write_table_json(table);
   return 0;
 }

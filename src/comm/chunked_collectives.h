@@ -1,0 +1,94 @@
+// Chunked, stream-oriented variants of the collectives.
+//
+// A chunked collective carries ONE logical payload as a sequence of
+// contiguous chunks and interleaves the per-chunk hops, which is the wire
+// schedule a pipelined aggregation stack needs: while chunk k's hop is in
+// flight, the producer may already be encoding chunk k+1 (the overlap the
+// cost model charges — see sim/cost_model.h).
+//
+// Bit-identity contract (verified by tests/test_chunked_collectives.cpp):
+// every chunked variant produces byte-for-byte the same result as its
+// monolithic counterpart on the concatenated payload, for every ReduceOp —
+// including the non-associative ones (FP16 sum, saturating add). The trick
+// for the ring is that the reduce-scatter block partition is computed on
+// the TOTAL payload size, exactly as the monolithic ring does, and each
+// (step, chunk) hop carries the intersection of the step's block with the
+// chunk. A coordinate's fold order therefore depends only on its global
+// block index, never on the chunking — chunking is value-transparent.
+// Tree, PS and all-gather fold per coordinate in rank order regardless of
+// position, so their chunked forms are trivially bit-identical.
+//
+// All ranks must pass identical chunk plans (the plan is a pure function
+// of the payload size, which is symmetric for every scheme here); empty
+// (step, chunk) intersections are skipped symmetrically on both ends.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+
+namespace gcs::comm {
+
+/// One contiguous chunk of a logical payload.
+struct ChunkRange {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+
+  std::size_t end() const noexcept { return offset + size; }
+  friend bool operator==(const ChunkRange&, const ChunkRange&) = default;
+};
+
+/// Splits `total` bytes into chunks of at most `chunk_bytes` each, every
+/// boundary aligned to `granularity` (an op's lane alignment).
+/// chunk_bytes == 0 means "do not chunk": one chunk spanning everything.
+/// `total` must be a multiple of `granularity`.
+std::vector<ChunkRange> chunk_payload(std::size_t total,
+                                      std::size_t chunk_bytes,
+                                      std::size_t granularity);
+
+/// Chunked ring all-reduce, in place. Bit-identical to ring_all_reduce on
+/// the whole buffer (see file comment). `chunks` must tile `data`.
+void chunked_ring_all_reduce(Communicator& comm, ByteBuffer& data,
+                             std::span<const ChunkRange> chunks,
+                             const ReduceOp& op);
+
+/// Chunked binomial-tree all-reduce (reduce to rank 0, broadcast), in
+/// place. Bit-identical to tree_all_reduce.
+void chunked_tree_all_reduce(Communicator& comm, ByteBuffer& data,
+                             std::span<const ChunkRange> chunks,
+                             const ReduceOp& op);
+
+/// Chunked ring all-gather: every rank ends with every rank's payload.
+/// Requires equal payload sizes across ranks (all schemes here are
+/// SPMD-symmetric); `chunks` must tile `mine`.
+std::vector<ByteBuffer> chunked_all_gather(Communicator& comm,
+                                           const ByteBuffer& mine,
+                                           std::span<const ChunkRange> chunks);
+
+/// Chunked parameter-server aggregation, in place. Bit-identical to
+/// ps_aggregate (the server folds clients in rank order per chunk).
+void chunked_ps_aggregate(Communicator& comm, ByteBuffer& data,
+                          std::span<const ChunkRange> chunks,
+                          const ReduceOp& op, int server);
+
+/// Local reference results. Because chunking is value-transparent by
+/// construction, these are the monolithic references with the chunk plan
+/// validated; they exist so call sites state their chunking intent and get
+/// the invariant checked.
+ByteBuffer local_chunked_ring_all_reduce(const std::vector<ByteBuffer>& inputs,
+                                         std::span<const ChunkRange> chunks,
+                                         const ReduceOp& op);
+ByteBuffer local_chunked_tree_all_reduce(const std::vector<ByteBuffer>& inputs,
+                                         std::span<const ChunkRange> chunks,
+                                         const ReduceOp& op);
+ByteBuffer local_chunked_ps_aggregate(const std::vector<ByteBuffer>& inputs,
+                                      std::span<const ChunkRange> chunks,
+                                      const ReduceOp& op, int server = 0);
+
+/// Validates that `chunks` is a gapless, in-order tiling of `total` bytes.
+/// Throws gcs::Error otherwise. Exposed for the pipeline and tests.
+void check_chunk_plan(std::span<const ChunkRange> chunks, std::size_t total);
+
+}  // namespace gcs::comm

@@ -29,6 +29,12 @@ class AsciiTable {
 
   std::size_t num_rows() const noexcept { return rows_.size(); }
 
+  /// Raw access for machine-readable exports (bench JSON).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

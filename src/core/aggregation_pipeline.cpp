@@ -1,0 +1,193 @@
+#include "core/aggregation_pipeline.h"
+
+#include <utility>
+#include <vector>
+
+#include "comm/chunked_collectives.h"
+#include "comm/group.h"
+#include "common/check.h"
+
+namespace gcs::core {
+namespace {
+
+/// Runs one stage over the local reference aggregators. Chunking is
+/// value-transparent, so the chunk plan is validated and the reduction
+/// happens once (see comm/chunked_collectives.h).
+void run_stage_local(const WireStage& stage, CodecRound& round,
+                     const std::vector<ByteBuffer>& payloads,
+                     std::span<const comm::ChunkRange> chunks,
+                     int ps_server) {
+  switch (stage.route) {
+    case AggregationPath::kAllReduce: {
+      GCS_CHECK_MSG(stage.op != nullptr,
+                    "stage '" << stage.name << "' needs a ReduceOp");
+      const ByteBuffer reduced =
+          stage.algorithm == ReduceAlgorithm::kTree
+              ? comm::local_chunked_tree_all_reduce(payloads, chunks,
+                                                    *stage.op)
+              : comm::local_chunked_ring_all_reduce(payloads, chunks,
+                                                    *stage.op);
+      round.absorb_reduced(reduced);
+      return;
+    }
+    case AggregationPath::kParameterServer: {
+      GCS_CHECK_MSG(stage.op != nullptr,
+                    "stage '" << stage.name << "' needs a ReduceOp");
+      const ByteBuffer reduced = comm::local_chunked_ps_aggregate(
+          payloads, chunks, *stage.op, ps_server);
+      round.absorb_reduced(reduced);
+      return;
+    }
+    case AggregationPath::kAllGather: {
+      // Gather payloads may differ in size across workers (TopK's delta
+      // format pads per-worker); the local gather is a pure hand-over.
+      round.absorb_gathered(payloads);
+      return;
+    }
+  }
+  throw Error("AggregationPipeline: unknown stage route");
+}
+
+/// Runs one stage over the threaded fabric with the chunked collectives.
+/// Every rank must end with an identical result (checked); rank 0's copy
+/// is absorbed.
+void run_stage_threaded(const WireStage& stage, CodecRound& round,
+                        const std::vector<ByteBuffer>& payloads,
+                        std::span<const comm::ChunkRange> chunks,
+                        int ps_server) {
+  const auto n = static_cast<int>(payloads.size());
+  if (stage.route != AggregationPath::kAllGather) {
+    GCS_CHECK_MSG(stage.op != nullptr,
+                  "stage '" << stage.name << "' needs a ReduceOp");
+  }
+  // The chunked all-gather requires symmetric payload sizes; fall back to
+  // the monolithic gather when a scheme pads per-worker (TopK delta).
+  bool symmetric = true;
+  for (const auto& p : payloads) symmetric &= p.size() == payloads[0].size();
+  comm::Fabric fabric(n);
+  std::vector<ByteBuffer> bufs(payloads.begin(), payloads.end());
+  std::vector<std::vector<ByteBuffer>> gathered(
+      static_cast<std::size_t>(n));
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    switch (stage.route) {
+      case AggregationPath::kAllReduce:
+        if (stage.algorithm == ReduceAlgorithm::kTree) {
+          comm::chunked_tree_all_reduce(comm, bufs[rank], chunks, *stage.op);
+        } else {
+          comm::chunked_ring_all_reduce(comm, bufs[rank], chunks, *stage.op);
+        }
+        break;
+      case AggregationPath::kParameterServer:
+        comm::chunked_ps_aggregate(comm, bufs[rank], chunks, *stage.op,
+                                   ps_server);
+        break;
+      case AggregationPath::kAllGather:
+        gathered[rank] =
+            symmetric
+                ? comm::chunked_all_gather(comm, bufs[rank], chunks)
+                : comm::all_gather(comm, bufs[rank]);
+        break;
+    }
+  });
+  if (stage.route == AggregationPath::kAllGather) {
+    for (int r = 1; r < n; ++r) {
+      GCS_CHECK_MSG(gathered[static_cast<std::size_t>(r)] == gathered[0],
+                    "stage '" << stage.name
+                              << "': ranks disagree after all-gather");
+    }
+    round.absorb_gathered(gathered[0]);
+  } else {
+    for (int r = 1; r < n; ++r) {
+      GCS_CHECK_MSG(bufs[static_cast<std::size_t>(r)] == bufs[0],
+                    "stage '" << stage.name
+                              << "': ranks disagree after reduction");
+    }
+    round.absorb_reduced(bufs[0]);
+  }
+}
+
+}  // namespace
+
+AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
+                                         PipelineConfig config)
+    : codec_(std::move(codec)), config_(config) {
+  GCS_CHECK(codec_ != nullptr);
+}
+
+AggregationPipeline::~AggregationPipeline() = default;
+AggregationPipeline::AggregationPipeline(AggregationPipeline&&) noexcept =
+    default;
+AggregationPipeline& AggregationPipeline::operator=(
+    AggregationPipeline&&) noexcept = default;
+
+RoundStats AggregationPipeline::aggregate(
+    std::span<const std::span<const float>> grads, std::span<float> out,
+    std::uint64_t round) {
+  const auto n = static_cast<std::size_t>(codec_->world_size());
+  GCS_CHECK(grads.size() == n);
+  GCS_CHECK(out.size() == codec_->dimension());
+
+  auto session = codec_->begin_round(grads, round);
+  RoundStats stats;
+  WireStage stage;
+  std::vector<ByteBuffer> payloads(n);
+  while (session->next_stage(stage)) {
+    for (std::size_t w = 0; w < n; ++w) {
+      payloads[w] = session->encode(static_cast<int>(w));
+      // Reducible routes need symmetric sizes; all-gather payloads may
+      // differ (TopK's delta format pads per-worker).
+      GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
+                        payloads[w].size() == payloads[0].size(),
+                    "stage '" << stage.name
+                              << "': asymmetric payload sizes");
+    }
+    const std::size_t granularity =
+        stage.op != nullptr ? stage.op->granularity() : 1;
+    const auto chunks =
+        comm::chunk_payload(payloads[0].size(), config_.chunk_bytes,
+                            granularity);
+    if (config_.threaded_fabric) {
+      run_stage_threaded(stage, *session, payloads, chunks,
+                         config_.ps_server);
+    } else {
+      run_stage_local(stage, *session, payloads, chunks, config_.ps_server);
+    }
+    (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
+        payloads[0].size();
+  }
+  session->finish(out, stats);
+  return stats;
+}
+
+namespace {
+
+/// Compressor facade over the pipeline (the legacy cluster-wide API).
+class PipelineCompressor final : public Compressor {
+ public:
+  PipelineCompressor(SchemeCodecPtr codec, PipelineConfig config)
+      : pipeline_(std::move(codec), config) {}
+
+  std::string name() const override { return pipeline_.codec().name(); }
+  AggregationPath path() const override { return pipeline_.codec().path(); }
+  int world_size() const override { return pipeline_.codec().world_size(); }
+
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t round) override {
+    return pipeline_.aggregate(grads, out, round);
+  }
+
+  void reset() override { pipeline_.codec().reset(); }
+
+ private:
+  AggregationPipeline pipeline_;
+};
+
+}  // namespace
+
+CompressorPtr make_pipeline_compressor(SchemeCodecPtr codec,
+                                       PipelineConfig config) {
+  return std::make_unique<PipelineCompressor>(std::move(codec), config);
+}
+
+}  // namespace gcs::core

@@ -1,0 +1,71 @@
+// The orchestration layer of the aggregation stack (DESIGN.md section 3).
+//
+// AggregationPipeline drives a SchemeCodec's round through the transport
+// layer: for every wire stage it collects the per-worker payloads, splits
+// them into chunks (chunk_bytes), and runs the stage's collective chunk by
+// chunk, so that in a real deployment the encode of chunk k+1 overlaps the
+// hops of chunk k. Two execution backends:
+//
+//   * local reference (default) — the bit-exact, thread-free aggregators
+//     from comm/group.h; the training simulator's hot path. Chunking is
+//     value-transparent (transport bit-identity contract), so the local
+//     backend validates the chunk plan and reduces once.
+//   * threaded fabric — one thread per rank over comm::Fabric, running the
+//     chunked collectives "for real". Tests use this to close the loop on
+//     the bit-identity claims; it also measures true wire volume.
+//
+// The time saved by per-chunk overlap is charged by sim/cost_model.h
+// (RoundTime::overlap_saved_s), keeping the value path and the clock model
+// in one frame: same chunk plan in, same stage structure out.
+#pragma once
+
+#include <cstddef>
+
+#include "core/codec.h"
+
+namespace gcs::core {
+
+struct PipelineConfig {
+  /// Target chunk size in bytes for every stage's payload; 0 = do not
+  /// chunk (monolithic collectives). Values are identical either way —
+  /// chunking affects the wire schedule and the charged round time.
+  std::size_t chunk_bytes = 0;
+  /// Execute over the threaded fabric instead of the local reference
+  /// aggregators (slow; for tests and wire-volume measurements).
+  bool threaded_fabric = false;
+  /// Server rank for kParameterServer stages.
+  int ps_server = 0;
+};
+
+/// Drives encode -> communicate -> decode for one codec (see file
+/// comment). Stateful only through the codec it owns.
+class AggregationPipeline {
+ public:
+  explicit AggregationPipeline(SchemeCodecPtr codec,
+                               PipelineConfig config = {});
+  ~AggregationPipeline();
+
+  AggregationPipeline(AggregationPipeline&&) noexcept;
+  AggregationPipeline& operator=(AggregationPipeline&&) noexcept;
+
+  /// Runs one aggregation round (same contract as Compressor::aggregate).
+  RoundStats aggregate(std::span<const std::span<const float>> grads,
+                       std::span<float> out, std::uint64_t round);
+
+  SchemeCodec& codec() noexcept { return *codec_; }
+  const SchemeCodec& codec() const noexcept { return *codec_; }
+  const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  SchemeCodecPtr codec_;
+  PipelineConfig config_;
+};
+
+/// Wraps a codec + pipeline behind the legacy Compressor interface. This
+/// is what the factory returns: Compressor::aggregate is now a thin
+/// adapter over the layered pipeline, bit-identical to the historical
+/// monolithic implementations.
+CompressorPtr make_pipeline_compressor(SchemeCodecPtr codec,
+                                       PipelineConfig config = {});
+
+}  // namespace gcs::core

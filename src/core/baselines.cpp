@@ -1,17 +1,42 @@
 #include "core/baselines.h"
 
 #include <cstring>
+#include <utility>
 
-#include "comm/group.h"
 #include "common/check.h"
+#include "core/aggregation_pipeline.h"
 #include "numeric/half.h"
 
 namespace gcs::core {
 namespace {
 
-class DenseBaseline final : public Compressor {
+class DenseCodec;
+
+/// One stage: the raw (FP32) or rounded (FP16) gradient, summed hop by hop
+/// through the ring (or the binomial tree under the ablation knob).
+class DenseRound final : public CodecRound {
  public:
-  explicit DenseBaseline(const BaselineConfig& config) : config_(config) {
+  DenseRound(const DenseCodec& codec,
+             std::span<const std::span<const float>> grads)
+      : codec_(codec), grads_(grads) {}
+
+  bool next_stage(WireStage& stage) override;
+  ByteBuffer encode(int worker) override;
+  void absorb_reduced(const ByteBuffer& reduced) override {
+    reduced_ = reduced;
+  }
+  void finish(std::span<float> out, RoundStats& stats) override;
+
+ private:
+  const DenseCodec& codec_;
+  std::span<const std::span<const float>> grads_;
+  bool stage_done_ = false;
+  ByteBuffer reduced_;
+};
+
+class DenseCodec final : public SchemeCodec {
+ public:
+  explicit DenseCodec(const BaselineConfig& config) : config_(config) {
     GCS_CHECK(config.dimension > 0);
     GCS_CHECK(config.comm_precision == Precision::kFp32 ||
               config.comm_precision == Precision::kFp16);
@@ -22,69 +47,77 @@ class DenseBaseline final : public Compressor {
   std::string name() const override {
     return "Baseline " + gcs::to_string(config_.comm_precision);
   }
-
   AggregationPath path() const override {
     return AggregationPath::kAllReduce;
   }
-
   int world_size() const override { return config_.world_size; }
+  std::size_t dimension() const override { return config_.dimension; }
 
-  RoundStats aggregate(std::span<const std::span<const float>> grads,
-                       std::span<float> out, std::uint64_t /*round*/) override {
+  std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads,
+      std::uint64_t /*round*/) override {
     GCS_CHECK(static_cast<int>(grads.size()) == config_.world_size);
-    const std::size_t d = config_.dimension;
-    std::vector<ByteBuffer> payloads(grads.size());
-    for (std::size_t w = 0; w < grads.size(); ++w) {
-      GCS_CHECK(grads[w].size() == d);
-      payloads[w] = encode(grads[w]);
-    }
-    const ByteBuffer reduced =
-        config_.use_tree ? comm::local_tree_all_reduce(payloads, *op_)
-                         : comm::local_ring_all_reduce(payloads, *op_);
-    decode(reduced, out);
-
-    RoundStats stats;
-    stats.payload_bytes = payloads[0].size();
-    return stats;
+    for (const auto& g : grads) GCS_CHECK(g.size() == config_.dimension);
+    return std::make_unique<DenseRound>(*this, grads);
   }
 
   void reset() override {}
 
+  const BaselineConfig& config() const noexcept { return config_; }
+  const comm::ReduceOp& op() const noexcept { return *op_; }
+
  private:
-  ByteBuffer encode(std::span<const float> grad) const {
-    ByteBuffer buf;
-    ByteWriter w(buf);
-    if (config_.comm_precision == Precision::kFp32) {
-      w.put_span<float>(grad);
-    } else {
-      for (float v : grad) w.put<std::uint16_t>(float_to_half_bits(v));
-    }
-    return buf;
-  }
-
-  void decode(const ByteBuffer& payload, std::span<float> out) const {
-    const std::size_t d = config_.dimension;
-    if (config_.comm_precision == Precision::kFp32) {
-      GCS_CHECK(payload.size() == d * sizeof(float));
-      std::memcpy(out.data(), payload.data(), d * sizeof(float));
-    } else {
-      GCS_CHECK(payload.size() == d * 2);
-      const auto* bits =
-          reinterpret_cast<const std::uint16_t*>(payload.data());
-      for (std::size_t i = 0; i < d; ++i) {
-        out[i] = half_bits_to_float(bits[i]);
-      }
-    }
-  }
-
   BaselineConfig config_;
   std::unique_ptr<comm::ReduceOp> op_;
 };
 
+bool DenseRound::next_stage(WireStage& stage) {
+  if (stage_done_) return false;
+  stage_done_ = true;
+  stage = WireStage{};
+  stage.name = "values";
+  stage.route = AggregationPath::kAllReduce;
+  stage.algorithm = codec_.config().use_tree ? ReduceAlgorithm::kTree
+                                             : ReduceAlgorithm::kRing;
+  stage.op = &codec_.op();
+  return true;
+}
+
+ByteBuffer DenseRound::encode(int worker) {
+  const auto grad = grads_[static_cast<std::size_t>(worker)];
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  if (codec_.config().comm_precision == Precision::kFp32) {
+    w.put_span<float>(grad);
+  } else {
+    for (float v : grad) w.put<std::uint16_t>(float_to_half_bits(v));
+  }
+  return buf;
+}
+
+void DenseRound::finish(std::span<float> out, RoundStats& /*stats*/) {
+  const std::size_t d = codec_.config().dimension;
+  if (codec_.config().comm_precision == Precision::kFp32) {
+    GCS_CHECK(reduced_.size() == d * sizeof(float));
+    std::memcpy(out.data(), reduced_.data(), d * sizeof(float));
+  } else {
+    GCS_CHECK(reduced_.size() == d * 2);
+    const auto* bits =
+        reinterpret_cast<const std::uint16_t*>(reduced_.data());
+    for (std::size_t i = 0; i < d; ++i) {
+      out[i] = half_bits_to_float(bits[i]);
+    }
+  }
+}
+
 }  // namespace
 
+SchemeCodecPtr make_baseline_codec(const BaselineConfig& config) {
+  return std::make_unique<DenseCodec>(config);
+}
+
 CompressorPtr make_baseline(const BaselineConfig& config) {
-  return std::make_unique<DenseBaseline>(config);
+  return make_pipeline_compressor(make_baseline_codec(config));
 }
 
 }  // namespace gcs::core

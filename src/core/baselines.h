@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "core/codec.h"
 #include "core/compressor.h"
 #include "numeric/precision.h"
 
@@ -22,7 +23,11 @@ struct BaselineConfig {
   bool use_tree = false;
 };
 
-/// Creates "Baseline FP32" / "Baseline FP16" per config.
+/// The baseline's codec (one dense all-reduce stage; ring or tree).
+SchemeCodecPtr make_baseline_codec(const BaselineConfig& config);
+
+/// Creates "Baseline FP32" / "Baseline FP16" per config — a pipeline
+/// adapter over make_baseline_codec.
 CompressorPtr make_baseline(const BaselineConfig& config);
 
 }  // namespace gcs::core

@@ -1,0 +1,16 @@
+#include "core/codec.h"
+
+#include "common/check.h"
+
+namespace gcs::core {
+
+void CodecRound::absorb_reduced(const ByteBuffer& /*reduced*/) {
+  throw Error("CodecRound: this stage does not take a reduced payload");
+}
+
+void CodecRound::absorb_gathered(
+    std::span<const ByteBuffer> /*payloads*/) {
+  throw Error("CodecRound: this stage does not take gathered payloads");
+}
+
+}  // namespace gcs::core

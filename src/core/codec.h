@@ -1,0 +1,127 @@
+// The per-worker codec layer of the aggregation stack.
+//
+// The stack has three explicit layers (DESIGN.md section 3):
+//   1. codec         — this header: a scheme expressed as typed wire
+//                      stages, each producing per-worker payload bytes and
+//                      naming the reduction/routing they need;
+//   2. transport     — gcs::comm: monolithic and chunked collectives that
+//                      carry those payloads;
+//   3. orchestration — core/aggregation_pipeline.h: drives
+//                      encode -> communicate -> decode per chunk and owns
+//                      chunking/overlap policy.
+//
+// A SchemeCodec is the cluster-wide state of one scheme (error-feedback
+// memories, PowerSGD iterates, RHT contexts). Each round it opens a
+// CodecRound: a short-lived session that walks the round's communication
+// stages. A stage is one collective over one per-worker payload; stages
+// are sequential because later stages may depend on earlier results (TopKC
+// selects chunks from the norm consensus, PowerSGD computes Q from the
+// orthonormalized P sum). The payload of a stage is a plain byte string
+// that the orchestration layer may split into WirePayload chunks at will:
+// every reduction here is element-wise, so chunking never changes values
+// (the transport layer's bit-identity contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "comm/reduce_op.h"
+#include "core/compressor.h"
+
+namespace gcs::core {
+
+/// Which collective family carries an all-reduce stage.
+enum class ReduceAlgorithm : std::uint8_t { kRing, kTree };
+
+/// One typed chunk of wire payload, as handed to the transport layer.
+struct WirePayload {
+  ByteBuffer bytes;
+  std::size_t chunk_index = 0;   ///< position in the stage's chunk plan
+  std::size_t byte_offset = 0;   ///< offset inside the stage payload
+};
+
+/// Declares one communication stage of a round.
+struct WireStage {
+  /// Stage label for diagnostics ("chunk-norms", "values", ...).
+  const char* name = "values";
+  /// How the stage's traffic is carried. kAllReduce and kParameterServer
+  /// stages reduce with `op`; kAllGather stages deliver every worker's
+  /// payload to every worker.
+  AggregationPath route = AggregationPath::kAllReduce;
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kRing;
+  /// Reduction operator (owned by the codec; non-null unless kAllGather).
+  const comm::ReduceOp* op = nullptr;
+  /// Metadata stages (consensus rounds) count toward
+  /// RoundStats::metadata_bytes instead of payload_bytes.
+  bool metadata = false;
+};
+
+/// One round's encode/decode session. The driving loop (the orchestration
+/// layer) is:
+///
+///   while (round->next_stage(stage)) {
+///     payloads[w] = round->encode(w);             // every worker
+///     <chunked collective per stage.route>
+///     round->absorb_reduced(...) / absorb_gathered(...);
+///   }
+///   round->finish(out, stats);
+///
+/// The gradients passed to SchemeCodec::begin_round must stay alive until
+/// finish() returns.
+class CodecRound {
+ public:
+  virtual ~CodecRound() = default;
+
+  /// Describes the next communication stage; false when the round has no
+  /// more stages (then call finish()).
+  virtual bool next_stage(WireStage& stage) = 0;
+
+  /// Encodes worker `worker`'s payload for the current stage. Payload
+  /// sizes are equal across workers (the schemes are SPMD-symmetric).
+  virtual ByteBuffer encode(int worker) = 0;
+
+  /// Delivers the reduced payload of a kAllReduce / kParameterServer
+  /// stage.
+  virtual void absorb_reduced(const ByteBuffer& reduced);
+
+  /// Delivers every worker's payload for a kAllGather stage (indexed by
+  /// rank).
+  virtual void absorb_gathered(std::span<const ByteBuffer> payloads);
+
+  /// Writes the aggregated *sum* estimate every worker ends up holding,
+  /// commits cross-round state (EF memories, warm starts) and fills the
+  /// parts of `stats` only the codec knows (saturation accounting).
+  virtual void finish(std::span<float> out, RoundStats& stats) = 0;
+};
+
+/// Cluster-wide codec state of one scheme. Owns whatever must persist
+/// across rounds; stateless between begin_round() calls otherwise.
+class SchemeCodec {
+ public:
+  virtual ~SchemeCodec() = default;
+
+  /// Scheme name as used in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// The dominant route of the scheme's main payload (the paper's
+  /// structural classification — see compressor.h).
+  virtual AggregationPath path() const = 0;
+
+  virtual int world_size() const = 0;
+  virtual std::size_t dimension() const = 0;
+
+  /// Opens the round session. `grads[i]` is worker i's local gradient (all
+  /// size dimension()); `round` indexes shared randomness. The spans must
+  /// outlive the returned session.
+  virtual std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads, std::uint64_t round) = 0;
+
+  /// Clears cross-round state (EF memories, warm starts).
+  virtual void reset() = 0;
+};
+
+using SchemeCodecPtr = std::unique_ptr<SchemeCodec>;
+
+}  // namespace gcs::core

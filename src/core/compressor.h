@@ -9,6 +9,14 @@
 // ring order (via the bit-identical local reference aggregator), and the
 // reported bits-per-coordinate is measured from those payloads.
 //
+// Since the layered refactor (DESIGN.md section 3) this interface is a
+// thin adapter: every scheme is implemented as a SchemeCodec
+// (core/codec.h) and driven by the AggregationPipeline
+// (core/aggregation_pipeline.h), which owns chunking and collective
+// choice. make_pipeline_compressor wraps a codec back into this legacy
+// cluster-wide API, bit-identical to the historical monolithic
+// implementations.
+//
 // The AggregationPath type records the paper's central structural
 // distinction: a scheme either produces hop-reducible payloads
 // (kAllReduce — TopKC, THC, PowerSGD, the dense baselines) or it must fall

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/aggregation_pipeline.h"
 #include "core/baselines.h"
 #include "core/powersgd_compressor.h"
 #include "core/thc_compressor.h"
@@ -25,6 +26,33 @@ struct Spec {
       if (x == f) return true;
     }
     return false;
+  }
+
+  /// Enforces the factory contract that a typo must not silently run a
+  /// different experiment: every option key and flag must be recognized
+  /// by the scheme (or be one of the shared pipeline knobs).
+  void require_known(const std::string& kind,
+                     std::initializer_list<const char*> known_options,
+                     std::initializer_list<const char*> known_flags) const {
+    const auto in = [](std::initializer_list<const char*> set,
+                       const std::string& x) {
+      for (const char* s : set) {
+        if (x == s) return true;
+      }
+      return false;
+    };
+    for (const auto& [key, value] : options) {
+      if (key != "chunk" && !in(known_options, key)) {
+        throw Error("compressor spec: unknown option '" + key + "' for '" +
+                    kind + "'");
+      }
+    }
+    for (const auto& flag : flags) {
+      if (flag != "fabric" && !in(known_flags, flag)) {
+        throw Error("compressor spec: unknown flag '" + flag + "' for '" +
+                    kind + "'");
+      }
+    }
   }
 
   double get_double(const std::string& key, double fallback,
@@ -71,17 +99,29 @@ CompressorPtr make_compressor(const std::string& text,
   const Spec spec = parse_spec(text);
   const std::size_t d = layout.total_size();
 
+  // Pipeline knobs shared by every scheme: "chunk=<bytes>" splits each
+  // stage payload into chunks of at most that many bytes (0 = monolithic;
+  // values are bit-identical either way), "fabric" executes over the
+  // threaded fabric instead of the local reference aggregators.
+  PipelineConfig pipeline;
+  pipeline.chunk_bytes =
+      static_cast<std::size_t>(spec.get_double("chunk", 0.0));
+  pipeline.threaded_fabric = spec.has_flag("fabric");
+
   if (spec.kind == "fp32" || spec.kind == "fp16") {
+    // "tf32" is consumed by the cost model's re-parse of the same spec.
+    spec.require_known(spec.kind, {}, {"tree", "tf32"});
     BaselineConfig config;
     config.dimension = d;
     config.world_size = world_size;
     config.comm_precision =
         spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
     config.use_tree = spec.has_flag("tree");
-    return make_baseline(config);
+    return make_pipeline_compressor(make_baseline_codec(config), pipeline);
   }
 
   if (spec.kind == "topk") {
+    spec.require_known(spec.kind, {"k", "b"}, {"noef", "delta"});
     TopKConfig config;
     config.dimension = d;
     config.world_size = world_size;
@@ -97,10 +137,11 @@ CompressorPtr make_compressor(const std::string& text,
       if (!has_b) throw Error("topk spec needs k= or b=");
       config.k = TopKConfig::k_for_bits(d, b, config.delta_indices);
     }
-    return make_topk(config);
+    return make_pipeline_compressor(make_topk_codec(config), pipeline);
   }
 
   if (spec.kind == "topkc") {
+    spec.require_known(spec.kind, {"b", "c"}, {"noef", "perm"});
     TopKCConfig config;
     config.dimension = d;
     config.world_size = world_size;
@@ -112,10 +153,12 @@ CompressorPtr make_compressor(const std::string& text,
     config.chunk_size = static_cast<std::size_t>(spec.get_double(
         "c", static_cast<double>(TopKCConfig::default_chunk_size(b))));
     config.num_top_chunks = TopKCConfig::j_for_bits(d, config.chunk_size, b);
-    return make_topkc(config);
+    return make_pipeline_compressor(make_topkc_codec(config), pipeline);
   }
 
   if (spec.kind == "thc") {
+    spec.require_known(spec.kind, {"q", "b"},
+                       {"sat", "wide", "full", "partial", "norot"});
     ThcConfig config;
     config.dimension = d;
     config.world_size = world_size;
@@ -127,16 +170,17 @@ CompressorPtr make_compressor(const std::string& text,
     if (spec.has_flag("full")) config.rotation = RotationMode::kFull;
     if (spec.has_flag("partial")) config.rotation = RotationMode::kPartial;
     if (spec.has_flag("norot")) config.rotation = RotationMode::kNone;
-    return make_thc(config);
+    return make_pipeline_compressor(make_thc_codec(config), pipeline);
   }
 
   if (spec.kind == "powersgd") {
+    spec.require_known(spec.kind, {"r"}, {"noef"});
     PowerSgdConfig config;
     config.layout = layout;
     config.world_size = world_size;
     config.rank = static_cast<std::size_t>(spec.get_double("r", 4));
     config.error_feedback = !spec.has_flag("noef");
-    return make_powersgd(config);
+    return make_pipeline_compressor(make_powersgd_codec(config), pipeline);
   }
 
   throw Error("unknown compressor kind '" + spec.kind + "' in spec '" + text +

@@ -10,7 +10,11 @@
 //   "thc:q=4:b=4:sat:partial"   THC, saturating, partial rotation
 //   "thc:q=4:b=8:full"          THC baseline (wide bits, full rotation)
 //   "powersgd:r=4"              PowerSGD rank 4
-// Common options: "noef" disables error feedback where it defaults on.
+// Common options: "noef" disables error feedback where it defaults on;
+// "chunk=<bytes>" splits every stage payload into chunks of at most that
+// many bytes for the pipelined collectives (bit-identical values; affects
+// the wire schedule and the charged round time); "fabric" executes over
+// the threaded fabric instead of the local reference aggregators.
 //
 // Throws gcs::Error on malformed specs — a typo must not silently run a
 // different experiment.

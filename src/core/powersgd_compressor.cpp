@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
-#include "comm/group.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/aggregation_pipeline.h"
 #include "core/error_feedback.h"
 #include "lowrank/orthogonalize.h"
 #include "lowrank/powersgd_step.h"
@@ -31,9 +32,36 @@ void get_fp16(const ByteBuffer& buf, std::size_t offset,
   }
 }
 
-class PowerSgdCompressor final : public Compressor {
+class PowerSgdCodec;
+
+/// Two dependent FP16 all-reduce stages: phase A carries P = M Q per
+/// low-rank layer (dense-exact layers ride along uncompressed); after the
+/// reduced P sums are orthonormalized, phase B carries Q = M^T P_hat.
+class PowerSgdRound final : public CodecRound {
  public:
-  explicit PowerSgdCompressor(const PowerSgdConfig& config)
+  PowerSgdRound(PowerSgdCodec& codec,
+                std::span<const std::span<const float>> grads);
+
+  bool next_stage(WireStage& stage) override;
+  ByteBuffer encode(int worker) override;
+  void absorb_reduced(const ByteBuffer& reduced) override;
+  void finish(std::span<float> out, RoundStats& stats) override;
+
+ private:
+  enum Stage { kPhaseA = 0, kPhaseB = 1, kDone = 2 };
+
+  PowerSgdCodec& codec_;
+  int stage_ = kPhaseA;
+  bool any_low_rank_ = false;
+  std::vector<std::vector<float>> ys_;
+  std::vector<std::vector<float>> p_hats_;
+  std::vector<std::vector<float>> dense_sums_;
+  ByteBuffer reduced_b_;
+};
+
+class PowerSgdCodec final : public SchemeCodec {
+ public:
+  explicit PowerSgdCodec(const PowerSgdConfig& config)
       : config_(config),
         ef_(config.world_size, config.layout.total_size(),
             config.error_feedback),
@@ -55,129 +83,18 @@ class PowerSgdCompressor final : public Compressor {
   std::string name() const override {
     return "PowerSGD-" + std::to_string(config_.rank);
   }
-
   AggregationPath path() const override {
     return AggregationPath::kAllReduce;
   }
-
   int world_size() const override { return config_.world_size; }
+  std::size_t dimension() const override {
+    return config_.layout.total_size();
+  }
 
-  RoundStats aggregate(std::span<const std::span<const float>> grads,
-                       std::span<float> out, std::uint64_t /*round*/) override {
-    const std::size_t d = config_.layout.total_size();
-    const auto n = static_cast<std::size_t>(config_.world_size);
-    GCS_CHECK(grads.size() == n);
-    GCS_CHECK(out.size() == d);
-
-    // EF compensation.
-    std::vector<std::vector<float>> ys(n, std::vector<float>(d));
-    for (std::size_t w = 0; w < n; ++w) {
-      GCS_CHECK(grads[w].size() == d);
-      ef_.compensate(static_cast<int>(w), grads[w], ys[w]);
-    }
-
-    // ---- Phase A: P = M Q per low-rank layer; dense layers ride along
-    // uncompressed (both are FP16 payloads under the same fp16-sum ring).
-    std::vector<ByteBuffer> payload_a(n);
-    for (std::size_t w = 0; w < n; ++w) {
-      for (std::size_t l = 0; l < states_.size(); ++l) {
-        const auto& layer = config_.layout.layer(l);
-        auto m = layer_span(ys[w], l);
-        if (states_[l].rank == 0) {
-          put_fp16(payload_a[w], m);
-        } else {
-          std::vector<float> p(layer.rows * states_[l].rank);
-          powersgd_compute_p(m, states_[l], p);
-          put_fp16(payload_a[w], p);
-        }
-      }
-    }
-    const ByteBuffer reduced_a =
-        comm::local_ring_all_reduce(payload_a, *fp16_sum_);
-
-    // Decode phase A: orthonormalize each P sum (identical on every
-    // worker since the input is identical); stash dense-layer sums.
-    std::vector<std::vector<float>> p_hats(states_.size());
-    std::vector<std::vector<float>> dense_sums(states_.size());
-    {
-      std::size_t offset = 0;
-      for (std::size_t l = 0; l < states_.size(); ++l) {
-        const auto& layer = config_.layout.layer(l);
-        if (states_[l].rank == 0) {
-          dense_sums[l].resize(layer.size());
-          get_fp16(reduced_a, offset, dense_sums[l]);
-          offset += layer.size() * 2;
-        } else {
-          p_hats[l].resize(layer.rows * states_[l].rank);
-          get_fp16(reduced_a, offset, p_hats[l]);
-          offset += p_hats[l].size() * 2;
-          orthogonalize_columns(p_hats[l], layer.rows, states_[l].rank);
-        }
-      }
-    }
-
-    // ---- Phase B: Q = M^T P_hat per low-rank layer.
-    std::vector<ByteBuffer> payload_b(n);
-    for (std::size_t w = 0; w < n; ++w) {
-      for (std::size_t l = 0; l < states_.size(); ++l) {
-        if (states_[l].rank == 0) continue;
-        const auto& layer = config_.layout.layer(l);
-        auto m = layer_span(ys[w], l);
-        std::vector<float> q(layer.cols * states_[l].rank);
-        powersgd_compute_q(m, states_[l], p_hats[l], q);
-        put_fp16(payload_b[w], q);
-      }
-    }
-    ByteBuffer reduced_b;
-    if (!payload_b[0].empty()) {
-      reduced_b = comm::local_ring_all_reduce(payload_b, *fp16_sum_);
-    }
-
-    // Reconstruct the aggregated sum estimate and update warm starts.
-    {
-      std::size_t offset = 0;
-      for (std::size_t l = 0; l < states_.size(); ++l) {
-        const auto& layer = config_.layout.layer(l);
-        auto out_slice = layer_span_mut(out, l);
-        if (states_[l].rank == 0) {
-          std::copy(dense_sums[l].begin(), dense_sums[l].end(),
-                    out_slice.begin());
-          continue;
-        }
-        std::vector<float> q_sum(layer.cols * states_[l].rank);
-        get_fp16(reduced_b, offset, q_sum);
-        offset += q_sum.size() * 2;
-        powersgd_reconstruct(states_[l], p_hats[l], q_sum, out_slice);
-        states_[l].q = std::move(q_sum);  // warm start for the next round
-      }
-    }
-
-    // EF: memory = y - reconstruction/n on low-rank layers only (dense
-    // layers are transmitted exactly, modulo FP16 rounding).
-    if (ef_.enabled()) {
-      std::vector<float> contribution(d);
-      const float inv_n = 1.0f / static_cast<float>(n);
-      for (std::size_t w = 0; w < n; ++w) {
-        for (std::size_t l = 0; l < states_.size(); ++l) {
-          auto slice = layer_span_mut(contribution, l);
-          auto ow = layer_span(std::span<const float>(out), l);
-          auto yw = layer_span(std::span<const float>(ys[w]), l);
-          if (states_[l].rank == 0) {
-            // Exact transmission: nothing left behind.
-            std::copy(yw.begin(), yw.end(), slice.begin());
-          } else {
-            for (std::size_t i = 0; i < slice.size(); ++i) {
-              slice[i] = ow[i] * inv_n;
-            }
-          }
-        }
-        ef_.absorb(static_cast<int>(w), ys[w], contribution);
-      }
-    }
-
-    RoundStats stats;
-    stats.payload_bytes = payload_a[0].size() + payload_b[0].size();
-    return stats;
+  std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads,
+      std::uint64_t /*round*/) override {
+    return std::make_unique<PowerSgdRound>(*this, grads);
   }
 
   void reset() override {
@@ -192,7 +109,11 @@ class PowerSgdCompressor final : public Compressor {
     }
   }
 
- private:
+  const PowerSgdConfig& config() const noexcept { return config_; }
+  ErrorFeedback& ef() noexcept { return ef_; }
+  const comm::ReduceOp& fp16_sum() const noexcept { return *fp16_sum_; }
+  std::vector<PowerSgdLayerState>& states() noexcept { return states_; }
+
   bool is_low_rank(const LayerSpec& layer) const noexcept {
     // Layers whose smaller side does not exceed r are cheaper to send
     // exactly (the reference implementation's rule for vectors).
@@ -201,22 +122,168 @@ class PowerSgdCompressor final : public Compressor {
 
   std::span<const float> layer_span(std::span<const float> x,
                                     std::size_t l) const {
-    return x.subspan(config_.layout.offset(l), config_.layout.layer(l).size());
+    return x.subspan(config_.layout.offset(l),
+                     config_.layout.layer(l).size());
   }
   std::span<float> layer_span_mut(std::span<float> x, std::size_t l) const {
-    return x.subspan(config_.layout.offset(l), config_.layout.layer(l).size());
+    return x.subspan(config_.layout.offset(l),
+                     config_.layout.layer(l).size());
   }
 
+ private:
   PowerSgdConfig config_;
   ErrorFeedback ef_;
   std::unique_ptr<comm::ReduceOp> fp16_sum_;
   std::vector<PowerSgdLayerState> states_;
 };
 
+PowerSgdRound::PowerSgdRound(PowerSgdCodec& codec,
+                             std::span<const std::span<const float>> grads)
+    : codec_(codec) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.layout.total_size();
+  const auto n = static_cast<std::size_t>(config.world_size);
+  GCS_CHECK(grads.size() == n);
+
+  for (const auto& state : codec_.states()) {
+    if (state.rank != 0) any_low_rank_ = true;
+  }
+
+  // EF compensation.
+  ys_.assign(n, std::vector<float>(d));
+  for (std::size_t w = 0; w < n; ++w) {
+    GCS_CHECK(grads[w].size() == d);
+    codec_.ef().compensate(static_cast<int>(w), grads[w], ys_[w]);
+  }
+}
+
+bool PowerSgdRound::next_stage(WireStage& stage) {
+  if (stage_ >= kDone) return false;
+  if (stage_ == kPhaseB && !any_low_rank_) return false;
+  stage = WireStage{};
+  stage.route = AggregationPath::kAllReduce;
+  stage.op = &codec_.fp16_sum();
+  stage.name = stage_ == kPhaseA ? "p-and-dense" : "q";
+  return true;
+}
+
+ByteBuffer PowerSgdRound::encode(int worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  auto& states = codec_.states();
+  ByteBuffer buf;
+  if (stage_ == kPhaseA) {
+    // P = M Q per low-rank layer; dense layers ride along uncompressed
+    // (both are FP16 payloads under the same fp16-sum ring).
+    for (std::size_t l = 0; l < states.size(); ++l) {
+      const auto& layer = codec_.config().layout.layer(l);
+      auto m = codec_.layer_span(std::span<const float>(ys_[w]), l);
+      if (states[l].rank == 0) {
+        put_fp16(buf, m);
+      } else {
+        std::vector<float> p(layer.rows * states[l].rank);
+        powersgd_compute_p(m, states[l], p);
+        put_fp16(buf, p);
+      }
+    }
+    return buf;
+  }
+  // Phase B: Q = M^T P_hat per low-rank layer.
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    if (states[l].rank == 0) continue;
+    const auto& layer = codec_.config().layout.layer(l);
+    auto m = codec_.layer_span(std::span<const float>(ys_[w]), l);
+    std::vector<float> q(layer.cols * states[l].rank);
+    powersgd_compute_q(m, states[l], p_hats_[l], q);
+    put_fp16(buf, q);
+  }
+  return buf;
+}
+
+void PowerSgdRound::absorb_reduced(const ByteBuffer& reduced) {
+  auto& states = codec_.states();
+  if (stage_ == kPhaseA) {
+    // Orthonormalize each P sum (identical on every worker since the
+    // input is identical); stash dense-layer sums.
+    p_hats_.assign(states.size(), {});
+    dense_sums_.assign(states.size(), {});
+    std::size_t offset = 0;
+    for (std::size_t l = 0; l < states.size(); ++l) {
+      const auto& layer = codec_.config().layout.layer(l);
+      if (states[l].rank == 0) {
+        dense_sums_[l].resize(layer.size());
+        get_fp16(reduced, offset, dense_sums_[l]);
+        offset += layer.size() * 2;
+      } else {
+        p_hats_[l].resize(layer.rows * states[l].rank);
+        get_fp16(reduced, offset, p_hats_[l]);
+        offset += p_hats_[l].size() * 2;
+        orthogonalize_columns(p_hats_[l], layer.rows, states[l].rank);
+      }
+    }
+    stage_ = any_low_rank_ ? kPhaseB : kDone;
+    return;
+  }
+  reduced_b_ = reduced;
+  stage_ = kDone;
+}
+
+void PowerSgdRound::finish(std::span<float> out, RoundStats& /*stats*/) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.layout.total_size();
+  const auto n = static_cast<std::size_t>(config.world_size);
+  auto& states = codec_.states();
+
+  // Reconstruct the aggregated sum estimate and update warm starts.
+  {
+    std::size_t offset = 0;
+    for (std::size_t l = 0; l < states.size(); ++l) {
+      const auto& layer = config.layout.layer(l);
+      auto out_slice = codec_.layer_span_mut(out, l);
+      if (states[l].rank == 0) {
+        std::copy(dense_sums_[l].begin(), dense_sums_[l].end(),
+                  out_slice.begin());
+        continue;
+      }
+      std::vector<float> q_sum(layer.cols * states[l].rank);
+      get_fp16(reduced_b_, offset, q_sum);
+      offset += q_sum.size() * 2;
+      powersgd_reconstruct(states[l], p_hats_[l], q_sum, out_slice);
+      states[l].q = std::move(q_sum);  // warm start for the next round
+    }
+  }
+
+  // EF: memory = y - reconstruction/n on low-rank layers only (dense
+  // layers are transmitted exactly, modulo FP16 rounding).
+  if (codec_.ef().enabled()) {
+    std::vector<float> contribution(d);
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      for (std::size_t l = 0; l < states.size(); ++l) {
+        auto slice = codec_.layer_span_mut(contribution, l);
+        auto ow = codec_.layer_span(std::span<const float>(out), l);
+        auto yw = codec_.layer_span(std::span<const float>(ys_[w]), l);
+        if (states[l].rank == 0) {
+          // Exact transmission: nothing left behind.
+          std::copy(yw.begin(), yw.end(), slice.begin());
+        } else {
+          for (std::size_t i = 0; i < slice.size(); ++i) {
+            slice[i] = ow[i] * inv_n;
+          }
+        }
+      }
+      codec_.ef().absorb(static_cast<int>(w), ys_[w], contribution);
+    }
+  }
+}
+
 }  // namespace
 
+SchemeCodecPtr make_powersgd_codec(const PowerSgdConfig& config) {
+  return std::make_unique<PowerSgdCodec>(config);
+}
+
 CompressorPtr make_powersgd(const PowerSgdConfig& config) {
-  return std::make_unique<PowerSgdCompressor>(config);
+  return make_pipeline_compressor(make_powersgd_codec(config));
 }
 
 }  // namespace gcs::core

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/codec.h"
 #include "core/compressor.h"
 #include "tensor/layout.h"
 
@@ -37,6 +38,11 @@ struct PowerSgdConfig {
   std::uint64_t seed = 0x90A3C5EEDULL;
 };
 
+/// PowerSGD's codec: an FP16 all-reduce of P (plus dense-exact layers)
+/// followed by an FP16 all-reduce of Q, both hop-reducible.
+SchemeCodecPtr make_powersgd_codec(const PowerSgdConfig& config);
+
+/// Pipeline adapter over make_powersgd_codec.
 CompressorPtr make_powersgd(const PowerSgdConfig& config);
 
 }  // namespace gcs::core

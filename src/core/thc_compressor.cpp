@@ -4,20 +4,50 @@
 #include <cmath>
 #include <cstring>
 #include <optional>
+#include <utility>
 
-#include "comm/group.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/aggregation_pipeline.h"
 #include "hadamard/hadamard.h"
 #include "quant/quantize.h"
 
 namespace gcs::core {
 namespace {
 
-class ThcCompressor final : public Compressor {
+class ThcCodec;
+
+/// Three stages: per-block range consensus as two associative reductions
+/// ("range-lo" min, "range-hi" max), then the centered q-bit levels as
+/// packed signed lanes under the saturating (or wide) add.
+class ThcRound final : public CodecRound {
  public:
-  explicit ThcCompressor(const ThcConfig& config) : config_(config) {
+  ThcRound(ThcCodec& codec, std::span<const std::span<const float>> grads,
+           std::uint64_t round);
+
+  bool next_stage(WireStage& stage) override;
+  ByteBuffer encode(int worker) override;
+  void absorb_reduced(const ByteBuffer& reduced) override;
+  void finish(std::span<float> out, RoundStats& stats) override;
+
+ private:
+  enum Stage { kRangeLo = 0, kRangeHi = 1, kLevels = 2, kDone = 3 };
+
+  ThcCodec& codec_;
+  std::uint64_t round_;
+  int stage_ = kRangeLo;
+  std::vector<std::vector<float>> rotated_;
+  std::vector<std::vector<float>> lo_, hi_;  // per worker, per block
+  std::vector<QuantRange> ranges_;
+  SatStats sat_;
+  std::unique_ptr<comm::ReduceOp> min_op_, max_op_, sat_op_;
+  std::vector<float> rotated_sum_;
+};
+
+class ThcCodec final : public SchemeCodec {
+ public:
+  explicit ThcCodec(const ThcConfig& config) : config_(config) {
     GCS_CHECK(config_.dimension > 0);
     GCS_CHECK_MSG(config_.valid_bits(),
                   "THC: saturation requires b == q; wide mode requires "
@@ -63,129 +93,34 @@ class ThcCompressor final : public Compressor {
     n += " " + to_string(config_.rotation);
     return n;
   }
-
   AggregationPath path() const override {
     return AggregationPath::kAllReduce;
   }
-
   int world_size() const override { return config_.world_size; }
+  std::size_t dimension() const override { return config_.dimension; }
 
-  RoundStats aggregate(std::span<const std::span<const float>> grads,
-                       std::span<float> out, std::uint64_t round) override {
-    const std::size_t d = config_.dimension;
-    const auto n = static_cast<std::size_t>(config_.world_size);
-    GCS_CHECK(grads.size() == n);
-    GCS_CHECK(out.size() == d);
-
-    // Stage 1: rotate each worker's gradient (shared sign diagonal, so the
-    // transform commutes with summation across workers).
-    std::vector<std::vector<float>> rotated(n,
-                                            std::vector<float>(padded_));
-    for (std::size_t w = 0; w < n; ++w) {
-      GCS_CHECK(grads[w].size() == d);
-      if (rht_) {
-        rht_->forward(grads[w], rotated[w], round);
-      } else {
-        std::memcpy(rotated[w].data(), grads[w].data(), d * sizeof(float));
-        std::memset(rotated[w].data() + d, 0, (padded_ - d) * sizeof(float));
-      }
-    }
-
-    // Stage 2: per-block range consensus via min/max all-reduce.
-    std::vector<ByteBuffer> lo_payloads(n), hi_payloads(n);
-    for (std::size_t w = 0; w < n; ++w) {
-      std::vector<float> lo(n_blocks_), hi(n_blocks_);
-      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
-        const auto range = compute_range(block_span(rotated[w], blk));
-        lo[blk] = range.lo;
-        hi[blk] = range.hi;
-      }
-      ByteWriter wl(lo_payloads[w]);
-      wl.put_span<float>(lo);
-      ByteWriter wh(hi_payloads[w]);
-      wh.put_span<float>(hi);
-    }
-    const auto min_op = comm::make_fp32_min();
-    const auto max_op = comm::make_fp32_max();
-    const ByteBuffer lo_red = comm::local_ring_all_reduce(lo_payloads, *min_op);
-    const ByteBuffer hi_red = comm::local_ring_all_reduce(hi_payloads, *max_op);
-    std::vector<QuantRange> ranges(n_blocks_);
-    {
-      const auto* lo = reinterpret_cast<const float*>(lo_red.data());
-      const auto* hi = reinterpret_cast<const float*>(hi_red.data());
-      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
-        ranges[blk] = QuantRange{lo[blk], hi[blk]};
-      }
-    }
-
-    // Stage 3+4: quantize against the shared ranges; centered signed
-    // lanes; aggregate through the canonical ring with Sat(.,.).
-    RoundStats stats;
-    const std::int32_t offset = 1 << (config_.q - 1);
-    std::vector<ByteBuffer> payloads(n);
-    std::vector<std::uint16_t> levels(padded_);
-    std::vector<std::int32_t> lanes(padded_);
-    for (std::size_t w = 0; w < n; ++w) {
-      Rng rng(derive_seed(config_.seed ^ 0x5707c457,
-                          round * n + w));  // per-worker stochastic rounding
-      for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
-        auto xs = block_span(rotated[w], blk);
-        quantize_stochastic(xs, ranges[blk], config_.q, rng,
-                            std::span<std::uint16_t>(levels).subspan(
-                                blk * block_, xs.size()));
-      }
-      for (std::size_t i = 0; i < padded_; ++i) {
-        lanes[i] = static_cast<std::int32_t>(levels[i]) - offset;
-      }
-      // Centered q-bit levels span [-2^{q-1}, 2^{q-1}-1], which fits the
-      // two's-complement lane domain exactly at b == q; the clamp only
-      // matters defensively.
-      sat_clamp_lanes(lanes, config_.b);
-      payloads[w] = pack_signed_lanes(lanes, config_.b);
-    }
-    const auto sat_op = comm::make_sat_int(config_.b, &stats.sat);
-    const ByteBuffer reduced =
-        comm::local_ring_all_reduce(payloads, *sat_op);
-    if (!config_.saturation) {
-      // Wide mode allocates enough headroom that clipping is impossible.
-      GCS_CHECK_MSG(stats.sat.clips == 0,
-                    "overflow in wide (non-saturating) THC aggregation");
-    }
-
-    // Stage 5: homomorphic decode + inverse rotation.
-    const auto sums = unpack_signed_lanes(reduced, padded_, config_.b);
-    std::vector<float> rotated_sum(padded_);
-    for (std::size_t blk = 0; blk < n_blocks_; ++blk) {
-      const std::size_t begin = blk * block_;
-      const std::size_t len = std::min(block_, padded_ - begin);
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::int64_t level_sum =
-            static_cast<std::int64_t>(sums[begin + i]) +
-            static_cast<std::int64_t>(n) * offset;
-        rotated_sum[begin + i] = dequantize_level_sum(
-            level_sum, static_cast<unsigned>(n), ranges[blk], config_.q);
-      }
-    }
-    if (rht_) {
-      rht_->inverse(rotated_sum, out, round);
-    } else {
-      std::memcpy(out.data(), rotated_sum.data(), d * sizeof(float));
-    }
-
-    stats.payload_bytes = payloads[0].size();
-    stats.metadata_bytes = lo_payloads[0].size() + hi_payloads[0].size();
-    return stats;
+  std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads,
+      std::uint64_t round) override {
+    return std::make_unique<ThcRound>(*this, grads, round);
   }
 
   void reset() override {}
 
- private:
+  const ThcConfig& config() const noexcept { return config_; }
+  std::size_t padded() const noexcept { return padded_; }
+  std::size_t block() const noexcept { return block_; }
+  std::size_t n_blocks() const noexcept { return n_blocks_; }
+  const std::optional<RhtTransform>& rht() const noexcept { return rht_; }
+  std::optional<RhtTransform>& rht() noexcept { return rht_; }
+
   std::span<float> block_span(std::vector<float>& x, std::size_t blk) const {
     const std::size_t begin = blk * block_;
     const std::size_t len = std::min(block_, padded_ - begin);
     return {x.data() + begin, len};
   }
 
+ private:
   ThcConfig config_;
   std::size_t padded_;
   unsigned iters_ = 0;
@@ -193,6 +128,153 @@ class ThcCompressor final : public Compressor {
   std::size_t n_blocks_ = 0;
   std::optional<RhtTransform> rht_;
 };
+
+ThcRound::ThcRound(ThcCodec& codec,
+                   std::span<const std::span<const float>> grads,
+                   std::uint64_t round)
+    : codec_(codec), round_(round) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.dimension;
+  const std::size_t padded = codec_.padded();
+  const auto n = static_cast<std::size_t>(config.world_size);
+  GCS_CHECK(grads.size() == n);
+
+  min_op_ = comm::make_fp32_min();
+  max_op_ = comm::make_fp32_max();
+  sat_op_ = comm::make_sat_int(config.b, &sat_);
+
+  // Rotate each worker's gradient (shared sign diagonal, so the transform
+  // commutes with summation across workers), then compute the per-block
+  // ranges both consensus stages serialize from.
+  rotated_.assign(n, std::vector<float>(padded));
+  lo_.assign(n, std::vector<float>(codec_.n_blocks()));
+  hi_.assign(n, std::vector<float>(codec_.n_blocks()));
+  for (std::size_t w = 0; w < n; ++w) {
+    GCS_CHECK(grads[w].size() == d);
+    if (codec_.rht()) {
+      codec_.rht()->forward(grads[w], rotated_[w], round_);
+    } else {
+      std::memcpy(rotated_[w].data(), grads[w].data(), d * sizeof(float));
+      std::memset(rotated_[w].data() + d, 0, (padded - d) * sizeof(float));
+    }
+    for (std::size_t blk = 0; blk < codec_.n_blocks(); ++blk) {
+      const auto range = compute_range(codec_.block_span(rotated_[w], blk));
+      lo_[w][blk] = range.lo;
+      hi_[w][blk] = range.hi;
+    }
+  }
+}
+
+bool ThcRound::next_stage(WireStage& stage) {
+  if (stage_ >= kDone) return false;
+  stage = WireStage{};
+  stage.route = AggregationPath::kAllReduce;
+  switch (stage_) {
+    case kRangeLo:
+      stage.name = "range-lo";
+      stage.op = min_op_.get();
+      stage.metadata = true;
+      break;
+    case kRangeHi:
+      stage.name = "range-hi";
+      stage.op = max_op_.get();
+      stage.metadata = true;
+      break;
+    default:
+      stage.name = "levels";
+      stage.op = sat_op_.get();
+      break;
+  }
+  return true;
+}
+
+ByteBuffer ThcRound::encode(int worker) {
+  const auto& config = codec_.config();
+  const auto w = static_cast<std::size_t>(worker);
+  if (stage_ == kRangeLo || stage_ == kRangeHi) {
+    ByteBuffer buf;
+    ByteWriter writer(buf);
+    writer.put_span<float>(stage_ == kRangeLo ? lo_[w] : hi_[w]);
+    return buf;
+  }
+  // Quantize against the shared ranges; centered signed lanes.
+  const std::size_t padded = codec_.padded();
+  const std::int32_t offset = 1 << (config.q - 1);
+  const auto n = static_cast<std::size_t>(config.world_size);
+  Rng rng(derive_seed(config.seed ^ 0x5707c457,
+                      round_ * n + w));  // per-worker stochastic rounding
+  std::vector<std::uint16_t> levels(padded);
+  for (std::size_t blk = 0; blk < codec_.n_blocks(); ++blk) {
+    auto xs = codec_.block_span(rotated_[w], blk);
+    quantize_stochastic(xs, ranges_[blk], config.q, rng,
+                        std::span<std::uint16_t>(levels).subspan(
+                            blk * codec_.block(), xs.size()));
+  }
+  std::vector<std::int32_t> lanes(padded);
+  for (std::size_t i = 0; i < padded; ++i) {
+    lanes[i] = static_cast<std::int32_t>(levels[i]) - offset;
+  }
+  // Centered q-bit levels span [-2^{q-1}, 2^{q-1}-1], which fits the
+  // two's-complement lane domain exactly at b == q; the clamp only
+  // matters defensively.
+  sat_clamp_lanes(lanes, config.b);
+  return pack_signed_lanes(lanes, config.b);
+}
+
+void ThcRound::absorb_reduced(const ByteBuffer& reduced) {
+  const auto& config = codec_.config();
+  const std::size_t n_blocks = codec_.n_blocks();
+  if (stage_ == kRangeLo || stage_ == kRangeHi) {
+    GCS_CHECK(reduced.size() == n_blocks * sizeof(float));
+    const auto* vals = reinterpret_cast<const float*>(reduced.data());
+    if (stage_ == kRangeLo) {
+      ranges_.resize(n_blocks);
+      for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+        ranges_[blk].lo = vals[blk];
+      }
+      stage_ = kRangeHi;
+    } else {
+      for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+        ranges_[blk].hi = vals[blk];
+      }
+      stage_ = kLevels;
+    }
+    return;
+  }
+  if (!config.saturation) {
+    // Wide mode allocates enough headroom that clipping is impossible.
+    GCS_CHECK_MSG(sat_.clips == 0,
+                  "overflow in wide (non-saturating) THC aggregation");
+  }
+  // Homomorphic decode of the aggregated level sums.
+  const std::size_t padded = codec_.padded();
+  const auto n = static_cast<unsigned>(config.world_size);
+  const std::int32_t offset = 1 << (config.q - 1);
+  const auto sums = unpack_signed_lanes(reduced, padded, config.b);
+  rotated_sum_.assign(padded, 0.0f);
+  for (std::size_t blk = 0; blk < codec_.n_blocks(); ++blk) {
+    const std::size_t begin = blk * codec_.block();
+    const std::size_t len = std::min(codec_.block(), padded - begin);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int64_t level_sum =
+          static_cast<std::int64_t>(sums[begin + i]) +
+          static_cast<std::int64_t>(n) * offset;
+      rotated_sum_[begin + i] =
+          dequantize_level_sum(level_sum, n, ranges_[blk], config.q);
+    }
+  }
+  stage_ = kDone;
+}
+
+void ThcRound::finish(std::span<float> out, RoundStats& stats) {
+  const std::size_t d = codec_.config().dimension;
+  if (codec_.rht()) {
+    codec_.rht()->inverse(rotated_sum_, out, round_);
+  } else {
+    std::memcpy(out.data(), rotated_sum_.data(), d * sizeof(float));
+  }
+  stats.sat = sat_;
+}
 
 }  // namespace
 
@@ -205,8 +287,12 @@ std::string to_string(RotationMode mode) {
   return "?";
 }
 
+SchemeCodecPtr make_thc_codec(const ThcConfig& config) {
+  return std::make_unique<ThcCodec>(config);
+}
+
 CompressorPtr make_thc(const ThcConfig& config) {
-  return std::make_unique<ThcCompressor>(config);
+  return make_pipeline_compressor(make_thc_codec(config));
 }
 
 }  // namespace gcs::core

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/codec.h"
 #include "core/compressor.h"
 
 namespace gcs::core {
@@ -65,6 +66,11 @@ struct ThcConfig {
   }
 };
 
+/// THC's codec: min/max range-consensus stages followed by a saturating
+/// (or wide) signed-lane all-reduce stage.
+SchemeCodecPtr make_thc_codec(const ThcConfig& config);
+
+/// Pipeline adapter over make_thc_codec.
 CompressorPtr make_thc(const ThcConfig& config);
 
 }  // namespace gcs::core

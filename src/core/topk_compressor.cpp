@@ -1,8 +1,10 @@
 #include "core/topk_compressor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "core/aggregation_pipeline.h"
 #include "core/error_feedback.h"
 #include "sparse/sparse_wire.h"
 #include "sparse/topk.h"
@@ -10,9 +12,44 @@
 namespace gcs::core {
 namespace {
 
-class TopKCompressor final : public Compressor {
+class TopKCodec;
+
+/// One all-gather stage: every worker's sparse (index, FP16 value) payload
+/// reaches every worker, which scatter-adds the union.
+class TopKRound final : public CodecRound {
  public:
-  explicit TopKCompressor(const TopKConfig& config)
+  TopKRound(TopKCodec& codec, std::span<const std::span<const float>> grads);
+
+  bool next_stage(WireStage& stage) override {
+    if (stage_done_) return false;
+    stage_done_ = true;
+    stage = WireStage{};
+    stage.name = "sparse-values";
+    stage.route = AggregationPath::kAllGather;
+    return true;
+  }
+
+  ByteBuffer encode(int worker) override {
+    // Each worker's payload is encoded exactly once per stage; hand the
+    // prebuilt buffer over instead of copying megabytes on the hot path.
+    return std::move(payloads_[static_cast<std::size_t>(worker)]);
+  }
+
+  void absorb_gathered(std::span<const ByteBuffer> payloads) override;
+  void finish(std::span<float> out, RoundStats& /*stats*/) override {
+    std::copy(sum_.begin(), sum_.end(), out.begin());
+  }
+
+ private:
+  TopKCodec& codec_;
+  bool stage_done_ = false;
+  std::vector<ByteBuffer> payloads_;
+  std::vector<float> sum_;
+};
+
+class TopKCodec final : public SchemeCodec {
+ public:
+  explicit TopKCodec(const TopKConfig& config)
       : config_(config),
         ef_(config.world_size, config.dimension, config.error_feedback) {
     GCS_CHECK(config_.dimension > 0);
@@ -20,62 +57,66 @@ class TopKCompressor final : public Compressor {
   }
 
   std::string name() const override { return "TopK"; }
-
   AggregationPath path() const override {
     return AggregationPath::kAllGather;
   }
-
   int world_size() const override { return config_.world_size; }
+  std::size_t dimension() const override { return config_.dimension; }
 
-  RoundStats aggregate(std::span<const std::span<const float>> grads,
-                       std::span<float> out, std::uint64_t /*round*/) override {
-    const std::size_t d = config_.dimension;
-    const auto n = static_cast<std::size_t>(config_.world_size);
-    GCS_CHECK(grads.size() == n);
-    GCS_CHECK(out.size() == d);
-
-    RoundStats stats;
-    std::vector<float> y(d);
-    std::vector<std::uint8_t> mask(d);
-    std::vector<ByteBuffer> payloads(n);
-    for (std::size_t w = 0; w < n; ++w) {
-      GCS_CHECK(grads[w].size() == d);
-      ef_.compensate(static_cast<int>(w), grads[w], y);
-      const auto idx = top_k_indices(y, config_.k);
-      SparseVector sparse = extract_sparse(y, idx);
-      payloads[w] = config_.delta_indices ? encode_sparse_delta16(sparse)
-                                          : encode_sparse_fp16(sparse);
-      // The transmitted contribution is the FP16-rounded selected values;
-      // the EF memory keeps everything else (and the FP16 rounding error
-      // rides along as part of the untransmitted remainder only if we
-      // treat the sent values as exact — use the decoded values so memory
-      // is consistent with the wire).
-      std::fill(mask.begin(), mask.end(), std::uint8_t{0});
-      for (auto i : idx) mask[i] = 1;
-      ef_.absorb_masked(static_cast<int>(w), y, mask);
-    }
-
-    // All-gather: every worker receives all payloads and scatter-adds.
-    // (Payload sizes are equal across workers; total received traffic is
-    // (n-1) x payload per worker — the scalability cost of this path.)
-    std::fill(out.begin(), out.end(), 0.0f);
-    for (std::size_t w = 0; w < n; ++w) {
-      const SparseVector decoded =
-          config_.delta_indices ? decode_sparse_delta16(payloads[w])
-                                : decode_sparse_fp16(payloads[w]);
-      scatter_add(decoded, out);
-    }
-
-    stats.payload_bytes = payloads[0].size();
-    return stats;
+  std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads,
+      std::uint64_t /*round*/) override {
+    return std::make_unique<TopKRound>(*this, grads);
   }
 
   void reset() override { ef_.reset(); }
+
+  const TopKConfig& config() const noexcept { return config_; }
+  ErrorFeedback& ef() noexcept { return ef_; }
 
  private:
   TopKConfig config_;
   ErrorFeedback ef_;
 };
+
+TopKRound::TopKRound(TopKCodec& codec,
+                     std::span<const std::span<const float>> grads)
+    : codec_(codec) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.dimension;
+  const auto n = static_cast<std::size_t>(config.world_size);
+  GCS_CHECK(grads.size() == n);
+
+  std::vector<float> y(d);
+  std::vector<std::uint8_t> mask(d);
+  payloads_.resize(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    GCS_CHECK(grads[w].size() == d);
+    codec_.ef().compensate(static_cast<int>(w), grads[w], y);
+    const auto idx = top_k_indices(y, config.k);
+    SparseVector sparse = extract_sparse(y, idx);
+    payloads_[w] = config.delta_indices ? encode_sparse_delta16(sparse)
+                                        : encode_sparse_fp16(sparse);
+    // The transmitted contribution is the FP16-rounded selected values;
+    // the EF memory keeps everything else (see the masked-absorb contract
+    // in core/error_feedback.h).
+    std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+    for (auto i : idx) mask[i] = 1;
+    codec_.ef().absorb_masked(static_cast<int>(w), y, mask);
+  }
+}
+
+void TopKRound::absorb_gathered(std::span<const ByteBuffer> payloads) {
+  const auto& config = codec_.config();
+  sum_.assign(config.dimension, 0.0f);
+  // Every worker receives all payloads and scatter-adds in rank order.
+  for (const auto& payload : payloads) {
+    const SparseVector decoded = config.delta_indices
+                                     ? decode_sparse_delta16(payload)
+                                     : decode_sparse_fp16(payload);
+    scatter_add(decoded, sum_);
+  }
+}
 
 }  // namespace
 
@@ -86,8 +127,12 @@ std::size_t TopKConfig::k_for_bits(std::size_t dimension, double bits,
   return std::max<std::size_t>(1, static_cast<std::size_t>(k));
 }
 
+SchemeCodecPtr make_topk_codec(const TopKConfig& config) {
+  return std::make_unique<TopKCodec>(config);
+}
+
 CompressorPtr make_topk(const TopKConfig& config) {
-  return std::make_unique<TopKCompressor>(config);
+  return make_pipeline_compressor(make_topk_codec(config));
 }
 
 }  // namespace gcs::core

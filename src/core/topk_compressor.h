@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "core/codec.h"
 #include "core/compressor.h"
 
 namespace gcs::core {
@@ -33,6 +34,10 @@ struct TopKConfig {
                                 bool delta_indices = false);
 };
 
+/// TopK's codec (one sparse all-gather stage; EF lives in the codec).
+SchemeCodecPtr make_topk_codec(const TopKConfig& config);
+
+/// Pipeline adapter over make_topk_codec.
 CompressorPtr make_topk(const TopKConfig& config);
 
 }  // namespace gcs::core

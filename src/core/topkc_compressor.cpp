@@ -1,11 +1,11 @@
 #include "core/topkc_compressor.h"
 
 #include <algorithm>
-#include <cstring>
+#include <utility>
 
-#include "comm/group.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/aggregation_pipeline.h"
 #include "core/error_feedback.h"
 #include "numeric/half.h"
 #include "sparse/chunks.h"
@@ -13,9 +13,32 @@
 namespace gcs::core {
 namespace {
 
-class TopKCCompressor final : public Compressor {
+class TopKCCodec;
+
+/// Two stages: (1) FP16 chunk-norm consensus, after which every worker
+/// holds identical aggregated scores and picks the same top-J chunks;
+/// (2) FP16 all-reduce of the selected chunks' values.
+class TopKCRound final : public CodecRound {
  public:
-  explicit TopKCCompressor(const TopKCConfig& config)
+  TopKCRound(TopKCCodec& codec, std::span<const std::span<const float>> grads);
+
+  bool next_stage(WireStage& stage) override;
+  ByteBuffer encode(int worker) override;
+  void absorb_reduced(const ByteBuffer& reduced) override;
+  void finish(std::span<float> out, RoundStats& stats) override;
+
+ private:
+  TopKCCodec& codec_;
+  int stage_ = 0;  // 0 = chunk-norms pending, 1 = values pending, 2 = done
+  std::vector<std::vector<float>> ys_;
+  std::vector<std::uint32_t> top_chunks_;
+  std::size_t payload_coords_ = 0;
+  std::vector<float> summed_;
+};
+
+class TopKCCodec final : public SchemeCodec {
+ public:
+  explicit TopKCCodec(const TopKCConfig& config)
       : config_(config),
         ef_(config.world_size, config.dimension, config.error_feedback),
         fp16_sum_(comm::make_fp16_sum()) {
@@ -37,104 +60,25 @@ class TopKCCompressor final : public Compressor {
   std::string name() const override {
     return config_.permute ? "TopKC Permutation" : "TopKC";
   }
-
   AggregationPath path() const override {
     return AggregationPath::kAllReduce;
   }
-
   int world_size() const override { return config_.world_size; }
+  std::size_t dimension() const override { return config_.dimension; }
 
-  RoundStats aggregate(std::span<const std::span<const float>> grads,
-                       std::span<float> out, std::uint64_t /*round*/) override {
-    const std::size_t d = config_.dimension;
-    const std::size_t c = config_.chunk_size;
-    const auto n = static_cast<std::size_t>(config_.world_size);
-    GCS_CHECK(grads.size() == n);
-    GCS_CHECK(out.size() == d);
-
-    // Stage 0: optional locality-destroying permutation (identical on
-    // every worker), then EF compensation. The permutation happens first
-    // so the EF memories live consistently in the permuted domain.
-    std::vector<std::vector<float>> ys(n, std::vector<float>(d));
-    std::vector<float> local(d);
-    for (std::size_t w = 0; w < n; ++w) {
-      GCS_CHECK(grads[w].size() == d);
-      std::copy(grads[w].begin(), grads[w].end(), local.begin());
-      if (config_.permute) permute_in_place(local);
-      ef_.compensate(static_cast<int>(w), local, ys[w]);
-    }
-
-    // Stage 1: consensus on chunk scores. Squared norms are rounded to
-    // FP16 and all-reduced with the FP16-sum op, exactly as they would
-    // travel on the wire.
-    std::vector<ByteBuffer> norm_payloads(n);
-    std::vector<float> scores(n_chunks_);
-    for (std::size_t w = 0; w < n; ++w) {
-      chunk_squared_norms(ys[w], c, scores);
-      ByteWriter writer(norm_payloads[w]);
-      for (float s : scores) writer.put<std::uint16_t>(float_to_half_bits(s));
-    }
-    const ByteBuffer reduced_norms =
-        comm::local_ring_all_reduce(norm_payloads, *fp16_sum_);
-    GCS_CHECK(reduced_norms.size() == n_chunks_ * 2);
-    const auto* score_bits =
-        reinterpret_cast<const std::uint16_t*>(reduced_norms.data());
-    for (std::size_t i = 0; i < n_chunks_; ++i) {
-      scores[i] = half_bits_to_float(score_bits[i]);
-    }
-
-    // Stage 2: every worker independently (and identically) picks the
-    // global top-J chunks.
-    const auto top_chunks = select_top_chunks(scores, config_.num_top_chunks);
-
-    // Stage 3: all-reduce the selected chunks in FP16.
-    const std::size_t payload_coords = payload_size(top_chunks);
-    std::vector<ByteBuffer> payloads(n);
-    std::vector<float> gathered(payload_coords);
-    for (std::size_t w = 0; w < n; ++w) {
-      const std::size_t got = gather_chunks(ys[w], c, top_chunks, gathered);
-      GCS_CHECK(got == payload_coords);
-      ByteWriter writer(payloads[w]);
-      for (float v : gathered) writer.put<std::uint16_t>(float_to_half_bits(v));
-    }
-    const ByteBuffer reduced =
-        comm::local_ring_all_reduce(payloads, *fp16_sum_);
-
-    // Decode + scatter back to the dense vector.
-    GCS_CHECK(reduced.size() == payload_coords * 2);
-    const auto* value_bits =
-        reinterpret_cast<const std::uint16_t*>(reduced.data());
-    std::vector<float> summed(payload_coords);
-    for (std::size_t i = 0; i < payload_coords; ++i) {
-      summed[i] = half_bits_to_float(value_bits[i]);
-    }
-    scatter_chunks(summed, c, top_chunks, out);
-    if (config_.permute) unpermute_in_place(out);
-
-    // EF: the transmitted contribution per worker is its selected chunks.
-    if (ef_.enabled()) {
-      std::vector<std::uint8_t> mask(d, 0);
-      for (auto chunk : top_chunks) {
-        const std::size_t begin = static_cast<std::size_t>(chunk) * c;
-        const std::size_t end = std::min(begin + c, d);
-        std::fill(mask.begin() + static_cast<std::ptrdiff_t>(begin),
-                  mask.begin() + static_cast<std::ptrdiff_t>(end),
-                  std::uint8_t{1});
-      }
-      for (std::size_t w = 0; w < n; ++w) {
-        ef_.absorb_masked(static_cast<int>(w), ys[w], mask);
-      }
-    }
-
-    RoundStats stats;
-    stats.payload_bytes = payloads[0].size();
-    stats.metadata_bytes = norm_payloads[0].size();
-    return stats;
+  std::unique_ptr<CodecRound> begin_round(
+      std::span<const std::span<const float>> grads,
+      std::uint64_t /*round*/) override {
+    return std::make_unique<TopKCRound>(*this, grads);
   }
 
   void reset() override { ef_.reset(); }
 
- private:
+  const TopKCConfig& config() const noexcept { return config_; }
+  std::size_t n_chunks() const noexcept { return n_chunks_; }
+  ErrorFeedback& ef() noexcept { return ef_; }
+  const comm::ReduceOp& fp16_sum() const noexcept { return *fp16_sum_; }
+
   std::size_t payload_size(std::span<const std::uint32_t> chunks) const {
     std::size_t coords = 0;
     for (auto chunk : chunks) {
@@ -157,6 +101,7 @@ class TopKCCompressor final : public Compressor {
     std::copy(scratch_.begin(), scratch_.end(), x.begin());
   }
 
+ private:
   TopKCConfig config_;
   std::size_t n_chunks_ = 0;
   ErrorFeedback ef_;
@@ -165,6 +110,110 @@ class TopKCCompressor final : public Compressor {
   std::vector<std::uint32_t> inv_perm_;
   mutable std::vector<float> scratch_;
 };
+
+TopKCRound::TopKCRound(TopKCCodec& codec,
+                       std::span<const std::span<const float>> grads)
+    : codec_(codec) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.dimension;
+  const auto n = static_cast<std::size_t>(config.world_size);
+  GCS_CHECK(grads.size() == n);
+
+  // Stage 0: optional locality-destroying permutation (identical on every
+  // worker), then EF compensation. The permutation happens first so the EF
+  // memories live consistently in the permuted domain.
+  ys_.assign(n, std::vector<float>(d));
+  std::vector<float> local(d);
+  for (std::size_t w = 0; w < n; ++w) {
+    GCS_CHECK(grads[w].size() == d);
+    std::copy(grads[w].begin(), grads[w].end(), local.begin());
+    if (config.permute) codec_.permute_in_place(local);
+    codec_.ef().compensate(static_cast<int>(w), local, ys_[w]);
+  }
+}
+
+bool TopKCRound::next_stage(WireStage& stage) {
+  if (stage_ >= 2) return false;
+  stage = WireStage{};
+  stage.route = AggregationPath::kAllReduce;
+  stage.op = &codec_.fp16_sum();
+  if (stage_ == 0) {
+    stage.name = "chunk-norms";
+    stage.metadata = true;
+  } else {
+    stage.name = "chunk-values";
+  }
+  return true;
+}
+
+ByteBuffer TopKCRound::encode(int worker) {
+  const auto& config = codec_.config();
+  const auto& y = ys_[static_cast<std::size_t>(worker)];
+  ByteBuffer buf;
+  ByteWriter writer(buf);
+  if (stage_ == 0) {
+    // Squared chunk norms, rounded to FP16 exactly as they travel.
+    std::vector<float> scores(codec_.n_chunks());
+    chunk_squared_norms(y, config.chunk_size, scores);
+    for (float s : scores) writer.put<std::uint16_t>(float_to_half_bits(s));
+  } else {
+    std::vector<float> gathered(payload_coords_);
+    const std::size_t got =
+        gather_chunks(y, config.chunk_size, top_chunks_, gathered);
+    GCS_CHECK(got == payload_coords_);
+    for (float v : gathered) writer.put<std::uint16_t>(float_to_half_bits(v));
+  }
+  return buf;
+}
+
+void TopKCRound::absorb_reduced(const ByteBuffer& reduced) {
+  if (stage_ == 0) {
+    // Consensus: identical aggregated scores => identical selection on
+    // every worker, with no further traffic.
+    GCS_CHECK(reduced.size() == codec_.n_chunks() * 2);
+    const auto* bits =
+        reinterpret_cast<const std::uint16_t*>(reduced.data());
+    std::vector<float> scores(codec_.n_chunks());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      scores[i] = half_bits_to_float(bits[i]);
+    }
+    top_chunks_ = select_top_chunks(scores, codec_.config().num_top_chunks);
+    payload_coords_ = codec_.payload_size(top_chunks_);
+    stage_ = 1;
+    return;
+  }
+  GCS_CHECK(reduced.size() == payload_coords_ * 2);
+  const auto* bits = reinterpret_cast<const std::uint16_t*>(reduced.data());
+  summed_.resize(payload_coords_);
+  for (std::size_t i = 0; i < payload_coords_; ++i) {
+    summed_[i] = half_bits_to_float(bits[i]);
+  }
+  stage_ = 2;
+}
+
+void TopKCRound::finish(std::span<float> out, RoundStats& /*stats*/) {
+  const auto& config = codec_.config();
+  const std::size_t d = config.dimension;
+  scatter_chunks(summed_, config.chunk_size, top_chunks_, out);
+  if (config.permute) codec_.unpermute_in_place(out);
+
+  // EF: the transmitted contribution per worker is its selected chunks.
+  if (codec_.ef().enabled()) {
+    std::vector<std::uint8_t> mask(d, 0);
+    for (auto chunk : top_chunks_) {
+      const std::size_t begin =
+          static_cast<std::size_t>(chunk) * config.chunk_size;
+      const std::size_t end = std::min(begin + config.chunk_size, d);
+      std::fill(mask.begin() + static_cast<std::ptrdiff_t>(begin),
+                mask.begin() + static_cast<std::ptrdiff_t>(end),
+                std::uint8_t{1});
+    }
+    const auto n = static_cast<std::size_t>(config.world_size);
+    for (std::size_t w = 0; w < n; ++w) {
+      codec_.ef().absorb_masked(static_cast<int>(w), ys_[w], mask);
+    }
+  }
+}
 
 }  // namespace
 
@@ -178,8 +227,12 @@ std::size_t TopKCConfig::j_for_bits(std::size_t dimension,
   return std::min<std::size_t>(static_cast<std::size_t>(j), max_j);
 }
 
+SchemeCodecPtr make_topkc_codec(const TopKCConfig& config) {
+  return std::make_unique<TopKCCodec>(config);
+}
+
 CompressorPtr make_topkc(const TopKCConfig& config) {
-  return std::make_unique<TopKCCompressor>(config);
+  return make_pipeline_compressor(make_topkc_codec(config));
 }
 
 }  // namespace gcs::core

@@ -66,4 +66,14 @@ double NetworkModel::broadcast_time(int n,
                   payload_bytes / (link_.bandwidth_bytes_per_sec * eff_.tree));
 }
 
+double NetworkModel::ring_step_latency(int n) const noexcept {
+  if (n <= 1) return 0.0;
+  return 2.0 * (n - 1) * link_.latency_sec;
+}
+
+double NetworkModel::all_gather_step_latency(int n) const noexcept {
+  if (n <= 1) return 0.0;
+  return static_cast<double>(n - 1) * link_.latency_sec;
+}
+
 }  // namespace gcs::netsim

@@ -72,6 +72,13 @@ class NetworkModel {
   /// One-to-many broadcast of `payload_bytes` from a single root.
   double broadcast_time(int n, double payload_bytes) const noexcept;
 
+  /// Pure per-step latency of one full ring pass (2(n-1) hops) — the
+  /// price every additional chunk of a chunked ring all-reduce pays.
+  double ring_step_latency(int n) const noexcept;
+
+  /// Same for the ring all-gather ((n-1) hops per chunk).
+  double all_gather_step_latency(int n) const noexcept;
+
  private:
   LinkSpec link_;
   CollectiveEfficiency eff_;

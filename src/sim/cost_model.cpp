@@ -66,19 +66,53 @@ double CostModel::train_compute(const WorkloadSpec& w,
              : base;
 }
 
+RoundTime CostModel::apply_overlap(RoundTime t, double payload_bytes,
+                                   double step_latency_s,
+                                   std::size_t chunk_bytes,
+                                   double comm_pipelined_s,
+                                   double compress_pipelined_s) const {
+  if (chunk_bytes == 0 || payload_bytes <= 0.0) return t;
+  const auto m = static_cast<std::size_t>(
+      std::ceil(payload_bytes / static_cast<double>(chunk_bytes)));
+  t.chunks = std::max<std::size_t>(m, 1);
+  if (t.chunks <= 1) return t;
+  // Only the main stage's collective and the per-chunk encode/decode
+  // compute pipeline; consensus rounds and whole-vector pre-barrier work
+  // (selection, rotation) stay serial.
+  comm_pipelined_s = std::min(std::max(comm_pipelined_s, 0.0), t.comm_s);
+  compress_pipelined_s =
+      std::min(std::max(compress_pipelined_s, 0.0), t.compress_s);
+  // Every chunk beyond the first pays the collective's per-step latency
+  // again; the bytes term is unchanged (same total volume).
+  const double extra_latency =
+      static_cast<double>(t.chunks - 1) * step_latency_s;
+  t.comm_s += extra_latency;
+  // Two-stage pipeline over m chunks (encode e, hops c per chunk): the
+  // serial schedule costs e*m + c*m, the pipelined one e + (m-1)max(e,c)
+  // + c, so the hidden time is (m-1)*min(e, c).
+  const double mm = static_cast<double>(t.chunks);
+  const double e = compress_pipelined_s / mm;
+  const double c = (comm_pipelined_s + extra_latency) / mm;
+  t.overlap_saved_s = (mm - 1.0) * std::min(e, c);
+  return t;
+}
+
 RoundTime CostModel::baseline_round(const WorkloadSpec& w,
                                     Precision train_precision,
-                                    Precision comm_precision) const {
+                                    Precision comm_precision,
+                                    std::size_t chunk_bytes) const {
   RoundTime t;
   t.compute_s = train_compute(w, train_precision);
   t.fixed_s = constants_.fixed_overhead_s;
   const double bytes =
       static_cast<double>(w.dimension()) * wire_bits(comm_precision) / 8.0;
   t.comm_s = net_.ring_all_reduce_time(n_, bytes);
-  return t;
+  return apply_overlap(t, bytes, net_.ring_step_latency(n_), chunk_bytes,
+                       t.comm_s, 0.0);
 }
 
-RoundTime CostModel::topk_round(const WorkloadSpec& w, double bits) const {
+RoundTime CostModel::topk_round(const WorkloadSpec& w, double bits,
+                                std::size_t chunk_bytes) const {
   const auto d = static_cast<double>(w.dimension());
   const double k = d * bits / 48.0;  // FP16 value + 32-bit index
   RoundTime t;
@@ -88,12 +122,18 @@ RoundTime CostModel::topk_round(const WorkloadSpec& w, double bits) const {
   // received coordinates with poor locality.
   t.compress_s = constants_.topk_select_per_coord_s * d +
                  constants_.scatter_add_per_coord_s * k * n_;
-  t.comm_s = net_.all_gather_time(n_, d * bits / 8.0);
-  return t;
+  const double payload = d * bits / 8.0;
+  t.comm_s = net_.all_gather_time(n_, payload);
+  // The selection runs on the whole vector before the first chunk can
+  // leave; only the receive-side scatter-add streams with the gather.
+  return apply_overlap(t, payload, net_.all_gather_step_latency(n_),
+                       chunk_bytes, t.comm_s,
+                       constants_.scatter_add_per_coord_s * k * n_);
 }
 
 RoundTime CostModel::topkc_round(const WorkloadSpec& w, double bits,
-                                 std::size_t chunk_size) const {
+                                 std::size_t chunk_size,
+                                 std::size_t chunk_bytes) const {
   const auto d = static_cast<double>(w.dimension());
   const auto c = static_cast<double>(chunk_size);
   const std::size_t j =
@@ -110,7 +150,12 @@ RoundTime CostModel::topkc_round(const WorkloadSpec& w, double bits,
                  constants_.chunk_norm_per_coord_s * payload_coords;
   t.comm_s = net_.ring_all_reduce_time(n_, norm_coords * 2.0) +
              net_.ring_all_reduce_time(n_, payload_coords * 2.0);
-  return t;
+  // Overlap applies to the main chunk-values stage only; the norm pass,
+  // the consensus ring and the selection are a dependency barrier.
+  return apply_overlap(t, payload_coords * 2.0, net_.ring_step_latency(n_),
+                       chunk_bytes,
+                       net_.ring_all_reduce_time(n_, payload_coords * 2.0),
+                       constants_.chunk_norm_per_coord_s * payload_coords);
 }
 
 unsigned CostModel::rotation_iters(const WorkloadSpec& w,
@@ -124,7 +169,8 @@ unsigned CostModel::rotation_iters(const WorkloadSpec& w,
 }
 
 RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
-                               unsigned rot_iters) const {
+                               unsigned rot_iters,
+                               std::size_t chunk_bytes) const {
   // Padding matches the compressor: full rotation needs the next power of
   // two; partial rotation only a whole number of 2^l' blocks; no rotation
   // only byte alignment.
@@ -152,7 +198,13 @@ RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
                            std::size_t{1} << std::min<unsigned>(rot_iters, 62));
   t.comm_s = net_.ring_all_reduce_time(n_, d_padded * bits / 8.0) +
              net_.ring_all_reduce_time(n_, std::max(blocks, 1.0) * 8.0);
-  return t;
+  // Quantize+pack is per-coordinate and the range consensus fixes the
+  // scales up front, so the levels stage pipelines chunk by chunk; the
+  // rotation and the range rings stay serial.
+  return apply_overlap(t, d_padded * bits / 8.0, net_.ring_step_latency(n_),
+                       chunk_bytes,
+                       net_.ring_all_reduce_time(n_, d_padded * bits / 8.0),
+                       constants_.quantize_per_coord_s * d_padded);
 }
 
 double CostModel::powersgd_bits(const WorkloadSpec& w,
@@ -172,7 +224,8 @@ double CostModel::powersgd_bits(const WorkloadSpec& w,
 }
 
 RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
-                                    std::size_t rank) const {
+                                    std::size_t rank,
+                                    std::size_t chunk_bytes) const {
   RoundTime t;
   t.compute_s = train_compute(w, Precision::kFp32);
   t.fixed_s = constants_.fixed_overhead_s;
@@ -204,32 +257,40 @@ RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
                  qr_steps * constants_.qr_step_launch_s +
                  launches * constants_.layer_launch_s;
   t.comm_s = net_.ring_all_reduce_time(n_, payload_bytes);
-  return t;
+  // The P and Q matmuls run layer by layer, so their encode streams into
+  // the ring; orthogonalization and the per-layer launches are barriers.
+  return apply_overlap(t, payload_bytes, net_.ring_step_latency(n_),
+                       chunk_bytes, t.comm_s,
+                       matmul_flops / constants_.matmul_flops_per_sec);
 }
 
 RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
-                                    const std::string& text) const {
+                                    const std::string& text,
+                                    std::size_t chunk_bytes) const {
   const ParsedSpec spec = parse(text);
+  if (chunk_bytes == 0) {
+    chunk_bytes = static_cast<std::size_t>(spec.option("chunk", 0.0));
+  }
   if (spec.kind == "fp32" || spec.kind == "fp16") {
     const Precision comm =
         spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
     const Precision train =
         spec.flag("tf32") ? Precision::kTf32 : Precision::kFp32;
-    return baseline_round(w, train, comm);
+    return baseline_round(w, train, comm, chunk_bytes);
   }
   if (spec.kind == "topk") {
     double bits = spec.option("b", 0.0);
     if (bits == 0.0) {
       bits = spec.option("k", 0.0) * 48.0 / static_cast<double>(w.dimension());
     }
-    return topk_round(w, bits);
+    return topk_round(w, bits, chunk_bytes);
   }
   if (spec.kind == "topkc") {
     const double bits = spec.option("b", 8.0);
     const auto c = static_cast<std::size_t>(spec.option(
         "c",
         static_cast<double>(core::TopKCConfig::default_chunk_size(bits))));
-    return topkc_round(w, bits, c);
+    return topkc_round(w, bits, c, chunk_bytes);
   }
   if (spec.kind == "thc") {
     const auto q = static_cast<unsigned>(spec.option("q", 4));
@@ -237,11 +298,11 @@ RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
     std::string mode = "partial";
     if (spec.flag("full")) mode = "full";
     if (spec.flag("norot")) mode = "none";
-    return thc_round(w, b, rotation_iters(w, mode));
+    return thc_round(w, b, rotation_iters(w, mode), chunk_bytes);
   }
   if (spec.kind == "powersgd") {
-    return powersgd_round(w,
-                          static_cast<std::size_t>(spec.option("r", 4)));
+    return powersgd_round(w, static_cast<std::size_t>(spec.option("r", 4)),
+                          chunk_bytes);
   }
   throw Error("CostModel: unknown scheme spec '" + text + "'");
 }

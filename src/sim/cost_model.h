@@ -27,9 +27,18 @@
 //      - kLayerLaunchSec    : per-layer per-phase launch overhead
 //                             (PowerSGD touches every matrix twice/round).
 //
-// All times are per round, per worker, assuming compute/comm do not
-// overlap (PyTorch DDP overlaps only partially; the non-overlapped model
-// reproduces the paper's ordering — see EXPERIMENTS.md for residuals).
+// All times are per round, per worker. The monolithic model (chunk_bytes
+// == 0) assumes compute/comm do not overlap (PyTorch DDP overlaps only
+// partially; the non-overlapped model reproduces the paper's ordering —
+// see EXPERIMENTS.md for residuals). With chunk_bytes > 0 the model
+// charges the chunked pipeline the AggregationPipeline executes: the
+// stage payload is split into m chunks, compression of chunk k+1 overlaps
+// the collective hops of chunk k (a two-stage pipeline over m items), and
+// every extra chunk pays the collective's per-step latency again — the
+// same overlap that Agarwal et al. show erases most of compression's
+// apparent wins for the *baseline*, here available to every scheme.
+// RoundTime::overlap_saved_s records the hidden time; total() subtracts
+// it.
 #pragma once
 
 #include <string>
@@ -62,11 +71,17 @@ struct CostConstants {
 struct RoundTime {
   double compute_s = 0.0;   ///< forward + backward
   double compress_s = 0.0;  ///< compression/decompression compute
-  double comm_s = 0.0;      ///< collective transfer time
+  double comm_s = 0.0;      ///< collective transfer time (incl. per-chunk
+                            ///< latency when chunked)
   double fixed_s = 0.0;     ///< launches, optimizer, bookkeeping
+  /// Compression compute hidden under communication by the chunked
+  /// pipeline (0 for monolithic execution). Never exceeds compress_s.
+  double overlap_saved_s = 0.0;
+  /// Number of chunks the main payload was split into (1 = monolithic).
+  std::size_t chunks = 1;
 
   double total() const noexcept {
-    return compute_s + compress_s + comm_s + fixed_s;
+    return compute_s + compress_s + comm_s + fixed_s - overlap_saved_s;
   }
   double rounds_per_second() const noexcept { return 1.0 / total(); }
   /// Fraction of the round spent in compression compute — the quantity
@@ -90,19 +105,25 @@ class CostModel {
   const netsim::NetworkModel& network() const noexcept { return net_; }
 
   /// Uncompressed baseline: {FP32, TF32} training x {FP32, FP16} comm.
+  /// `chunk_bytes` > 0 charges the chunked/overlapped pipeline (all
+  /// methods below; 0 = monolithic).
   RoundTime baseline_round(const WorkloadSpec& w, Precision train_precision,
-                           Precision comm_precision) const;
+                           Precision comm_precision,
+                           std::size_t chunk_bytes = 0) const;
 
   /// TopK at b bits/coordinate over all-gather.
-  RoundTime topk_round(const WorkloadSpec& w, double bits) const;
+  RoundTime topk_round(const WorkloadSpec& w, double bits,
+                       std::size_t chunk_bytes = 0) const;
 
   /// TopKC at b bits/coordinate with chunk size C over all-reduce.
   RoundTime topkc_round(const WorkloadSpec& w, double bits,
-                        std::size_t chunk_size) const;
+                        std::size_t chunk_size,
+                        std::size_t chunk_bytes = 0) const;
 
   /// THC: wire bits b, rotation iterations per the mode.
   RoundTime thc_round(const WorkloadSpec& w, unsigned wire_bits,
-                      unsigned rotation_iters) const;
+                      unsigned rotation_iters,
+                      std::size_t chunk_bytes = 0) const;
 
   /// Rotation iteration count for a mode name ("full", "partial", "none")
   /// at this workload's padded dimension.
@@ -111,19 +132,35 @@ class CostModel {
 
   /// PowerSGD at rank r (layout-dependent: matmuls, orthogonalization,
   /// per-layer launches, P/Q payload sizes).
-  RoundTime powersgd_round(const WorkloadSpec& w, std::size_t rank) const;
+  RoundTime powersgd_round(const WorkloadSpec& w, std::size_t rank,
+                           std::size_t chunk_bytes = 0) const;
 
   /// PowerSGD bits/coordinate implied by the workload layout at rank r
   /// (FP16 P and Q for low-rank layers, dense FP16 for the rest).
   double powersgd_bits(const WorkloadSpec& w, std::size_t rank) const;
 
   /// Dispatches on a core::make_compressor spec string, using the same
-  /// grammar, so benches drive timing and value-path from one spec.
-  RoundTime round_for_spec(const WorkloadSpec& w,
-                           const std::string& spec) const;
+  /// grammar, so benches drive timing and value-path from one spec. A
+  /// "chunk=<bytes>" option in the spec selects chunked charging (matching
+  /// the factory's pipeline knob); the explicit `chunk_bytes` argument
+  /// overrides the spec when non-zero.
+  RoundTime round_for_spec(const WorkloadSpec& w, const std::string& spec,
+                           std::size_t chunk_bytes = 0) const;
 
  private:
   double train_compute(const WorkloadSpec& w, Precision train_precision) const;
+
+  /// Two-stage pipeline over m = ceil(payload/chunk) items: encode of
+  /// chunk k+1 overlaps the hops of chunk k; every chunk beyond the first
+  /// pays `step_latency_s` (the collective's pure-latency cost) again.
+  /// Only `comm_pipelined_s` of the round's comm (the main stage's
+  /// collective — consensus rounds are a barrier) and
+  /// `compress_pipelined_s` of its compute (the per-chunk encode/decode —
+  /// whole-vector selection/rotation is a barrier) participate.
+  RoundTime apply_overlap(RoundTime t, double payload_bytes,
+                          double step_latency_s, std::size_t chunk_bytes,
+                          double comm_pipelined_s,
+                          double compress_pipelined_s) const;
 
   CostConstants constants_;
   netsim::NetworkModel net_;

@@ -34,7 +34,8 @@ DdpResult train_ddp(const train::Dataset& data, const DdpConfig& config,
                                config.min_delta);
   RollingAverage rolling(config.rolling_window);
 
-  const RoundTime round_time = cost.round_for_spec(workload, config.scheme);
+  const RoundTime round_time = cost.round_for_spec(
+      workload, config.scheme, config.overlap_chunk_bytes);
   const bool lower_better =
       config.direction == train::MetricDirection::kLowerIsBetter;
 
@@ -101,6 +102,8 @@ DdpResult train_ddp(const train::Dataset& data, const DdpConfig& config,
   result.final_metric = result.curve.empty() ? 0.0 : result.curve.back().metric;
   result.simulated_seconds = clock;
   result.rounds_per_second = round_time.rounds_per_second();
+  result.overlap_saved_s_per_round = round_time.overlap_saved_s;
+  result.pipeline_chunks = round_time.chunks;
   result.mean_bits_per_coordinate = bits_stats.mean();
   result.mean_vnmse = vnmse_stats.mean();
   return result;

@@ -48,6 +48,10 @@ struct DdpConfig {
   /// Keep training this many rounds past convergence (the paper stops "a
   /// given number of epochs after convergence", so curves extend past it).
   int post_converge_rounds = 200;
+  /// Chunk size (bytes) for the chunked/overlapped aggregation pipeline;
+  /// 0 charges the monolithic round cost. Values are bit-identical either
+  /// way — this changes only the per-round time (see sim/cost_model.h).
+  std::size_t overlap_chunk_bytes = 0;
   std::uint64_t seed = 42;
 };
 
@@ -68,6 +72,8 @@ struct DdpResult {
   double final_metric = 0.0;          ///< rolling metric at the end
   double simulated_seconds = 0.0;     ///< total training time charged
   double rounds_per_second = 0.0;     ///< throughput under the cost model
+  double overlap_saved_s_per_round = 0.0;  ///< comm/compute overlap won
+  std::size_t pipeline_chunks = 1;    ///< chunks per round (1 = monolithic)
   double mean_bits_per_coordinate = 0.0;
   double mean_vnmse = 0.0;            ///< diagnostic: per-round vNMSE
 };

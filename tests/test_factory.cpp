@@ -69,6 +69,19 @@ TEST(Factory, EmptySpecThrows) {
   EXPECT_THROW(make_compressor("", l, 4), Error);
 }
 
+TEST(Factory, UnknownOptionOrFlagThrows) {
+  // The contract: a typo must not silently run a different experiment —
+  // including the shared pipeline knobs (chunk=, fabric).
+  const ModelLayout l({LayerSpec{"x", 100, 1}});
+  EXPECT_THROW(make_compressor("topkc:b=8:chunck=65536", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabrik", l, 4), Error);
+  EXPECT_THROW(make_compressor("powersgd:rank=4", l, 4), Error);
+  EXPECT_THROW(make_compressor("thc:q=4:b=4:saturate", l, 4), Error);
+  // The real knobs still parse.
+  EXPECT_NO_THROW(make_compressor("topkc:b=8:chunk=65536:fabric", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:tree:chunk=64", l, 4));
+}
+
 TEST(Factory, MalformedNumberThrows) {
   const auto l = layout();
   EXPECT_THROW(make_compressor("topkc:b=abc", l, 4), Error);
