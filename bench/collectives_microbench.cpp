@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "comm/fabric.h"
 #include "comm/group.h"
 #include "common/rng.h"
 #include "quant/satint.h"

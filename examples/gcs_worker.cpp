@@ -1,0 +1,232 @@
+// gcs_worker: one rank of a real multi-process DDP aggregation round.
+//
+// Runs the identical compression protocol the in-process simulator runs —
+// same codecs, same chunked hop-interleaved collectives — but over
+// net::SocketFabric: every rank is its own OS process with its own
+// transport endpoint, meshed by the rank-0 rendezvous. Gradients are
+// synthetic and seeded, so every process derives the same per-worker
+// inputs and the run needs no input files.
+//
+// Single-machine launch (forks all ranks, Unix-domain sockets):
+//   ./build/example_gcs_worker --launch --world=4 --scheme=topkc:b=8
+//       --rounds=3 --dim=65536 --chunk=4096
+//
+// Multi-host launch (one invocation per rank, TCP rendezvous at rank 0):
+//   host0$ ./build/example_gcs_worker --rank=0 --world=4
+//              --rendezvous=tcp:host0:29500 --scheme=thc:q=4:b=4:sat:partial
+//   host1$ ./build/example_gcs_worker --rank=1 --world=4
+//              --rendezvous=tcp:host0:29500 --scheme=thc:q=4:b=4:sat:partial
+//   ... (all ranks must pass identical --scheme/--world/--rounds/--dim)
+//
+// Each rank prints its wire meters and a checksum of the aggregated sum;
+// identical checksums across ranks are asserted in --launch mode.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/aggregation_pipeline.h"
+#include "core/factory.h"
+#include "net/launcher.h"
+#include "net/socket_fabric.h"
+#include "tensor/layout.h"
+
+namespace {
+
+struct WorkerConfig {
+  std::string scheme = "topkc:b=8";
+  std::string rendezvous;
+  int world = 4;
+  int rounds = 2;
+  std::size_t dim = 1 << 16;
+  std::size_t chunk = 4096;
+  std::uint64_t seed = 1234;
+};
+
+/// Deterministic per-worker gradients: every process regenerates the same
+/// tensors from (seed, round, worker), so nothing but protocol bytes
+/// crosses the wire.
+std::vector<std::vector<float>> make_grads(const WorkerConfig& config,
+                                           std::uint64_t round) {
+  std::vector<std::vector<float>> grads(
+      static_cast<std::size_t>(config.world),
+      std::vector<float>(config.dim));
+  for (int w = 0; w < config.world; ++w) {
+    gcs::Rng rng(gcs::derive_seed(config.seed + round, w));
+    for (auto& v : grads[static_cast<std::size_t>(w)]) {
+      v = static_cast<float>(rng.next_gaussian());
+    }
+  }
+  return grads;
+}
+
+/// FNV-1a over the aggregated floats — a cheap cross-process agreement
+/// check (bit-identity is the claim, so a byte hash is the right probe).
+std::uint64_t checksum(std::span<const float> values) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  for (std::size_t i = 0; i < values.size() * sizeof(float); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct WorkerResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Runs all rounds as one rank over its own socket endpoint.
+WorkerResult run_worker(const WorkerConfig& config, int rank) {
+  gcs::net::SocketFabricConfig fc;
+  fc.rendezvous = config.rendezvous;
+  fc.world_size = config.world;
+  fc.rank = rank;
+  gcs::net::SocketFabric fabric(fc);
+  gcs::comm::Communicator comm(fabric, rank);
+
+  const gcs::ModelLayout layout({gcs::LayerSpec{"flat", config.dim, 1}});
+  // The spec's own chunk= (validated by the factory) wins over the
+  // --chunk flag; transport selection belongs to this binary, not the
+  // spec (every rank here IS a socket endpoint already).
+  const gcs::core::PipelineConfig spec_knobs =
+      gcs::core::parse_pipeline_config(config.scheme);
+  if (spec_knobs.effective_backend() !=
+      gcs::core::PipelineBackend::kLocalReference) {
+    throw gcs::Error(
+        "gcs_worker: drop fabric=/fabric from --scheme — the transport is "
+        "chosen by this binary (--launch / --rank + --rendezvous)");
+  }
+  // chunk_bytes == 0 is a meaningful value (monolithic collectives), so
+  // "spec wins" must key on the option's presence, not on its value.
+  const bool spec_has_chunk =
+      config.scheme.find(":chunk=") != std::string::npos;
+  gcs::core::PipelineConfig pipeline_config;
+  pipeline_config.chunk_bytes =
+      spec_has_chunk ? spec_knobs.chunk_bytes : config.chunk;
+  gcs::core::AggregationPipeline pipeline(
+      gcs::core::make_scheme_codec(config.scheme, layout, config.world),
+      pipeline_config);
+
+  std::vector<float> out(config.dim);
+  std::uint64_t sum_hash = 0;
+  for (int r = 0; r < config.rounds; ++r) {
+    const auto grads = make_grads(config, static_cast<std::uint64_t>(r));
+    std::vector<std::span<const float>> views;
+    for (const auto& g : grads) views.emplace_back(g.data(), g.size());
+    pipeline.aggregate_over(comm,
+                            std::span<const std::span<const float>>(views),
+                            out, static_cast<std::uint64_t>(r));
+    sum_hash ^= checksum(out) + 0x9e3779b97f4a7c15ull + (sum_hash << 6) +
+                (sum_hash >> 2);
+  }
+  WorkerResult result;
+  result.checksum = sum_hash;
+  result.bytes_sent = fabric.bytes_sent(rank);
+  result.bytes_received = fabric.bytes_received(rank);
+  return result;
+}
+
+int launch_all(WorkerConfig config) {
+  using namespace gcs;
+  if (config.rendezvous.empty()) {
+    config.rendezvous = net::unique_unix_rendezvous();
+  }
+  std::cout << "Launching " << config.world << " worker processes ("
+            << config.scheme << ", d=" << config.dim << ", "
+            << config.rounds << " rounds, rendezvous "
+            << config.rendezvous << ")\n";
+  net::ForkedWorkers workers(0, config.world, [&](int rank) {
+    const WorkerResult r = run_worker(config, rank);
+    ByteBuffer report;
+    ByteWriter w(report);
+    w.put<std::uint64_t>(r.checksum);
+    w.put<std::uint64_t>(r.bytes_sent);
+    w.put<std::uint64_t>(r.bytes_received);
+    return report;
+  });
+  const auto reports = workers.join();
+
+  AsciiTable table({"rank", "agg checksum", "sent bytes", "recv bytes"});
+  std::vector<WorkerResult> results;
+  for (std::size_t rank = 0; rank < reports.size(); ++rank) {
+    ByteReader r(reports[rank]);
+    WorkerResult res;
+    res.checksum = r.get<std::uint64_t>();
+    res.bytes_sent = r.get<std::uint64_t>();
+    res.bytes_received = r.get<std::uint64_t>();
+    results.push_back(res);
+    std::ostringstream hash;
+    hash << std::hex << res.checksum;
+    table.add_row({std::to_string(rank), hash.str(),
+                   std::to_string(res.bytes_sent),
+                   std::to_string(res.bytes_received)});
+  }
+  std::cout << table.to_string();
+
+  bool agree = true;
+  for (const auto& r : results) agree &= r.checksum == results[0].checksum;
+  std::cout << (agree ? "All ranks hold the identical aggregated sum.\n"
+                      : "RANKS DISAGREE — protocol bug.\n");
+  return agree ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcs;
+  try {
+    CliFlags flags(argc, argv);
+    if (flags.help_requested()) {
+      std::cout
+          << "gcs_worker — one rank of a multi-process aggregation round\n"
+             "  --launch              fork all ranks on this machine\n"
+             "  --rank=<r>            run as one rank (multi-host mode)\n"
+             "  --world=<n>           world size (default 4)\n"
+             "  --rendezvous=<addr>   unix:<path> or tcp:<host>:<port>\n"
+             "  --scheme=<spec>       factory spec (default topkc:b=8)\n"
+             "  --rounds=<k>          aggregation rounds (default 2)\n"
+             "  --dim=<d>             gradient dimension (default 65536)\n"
+             "  --chunk=<bytes>       pipeline chunk size (default 4096)\n"
+             "  --seed=<s>            gradient seed (default 1234)\n";
+      return 0;
+    }
+    WorkerConfig config;
+    config.scheme = flags.get_string("scheme", config.scheme);
+    config.rendezvous = flags.get_string("rendezvous", "");
+    config.world = static_cast<int>(flags.get_int("world", config.world));
+    config.rounds = static_cast<int>(flags.get_int("rounds", config.rounds));
+    config.dim = static_cast<std::size_t>(
+        flags.get_int("dim", static_cast<std::int64_t>(config.dim)));
+    config.chunk = static_cast<std::size_t>(
+        flags.get_int("chunk", static_cast<std::int64_t>(config.chunk)));
+    config.seed = static_cast<std::uint64_t>(
+        flags.get_int("seed", static_cast<std::int64_t>(config.seed)));
+
+    if (flags.get_bool("launch", false)) return launch_all(config);
+
+    const int rank = static_cast<int>(flags.get_int("rank", -1));
+    if (rank < 0) {
+      std::cerr << "pass --launch or --rank=<r> (see --help)\n";
+      return 2;
+    }
+    if (config.rendezvous.empty()) {
+      std::cerr << "--rank mode needs --rendezvous=<addr>\n";
+      return 2;
+    }
+    const WorkerResult r = run_worker(config, rank);
+    std::cout << "rank " << rank << ": checksum " << std::hex << r.checksum
+              << std::dec << ", sent " << r.bytes_sent << " B, received "
+              << r.bytes_received << " B\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "gcs_worker: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -24,31 +24,32 @@
 #include <cstdint>
 #include <vector>
 
-#include "comm/fabric.h"
+#include "comm/transport.h"
 #include "comm/reduce_op.h"
 
 namespace gcs::comm {
 
-/// Per-rank handle onto the fabric. Cheap to copy.
+/// Per-rank handle onto a transport (in-process fabric or socket
+/// endpoint — the collectives are agnostic). Cheap to copy.
 class Communicator {
  public:
-  Communicator(Fabric& fabric, int rank) noexcept
-      : fabric_(&fabric), rank_(rank) {}
+  Communicator(Transport& transport, int rank) noexcept
+      : transport_(&transport), rank_(rank) {}
 
   int rank() const noexcept { return rank_; }
-  int world_size() const noexcept { return fabric_->world_size(); }
+  int world_size() const noexcept { return transport_->world_size(); }
 
   void send(int dst, std::uint64_t tag, ByteBuffer payload) {
-    fabric_->send(rank_, dst, tag, std::move(payload));
+    transport_->send(rank_, dst, tag, std::move(payload));
   }
   Message recv(int src, std::uint64_t tag) {
-    return fabric_->recv(rank_, src, tag);
+    return transport_->recv(rank_, src, tag);
   }
 
-  Fabric& fabric() noexcept { return *fabric_; }
+  Transport& transport() noexcept { return *transport_; }
 
  private:
-  Fabric* fabric_;
+  Transport* transport_;
   int rank_;
 };
 

@@ -11,6 +11,7 @@ Fabric::Fabric(int world_size) : world_size_(world_size) {
   channels_.resize(static_cast<std::size_t>(world_size) * world_size);
   for (auto& ch : channels_) ch = std::make_unique<Channel>();
   sent_bytes_.assign(static_cast<std::size_t>(world_size), 0);
+  received_bytes_.assign(static_cast<std::size_t>(world_size), 0);
 }
 
 Fabric::Channel& Fabric::channel(int src, int dst) {
@@ -50,6 +51,10 @@ Message Fabric::recv(int dst, int src, std::uint64_t expected_tag) {
        << ": expected " << expected_tag << ", got " << msg.tag;
     throw Error(os.str());
   }
+  {
+    std::lock_guard clock(counter_mu_);
+    received_bytes_[static_cast<std::size_t>(dst)] += msg.payload.size();
+  }
   return msg;
 }
 
@@ -57,6 +62,12 @@ std::uint64_t Fabric::bytes_sent(int rank) const {
   GCS_CHECK(rank >= 0 && rank < world_size_);
   std::lock_guard lock(counter_mu_);
   return sent_bytes_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t Fabric::bytes_received(int rank) const {
+  GCS_CHECK(rank >= 0 && rank < world_size_);
+  std::lock_guard lock(counter_mu_);
+  return received_bytes_[static_cast<std::size_t>(rank)];
 }
 
 std::uint64_t Fabric::total_bytes() const {
@@ -67,8 +78,25 @@ std::uint64_t Fabric::total_bytes() const {
 }
 
 void Fabric::reset_counters() {
+  // A reset with messages still in flight means the caller lost track of
+  // the protocol state: subsequent meter readings would silently mix
+  // epochs. Fail loudly instead of trusting the caller.
+  for (int src = 0; src < world_size_; ++src) {
+    for (int dst = 0; dst < world_size_; ++dst) {
+      Channel& ch = channel(src, dst);
+      std::lock_guard lock(ch.mu);
+      if (!ch.queue.empty()) {
+        std::ostringstream os;
+        os << "Fabric::reset_counters: channel " << src << " -> " << dst
+           << " still holds " << ch.queue.size()
+           << " undelivered message(s); drain before resetting";
+        throw Error(os.str());
+      }
+    }
+  }
   std::lock_guard lock(counter_mu_);
   for (auto& b : sent_bytes_) b = 0;
+  for (auto& b : received_bytes_) b = 0;
 }
 
 }  // namespace gcs::comm

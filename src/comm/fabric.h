@@ -1,11 +1,13 @@
 // In-process message-passing fabric.
 //
-// The substrate under the collectives: n endpoints connected all-to-all by
-// blocking FIFO channels, one per (src, dst) pair, usable concurrently from
-// one thread per endpoint. Messages carry an explicit tag; receives match
-// tags strictly (a mismatch indicates a protocol bug in a collective and
-// fails loudly). The fabric also meters traffic — tests and benches derive
-// measured wire volume from these counters rather than trusting formulas.
+// The in-process Transport implementation (see comm/transport.h): n
+// endpoints connected all-to-all by blocking FIFO channels, one per
+// (src, dst) pair, usable concurrently from one thread per endpoint.
+// Messages carry an explicit tag; receives match tags strictly (a mismatch
+// indicates a protocol bug in a collective and fails loudly — unlike the
+// socket transport, which reassembles by tag). The fabric also meters
+// traffic in both directions — tests and benches derive measured wire
+// volume from these counters rather than trusting formulas.
 #pragma once
 
 #include <condition_variable>
@@ -15,40 +17,38 @@
 #include <mutex>
 #include <vector>
 
-#include "common/bytes.h"
+#include "comm/transport.h"
 
 namespace gcs::comm {
 
-/// One message in flight.
-struct Message {
-  std::uint64_t tag = 0;
-  ByteBuffer payload;
-};
-
-/// All-to-all in-process fabric for `world_size` endpoints.
-/// Thread-safe: each rank runs on its own thread; channels are MPSC-safe
-/// (though used SPSC by the collectives).
-class Fabric {
+/// All-to-all in-process fabric for `world_size` endpoints; owns every
+/// rank. Thread-safe: each rank runs on its own thread; channels are
+/// MPSC-safe (though used SPSC by the collectives).
+class Fabric final : public Transport {
  public:
   explicit Fabric(int world_size);
 
-  int world_size() const noexcept { return world_size_; }
+  int world_size() const override { return world_size_; }
 
   /// Enqueues a message from `src` to `dst`. Never blocks.
-  void send(int src, int dst, std::uint64_t tag, ByteBuffer payload);
+  void send(int src, int dst, std::uint64_t tag, ByteBuffer payload) override;
 
   /// Blocks until a message from `src` arrives at `dst`; checks the tag.
   /// Throws gcs::Error on tag mismatch.
-  Message recv(int dst, int src, std::uint64_t expected_tag);
+  Message recv(int dst, int src, std::uint64_t expected_tag) override;
 
   /// Total payload bytes sent by `rank` so far.
-  std::uint64_t bytes_sent(int rank) const;
+  std::uint64_t bytes_sent(int rank) const override;
 
-  /// Total payload bytes across all endpoints.
+  /// Total payload bytes received (successfully matched) at `rank` so far.
+  std::uint64_t bytes_received(int rank) const override;
+
+  /// Total payload bytes sent across all endpoints.
   std::uint64_t total_bytes() const;
 
-  /// Resets the traffic counters (channels must be drained by the caller).
-  void reset_counters();
+  /// Resets the traffic counters. Throws gcs::Error if any channel still
+  /// holds undelivered messages (see Transport::reset_counters).
+  void reset_counters() override;
 
  private:
   struct Channel {
@@ -66,6 +66,7 @@ class Fabric {
   std::vector<std::unique_ptr<Channel>> channels_;
   mutable std::mutex counter_mu_;
   std::vector<std::uint64_t> sent_bytes_;
+  std::vector<std::uint64_t> received_bytes_;
 };
 
 }  // namespace gcs::comm

@@ -8,9 +8,9 @@
 
 namespace gcs::comm {
 
-void run_workers(Fabric& fabric,
+void run_workers(Transport& transport,
                  const std::function<void(Communicator&)>& body) {
-  const int n = fabric.world_size();
+  const int n = transport.world_size();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   std::exception_ptr first_error;
@@ -18,7 +18,7 @@ void run_workers(Fabric& fabric,
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
       try {
-        Communicator comm(fabric, rank);
+        Communicator comm(transport, rank);
         body(comm);
       } catch (...) {
         std::lock_guard lock(error_mu);

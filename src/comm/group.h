@@ -1,7 +1,10 @@
 // SPMD thread runner and local reference aggregators.
 //
 // run_workers executes one function per rank on its own thread against a
-// shared fabric — the standard way to drive the collectives "for real".
+// shared transport (the in-process fabric owns every rank, so one object
+// serves all threads) — the standard way to drive the collectives "for
+// real" inside one process. Across processes, each rank constructs its
+// own net::SocketFabric endpoint instead.
 //
 // The local_* reference aggregators compute, without any threads or
 // message passing, exactly the value the corresponding fabric collective
@@ -20,7 +23,8 @@ namespace gcs::comm {
 
 /// Runs `body(rank_communicator)` on one thread per rank and joins.
 /// The first exception thrown by any worker is rethrown after join.
-void run_workers(Fabric& fabric,
+/// `transport` must own every rank (e.g. the in-process Fabric).
+void run_workers(Transport& transport,
                  const std::function<void(Communicator&)>& body);
 
 /// Reference result of ring_all_reduce over `inputs` (one buffer per rank,

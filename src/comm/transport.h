@@ -1,0 +1,59 @@
+// The abstract message transport under the collectives.
+//
+// A Transport is the substrate every collective runs on: world_size
+// endpoints exchanging tagged byte payloads over per-(src, dst) ordered
+// channels, with both wire directions metered. Two implementations exist:
+//
+//   * comm::Fabric (fabric.h)      — in-process, all endpoints in one
+//     object, one thread per rank; the simulator's substrate.
+//   * net::SocketFabric (src/net/) — one endpoint per OS process over
+//     TCP or Unix-domain sockets; the real-system substrate. The same
+//     collectives run unmodified on either (byte-identical traffic).
+//
+// Ownership of ranks differs by implementation: the in-process Fabric
+// owns every rank, a socket endpoint owns exactly one (its local rank).
+// send/recv/counter calls are only valid for ranks the transport owns;
+// a violation is a programmer error (GCS_CHECK / std::logic_error).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace gcs::comm {
+
+/// One message in flight.
+struct Message {
+  std::uint64_t tag = 0;
+  ByteBuffer payload;
+};
+
+/// Abstract all-to-all transport for `world_size` endpoints (see file
+/// comment). Thread-safe for one caller thread per owned rank.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int world_size() const = 0;
+
+  /// Sends a message from `src` to `dst`. May block on backpressure but
+  /// never on the receiver's matching recv. `src` must be owned.
+  virtual void send(int src, int dst, std::uint64_t tag,
+                    ByteBuffer payload) = 0;
+
+  /// Blocks until a message with `expected_tag` from `src` is available at
+  /// `dst` (owned). Throws gcs::Error when the message cannot arrive
+  /// (tag mismatch on strict transports, peer exit on socket transports).
+  virtual Message recv(int dst, int src, std::uint64_t expected_tag) = 0;
+
+  /// Total payload bytes sent by / received at `rank` (owned) so far.
+  virtual std::uint64_t bytes_sent(int rank) const = 0;
+  virtual std::uint64_t bytes_received(int rank) const = 0;
+
+  /// Resets the traffic counters. Throws gcs::Error if any channel still
+  /// holds undelivered messages — resetting mid-collective indicates the
+  /// caller lost track of the protocol state.
+  virtual void reset_counters() = 0;
+};
+
+}  // namespace gcs::comm

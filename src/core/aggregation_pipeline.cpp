@@ -1,11 +1,15 @@
 #include "core/aggregation_pipeline.h"
 
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "comm/chunked_collectives.h"
+#include "comm/fabric.h"
 #include "comm/group.h"
 #include "common/check.h"
+#include "net/launcher.h"
+#include "net/socket_fabric.h"
 
 namespace gcs::core {
 namespace {
@@ -48,48 +52,71 @@ void run_stage_local(const WireStage& stage, CodecRound& round,
   throw Error("AggregationPipeline: unknown stage route");
 }
 
+bool payloads_symmetric(const std::vector<ByteBuffer>& payloads) {
+  bool symmetric = true;
+  for (const auto& p : payloads) symmetric &= p.size() == payloads[0].size();
+  return symmetric;
+}
+
+/// One rank's share of a stage over a real transport: runs the stage's
+/// chunked collective on `mine` (the rank's own payload buffer) and
+/// returns the gather result for kAllGather routes. The same code path
+/// serves the threaded fabric (one thread per rank, shared transport) and
+/// the socket fabric (one process per rank, own endpoint) — byte-identical
+/// traffic on either substrate.
+std::vector<ByteBuffer> run_stage_rank(const WireStage& stage,
+                                       comm::Communicator& comm,
+                                       ByteBuffer& mine, bool symmetric,
+                                       std::span<const comm::ChunkRange>
+                                           chunks,
+                                       int ps_server) {
+  switch (stage.route) {
+    case AggregationPath::kAllReduce:
+      if (stage.algorithm == ReduceAlgorithm::kTree) {
+        comm::chunked_tree_all_reduce(comm, mine, chunks, *stage.op);
+      } else {
+        comm::chunked_ring_all_reduce(comm, mine, chunks, *stage.op);
+      }
+      return {};
+    case AggregationPath::kParameterServer:
+      comm::chunked_ps_aggregate(comm, mine, chunks, *stage.op, ps_server);
+      return {};
+    case AggregationPath::kAllGather:
+      // The chunked all-gather requires symmetric payload sizes; fall back
+      // to the monolithic gather when a scheme pads per-worker (TopK
+      // delta).
+      return symmetric ? comm::chunked_all_gather(comm, mine, chunks)
+                       : comm::all_gather(comm, mine);
+  }
+  throw Error("AggregationPipeline: unknown stage route");
+}
+
 /// Runs one stage over the threaded fabric with the chunked collectives.
 /// Every rank must end with an identical result (checked); rank 0's copy
-/// is absorbed.
+/// is absorbed. Wire bytes are accumulated into `wire`.
 void run_stage_threaded(const WireStage& stage, CodecRound& round,
                         const std::vector<ByteBuffer>& payloads,
                         std::span<const comm::ChunkRange> chunks,
-                        int ps_server) {
+                        int ps_server, WireTraffic& wire) {
   const auto n = static_cast<int>(payloads.size());
   if (stage.route != AggregationPath::kAllGather) {
     GCS_CHECK_MSG(stage.op != nullptr,
                   "stage '" << stage.name << "' needs a ReduceOp");
   }
-  // The chunked all-gather requires symmetric payload sizes; fall back to
-  // the monolithic gather when a scheme pads per-worker (TopK delta).
-  bool symmetric = true;
-  for (const auto& p : payloads) symmetric &= p.size() == payloads[0].size();
+  const bool symmetric = payloads_symmetric(payloads);
   comm::Fabric fabric(n);
   std::vector<ByteBuffer> bufs(payloads.begin(), payloads.end());
   std::vector<std::vector<ByteBuffer>> gathered(
       static_cast<std::size_t>(n));
   comm::run_workers(fabric, [&](comm::Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
-    switch (stage.route) {
-      case AggregationPath::kAllReduce:
-        if (stage.algorithm == ReduceAlgorithm::kTree) {
-          comm::chunked_tree_all_reduce(comm, bufs[rank], chunks, *stage.op);
-        } else {
-          comm::chunked_ring_all_reduce(comm, bufs[rank], chunks, *stage.op);
-        }
-        break;
-      case AggregationPath::kParameterServer:
-        comm::chunked_ps_aggregate(comm, bufs[rank], chunks, *stage.op,
-                                   ps_server);
-        break;
-      case AggregationPath::kAllGather:
-        gathered[rank] =
-            symmetric
-                ? comm::chunked_all_gather(comm, bufs[rank], chunks)
-                : comm::all_gather(comm, bufs[rank]);
-        break;
-    }
+    gathered[rank] = run_stage_rank(stage, comm, bufs[rank], symmetric,
+                                    chunks, ps_server);
   });
+  for (int r = 0; r < n; ++r) {
+    wire.sent[static_cast<std::size_t>(r)] += fabric.bytes_sent(r);
+    wire.received[static_cast<std::size_t>(r)] += fabric.bytes_received(r);
+  }
   if (stage.route == AggregationPath::kAllGather) {
     for (int r = 1; r < n; ++r) {
       GCS_CHECK_MSG(gathered[static_cast<std::size_t>(r)] == gathered[0],
@@ -105,6 +132,14 @@ void run_stage_threaded(const WireStage& stage, CodecRound& round,
     }
     round.absorb_reduced(bufs[0]);
   }
+}
+
+/// Builds the rendezvous address for one socket-backend round.
+std::string socket_rendezvous(const PipelineConfig& config) {
+  if (config.socket_port == 0) return net::unique_unix_rendezvous();
+  const std::string host =
+      config.socket_iface.empty() ? "127.0.0.1" : config.socket_iface;
+  return "tcp:" + host + ":" + std::to_string(config.socket_port);
 }
 
 }  // namespace
@@ -128,6 +163,16 @@ RoundStats AggregationPipeline::aggregate(
   GCS_CHECK(grads.size() == n);
   GCS_CHECK(out.size() == codec_->dimension());
 
+  const PipelineBackend backend = config_.effective_backend();
+  if (backend == PipelineBackend::kSocketFabric) {
+    return aggregate_socket(grads, out, round);
+  }
+  wire_ = WireTraffic{};
+  if (backend == PipelineBackend::kThreadedFabric) {
+    wire_.sent.assign(n, 0);
+    wire_.received.assign(n, 0);
+  }
+
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
   WireStage stage;
@@ -147,9 +192,9 @@ RoundStats AggregationPipeline::aggregate(
     const auto chunks =
         comm::chunk_payload(payloads[0].size(), config_.chunk_bytes,
                             granularity);
-    if (config_.threaded_fabric) {
+    if (backend == PipelineBackend::kThreadedFabric) {
       run_stage_threaded(stage, *session, payloads, chunks,
-                         config_.ps_server);
+                         config_.ps_server, wire_);
     } else {
       run_stage_local(stage, *session, payloads, chunks, config_.ps_server);
     }
@@ -157,6 +202,120 @@ RoundStats AggregationPipeline::aggregate(
         payloads[0].size();
   }
   session->finish(out, stats);
+  return stats;
+}
+
+RoundStats AggregationPipeline::aggregate_over(
+    comm::Communicator& comm, std::span<const std::span<const float>> grads,
+    std::span<float> out, std::uint64_t round) {
+  const auto n = static_cast<std::size_t>(codec_->world_size());
+  GCS_CHECK(grads.size() == n);
+  GCS_CHECK(out.size() == codec_->dimension());
+  GCS_CHECK_MSG(comm.world_size() == codec_->world_size(),
+                "transport world size " << comm.world_size()
+                                        << " != codec world size "
+                                        << codec_->world_size());
+  const auto rank = static_cast<std::size_t>(comm.rank());
+
+  auto session = codec_->begin_round(grads, round);
+  RoundStats stats;
+  WireStage stage;
+  std::vector<ByteBuffer> payloads(n);
+  while (session->next_stage(stage)) {
+    // Every rank encodes all workers (the codec is cluster-wide state that
+    // must evolve identically everywhere) but puts only its own payload on
+    // the wire — the SPMD execution of the same round aggregate() runs.
+    for (std::size_t w = 0; w < n; ++w) {
+      payloads[w] = session->encode(static_cast<int>(w));
+      GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
+                        payloads[w].size() == payloads[0].size(),
+                    "stage '" << stage.name
+                              << "': asymmetric payload sizes");
+    }
+    if (stage.route != AggregationPath::kAllGather) {
+      GCS_CHECK_MSG(stage.op != nullptr,
+                    "stage '" << stage.name << "' needs a ReduceOp");
+    }
+    const std::size_t granularity =
+        stage.op != nullptr ? stage.op->granularity() : 1;
+    const std::size_t stage_bytes = payloads[0].size();
+    const auto chunks =
+        comm::chunk_payload(stage_bytes, config_.chunk_bytes, granularity);
+    const bool symmetric = payloads_symmetric(payloads);
+    // Move, not copy: the rank's payload is re-encoded next stage anyway,
+    // and the dense stages are the wire hot path (stage_bytes captured
+    // above because rank 0's buffer feeds the stats line below).
+    ByteBuffer mine = std::move(payloads[rank]);
+    const auto gathered = run_stage_rank(stage, comm, mine, symmetric,
+                                         chunks, config_.ps_server);
+    if (stage.route == AggregationPath::kAllGather) {
+      session->absorb_gathered(gathered);
+    } else {
+      session->absorb_reduced(mine);
+    }
+    (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
+        stage_bytes;
+  }
+  session->finish(out, stats);
+  return stats;
+}
+
+RoundStats AggregationPipeline::aggregate_socket(
+    std::span<const std::span<const float>> grads, std::span<float> out,
+    std::uint64_t round) {
+  const int n = codec_->world_size();
+  const std::size_t dim = codec_->dimension();
+  const std::string rendezvous = socket_rendezvous(config_);
+  wire_ = WireTraffic{};
+  wire_.sent.assign(static_cast<std::size_t>(n), 0);
+  wire_.received.assign(static_cast<std::size_t>(n), 0);
+
+  // Fork ranks 1..n-1 first (while this process is still quiescent — no
+  // reader threads yet), then participate as rank 0 so the codec's
+  // cross-round state advances in the surviving process. Each child runs
+  // the identical SPMD round on its copy-on-write snapshot of the codec
+  // and reports its wire meters plus the aggregated output for
+  // cross-process agreement checking.
+  auto worker = [&](int rank) -> ByteBuffer {
+    net::SocketFabricConfig fc;
+    fc.rendezvous = rendezvous;
+    fc.world_size = n;
+    fc.rank = rank;
+    net::SocketFabric fabric(fc);
+    comm::Communicator comm(fabric, rank);
+    std::vector<float> worker_out(dim);
+    aggregate_over(comm, grads, worker_out, round);
+    ByteBuffer report;
+    ByteWriter w(report);
+    w.put<std::uint64_t>(fabric.bytes_sent(rank));
+    w.put<std::uint64_t>(fabric.bytes_received(rank));
+    w.put_span<float>(std::span<const float>(worker_out));
+    return report;
+  };
+  net::ForkedWorkers peers(1, n, worker);
+
+  net::SocketFabricConfig fc;
+  fc.rendezvous = rendezvous;
+  fc.world_size = n;
+  fc.rank = 0;
+  net::SocketFabric fabric(fc);
+  comm::Communicator comm(fabric, 0);
+  const RoundStats stats = aggregate_over(comm, grads, out, round);
+  wire_.sent[0] = fabric.bytes_sent(0);
+  wire_.received[0] = fabric.bytes_received(0);
+
+  const auto reports = peers.join();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto rank = i + 1;
+    ByteReader r(reports[i]);
+    wire_.sent[rank] = r.get<std::uint64_t>();
+    wire_.received[rank] = r.get<std::uint64_t>();
+    const auto values = r.get_span<float>(dim);
+    GCS_CHECK_MSG(std::memcmp(values.data(), out.data(),
+                              dim * sizeof(float)) == 0,
+                  "rank " << rank
+                          << " disagrees with rank 0 after a socket round");
+  }
   return stats;
 }
 

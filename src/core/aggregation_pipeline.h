@@ -4,37 +4,77 @@
 // layer: for every wire stage it collects the per-worker payloads, splits
 // them into chunks (chunk_bytes), and runs the stage's collective chunk by
 // chunk, so that in a real deployment the encode of chunk k+1 overlaps the
-// hops of chunk k. Two execution backends:
+// hops of chunk k. Three execution backends:
 //
 //   * local reference (default) — the bit-exact, thread-free aggregators
 //     from comm/group.h; the training simulator's hot path. Chunking is
 //     value-transparent (transport bit-identity contract), so the local
 //     backend validates the chunk plan and reduces once.
 //   * threaded fabric — one thread per rank over comm::Fabric, running the
-//     chunked collectives "for real". Tests use this to close the loop on
-//     the bit-identity claims; it also measures true wire volume.
+//     chunked collectives "for real" inside one process.
+//   * socket fabric — one OS process per rank over net::SocketFabric
+//     (fork-based; the calling process participates as rank 0 so its codec
+//     state survives the round). The identical protocol on real sockets —
+//     the simulator-to-system step.
 //
-// The time saved by per-chunk overlap is charged by sim/cost_model.h
-// (RoundTime::overlap_saved_s), keeping the value path and the clock model
-// in one frame: same chunk plan in, same stage structure out.
+// All three produce bit-identical aggregated values, and the two transport
+// backends meter identical per-rank wire bytes (last_wire()); tests close
+// the loop on both claims. The time saved by per-chunk overlap is charged
+// by sim/cost_model.h (RoundTime::overlap_saved_s), keeping the value path
+// and the clock model in one frame: same chunk plan in, same stage
+// structure out.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/codec.h"
 
+namespace gcs::comm {
+class Communicator;
+}
+
 namespace gcs::core {
+
+/// Which substrate executes the collectives (see file comment).
+enum class PipelineBackend : std::uint8_t {
+  kLocalReference,
+  kThreadedFabric,
+  kSocketFabric,
+};
 
 struct PipelineConfig {
   /// Target chunk size in bytes for every stage's payload; 0 = do not
   /// chunk (monolithic collectives). Values are identical either way —
   /// chunking affects the wire schedule and the charged round time.
   std::size_t chunk_bytes = 0;
-  /// Execute over the threaded fabric instead of the local reference
-  /// aggregators (slow; for tests and wire-volume measurements).
+  /// Legacy alias for backend = kThreadedFabric (kept for the factory's
+  /// `fabric` flag and existing call sites).
   bool threaded_fabric = false;
   /// Server rank for kParameterServer stages.
   int ps_server = 0;
+  /// Execution backend; kLocalReference defers to `threaded_fabric`.
+  PipelineBackend backend = PipelineBackend::kLocalReference;
+  /// Socket backend: TCP rendezvous port; 0 = Unix-domain sockets under
+  /// /tmp (the default, no network configuration needed).
+  int socket_port = 0;
+  /// Socket backend: TCP host/interface address; empty = 127.0.0.1.
+  std::string socket_iface;
+
+  PipelineBackend effective_backend() const noexcept {
+    if (backend != PipelineBackend::kLocalReference) return backend;
+    return threaded_fabric ? PipelineBackend::kThreadedFabric
+                           : PipelineBackend::kLocalReference;
+  }
+};
+
+/// Per-rank wire traffic of one aggregate() call, measured by the
+/// transport's byte meters (never from formulas).
+struct WireTraffic {
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> received;
 };
 
 /// Drives encode -> communicate -> decode for one codec (see file
@@ -52,13 +92,31 @@ class AggregationPipeline {
   RoundStats aggregate(std::span<const std::span<const float>> grads,
                        std::span<float> out, std::uint64_t round);
 
+  /// SPMD entry: runs the same round as aggregate(), but executes the
+  /// collectives over `comm`'s transport as rank comm.rank() — every
+  /// participating process (or thread) calls this with its own endpoint
+  /// and ends up with the identical aggregated sum in `out`. Used by the
+  /// socket backend's workers and the gcs_worker binary; wire bytes are
+  /// read off the caller's transport, not last_wire().
+  RoundStats aggregate_over(comm::Communicator& comm,
+                            std::span<const std::span<const float>> grads,
+                            std::span<float> out, std::uint64_t round);
+
+  /// Per-rank wire bytes of the last aggregate() call. Empty vectors for
+  /// the local reference backend (nothing crosses a transport).
+  const WireTraffic& last_wire() const noexcept { return wire_; }
+
   SchemeCodec& codec() noexcept { return *codec_; }
   const SchemeCodec& codec() const noexcept { return *codec_; }
   const PipelineConfig& config() const noexcept { return config_; }
 
  private:
+  RoundStats aggregate_socket(std::span<const std::span<const float>> grads,
+                              std::span<float> out, std::uint64_t round);
+
   SchemeCodecPtr codec_;
   PipelineConfig config_;
+  WireTraffic wire_;
 };
 
 /// Wraps a codec + pipeline behind the legacy Compressor interface. This

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "common/check.h"
-#include "core/aggregation_pipeline.h"
 #include "core/baselines.h"
 #include "core/powersgd_compressor.h"
 #include "core/thc_compressor.h"
@@ -15,6 +14,12 @@
 
 namespace gcs::core {
 namespace {
+
+/// Spec keys/flags consumed by the pipeline layer rather than a scheme;
+/// every scheme's require_known() treats these as known.
+constexpr const char* kPipelineOptions[] = {"chunk", "fabric", "port",
+                                            "iface"};
+constexpr const char* kPipelineFlags[] = {"fabric"};
 
 struct Spec {
   std::string kind;
@@ -34,21 +39,20 @@ struct Spec {
   void require_known(const std::string& kind,
                      std::initializer_list<const char*> known_options,
                      std::initializer_list<const char*> known_flags) const {
-    const auto in = [](std::initializer_list<const char*> set,
-                       const std::string& x) {
+    const auto in = [](auto&& set, const std::string& x) {
       for (const char* s : set) {
         if (x == s) return true;
       }
       return false;
     };
     for (const auto& [key, value] : options) {
-      if (key != "chunk" && !in(known_options, key)) {
+      if (!in(kPipelineOptions, key) && !in(known_options, key)) {
         throw Error("compressor spec: unknown option '" + key + "' for '" +
                     kind + "'");
       }
     }
     for (const auto& flag : flags) {
-      if (flag != "fabric" && !in(known_flags, flag)) {
+      if (!in(kPipelineFlags, flag) && !in(known_flags, flag)) {
         throw Error("compressor spec: unknown flag '" + flag + "' for '" +
                     kind + "'");
       }
@@ -92,21 +96,78 @@ Spec parse_spec(const std::string& text) {
   return spec;
 }
 
-}  // namespace
-
-CompressorPtr make_compressor(const std::string& text,
-                              const ModelLayout& layout, int world_size) {
-  const Spec spec = parse_spec(text);
-  const std::size_t d = layout.total_size();
-
-  // Pipeline knobs shared by every scheme: "chunk=<bytes>" splits each
-  // stage payload into chunks of at most that many bytes (0 = monolithic;
-  // values are bit-identical either way), "fabric" executes over the
-  // threaded fabric instead of the local reference aggregators.
+/// Parses and validates the shared pipeline/transport knobs (see
+/// factory.h for the grammar).
+PipelineConfig pipeline_config_of(const Spec& spec) {
   PipelineConfig pipeline;
   pipeline.chunk_bytes =
       static_cast<std::size_t>(spec.get_double("chunk", 0.0));
-  pipeline.threaded_fabric = spec.has_flag("fabric");
+  if (spec.has_flag("fabric")) {
+    pipeline.backend = PipelineBackend::kThreadedFabric;
+    pipeline.threaded_fabric = true;
+  }
+
+  const auto fabric_it = spec.options.find("fabric");
+  if (fabric_it != spec.options.end()) {
+    const std::string& value = fabric_it->second;
+    if (value == "local") {
+      pipeline.backend = PipelineBackend::kLocalReference;
+    } else if (value == "threaded") {
+      pipeline.backend = PipelineBackend::kThreadedFabric;
+    } else if (value == "socket") {
+      pipeline.backend = PipelineBackend::kSocketFabric;
+    } else {
+      throw Error(
+          "compressor spec: fabric= expects local, threaded or socket, "
+          "got '" +
+          value + "'");
+    }
+    // An explicit fabric=<value> is authoritative: without this, a spec
+    // like "fp16:fabric:fabric=local" would silently run threaded
+    // (effective_backend treats kLocalReference as "defer to the legacy
+    // flag").
+    pipeline.threaded_fabric =
+        pipeline.backend == PipelineBackend::kThreadedFabric;
+  }
+
+  const bool socket = pipeline.backend == PipelineBackend::kSocketFabric;
+  const auto port_it = spec.options.find("port");
+  if (port_it != spec.options.end()) {
+    if (!socket) {
+      throw Error(
+          "compressor spec: port= is only meaningful with fabric=socket");
+    }
+    const std::string& text = port_it->second;
+    char* end = nullptr;
+    const long port = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+      throw Error("compressor spec: port= expects 1..65535, got '" + text +
+                  "'");
+    }
+    pipeline.socket_port = static_cast<int>(port);
+  }
+  const auto iface_it = spec.options.find("iface");
+  if (iface_it != spec.options.end()) {
+    if (!socket) {
+      throw Error(
+          "compressor spec: iface= is only meaningful with fabric=socket");
+    }
+    if (iface_it->second.empty()) {
+      throw Error("compressor spec: iface= expects a host address");
+    }
+    if (pipeline.socket_port == 0) {
+      throw Error(
+          "compressor spec: iface= needs port= (TCP rendezvous); without "
+          "port= the socket backend uses Unix-domain sockets");
+    }
+    pipeline.socket_iface = iface_it->second;
+  }
+  return pipeline;
+}
+
+SchemeCodecPtr codec_of(const Spec& spec, const std::string& text,
+                        const ModelLayout& layout, int world_size) {
+  const std::size_t d = layout.total_size();
 
   if (spec.kind == "fp32" || spec.kind == "fp16") {
     // "tf32" is consumed by the cost model's re-parse of the same spec.
@@ -117,7 +178,7 @@ CompressorPtr make_compressor(const std::string& text,
     config.comm_precision =
         spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
     config.use_tree = spec.has_flag("tree");
-    return make_pipeline_compressor(make_baseline_codec(config), pipeline);
+    return make_baseline_codec(config);
   }
 
   if (spec.kind == "topk") {
@@ -137,7 +198,7 @@ CompressorPtr make_compressor(const std::string& text,
       if (!has_b) throw Error("topk spec needs k= or b=");
       config.k = TopKConfig::k_for_bits(d, b, config.delta_indices);
     }
-    return make_pipeline_compressor(make_topk_codec(config), pipeline);
+    return make_topk_codec(config);
   }
 
   if (spec.kind == "topkc") {
@@ -153,7 +214,7 @@ CompressorPtr make_compressor(const std::string& text,
     config.chunk_size = static_cast<std::size_t>(spec.get_double(
         "c", static_cast<double>(TopKCConfig::default_chunk_size(b))));
     config.num_top_chunks = TopKCConfig::j_for_bits(d, config.chunk_size, b);
-    return make_pipeline_compressor(make_topkc_codec(config), pipeline);
+    return make_topkc_codec(config);
   }
 
   if (spec.kind == "thc") {
@@ -170,7 +231,7 @@ CompressorPtr make_compressor(const std::string& text,
     if (spec.has_flag("full")) config.rotation = RotationMode::kFull;
     if (spec.has_flag("partial")) config.rotation = RotationMode::kPartial;
     if (spec.has_flag("norot")) config.rotation = RotationMode::kNone;
-    return make_pipeline_compressor(make_thc_codec(config), pipeline);
+    return make_thc_codec(config);
   }
 
   if (spec.kind == "powersgd") {
@@ -180,11 +241,35 @@ CompressorPtr make_compressor(const std::string& text,
     config.world_size = world_size;
     config.rank = static_cast<std::size_t>(spec.get_double("r", 4));
     config.error_feedback = !spec.has_flag("noef");
-    return make_pipeline_compressor(make_powersgd_codec(config), pipeline);
+    return make_powersgd_codec(config);
   }
 
   throw Error("unknown compressor kind '" + spec.kind + "' in spec '" + text +
               "'");
+}
+
+}  // namespace
+
+CompressorPtr make_compressor(const std::string& text,
+                              const ModelLayout& layout, int world_size) {
+  const Spec spec = parse_spec(text);
+  const PipelineConfig pipeline = pipeline_config_of(spec);
+  return make_pipeline_compressor(codec_of(spec, text, layout, world_size),
+                                  pipeline);
+}
+
+SchemeCodecPtr make_scheme_codec(const std::string& text,
+                                 const ModelLayout& layout, int world_size) {
+  const Spec spec = parse_spec(text);
+  // The shared knobs are ignored here (the caller owns the pipeline) but
+  // still validated: a typo must not silently run a different experiment
+  // through this entry point either.
+  (void)pipeline_config_of(spec);
+  return codec_of(spec, text, layout, world_size);
+}
+
+PipelineConfig parse_pipeline_config(const std::string& text) {
+  return pipeline_config_of(parse_spec(text));
 }
 
 }  // namespace gcs::core

@@ -13,8 +13,18 @@
 // Common options: "noef" disables error feedback where it defaults on;
 // "chunk=<bytes>" splits every stage payload into chunks of at most that
 // many bytes for the pipelined collectives (bit-identical values; affects
-// the wire schedule and the charged round time); "fabric" executes over
-// the threaded fabric instead of the local reference aggregators.
+// the wire schedule and the charged round time).
+//
+// Transport selection (see DESIGN.md section 4):
+//   "fabric"                 legacy flag: threaded in-process fabric
+//   "fabric=local"           local reference aggregators (the default)
+//   "fabric=threaded"        one thread per rank over comm::Fabric
+//   "fabric=socket"          one OS process per rank over net::SocketFabric
+//   "port=<1..65535>"        socket backend over TCP at this rendezvous
+//                            port (default: Unix-domain sockets in /tmp)
+//   "iface=<host>"           socket backend TCP host (default 127.0.0.1)
+// port=/iface= are only meaningful — and only accepted — together with
+// fabric=socket.
 //
 // Throws gcs::Error on malformed specs — a typo must not silently run a
 // different experiment.
@@ -23,6 +33,8 @@
 #include <cstddef>
 #include <string>
 
+#include "core/aggregation_pipeline.h"
+#include "core/codec.h"
 #include "core/compressor.h"
 #include "tensor/layout.h"
 
@@ -32,5 +44,17 @@ namespace gcs::core {
 /// structure (required by PowerSGD; others use only its total size).
 CompressorPtr make_compressor(const std::string& spec,
                               const ModelLayout& layout, int world_size);
+
+/// Builds just the scheme codec for a spec (shared pipeline/transport
+/// knobs are accepted and ignored). For callers that drive the codec
+/// through their own AggregationPipeline — e.g. the gcs_worker binary,
+/// where every process owns one transport endpoint.
+SchemeCodecPtr make_scheme_codec(const std::string& spec,
+                                 const ModelLayout& layout, int world_size);
+
+/// Parses the shared pipeline/transport knobs of a spec (chunk=, fabric,
+/// fabric=, port=, iface=) without building the codec. Validates the
+/// values with the same rejection rules as make_compressor.
+PipelineConfig parse_pipeline_config(const std::string& spec);
 
 }  // namespace gcs::core

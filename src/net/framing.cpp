@@ -1,0 +1,76 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace gcs::net {
+namespace {
+
+void put_u32(std::byte* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void put_u64(std::byte* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32(const std::byte* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<unsigned>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t tag,
+                 std::span<const std::byte> payload) {
+  std::byte header[kFrameHeaderBytes];
+  put_u32(header, kFrameMagic);
+  put_u32(header + 4, src_rank);
+  put_u64(header + 8, tag);
+  put_u64(header + 16, static_cast<std::uint64_t>(payload.size()));
+  sock.write_all(header, sizeof(header));
+  if (!payload.empty()) sock.write_all(payload.data(), payload.size());
+}
+
+bool read_frame(Socket& sock, std::uint32_t& src_rank, std::uint64_t& tag,
+                ByteBuffer& payload) {
+  std::byte header[kFrameHeaderBytes];
+  if (!sock.read_exact(header, sizeof(header))) return false;
+  const std::uint32_t magic = get_u32(header);
+  if (magic != kFrameMagic) {
+    std::ostringstream os;
+    os << "frame desync: bad magic 0x" << std::hex << magic;
+    throw Error(os.str());
+  }
+  src_rank = get_u32(header + 4);
+  tag = get_u64(header + 8);
+  const std::uint64_t length = get_u64(header + 16);
+  if (length > kMaxFramePayload) {
+    throw Error("frame desync: implausible payload length " +
+                std::to_string(length));
+  }
+  payload.resize(static_cast<std::size_t>(length));
+  if (length > 0 && !sock.read_exact(payload.data(), payload.size())) {
+    throw Error("socket closed between frame header and payload");
+  }
+  return true;
+}
+
+}  // namespace gcs::net

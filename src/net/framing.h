@@ -1,0 +1,44 @@
+// Length+tag framing for socket transport messages.
+//
+// Every message on a SocketFabric connection is one frame:
+//
+//   offset  size  field
+//        0     4  magic      0x47435346 ("GCSF"), little-endian
+//        4     4  src_rank   sender's rank (sanity-checked per frame)
+//        8     8  tag        collective tag (comm/collectives.h layout)
+//       16     8  length     payload bytes that follow
+//       24   len  payload
+//
+// All header fields are little-endian (the project-wide wire order, see
+// common/bytes.h). Zero-length payloads are legal frames. A frame whose
+// magic or length is implausible throws gcs::Error — a desynchronized
+// stream must fail loudly, not feed garbage into a reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "net/socket.h"
+
+namespace gcs::net {
+
+constexpr std::uint32_t kFrameMagic = 0x47435346;  // "GCSF"
+
+/// Hard upper bound on a frame payload (1 TiB) — catches stream
+/// desynchronization before it turns into an allocation bomb.
+constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 40;
+
+/// Serialized header size in bytes.
+constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Writes one frame (header + payload) to `sock`.
+void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t tag,
+                 std::span<const std::byte> payload);
+
+/// Reads one frame. Returns false on a clean EOF at a frame boundary
+/// (peer closed); throws gcs::Error on a torn frame, bad magic, or an
+/// implausible length.
+bool read_frame(Socket& sock, std::uint32_t& src_rank, std::uint64_t& tag,
+                ByteBuffer& payload);
+
+}  // namespace gcs::net

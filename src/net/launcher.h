@@ -1,0 +1,58 @@
+// Fork-based multi-process launcher for socket-transport runs.
+//
+// ForkedWorkers turns the current process into a miniature job scheduler:
+// it forks one child per rank in [first_rank, world_size), runs the given
+// body there, ships the ByteBuffer the body returns back to the parent
+// over a pipe, and _exit()s the child (bypassing the parent's atexit
+// machinery — the child must never fall back into the caller's stack).
+// The parent may participate as one of the ranks itself by starting the
+// range at 1 and running rank 0 inline: that is how the socket pipeline
+// backend keeps its codec state in the surviving process.
+//
+// fork() inherits the parent's full address space copy-on-write, so the
+// body can freely read any data structure the parent prepared (gradient
+// buffers, codecs, reduce ops) with no serialization; only the report
+// travels back.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gcs::net {
+
+class ForkedWorkers {
+ public:
+  /// Forks `body(rank)` for every rank in [first_rank, world_size).
+  /// Throws gcs::Error if a fork fails (already-spawned children are
+  /// reaped).
+  ForkedWorkers(int first_rank, int world_size,
+                const std::function<ByteBuffer(int rank)>& body);
+
+  /// Best-effort reap if join() was never reached (exception unwind).
+  ~ForkedWorkers();
+
+  /// Collects every child's report, indexed by rank - first_rank. A child
+  /// whose body threw, or that died without reporting, turns into a
+  /// gcs::Error naming the rank and the cause.
+  std::vector<ByteBuffer> join();
+
+ private:
+  struct Child {
+    int rank = -1;
+    int pid = -1;
+    int pipe_read = -1;
+  };
+
+  void kill_and_reap() noexcept;
+
+  std::vector<Child> children_;
+  bool joined_ = false;
+};
+
+/// A fresh unix-domain rendezvous address ("unix:/tmp/gcs-<pid>-<seq>"),
+/// unique within this process and unlikely to collide across processes.
+std::string unique_unix_rendezvous();
+
+}  // namespace gcs::net

@@ -1,0 +1,174 @@
+#include "net/rendezvous.h"
+
+#include <unistd.h>
+
+#include <string>
+
+#include "common/check.h"
+#include "net/framing.h"
+
+namespace gcs::net {
+namespace {
+
+ByteBuffer encode_text(const std::string& text) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+  w.put_bytes(std::as_bytes(std::span(text.data(), text.size())));
+  return buf;
+}
+
+std::string decode_text(ByteReader& r) {
+  const auto len = r.get<std::uint32_t>();
+  const auto bytes = r.get_bytes(len);
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// Derives rank r's listener address from the rendezvous address: unix
+/// sockets get a sibling path; tcp listeners bind the wildcard on a
+/// kernel-assigned port (a rank may live on any host — it cannot bind
+/// rank 0's address, and it cannot reliably know its own externally
+/// visible one; rank 0 fills the host in from where the HELLO came
+/// from, see below).
+Address listener_template(const Address& rendezvous, int rank) {
+  Address addr = rendezvous;
+  if (addr.is_unix) {
+    addr.path += ".r" + std::to_string(rank);
+  } else {
+    addr.host = "0.0.0.0";
+    addr.port = 0;
+  }
+  return addr;
+}
+
+bool is_wildcard_host(const std::string& host) {
+  return host == "0.0.0.0" || host == "::" || host == "*";
+}
+
+}  // namespace
+
+std::vector<Socket> rendezvous_mesh(const RendezvousConfig& config) {
+  const int n = config.world_size;
+  const int rank = config.rank;
+  GCS_CHECK(n >= 1 && rank >= 0 && rank < n);
+  std::vector<Socket> peers(static_cast<std::size_t>(n));
+  if (n == 1) return peers;
+
+  if (rank == 0) {
+    Address listen_addr = config.rendezvous;
+    Socket listener = listen_on(listen_addr, n);
+    std::vector<std::string> addresses(static_cast<std::size_t>(n));
+    addresses[0] = listen_addr.to_string();
+    // Gather hellos: arrival order is whatever the OS scheduler produced.
+    for (int i = 1; i < n; ++i) {
+      Socket conn = accept_from(listener, config.timeout_ms);
+      std::uint32_t src = 0;
+      std::uint64_t tag = 0;
+      ByteBuffer payload;
+      if (!read_frame(conn, src, tag, payload)) {
+        throw Error("rendezvous: peer closed before HELLO");
+      }
+      if (tag != kHelloTag) {
+        throw Error("rendezvous: expected HELLO, got tag " +
+                    std::to_string(tag));
+      }
+      if (src == 0 || static_cast<int>(src) >= n) {
+        throw Error("rendezvous: HELLO from invalid rank " +
+                    std::to_string(src));
+      }
+      if (peers[src].valid()) {
+        throw Error("rendezvous: duplicate HELLO from rank " +
+                    std::to_string(src));
+      }
+      ByteReader r(payload);
+      Address advertised = Address::parse(decode_text(r));
+      // A TCP rank binds the wildcard and cannot know its externally
+      // visible host; substitute the address its HELLO arrived from.
+      if (!advertised.is_unix && is_wildcard_host(advertised.host)) {
+        advertised.host = peer_host(conn);
+      }
+      addresses[src] = advertised.to_string();
+      peers[src] = std::move(conn);
+    }
+    // Hand out the peer map over the (kept) rendezvous connections.
+    ByteBuffer map;
+    ByteWriter w(map);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(n));
+    for (const auto& a : addresses) {
+      const ByteBuffer entry = encode_text(a);
+      w.put_bytes(entry);
+    }
+    for (int r = 1; r < n; ++r) {
+      write_frame(peers[static_cast<std::size_t>(r)], 0, kPeerMapTag, map);
+    }
+    listener.close();
+    if (listen_addr.is_unix) ::unlink(listen_addr.path.c_str());
+    return peers;
+  }
+
+  // rank > 0: open own listener first so lower-ranked peers can always
+  // reach it once the map is out.
+  Address my_addr = listener_template(config.rendezvous, rank);
+  Socket listener = listen_on(my_addr, n);
+
+  Socket to_zero = connect_to(config.rendezvous, config.timeout_ms);
+  write_frame(to_zero, static_cast<std::uint32_t>(rank), kHelloTag,
+              encode_text(my_addr.to_string()));
+  std::uint32_t src = 0;
+  std::uint64_t tag = 0;
+  ByteBuffer payload;
+  if (!read_frame(to_zero, src, tag, payload)) {
+    throw Error("rendezvous: rank 0 closed before sending the peer map");
+  }
+  if (tag != kPeerMapTag) {
+    throw Error("rendezvous: expected PEER-MAP, got tag " +
+                std::to_string(tag));
+  }
+  ByteReader reader(payload);
+  const auto world = reader.get<std::uint32_t>();
+  if (static_cast<int>(world) != n) {
+    throw Error("rendezvous: peer map world size " + std::to_string(world) +
+                " != configured " + std::to_string(n));
+  }
+  std::vector<std::string> addresses;
+  for (std::uint32_t i = 0; i < world; ++i) {
+    addresses.push_back(decode_text(reader));
+  }
+  peers[0] = std::move(to_zero);
+
+  // Connect downward, accept upward (see file comment).
+  for (int s = 1; s < rank; ++s) {
+    Socket conn = connect_to(Address::parse(addresses[static_cast<
+                                 std::size_t>(s)]),
+                             config.timeout_ms);
+    write_frame(conn, static_cast<std::uint32_t>(rank), kHelloTag, {});
+    peers[static_cast<std::size_t>(s)] = std::move(conn);
+  }
+  for (int s = rank + 1; s < n; ++s) {
+    Socket conn = accept_from(listener, config.timeout_ms);
+    std::uint32_t peer = 0;
+    std::uint64_t peer_tag = 0;
+    ByteBuffer hello;
+    if (!read_frame(conn, peer, peer_tag, hello)) {
+      throw Error("rendezvous: peer closed before mesh HELLO");
+    }
+    if (peer_tag != kHelloTag) {
+      throw Error("rendezvous: expected mesh HELLO, got tag " +
+                  std::to_string(peer_tag));
+    }
+    if (static_cast<int>(peer) <= rank || static_cast<int>(peer) >= n) {
+      throw Error("rendezvous: mesh HELLO from unexpected rank " +
+                  std::to_string(peer));
+    }
+    if (peers[peer].valid()) {
+      throw Error("rendezvous: duplicate mesh HELLO from rank " +
+                  std::to_string(peer));
+    }
+    peers[peer] = std::move(conn);
+  }
+  listener.close();
+  if (my_addr.is_unix) ::unlink(my_addr.path.c_str());
+  return peers;
+}
+
+}  // namespace gcs::net

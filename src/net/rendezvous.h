@@ -1,0 +1,45 @@
+// Full-mesh rendezvous: bootstrap n processes into n*(n-1)/2 connections.
+//
+// Protocol (rank 0 is the rendezvous point, see DESIGN.md section 4):
+//
+//   1. Every rank r > 0 opens its own listener — unix: `<path>.r<r>`,
+//      tcp: same host, kernel-assigned port — then connects to rank 0's
+//      advertised address and sends a HELLO frame carrying its listener
+//      address.
+//   2. Rank 0 accepts n-1 connections, collects the hellos (arrival order
+//      is arbitrary; the frame header identifies the rank), then answers
+//      each with a PEER-MAP frame listing every rank's listener address.
+//      Each rendezvous connection is kept: it *is* the 0<->r data link.
+//   3. Rank r, on receiving the map, connects to every lower rank
+//      s in [1, r) (sending a HELLO so the acceptor knows who arrived)
+//      and accepts from every higher rank s in (r, n).
+//
+// The result is one connected, identified socket per peer. Listeners are
+// closed (and unix paths unlinked) before returning; only the mesh
+// remains. Every step has a deadline — a missing peer surfaces as a
+// gcs::Error naming the stage, never as a silent hang.
+#pragma once
+
+#include <vector>
+
+#include "net/socket.h"
+
+namespace gcs::net {
+
+/// Frame tags reserved for the bootstrap (far above the collectives' tag
+/// space, which stays below 2^32).
+constexpr std::uint64_t kHelloTag = 0xffff'ffff'0000'0001ull;
+constexpr std::uint64_t kPeerMapTag = 0xffff'ffff'0000'0002ull;
+
+struct RendezvousConfig {
+  Address rendezvous;  ///< rank 0's listen address
+  int world_size = 0;
+  int rank = -1;
+  int timeout_ms = 20000;
+};
+
+/// Runs the protocol above. Returns the connected data sockets indexed by
+/// peer rank; the local rank's slot is an invalid Socket.
+std::vector<Socket> rendezvous_mesh(const RendezvousConfig& config);
+
+}  // namespace gcs::net

@@ -1,0 +1,298 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+
+namespace gcs::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  std::ostringstream os;
+  os << what << ": " << std::strerror(errno) << " (errno " << errno << ")";
+  throw Error(os.str());
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw Error("unix socket path too long (" + std::to_string(path.size()) +
+                " bytes): " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+/// Resolves a tcp host:port into the first usable IPv4/IPv6 sockaddr.
+struct ResolvedTcp {
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  int family = AF_INET;
+};
+
+ResolvedTcp resolve_tcp(const Address& addr) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port = std::to_string(addr.port);
+  const int rc = ::getaddrinfo(addr.host.c_str(), port.c_str(), &hints,
+                               &result);
+  if (rc != 0 || result == nullptr) {
+    throw Error("cannot resolve tcp address " + addr.to_string() + ": " +
+                ::gai_strerror(rc));
+  }
+  ResolvedTcp out;
+  out.family = result->ai_family;
+  out.len = static_cast<socklen_t>(result->ai_addrlen);
+  std::memcpy(&out.storage, result->ai_addr, result->ai_addrlen);
+  ::freeaddrinfo(result);
+  return out;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: UDS has no Nagle; TCP benefits from latency-sensitive
+  // chunk streams not being coalesced.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::string Address::to_string() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address Address::parse(const std::string& text) {
+  Address addr;
+  if (text.rfind("unix:", 0) == 0) {
+    addr.is_unix = true;
+    addr.path = text.substr(5);
+    if (addr.path.empty()) {
+      throw Error("unix address needs a path: '" + text + "'");
+    }
+    return addr;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    addr.is_unix = false;
+    const std::string rest = text.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw Error("tcp address needs host:port: '" + text + "'");
+    }
+    addr.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port < 0 ||
+        port > 65535) {
+      throw Error("tcp address has a bad port: '" + text + "'");
+    }
+    addr.port = static_cast<int>(port);
+    return addr;
+  }
+  throw Error("address must start with unix: or tcp:, got '" + text + "'");
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::write_all(const void* data, std::size_t size) {
+  GCS_CHECK(valid());
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd_, p + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket write failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::read_exact(void* data, std::size_t size) {
+  GCS_CHECK(valid());
+  auto* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, p + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket read failed");
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF at a message boundary
+      throw Error("socket closed mid-read (" + std::to_string(done) + "/" +
+                  std::to_string(size) + " bytes)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Socket listen_on(Address& addr, int backlog) {
+  if (addr.is_unix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) fail_errno("socket(AF_UNIX)");
+    ::unlink(addr.path.c_str());  // stale path from a crashed run
+    const sockaddr_un sa = unix_sockaddr(addr.path);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa)) != 0) {
+      fail_errno("bind(" + addr.to_string() + ")");
+    }
+    if (::listen(sock.fd(), backlog) != 0) {
+      fail_errno("listen(" + addr.to_string() + ")");
+    }
+    return sock;
+  }
+  const ResolvedTcp target = resolve_tcp(addr);
+  Socket sock(::socket(target.family, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_errno("socket(TCP)");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&target.storage),
+             target.len) != 0) {
+    fail_errno("bind(" + addr.to_string() + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    fail_errno("listen(" + addr.to_string() + ")");
+  }
+  // Report the kernel-assigned port back for the rendezvous peer map.
+  sockaddr_storage bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    fail_errno("getsockname");
+  }
+  if (bound.ss_family == AF_INET) {
+    addr.port = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+  } else if (bound.ss_family == AF_INET6) {
+    addr.port =
+        ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+  }
+  return sock;
+}
+
+Socket accept_from(Socket& listener, int timeout_ms) {
+  GCS_CHECK(listener.valid());
+  pollfd pfd{listener.fd(), POLLIN, 0};
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) throw Error("accept timed out");
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll(accept)");
+    }
+    if (rc == 0) throw Error("accept timed out");
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      fail_errno("accept");
+    }
+    set_nodelay(fd);
+    return Socket(fd);
+  }
+}
+
+Socket connect_to(const Address& addr, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int rc = -1;
+    Socket sock;
+    if (addr.is_unix) {
+      sock = Socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+      if (!sock.valid()) fail_errno("socket(AF_UNIX)");
+      const sockaddr_un sa = unix_sockaddr(addr.path);
+      rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&sa),
+                     sizeof(sa));
+    } else {
+      const ResolvedTcp target = resolve_tcp(addr);
+      sock = Socket(::socket(target.family, SOCK_STREAM, 0));
+      if (!sock.valid()) fail_errno("socket(TCP)");
+      rc = ::connect(sock.fd(),
+                     reinterpret_cast<const sockaddr*>(&target.storage),
+                     target.len);
+    }
+    if (rc == 0) {
+      set_nodelay(sock.fd());
+      return sock;
+    }
+    // The peer's listener may simply not exist yet (rendezvous startup
+    // race) — retry those until the deadline; fail fast on anything else.
+    if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR &&
+        errno != ETIMEDOUT) {
+      fail_errno("connect(" + addr.to_string() + ")");
+    }
+    if (Clock::now() >= deadline) {
+      throw Error("connect(" + addr.to_string() + ") timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+std::string peer_host(const Socket& sock) {
+  GCS_CHECK(sock.valid());
+  sockaddr_storage peer{};
+  socklen_t len = sizeof(peer);
+  if (::getpeername(sock.fd(), reinterpret_cast<sockaddr*>(&peer), &len) !=
+      0) {
+    fail_errno("getpeername");
+  }
+  char host[INET6_ADDRSTRLEN] = {};
+  if (peer.ss_family == AF_INET) {
+    const auto& sa = reinterpret_cast<const sockaddr_in&>(peer);
+    if (::inet_ntop(AF_INET, &sa.sin_addr, host, sizeof(host)) == nullptr) {
+      fail_errno("inet_ntop");
+    }
+  } else if (peer.ss_family == AF_INET6) {
+    const auto& sa = reinterpret_cast<const sockaddr_in6&>(peer);
+    if (::inet_ntop(AF_INET6, &sa.sin6_addr, host, sizeof(host)) ==
+        nullptr) {
+      fail_errno("inet_ntop");
+    }
+  } else {
+    throw Error("peer_host: not a TCP socket");
+  }
+  return host;
+}
+
+}  // namespace gcs::net

@@ -1,0 +1,82 @@
+// Thin RAII socket layer for the real-transport backend.
+//
+// Wraps the handful of POSIX socket operations the subsystem needs —
+// listen/accept/connect over TCP or Unix-domain sockets, and exact-length
+// blocking reads/writes — behind move-only fd ownership. Everything above
+// this file (framing, rendezvous, SocketFabric) is byte-oriented and
+// address-family agnostic; this is the only file that talks to the OS.
+//
+// Addresses are spelled "unix:<path>" or "tcp:<host>:<port>" (port 0 lets
+// the kernel pick; listen_on reports the chosen one back). Errors are
+// gcs::Error with errno context — a refused rendezvous or a dead peer is
+// an environmental failure the caller may retry or surface, not a logic
+// bug.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gcs::net {
+
+/// Parsed endpoint address (see file comment for the spellings).
+struct Address {
+  bool is_unix = true;
+  std::string path;  ///< unix-domain socket path
+  std::string host;  ///< tcp host (numeric or resolvable name)
+  int port = 0;      ///< tcp port; 0 = kernel-assigned (listeners only)
+
+  std::string to_string() const;
+  /// Parses "unix:<path>" or "tcp:<host>:<port>". Throws gcs::Error.
+  static Address parse(const std::string& text);
+};
+
+/// Move-only RAII socket with exact-length blocking I/O.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// Half-closes both directions, waking a peer blocked in read.
+  void shutdown() noexcept;
+
+  /// Writes exactly `size` bytes; throws gcs::Error on a broken pipe or
+  /// I/O error (SIGPIPE is suppressed).
+  void write_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on a clean EOF before the
+  /// first byte; throws gcs::Error on a mid-read EOF or I/O error.
+  bool read_exact(void* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening socket on `addr` (unlinking a stale unix path
+/// first). For tcp port 0 the kernel picks; `addr.port` is updated to the
+/// bound port either way.
+Socket listen_on(Address& addr, int backlog);
+
+/// Accepts one connection; throws gcs::Error after `timeout_ms`.
+Socket accept_from(Socket& listener, int timeout_ms);
+
+/// Connects to `addr`, retrying while the listener does not exist yet
+/// (rendezvous races); throws gcs::Error after `timeout_ms`.
+Socket connect_to(const Address& addr, int timeout_ms);
+
+/// The numeric host the connected TCP peer is reachable at, as observed
+/// by this end (getpeername). Used by the rendezvous to fill in each
+/// rank's advertised host: a rank cannot reliably know its own
+/// externally visible address, but rank 0 sees where the HELLO came
+/// from.
+std::string peer_host(const Socket& sock);
+
+}  // namespace gcs::net

@@ -1,0 +1,202 @@
+#include "net/socket_fabric.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "net/framing.h"
+#include "net/rendezvous.h"
+
+namespace gcs::net {
+
+SocketFabric::SocketFabric(const SocketFabricConfig& config)
+    : config_(config) {
+  GCS_CHECK(config_.world_size >= 1);
+  GCS_CHECK(config_.rank >= 0 && config_.rank < config_.world_size);
+  RendezvousConfig rc;
+  rc.rendezvous = Address::parse(config_.rendezvous);
+  rc.world_size = config_.world_size;
+  rc.rank = config_.rank;
+  rc.timeout_ms = config_.connect_timeout_ms;
+  auto sockets = rendezvous_mesh(rc);
+
+  peers_.resize(static_cast<std::size_t>(config_.world_size));
+  for (int r = 0; r < config_.world_size; ++r) {
+    if (r == config_.rank) continue;
+    auto p = std::make_unique<Peer>();
+    p->sock = std::move(sockets[static_cast<std::size_t>(r)]);
+    peers_[static_cast<std::size_t>(r)] = std::move(p);
+  }
+  // Readers start only after the whole mesh is up; from here on every
+  // connection is permanently drained.
+  for (int r = 0; r < config_.world_size; ++r) {
+    if (r == config_.rank) continue;
+    Peer& p = *peers_[static_cast<std::size_t>(r)];
+    p.reader = std::thread([this, r] { reader_loop(r); });
+  }
+}
+
+SocketFabric::~SocketFabric() {
+  for (auto& p : peers_) {
+    if (p != nullptr) p->sock.shutdown();
+  }
+  for (auto& p : peers_) {
+    if (p != nullptr && p->reader.joinable()) p->reader.join();
+  }
+}
+
+SocketFabric::Peer& SocketFabric::peer(int rank) const {
+  GCS_CHECK(rank >= 0 && rank < config_.world_size && rank != config_.rank);
+  return *peers_[static_cast<std::size_t>(rank)];
+}
+
+void SocketFabric::reader_loop(int peer_rank) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer_rank)];
+  std::string reason = "peer exited";
+  try {
+    std::uint32_t src = 0;
+    std::uint64_t tag = 0;
+    ByteBuffer payload;
+    while (read_frame(p.sock, src, tag, payload)) {
+      if (static_cast<int>(src) != peer_rank) {
+        throw Error("frame from rank " + std::to_string(src) +
+                    " on the connection to rank " +
+                    std::to_string(peer_rank));
+      }
+      {
+        std::lock_guard lock(p.mu);
+        p.by_tag[tag].push_back(std::move(payload));
+        ++p.buffered;
+      }
+      p.cv.notify_all();
+      payload = ByteBuffer{};
+    }
+  } catch (const std::exception& e) {
+    reason = e.what();
+  }
+  {
+    std::lock_guard lock(p.mu);
+    p.closed = true;
+    p.close_reason = reason;
+  }
+  p.cv.notify_all();
+}
+
+void SocketFabric::send(int src, int dst, std::uint64_t tag,
+                        ByteBuffer payload) {
+  GCS_CHECK_MSG(src == config_.rank,
+                "SocketFabric owns rank " << config_.rank
+                                          << ", cannot send as " << src);
+  const std::size_t bytes = payload.size();
+  if (dst == config_.rank) {
+    {
+      std::lock_guard lock(self_mu_);
+      self_by_tag_[tag].push_back(std::move(payload));
+      ++self_buffered_;
+    }
+    self_cv_.notify_all();
+  } else {
+    Peer& p = peer(dst);
+    std::lock_guard lock(p.send_mu);
+    write_frame(p.sock, static_cast<std::uint32_t>(src), tag, payload);
+  }
+  std::lock_guard lock(counter_mu_);
+  sent_bytes_ += bytes;
+}
+
+comm::Message SocketFabric::recv(int dst, int src,
+                                 std::uint64_t expected_tag) {
+  GCS_CHECK_MSG(dst == config_.rank,
+                "SocketFabric owns rank " << config_.rank
+                                          << ", cannot recv as " << dst);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.recv_timeout_ms);
+  ByteBuffer payload;
+  if (src == config_.rank) {
+    std::unique_lock lock(self_mu_);
+    const bool got = self_cv_.wait_until(lock, deadline, [&] {
+      const auto it = self_by_tag_.find(expected_tag);
+      return it != self_by_tag_.end() && !it->second.empty();
+    });
+    if (!got) {
+      throw Error("SocketFabric::recv(self) timed out waiting for tag " +
+                  std::to_string(expected_tag));
+    }
+    auto& bucket = self_by_tag_[expected_tag];
+    payload = std::move(bucket.front());
+    bucket.pop_front();
+    --self_buffered_;
+  } else {
+    Peer& p = peer(src);
+    std::unique_lock lock(p.mu);
+    const bool got = p.cv.wait_until(lock, deadline, [&] {
+      const auto it = p.by_tag.find(expected_tag);
+      return (it != p.by_tag.end() && !it->second.empty()) || p.closed;
+    });
+    auto it = p.by_tag.find(expected_tag);
+    const bool have = it != p.by_tag.end() && !it->second.empty();
+    if (!have) {
+      std::ostringstream os;
+      os << "SocketFabric::recv at rank " << dst << " from rank " << src
+         << " tag " << expected_tag << ": ";
+      if (p.closed) {
+        os << "connection closed (" << p.close_reason << ")";
+      } else {
+        os << "timed out after " << config_.recv_timeout_ms << " ms";
+      }
+      (void)got;
+      throw Error(os.str());
+    }
+    payload = std::move(it->second.front());
+    it->second.pop_front();
+    --p.buffered;
+  }
+  {
+    std::lock_guard lock(counter_mu_);
+    received_bytes_ += payload.size();
+  }
+  return comm::Message{expected_tag, std::move(payload)};
+}
+
+std::uint64_t SocketFabric::bytes_sent(int rank) const {
+  GCS_CHECK(rank == config_.rank);
+  std::lock_guard lock(counter_mu_);
+  return sent_bytes_;
+}
+
+std::uint64_t SocketFabric::bytes_received(int rank) const {
+  GCS_CHECK(rank == config_.rank);
+  std::lock_guard lock(counter_mu_);
+  return received_bytes_;
+}
+
+void SocketFabric::reset_counters() {
+  // Same contract as Fabric::reset_counters: undelivered messages mean
+  // the caller lost protocol state — fail loudly.
+  {
+    std::lock_guard lock(self_mu_);
+    if (self_buffered_ != 0) {
+      throw Error("SocketFabric::reset_counters: " +
+                  std::to_string(self_buffered_) +
+                  " undelivered loopback message(s)");
+    }
+  }
+  for (int r = 0; r < config_.world_size; ++r) {
+    if (r == config_.rank) continue;
+    Peer& p = peer(r);
+    std::lock_guard lock(p.mu);
+    if (p.buffered != 0) {
+      throw Error("SocketFabric::reset_counters: " +
+                  std::to_string(p.buffered) +
+                  " unmatched message(s) buffered from rank " +
+                  std::to_string(r));
+    }
+  }
+  std::lock_guard lock(counter_mu_);
+  sent_bytes_ = 0;
+  received_bytes_ = 0;
+}
+
+}  // namespace gcs::net

@@ -1,0 +1,109 @@
+// Real-socket Transport: one endpoint per OS process.
+//
+// SocketFabric implements comm::Transport over TCP or Unix-domain sockets
+// so the chunked hop-interleaved collectives run unmodified across
+// processes and hosts. Construction performs the full-mesh rendezvous
+// (net/rendezvous.h) and then starts one receive loop per peer: each loop
+// drains its connection into tag-indexed reassembly buckets, which keeps
+// the socket readable at all times (no cross-rank send/recv deadlock —
+// a blocked writer always has a draining reader on the other end) and
+// lets interleaved chunk streams be received in whatever order the
+// collective asks for.
+//
+// Semantics vs the in-process Fabric:
+//   * recv matches by (peer, tag). Where Fabric throws on a tag mismatch
+//     at the queue head, SocketFabric buffers the frame and keeps
+//     waiting — a genuinely wrong tag surfaces as a timeout or a
+//     peer-exit error rather than a head-of-line inspection, because
+//     frames from concurrently in-flight chunks may legally arrive ahead
+//     of the one being waited on.
+//   * recv never hangs: a peer that exits (EOF), a torn frame, or a
+//     deadline (`recv_timeout_ms`) all throw gcs::Error.
+//   * Only the local rank is owned: send's src, recv's dst and counter
+//     queries must name it.
+//
+// Determinism: the collectives fix the reduction order, the per-peer
+// streams are FIFO (TCP/UDS ordering), and reassembly only reorders
+// across tags, never within one — so a SocketFabric run is byte-identical
+// to the same collective over the in-process Fabric, payloads and meters
+// alike (asserted by tests/test_socket_pipeline.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.h"
+#include "net/socket.h"
+
+namespace gcs::net {
+
+struct SocketFabricConfig {
+  /// Rank 0's rendezvous address: "unix:<path>" or "tcp:<host>:<port>".
+  std::string rendezvous;
+  int world_size = 0;
+  int rank = -1;
+  /// Deadline for the rendezvous handshake steps.
+  int connect_timeout_ms = 20000;
+  /// Deadline for a recv with no matching frame; guards against protocol
+  /// bugs hanging a worker forever.
+  int recv_timeout_ms = 60000;
+};
+
+class SocketFabric final : public comm::Transport {
+ public:
+  /// Connects the full mesh (blocks until all peers arrive).
+  explicit SocketFabric(const SocketFabricConfig& config);
+  ~SocketFabric() override;
+
+  SocketFabric(const SocketFabric&) = delete;
+  SocketFabric& operator=(const SocketFabric&) = delete;
+
+  int rank() const noexcept { return config_.rank; }
+  int world_size() const override { return config_.world_size; }
+
+  void send(int src, int dst, std::uint64_t tag, ByteBuffer payload) override;
+  comm::Message recv(int dst, int src, std::uint64_t expected_tag) override;
+
+  std::uint64_t bytes_sent(int rank) const override;
+  std::uint64_t bytes_received(int rank) const override;
+  void reset_counters() override;
+
+ private:
+  struct Peer {
+    Socket sock;
+    std::mutex send_mu;
+    std::thread reader;
+    // Reassembly state, guarded by mu.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::uint64_t, std::deque<ByteBuffer>> by_tag;
+    std::size_t buffered = 0;  ///< messages currently parked in by_tag
+    bool closed = false;
+    std::string close_reason;
+  };
+
+  void reader_loop(int peer_rank);
+  Peer& peer(int rank) const;
+
+  SocketFabricConfig config_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // self slot has no socket
+
+  // Loopback (self-send) queue, same reassembly semantics.
+  mutable std::mutex self_mu_;
+  std::condition_variable self_cv_;
+  std::map<std::uint64_t, std::deque<ByteBuffer>> self_by_tag_;
+  std::size_t self_buffered_ = 0;
+
+  mutable std::mutex counter_mu_;
+  std::uint64_t sent_bytes_ = 0;
+  std::uint64_t received_bytes_ = 0;
+};
+
+}  // namespace gcs::net

@@ -269,10 +269,12 @@ TEST(AggregationPipeline, AllGatherAllowsAsymmetricPayloads) {
   std::vector<std::span<const float>> views;
   for (const auto& g : grads) views.emplace_back(g.data(), g.size());
 
-  for (auto config_variant : {PipelineConfig{},
-                              PipelineConfig{.chunk_bytes = 64},
-                              PipelineConfig{.chunk_bytes = 64,
-                                             .threaded_fabric = true}}) {
+  PipelineConfig chunked_config;
+  chunked_config.chunk_bytes = 64;
+  PipelineConfig threaded_config = chunked_config;
+  threaded_config.threaded_fabric = true;
+  for (const auto& config_variant :
+       {PipelineConfig{}, chunked_config, threaded_config}) {
     AggregationPipeline pipeline(make_topk_codec(config), config_variant);
     std::vector<float> out(d);
     pipeline.aggregate(std::span<const std::span<const float>>(views), out,

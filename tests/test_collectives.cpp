@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "comm/fabric.h"
 #include "comm/group.h"
 #include "common/rng.h"
 #include "numeric/half.h"

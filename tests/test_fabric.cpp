@@ -58,11 +58,29 @@ TEST(Fabric, MetersBytesPerRank) {
   EXPECT_EQ(fabric.bytes_sent(0), 150u);
   EXPECT_EQ(fabric.bytes_sent(1), 7u);
   EXPECT_EQ(fabric.total_bytes(), 157u);
+  // Receives are metered on delivery, not on send.
+  EXPECT_EQ(fabric.bytes_received(1), 0u);
   (void)fabric.recv(1, 0, 1);
   (void)fabric.recv(1, 0, 2);
   (void)fabric.recv(0, 1, 3);
+  EXPECT_EQ(fabric.bytes_received(1), 150u);
+  EXPECT_EQ(fabric.bytes_received(0), 7u);
   fabric.reset_counters();
   EXPECT_EQ(fabric.total_bytes(), 0u);
+  EXPECT_EQ(fabric.bytes_received(1), 0u);
+}
+
+TEST(Fabric, ResetCountersRefusesUndrainedChannels) {
+  // Resetting with messages still in flight means the caller lost track
+  // of the protocol state — subsequent meter readings would mix epochs.
+  Fabric fabric(2);
+  fabric.send(0, 1, 1, ByteBuffer(10));
+  EXPECT_THROW(fabric.reset_counters(), Error);
+  // The counters must be untouched by the refused reset.
+  EXPECT_EQ(fabric.bytes_sent(0), 10u);
+  (void)fabric.recv(1, 0, 1);
+  fabric.reset_counters();
+  EXPECT_EQ(fabric.bytes_sent(0), 0u);
 }
 
 TEST(Fabric, SelfSendWorks) {

@@ -82,6 +82,62 @@ TEST(Factory, UnknownOptionOrFlagThrows) {
   EXPECT_NO_THROW(make_compressor("fp16:tree:chunk=64", l, 4));
 }
 
+TEST(Factory, FabricOptionSelectsBackend) {
+  const ModelLayout l({LayerSpec{"x", 100, 1}});
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=local", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=threaded", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=socket", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=socket:port=29500", l, 4));
+  EXPECT_NO_THROW(make_compressor(
+      "fp16:fabric=socket:port=29500:iface=127.0.0.1", l, 4));
+  // parse_pipeline_config exposes the same parse for SPMD drivers.
+  EXPECT_EQ(parse_pipeline_config("fp16:fabric=socket").effective_backend(),
+            PipelineBackend::kSocketFabric);
+  EXPECT_EQ(parse_pipeline_config("fp16:fabric").effective_backend(),
+            PipelineBackend::kThreadedFabric);
+  // An explicit fabric=<value> beats the legacy bare flag.
+  EXPECT_EQ(
+      parse_pipeline_config("fp16:fabric:fabric=local").effective_backend(),
+      PipelineBackend::kLocalReference);
+  EXPECT_EQ(
+      parse_pipeline_config("fp16:fabric=socket:port=29500").socket_port,
+      29500);
+}
+
+TEST(Factory, SchemeCodecEntryValidatesPipelineKnobs) {
+  // make_scheme_codec ignores the shared knobs (the caller drives its
+  // own pipeline) but must still reject malformed ones — same no-silent-
+  // typo contract as make_compressor.
+  const ModelLayout l({LayerSpec{"x", 100, 1}});
+  EXPECT_NO_THROW(make_scheme_codec("topkc:b=8:chunk=4096", l, 4));
+  EXPECT_THROW(make_scheme_codec("topkc:b=8:fabric=bogus", l, 4), Error);
+  EXPECT_THROW(make_scheme_codec("topkc:b=8:chunk=abc", l, 4), Error);
+  EXPECT_THROW(make_scheme_codec("fp16:port=29500", l, 4), Error);
+}
+
+TEST(Factory, MalformedFabricValuesThrow) {
+  // Same contract as the misspelled-option tests: a malformed transport
+  // choice must not silently run a different experiment.
+  const ModelLayout l({LayerSpec{"x", 100, 1}});
+  EXPECT_THROW(make_compressor("fp16:fabric=sockets", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=bogus", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=", l, 4), Error);
+  // port= bounds and form.
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:port=0", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:port=70000", l, 4),
+               Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:port=abc", l, 4), Error);
+  // port=/iface= are socket-only knobs.
+  EXPECT_THROW(make_compressor("fp16:port=29500", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=threaded:port=29500", l, 4),
+               Error);
+  EXPECT_THROW(make_compressor("fp16:iface=127.0.0.1", l, 4), Error);
+  // iface= needs a value and a TCP rendezvous to attach to.
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:iface=", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:iface=127.0.0.1", l, 4),
+               Error);
+}
+
 TEST(Factory, MalformedNumberThrows) {
   const auto l = layout();
   EXPECT_THROW(make_compressor("topkc:b=abc", l, 4), Error);

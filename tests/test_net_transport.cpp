@@ -1,0 +1,369 @@
+// Tests for the real-socket transport: framing, rendezvous, tag-indexed
+// reassembly, zero-length payloads, peer-exit and timeout behaviour, and
+// byte-meter parity with the in-process fabric.
+#include "net/socket_fabric.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "comm/chunked_collectives.h"
+#include "comm/fabric.h"
+#include "comm/group.h"
+#include "common/check.h"
+#include "net/framing.h"
+#include "net/launcher.h"
+
+namespace gcs::net {
+namespace {
+
+ByteBuffer bytes_of(std::initializer_list<int> xs) {
+  ByteBuffer b;
+  for (int x : xs) b.push_back(static_cast<std::byte>(x));
+  return b;
+}
+
+/// Runs one body per rank on its own thread, each rank constructing its
+/// own SocketFabric endpoint — the in-process stand-in for real worker
+/// processes (which tests/test_socket_pipeline.cpp and the launcher
+/// cover).
+void run_socket_ranks(
+    int n, const std::function<void(SocketFabric&, int)>& body,
+    int recv_timeout_ms = 20000) {
+  const std::string rendezvous = unique_unix_rendezvous();
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        SocketFabricConfig config;
+        config.rendezvous = rendezvous;
+        config.world_size = n;
+        config.rank = rank;
+        config.recv_timeout_ms = recv_timeout_ms;
+        SocketFabric fabric(config);
+        body(fabric, rank);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TEST(Framing, RoundTripsTagsAndPayloads) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket a(fds[0]), b(fds[1]);
+
+  const ByteBuffer payload = bytes_of({1, 2, 3, 4, 5});
+  write_frame(a, 7, 42, payload);
+  write_frame(a, 7, 43, {});  // zero-length payloads are legal frames
+
+  std::uint32_t src = 0;
+  std::uint64_t tag = 0;
+  ByteBuffer received;
+  ASSERT_TRUE(read_frame(b, src, tag, received));
+  EXPECT_EQ(src, 7u);
+  EXPECT_EQ(tag, 42u);
+  EXPECT_EQ(received, payload);
+  ASSERT_TRUE(read_frame(b, src, tag, received));
+  EXPECT_EQ(tag, 43u);
+  EXPECT_TRUE(received.empty());
+
+  a.close();  // clean EOF at a frame boundary
+  EXPECT_FALSE(read_frame(b, src, tag, received));
+}
+
+TEST(Framing, BadMagicThrows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket a(fds[0]), b(fds[1]);
+  const char garbage[kFrameHeaderBytes] = "not a frame header";
+  a.write_all(garbage, sizeof(garbage));
+  std::uint32_t src = 0;
+  std::uint64_t tag = 0;
+  ByteBuffer payload;
+  EXPECT_THROW(read_frame(b, src, tag, payload), Error);
+}
+
+TEST(Address, ParsesAndRejects) {
+  const Address unix_addr = Address::parse("unix:/tmp/x");
+  EXPECT_TRUE(unix_addr.is_unix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x");
+  const Address tcp_addr = Address::parse("tcp:127.0.0.1:29500");
+  EXPECT_FALSE(tcp_addr.is_unix);
+  EXPECT_EQ(tcp_addr.host, "127.0.0.1");
+  EXPECT_EQ(tcp_addr.port, 29500);
+  EXPECT_THROW(Address::parse("udp:127.0.0.1:1"), Error);
+  EXPECT_THROW(Address::parse("tcp:127.0.0.1"), Error);
+  EXPECT_THROW(Address::parse("tcp:127.0.0.1:99999"), Error);
+  EXPECT_THROW(Address::parse("unix:"), Error);
+}
+
+TEST(SocketFabric, DeliversBothDirectionsAndMeters) {
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    if (rank == 0) {
+      comm.send(1, 5, bytes_of({10, 20, 30}));
+      const auto msg = comm.recv(1, 6);
+      EXPECT_EQ(msg.payload, bytes_of({40}));
+      EXPECT_EQ(fabric.bytes_sent(0), 3u);
+      EXPECT_EQ(fabric.bytes_received(0), 1u);
+    } else {
+      const auto msg = comm.recv(0, 5);
+      EXPECT_EQ(msg.payload, bytes_of({10, 20, 30}));
+      comm.send(0, 6, bytes_of({40}));
+      EXPECT_EQ(fabric.bytes_received(1), 3u);
+      EXPECT_EQ(fabric.bytes_sent(1), 1u);
+    }
+  });
+}
+
+TEST(SocketFabric, ReassemblesInterleavedTagStreams) {
+  // Chunked collectives put several tagged streams in flight on one
+  // connection; the receiver may ask for them in any order. The per-peer
+  // reader must park early frames by tag instead of failing the way the
+  // strict in-process fabric does on a head-of-line mismatch.
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    if (rank == 0) {
+      comm.send(1, 101, bytes_of({1}));
+      comm.send(1, 102, bytes_of({2}));
+      comm.send(1, 103, bytes_of({3}));
+    } else {
+      EXPECT_EQ(comm.recv(0, 103).payload, bytes_of({3}));
+      EXPECT_EQ(comm.recv(0, 101).payload, bytes_of({1}));
+      EXPECT_EQ(comm.recv(0, 102).payload, bytes_of({2}));
+    }
+  });
+}
+
+TEST(SocketFabric, ZeroLengthPayloadRoundTrips) {
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    if (rank == 0) {
+      comm.send(1, 9, ByteBuffer{});
+    } else {
+      const auto msg = comm.recv(0, 9);
+      EXPECT_TRUE(msg.payload.empty());
+      EXPECT_EQ(msg.tag, 9u);
+      EXPECT_EQ(fabric.bytes_received(1), 0u);
+    }
+  });
+}
+
+TEST(SocketFabric, RecvAfterPeerExitThrowsCleanly) {
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    if (rank == 0) {
+      // Say goodbye and exit; the fabric destructor closes the mesh.
+      comm.send(1, 1, bytes_of({1}));
+    } else {
+      EXPECT_EQ(comm.recv(0, 1).payload, bytes_of({1}));
+      // Rank 0 is gone (or going); waiting for a frame that will never
+      // come must produce a loud error, not a hang.
+      try {
+        (void)comm.recv(0, 2);
+        FAIL() << "recv after peer exit should throw";
+      } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("closed"), std::string::npos)
+            << e.what();
+      }
+    }
+  });
+}
+
+TEST(SocketFabric, RecvTimesOutInsteadOfHanging) {
+  std::atomic<bool> done{false};
+  run_socket_ranks(
+      2,
+      [&](SocketFabric& fabric, int rank) {
+        comm::Communicator comm(fabric, rank);
+        if (rank == 0) {
+          // Stay alive (so no EOF) until rank 1 has timed out.
+          while (!done.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        } else {
+          try {
+            (void)comm.recv(0, 77);
+            FAIL() << "recv with no sender should time out";
+          } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("timed out"),
+                      std::string::npos)
+                << e.what();
+          }
+          done.store(true);
+        }
+      },
+      /*recv_timeout_ms=*/200);
+}
+
+TEST(SocketFabric, SelfSendLoopsBack) {
+  run_socket_ranks(1, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    comm.send(0, 3, bytes_of({9}));
+    EXPECT_EQ(comm.recv(0, 3).payload, bytes_of({9}));
+    EXPECT_EQ(fabric.bytes_sent(0), 1u);
+    EXPECT_EQ(fabric.bytes_received(0), 1u);
+  });
+}
+
+TEST(SocketFabric, OwnsOnlyLocalRank) {
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    const int other = 1 - rank;
+    EXPECT_THROW(fabric.send(other, rank, 1, ByteBuffer{}),
+                 std::logic_error);
+    EXPECT_THROW((void)fabric.bytes_sent(other), std::logic_error);
+  });
+}
+
+TEST(SocketFabric, ResetCountersFailsWithUnmatchedFrames) {
+  run_socket_ranks(2, [](SocketFabric& fabric, int rank) {
+    comm::Communicator comm(fabric, rank);
+    if (rank == 0) {
+      comm.send(1, 50, bytes_of({1}));
+      comm.send(1, 51, bytes_of({2}));
+      (void)comm.recv(1, 60);
+    } else {
+      // Receive the second tag only; tag 50 stays parked in the
+      // reassembly buffer, so a counter reset must refuse.
+      EXPECT_EQ(comm.recv(0, 51).payload, bytes_of({2}));
+      EXPECT_THROW(fabric.reset_counters(), Error);
+      EXPECT_EQ(comm.recv(0, 50).payload, bytes_of({1}));
+      fabric.reset_counters();  // drained now — allowed
+      EXPECT_EQ(fabric.bytes_sent(1), 0u);
+      comm.send(0, 60, bytes_of({3}));
+    }
+  });
+}
+
+TEST(SocketFabric, ChunkedRingMatchesInProcessFabricBytesAndValues) {
+  // The same chunked collective over both transports: identical reduced
+  // payloads and identical per-rank wire meters (the byte-identity
+  // contract the pipeline's socket backend relies on).
+  const int n = 3;
+  const std::size_t floats = 256;
+  std::vector<ByteBuffer> inputs(n);
+  for (int r = 0; r < n; ++r) {
+    ByteWriter w(inputs[static_cast<std::size_t>(r)]);
+    for (std::size_t i = 0; i < floats; ++i) {
+      w.put<float>(static_cast<float>(r + 1) * 0.25f *
+                   static_cast<float>(i % 17));
+    }
+  }
+  const auto op = comm::make_fp32_sum();
+  const auto chunks =
+      comm::chunk_payload(inputs[0].size(), 128, op->granularity());
+
+  comm::Fabric fabric(n);
+  std::vector<ByteBuffer> in_process = inputs;
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    comm::chunked_ring_all_reduce(
+        comm, in_process[static_cast<std::size_t>(comm.rank())], chunks,
+        *op);
+  });
+
+  std::vector<ByteBuffer> over_sockets = inputs;
+  std::vector<std::uint64_t> sent(n), received(n);
+  run_socket_ranks(n, [&](SocketFabric& sf, int rank) {
+    comm::Communicator comm(sf, rank);
+    comm::chunked_ring_all_reduce(
+        comm, over_sockets[static_cast<std::size_t>(rank)], chunks, *op);
+    sent[static_cast<std::size_t>(rank)] = sf.bytes_sent(rank);
+    received[static_cast<std::size_t>(rank)] = sf.bytes_received(rank);
+  });
+
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(over_sockets[static_cast<std::size_t>(r)],
+              in_process[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    EXPECT_EQ(sent[static_cast<std::size_t>(r)], fabric.bytes_sent(r))
+        << "rank " << r;
+    EXPECT_EQ(received[static_cast<std::size_t>(r)],
+              fabric.bytes_received(r))
+        << "rank " << r;
+  }
+}
+
+TEST(SocketFabric, TcpMeshWithWildcardListenerRewrite) {
+  // TCP ranks bind the wildcard and advertise it; rank 0 must rewrite
+  // the peer-map hosts to where each HELLO actually came from (here
+  // 127.0.0.1) or the r<->s mesh connections cannot form. A 3-rank mesh
+  // forces at least one non-rank-0 connection (1<->2).
+  const int port = 20000 + static_cast<int>(::getpid() % 20000);
+  const std::string rendezvous =
+      "tcp:127.0.0.1:" + std::to_string(port);
+  const int n = 3;
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        SocketFabricConfig config;
+        config.rendezvous = rendezvous;
+        config.world_size = n;
+        config.rank = rank;
+        SocketFabric fabric(config);
+        comm::Communicator comm(fabric, rank);
+        // Exercise the 1<->2 link specifically.
+        if (rank == 1) {
+          comm.send(2, 11, bytes_of({7}));
+          EXPECT_EQ(comm.recv(2, 12).payload, bytes_of({8}));
+        } else if (rank == 2) {
+          EXPECT_EQ(comm.recv(1, 11).payload, bytes_of({7}));
+          comm.send(1, 12, bytes_of({8}));
+        } else {
+          comm.send(1, 13, ByteBuffer{});
+          comm.send(2, 13, ByteBuffer{});
+        }
+        if (rank != 0) (void)comm.recv(0, 13);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TEST(ForkedWorkers, CollectsReportsAndPropagatesFailures) {
+  ForkedWorkers ok(0, 3, [](int rank) {
+    ByteBuffer b;
+    b.push_back(static_cast<std::byte>(rank * 10));
+    return b;
+  });
+  const auto reports = ok.join();
+  ASSERT_EQ(reports.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)],
+              bytes_of({r * 10}));
+  }
+
+  ForkedWorkers failing(0, 2, [](int rank) -> ByteBuffer {
+    if (rank == 1) throw Error("worker exploded");
+    return {};
+  });
+  try {
+    failing.join();
+    FAIL() << "join should surface the child's exception";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("worker exploded"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gcs::net
