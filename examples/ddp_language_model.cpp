@@ -7,6 +7,7 @@
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "core/factory.h"
 #include "sim/ddp_trainer.h"
 #include "sim/tta.h"
 #include "sim/workload.h"
@@ -16,9 +17,12 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   if (flags.help_requested()) {
     std::cout << "usage: ddp_language_model [--scheme=SPEC] [--rounds=N] "
-                 "[--lr=X] [--workers=N]\n"
+                 "[--lr=X] [--workers=N] [--sched=KNOBS]\n"
                  "  SPEC examples: fp16 | topk:b=8 | topkc:b=2 | "
-                 "thc:q=4:b=4:sat:partial | powersgd:r=4\n";
+                 "thc:q=4:b=4:sat:partial | powersgd:r=4\n"
+                 "  KNOBS defaults to 'buckets=layer:workers=2' (bucketed "
+                 "backward-overlap\n  scheduler); pass --sched= for the "
+                 "monolithic pipeline.\n";
     return 0;
   }
 
@@ -29,6 +33,15 @@ int main(int argc, char** argv) {
 
   sim::DdpConfig config;
   config.scheme = flags.get_string("scheme", "topkc:b=2");
+  // Route the run through the bucketed, multi-worker scheduler (value
+  // path and cost charge both read the same spec knobs). A spec that
+  // already carries scheduler knobs wins outright — appending defaults
+  // would silently override it (parse_spec is last-wins for options).
+  const std::string sched =
+      flags.get_string("sched", "buckets=layer:workers=2");
+  if (!sched.empty() && !core::has_scheduler_knobs(config.scheme)) {
+    config.scheme += ":" + sched;
+  }
   config.world_size = static_cast<int>(flags.get_int("workers", 4));
   config.hidden = {64};
   config.learning_rate = flags.get_double("lr", 0.25);
@@ -59,6 +72,10 @@ int main(int argc, char** argv) {
             << " rounds/s (simulated testbed)\n"
             << "bits/coordinate   : "
             << format_sig(result.mean_bits_per_coordinate, 3) << '\n'
+            << "buckets/round     : " << result.pipeline_chunks << '\n'
+            << "overlap hidden    : "
+            << format_sig(result.overlap_saved_s_per_round * 1e3, 3)
+            << " ms/round\n"
             << "best perplexity   : " << format_sig(result.best_metric, 4)
             << (result.converged ? " (early-stopped)" : " (round cap)")
             << '\n'

@@ -92,24 +92,27 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   gcs::comm::Communicator comm(fabric, rank);
 
   const gcs::ModelLayout layout({gcs::LayerSpec{"flat", config.dim, 1}});
-  // The spec's own chunk= (validated by the factory) wins over the
-  // --chunk flag; transport selection belongs to this binary, not the
-  // spec (every rank here IS a socket endpoint already).
-  const gcs::core::PipelineConfig spec_knobs =
-      gcs::core::parse_pipeline_config(config.scheme);
-  if (spec_knobs.effective_backend() !=
+  // The spec's own knobs (validated and resolved by the factory — chunk=,
+  // buckets=, workers=, autotune) win over the --chunk flag; transport
+  // selection belongs to this binary, not the spec (every rank here IS a
+  // socket endpoint already). All ranks pass identical --scheme/--dim, so
+  // every process derives the identical chunk/bucket plan.
+  gcs::core::PipelineConfig pipeline_config =
+      gcs::core::parse_pipeline_config(config.scheme, layout, config.world);
+  if (pipeline_config.effective_backend() !=
       gcs::core::PipelineBackend::kLocalReference) {
     throw gcs::Error(
         "gcs_worker: drop fabric=/fabric from --scheme — the transport is "
         "chosen by this binary (--launch / --rank + --rendezvous)");
   }
   // chunk_bytes == 0 is a meaningful value (monolithic collectives), so
-  // "spec wins" must key on the option's presence, not on its value.
-  const bool spec_has_chunk =
-      config.scheme.find(":chunk=") != std::string::npos;
-  gcs::core::PipelineConfig pipeline_config;
-  pipeline_config.chunk_bytes =
-      spec_has_chunk ? spec_knobs.chunk_bytes : config.chunk;
+  // "spec wins" must key on the option's presence, not on its value; the
+  // autotuner resolving a chunk size counts as the spec speaking.
+  const bool spec_sets_chunk =
+      config.scheme.find(":chunk=") != std::string::npos ||
+      config.scheme.find("autotune") != std::string::npos ||
+      pipeline_config.bucket_mode == gcs::sched::BucketMode::kLayerBuckets;
+  if (!spec_sets_chunk) pipeline_config.chunk_bytes = config.chunk;
   gcs::core::AggregationPipeline pipeline(
       gcs::core::make_scheme_codec(config.scheme, layout, config.world),
       pipeline_config);
@@ -190,7 +193,9 @@ int main(int argc, char** argv) {
              "  --rank=<r>            run as one rank (multi-host mode)\n"
              "  --world=<n>           world size (default 4)\n"
              "  --rendezvous=<addr>   unix:<path> or tcp:<host>:<port>\n"
-             "  --scheme=<spec>       factory spec (default topkc:b=8)\n"
+             "  --scheme=<spec>       factory spec (default topkc:b=8);\n"
+             "                        scheduler knobs (buckets=layer,\n"
+             "                        workers=N, autotune) are honored\n"
              "  --rounds=<k>          aggregation rounds (default 2)\n"
              "  --dim=<d>             gradient dimension (default 65536)\n"
              "  --chunk=<bytes>       pipeline chunk size (default 4096)\n"

@@ -41,7 +41,15 @@ void Fabric::send(int src, int dst, std::uint64_t tag, ByteBuffer payload) {
 Message Fabric::recv(int dst, int src, std::uint64_t expected_tag) {
   Channel& ch = channel(src, dst);
   std::unique_lock lock(ch.mu);
-  ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+  ch.cv.wait(lock,
+             [this, &ch] { return aborted_.load() || !ch.queue.empty(); });
+  if (ch.queue.empty()) {
+    // Aborted with nothing queued: the expected hop will never arrive.
+    std::ostringstream os;
+    os << "Fabric::recv at rank " << dst << " from rank " << src
+       << ": fabric aborted (a peer rank failed mid-collective)";
+    throw Error(os.str());
+  }
   Message msg = std::move(ch.queue.front());
   ch.queue.pop_front();
   lock.unlock();
@@ -75,6 +83,16 @@ std::uint64_t Fabric::total_bytes() const {
   std::uint64_t total = 0;
   for (auto b : sent_bytes_) total += b;
   return total;
+}
+
+void Fabric::abort() noexcept {
+  aborted_.store(true);
+  for (auto& ch : channels_) {
+    // Take the lock so a recv between its predicate check and its wait
+    // cannot miss the notify.
+    std::lock_guard lock(ch->mu);
+    ch->cv.notify_all();
+  }
 }
 
 void Fabric::reset_counters() {

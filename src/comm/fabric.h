@@ -10,6 +10,7 @@
 // volume from these counters rather than trusting formulas.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +51,14 @@ class Fabric final : public Transport {
   /// holds undelivered messages (see Transport::reset_counters).
   void reset_counters() override;
 
+  /// Aborts the fabric: every recv blocked on an empty channel — and
+  /// every later recv that would block — throws gcs::Error instead of
+  /// waiting. For failure propagation across rank threads: a rank that
+  /// hits an error mid-collective calls abort() so its peers cannot
+  /// deadlock waiting for hops that will never arrive. Irreversible for
+  /// the fabric's lifetime; messages already queued still deliver.
+  void abort() noexcept;
+
  private:
   struct Channel {
     std::mutex mu;
@@ -61,6 +70,7 @@ class Fabric final : public Transport {
   const Channel& channel(int src, int dst) const;
 
   int world_size_;
+  std::atomic<bool> aborted_{false};
   // Dense (src, dst) -> channel matrix; unique_ptr keeps Channel stable
   // (mutex/condvar are not movable).
   std::vector<std::unique_ptr<Channel>> channels_;

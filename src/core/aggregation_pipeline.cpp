@@ -1,6 +1,7 @@
 #include "core/aggregation_pipeline.h"
 
 #include <cstring>
+#include <future>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/check.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
+#include "sched/encode_worker_pool.h"
 
 namespace gcs::core {
 namespace {
@@ -134,6 +136,80 @@ void run_stage_threaded(const WireStage& stage, CodecRound& round,
   }
 }
 
+/// Threaded-fabric stage with encode hand-off: rank r's collective thread
+/// blocks until its payload is encoded, so the pool encodes rank k+1's
+/// payload while rank k's hops are already in flight (the chunked
+/// collectives self-synchronize through blocking recv, so timing never
+/// affects values). Reduce routes only — the gather fallback needs every
+/// payload size up front. Payloads are reduced in place; payloads[0]
+/// holds the result.
+void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
+                                   std::vector<ByteBuffer>& payloads,
+                                   std::span<const comm::ChunkRange> chunks,
+                                   int ps_server, WireTraffic& wire,
+                                   sched::EncodeWorkerPool& pool) {
+  const auto n = static_cast<int>(payloads.size());
+  GCS_CHECK_MSG(stage.op != nullptr,
+                "stage '" << stage.name << "' needs a ReduceOp");
+  const std::size_t stage_bytes = payloads[0].size();
+  std::vector<std::promise<void>> ready(static_cast<std::size_t>(n));
+  std::vector<std::shared_future<void>> encoded;
+  encoded.reserve(static_cast<std::size_t>(n));
+  for (auto& p : ready) encoded.push_back(p.get_future().share());
+  ready[0].set_value();  // payloads[0] is already encoded (it fixed the plan)
+  for (int w = 1; w < n; ++w) {
+    pool.submit([&round, &payloads, &ready, w] {
+      try {
+        payloads[static_cast<std::size_t>(w)] = round.encode(w);
+        ready[static_cast<std::size_t>(w)].set_value();
+      } catch (...) {
+        // The waiting rank thread rethrows this from its future.
+        ready[static_cast<std::size_t>(w)].set_exception(
+            std::current_exception());
+      }
+    });
+  }
+  comm::Fabric fabric(n);
+  try {
+    comm::run_workers(fabric, [&](comm::Communicator& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      try {
+        encoded[rank].get();
+        GCS_CHECK_MSG(payloads[rank].size() == stage_bytes,
+                      "stage '" << stage.name
+                                << "': asymmetric payload sizes");
+        run_stage_rank(stage, comm, payloads[rank], /*symmetric=*/true,
+                       chunks, ps_server);
+      } catch (...) {
+        // Peers may already be blocked in recv on hops this rank will
+        // never send; poison the fabric so the whole stage fails loudly
+        // instead of deadlocking. run_workers rethrows the first captured
+        // error, which may be a peer's secondary "fabric aborted".
+        fabric.abort();
+        throw;
+      }
+    });
+  } catch (...) {
+    // Drain the pool before unwinding: tasks capture this frame's state.
+    try {
+      pool.wait_idle();
+    } catch (...) {
+    }
+    throw;
+  }
+  pool.wait_idle();
+  for (int r = 0; r < n; ++r) {
+    wire.sent[static_cast<std::size_t>(r)] += fabric.bytes_sent(r);
+    wire.received[static_cast<std::size_t>(r)] += fabric.bytes_received(r);
+  }
+  for (int r = 1; r < n; ++r) {
+    GCS_CHECK_MSG(payloads[static_cast<std::size_t>(r)] == payloads[0],
+                  "stage '" << stage.name
+                            << "': ranks disagree after reduction");
+  }
+  round.absorb_reduced(payloads[0]);
+}
+
 /// Builds the rendezvous address for one socket-backend round.
 std::string socket_rendezvous(const PipelineConfig& config) {
   if (config.socket_port == 0) return net::unique_unix_rendezvous();
@@ -146,8 +222,32 @@ std::string socket_rendezvous(const PipelineConfig& config) {
 
 AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
                                          PipelineConfig config)
-    : codec_(std::move(codec)), config_(config) {
+    : codec_(std::move(codec)), config_(std::move(config)) {
   GCS_CHECK(codec_ != nullptr);
+  if (config_.encode_workers < 1) {
+    throw Error("AggregationPipeline: encode_workers must be >= 1");
+  }
+  if (config_.bucket_mode == sched::BucketMode::kLayerBuckets) {
+    if (config_.layout.total_size() != codec_->dimension()) {
+      throw Error(
+          "AggregationPipeline: layer buckets need a layout covering the "
+          "codec dimension (" +
+          std::to_string(config_.layout.total_size()) + " vs " +
+          std::to_string(codec_->dimension()) + ")");
+    }
+    sched::BucketPlannerConfig planner;
+    if (config_.bucket_bytes != 0) planner.bucket_bytes = config_.bucket_bytes;
+    bucket_plan_ = std::make_unique<sched::BucketPlan>(
+        sched::plan_buckets(config_.layout, planner));
+  }
+  rebuild_pool();
+}
+
+void AggregationPipeline::rebuild_pool() {
+  if (config_.encode_workers > 1) {
+    pool_ =
+        std::make_unique<sched::EncodeWorkerPool>(config_.encode_workers);
+  }
 }
 
 AggregationPipeline::~AggregationPipeline() = default;
@@ -155,6 +255,31 @@ AggregationPipeline::AggregationPipeline(AggregationPipeline&&) noexcept =
     default;
 AggregationPipeline& AggregationPipeline::operator=(
     AggregationPipeline&&) noexcept = default;
+
+std::vector<comm::ChunkRange> AggregationPipeline::stage_chunks(
+    std::size_t payload_bytes, std::size_t granularity) const {
+  if (bucket_plan_ != nullptr) {
+    return bucket_plan_->chunk_plan(payload_bytes, granularity);
+  }
+  return comm::chunk_payload(payload_bytes, config_.chunk_bytes, granularity);
+}
+
+void AggregationPipeline::encode_rest(CodecRound& session,
+                                      std::vector<ByteBuffer>& payloads) {
+  const auto n = payloads.size();
+  if (pool_ == nullptr) {
+    for (std::size_t w = 1; w < n; ++w) {
+      payloads[w] = session.encode(static_cast<int>(w));
+    }
+    return;
+  }
+  for (std::size_t w = 1; w < n; ++w) {
+    pool_->submit([&session, &payloads, w] {
+      payloads[w] = session.encode(static_cast<int>(w));
+    });
+  }
+  pool_->wait_idle();
+}
 
 RoundStats AggregationPipeline::aggregate(
     std::span<const std::span<const float>> grads, std::span<float> out,
@@ -178,28 +303,39 @@ RoundStats AggregationPipeline::aggregate(
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
-    for (std::size_t w = 0; w < n; ++w) {
-      payloads[w] = session->encode(static_cast<int>(w));
-      // Reducible routes need symmetric sizes; all-gather payloads may
-      // differ (TopK's delta format pads per-worker).
-      GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
-                        payloads[w].size() == payloads[0].size(),
-                    "stage '" << stage.name
-                              << "': asymmetric payload sizes");
-    }
+    // Worker 0 is always encoded first: its payload size fixes the chunk
+    // plan every rank must share.
+    payloads[0] = session->encode(0);
+    const std::size_t stage_bytes = payloads[0].size();
     const std::size_t granularity =
         stage.op != nullptr ? stage.op->granularity() : 1;
-    const auto chunks =
-        comm::chunk_payload(payloads[0].size(), config_.chunk_bytes,
-                            granularity);
-    if (backend == PipelineBackend::kThreadedFabric) {
-      run_stage_threaded(stage, *session, payloads, chunks,
-                         config_.ps_server, wire_);
+    const auto chunks = stage_chunks(stage_bytes, granularity);
+    if (backend == PipelineBackend::kThreadedFabric && pool_ != nullptr &&
+        stage.route != AggregationPath::kAllGather) {
+      // The hand-off path: collective threads start now; the pool feeds
+      // them payloads as they are encoded.
+      run_stage_threaded_overlapped(stage, *session, payloads, chunks,
+                                    config_.ps_server, wire_, *pool_);
     } else {
-      run_stage_local(stage, *session, payloads, chunks, config_.ps_server);
+      encode_rest(*session, payloads);
+      for (std::size_t w = 1; w < n; ++w) {
+        // Reducible routes need symmetric sizes; all-gather payloads may
+        // differ (TopK's delta format pads per-worker).
+        GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
+                          payloads[w].size() == stage_bytes,
+                      "stage '" << stage.name
+                                << "': asymmetric payload sizes");
+      }
+      if (backend == PipelineBackend::kThreadedFabric) {
+        run_stage_threaded(stage, *session, payloads, chunks,
+                           config_.ps_server, wire_);
+      } else {
+        run_stage_local(stage, *session, payloads, chunks,
+                        config_.ps_server);
+      }
     }
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
-        payloads[0].size();
+        stage_bytes;
   }
   session->finish(out, stats);
   return stats;
@@ -222,25 +358,62 @@ RoundStats AggregationPipeline::aggregate_over(
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
-    // Every rank encodes all workers (the codec is cluster-wide state that
-    // must evolve identically everywhere) but puts only its own payload on
-    // the wire — the SPMD execution of the same round aggregate() runs.
-    for (std::size_t w = 0; w < n; ++w) {
-      payloads[w] = session->encode(static_cast<int>(w));
-      GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
-                        payloads[w].size() == payloads[0].size(),
-                    "stage '" << stage.name
-                              << "': asymmetric payload sizes");
-    }
     if (stage.route != AggregationPath::kAllGather) {
       GCS_CHECK_MSG(stage.op != nullptr,
                     "stage '" << stage.name << "' needs a ReduceOp");
     }
     const std::size_t granularity =
         stage.op != nullptr ? stage.op->granularity() : 1;
+    // Every rank encodes all workers (the codec is cluster-wide state that
+    // must evolve identically everywhere) but puts only its own payload on
+    // the wire — the SPMD execution of the same round aggregate() runs.
+    if (pool_ != nullptr && stage.route != AggregationPath::kAllGather) {
+      // Overlapped encode: this rank's own payload goes on the wire
+      // immediately; the pool encodes the other workers' (state-evolving)
+      // copies while the collective's hops are already in flight.
+      // Reducible payloads are size-symmetric, so the rank's own size
+      // fixes the shared chunk plan.
+      ByteBuffer mine = session->encode(static_cast<int>(rank));
+      const std::size_t stage_bytes = mine.size();
+      const auto chunks = stage_chunks(stage_bytes, granularity);
+      for (std::size_t w = 0; w < n; ++w) {
+        if (w == rank) continue;
+        pool_->submit([&session, &payloads, w] {
+          payloads[w] = session->encode(static_cast<int>(w));
+        });
+      }
+      try {
+        run_stage_rank(stage, comm, mine, /*symmetric=*/true, chunks,
+                       config_.ps_server);
+      } catch (...) {
+        try {
+          pool_->wait_idle();
+        } catch (...) {
+        }
+        throw;
+      }
+      pool_->wait_idle();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (w == rank) continue;
+        GCS_CHECK_MSG(payloads[w].size() == stage_bytes,
+                      "stage '" << stage.name
+                                << "': asymmetric payload sizes");
+      }
+      session->absorb_reduced(mine);
+      (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
+          stage_bytes;
+      continue;
+    }
+    payloads[0] = session->encode(0);
+    encode_rest(*session, payloads);
+    for (std::size_t w = 1; w < n; ++w) {
+      GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
+                        payloads[w].size() == payloads[0].size(),
+                    "stage '" << stage.name
+                              << "': asymmetric payload sizes");
+    }
     const std::size_t stage_bytes = payloads[0].size();
-    const auto chunks =
-        comm::chunk_payload(stage_bytes, config_.chunk_bytes, granularity);
+    const auto chunks = stage_chunks(stage_bytes, granularity);
     const bool symmetric = payloads_symmetric(payloads);
     // Move, not copy: the rank's payload is re-encoded next stage anyway,
     // and the dense stages are the wire hot path (stage_bytes captured
@@ -276,7 +449,13 @@ RoundStats AggregationPipeline::aggregate_socket(
   // the identical SPMD round on its copy-on-write snapshot of the codec
   // and reports its wire meters plus the aggregated output for
   // cross-process agreement checking.
+  //
+  // The encode pool's threads must not straddle the fork (a child would
+  // inherit the pool object but not its threads, and any pool call would
+  // hang): drop them now; each side rebuilds its own pool below.
+  pool_.reset();
   auto worker = [&](int rank) -> ByteBuffer {
+    rebuild_pool();
     net::SocketFabricConfig fc;
     fc.rendezvous = rendezvous;
     fc.world_size = n;
@@ -293,6 +472,7 @@ RoundStats AggregationPipeline::aggregate_socket(
     return report;
   };
   net::ForkedWorkers peers(1, n, worker);
+  rebuild_pool();
 
   net::SocketFabricConfig fc;
   fc.rendezvous = rendezvous;

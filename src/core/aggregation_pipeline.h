@@ -23,17 +23,33 @@
 // by sim/cost_model.h (RoundTime::overlap_saved_s), keeping the value path
 // and the clock model in one frame: same chunk plan in, same stage
 // structure out.
+//
+// The sched/ subsystem (DESIGN.md section 4) sits on top: with
+// bucket_mode = kLayerBuckets the chunk plan comes from a DDP-style
+// layer-aligned BucketPlan instead of a fixed size, and with
+// encode_workers > 1 the per-worker encodes run on an EncodeWorkerPool —
+// on the threaded fabric, collective threads start while later ranks'
+// payloads are still being encoded. Both knobs are value-transparent; the
+// backward-overlap time they buy is charged by
+// CostModel::bucketed_round_for_spec.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/codec.h"
+#include "sched/bucket_planner.h"
+#include "tensor/layout.h"
 
 namespace gcs::comm {
 class Communicator;
+}
+
+namespace gcs::sched {
+class EncodeWorkerPool;
 }
 
 namespace gcs::core {
@@ -62,6 +78,21 @@ struct PipelineConfig {
   int socket_port = 0;
   /// Socket backend: TCP host/interface address; empty = 127.0.0.1.
   std::string socket_iface;
+  /// How stage payloads split into chunks: fixed-size (`chunk_bytes`,
+  /// the default) or layer-aligned DDP-style buckets from the sched/
+  /// planner (requires `layout`). Values are bit-identical either way.
+  sched::BucketMode bucket_mode = sched::BucketMode::kSizeChunks;
+  /// Layer-bucket size cap in FP32 gradient bytes; 0 = the planner's
+  /// 25 MB default. Only meaningful with kLayerBuckets.
+  std::size_t bucket_bytes = 0;
+  /// Encode worker pool width: >1 encodes per-worker payloads on a
+  /// sched::EncodeWorkerPool (deterministic hand-off, bit-identical to
+  /// the serial order) and, on the threaded fabric, lets collective
+  /// threads start while later payloads are still encoding.
+  int encode_workers = 1;
+  /// Layer table for kLayerBuckets (the factory passes its layout
+  /// through). Must cover the codec's dimension.
+  ModelLayout layout;
 
   PipelineBackend effective_backend() const noexcept {
     if (backend != PipelineBackend::kLocalReference) return backend;
@@ -110,13 +141,35 @@ class AggregationPipeline {
   const SchemeCodec& codec() const noexcept { return *codec_; }
   const PipelineConfig& config() const noexcept { return config_; }
 
+  /// The layer-bucket plan driving chunk plans (null for kSizeChunks).
+  const sched::BucketPlan* bucket_plan() const noexcept {
+    return bucket_plan_.get();
+  }
+
  private:
   RoundStats aggregate_socket(std::span<const std::span<const float>> grads,
                               std::span<float> out, std::uint64_t round);
 
+  /// Chunk plan for one stage payload: the bucket plan's layer-aligned
+  /// projection under kLayerBuckets, the fixed-size split otherwise.
+  std::vector<comm::ChunkRange> stage_chunks(std::size_t payload_bytes,
+                                             std::size_t granularity) const;
+
+  /// Encodes workers [1, n) into `payloads` through the worker pool (or
+  /// inline without one); payloads[0] must already be encoded. Blocking;
+  /// bit-identical to the serial encode order by the pool's slot rule.
+  void encode_rest(CodecRound& session, std::vector<ByteBuffer>& payloads);
+
+  /// (Re)creates the encode pool per config. Also the fork-safety hook:
+  /// the socket backend drops the pool before forking and calls this on
+  /// both sides of the fork.
+  void rebuild_pool();
+
   SchemeCodecPtr codec_;
   PipelineConfig config_;
   WireTraffic wire_;
+  std::unique_ptr<sched::BucketPlan> bucket_plan_;
+  std::unique_ptr<sched::EncodeWorkerPool> pool_;
 };
 
 /// Wraps a codec + pipeline behind the legacy Compressor interface. This

@@ -11,15 +11,17 @@
 #include "core/thc_compressor.h"
 #include "core/topk_compressor.h"
 #include "core/topkc_compressor.h"
+#include "sched/autotune.h"
 
 namespace gcs::core {
 namespace {
 
-/// Spec keys/flags consumed by the pipeline layer rather than a scheme;
-/// every scheme's require_known() treats these as known.
-constexpr const char* kPipelineOptions[] = {"chunk", "fabric", "port",
-                                            "iface"};
-constexpr const char* kPipelineFlags[] = {"fabric"};
+/// Spec keys/flags consumed by the pipeline/scheduler layers rather than
+/// a scheme; every scheme's require_known() treats these as known.
+constexpr const char* kPipelineOptions[] = {"chunk",   "fabric", "port",
+                                            "iface",   "buckets", "bucket",
+                                            "workers", "autotune"};
+constexpr const char* kPipelineFlags[] = {"fabric", "autotune"};
 
 struct Spec {
   std::string kind;
@@ -96,9 +98,14 @@ Spec parse_spec(const std::string& text) {
   return spec;
 }
 
-/// Parses and validates the shared pipeline/transport knobs (see
-/// factory.h for the grammar).
-PipelineConfig pipeline_config_of(const Spec& spec) {
+/// Parses and validates the shared pipeline/transport/scheduler knobs
+/// (see factory.h for the grammar). `layout` provides the layer table the
+/// bucket planner and the autotuner need; null = grammar-only validation
+/// (buckets=layer and autotune are still accepted, the caller attaches a
+/// layout itself).
+PipelineConfig pipeline_config_of(const Spec& spec,
+                                  const ModelLayout* layout,
+                                  int world_size) {
   PipelineConfig pipeline;
   pipeline.chunk_bytes =
       static_cast<std::size_t>(spec.get_double("chunk", 0.0));
@@ -161,6 +168,104 @@ PipelineConfig pipeline_config_of(const Spec& spec) {
           "port= the socket backend uses Unix-domain sockets");
     }
     pipeline.socket_iface = iface_it->second;
+  }
+
+  // ---- scheduler knobs (DESIGN.md section 4): buckets=, bucket=,
+  // workers=, autotune.
+  const auto buckets_it = spec.options.find("buckets");
+  if (buckets_it != spec.options.end()) {
+    const std::string& value = buckets_it->second;
+    if (value == "layer") {
+      pipeline.bucket_mode = sched::BucketMode::kLayerBuckets;
+    } else if (value == "size") {
+      pipeline.bucket_mode = sched::BucketMode::kSizeChunks;
+    } else {
+      throw Error("compressor spec: buckets= expects layer or size, got '" +
+                  value + "'");
+    }
+  }
+  const auto bucket_it = spec.options.find("bucket");
+  if (bucket_it != spec.options.end()) {
+    if (pipeline.bucket_mode != sched::BucketMode::kLayerBuckets) {
+      throw Error(
+          "compressor spec: bucket= (layer-bucket byte cap) is only "
+          "meaningful with buckets=layer");
+    }
+    const double bytes = spec.get_double("bucket", 0.0);
+    if (bytes < 1.0) {
+      throw Error("compressor spec: bucket= expects a positive byte count");
+    }
+    pipeline.bucket_bytes = static_cast<std::size_t>(bytes);
+  }
+  const auto workers_it = spec.options.find("workers");
+  if (workers_it != spec.options.end()) {
+    const double workers = spec.get_double("workers", 1.0);
+    if (workers < 1.0 || workers != static_cast<double>(
+                                        static_cast<int>(workers))) {
+      throw Error(
+          "compressor spec: workers= expects a positive integer (the "
+          "encode worker pool width), got '" +
+          workers_it->second + "'");
+    }
+    pipeline.encode_workers = static_cast<int>(workers);
+  }
+
+  bool autotune = spec.has_flag("autotune");
+  const auto autotune_it = spec.options.find("autotune");
+  if (autotune_it != spec.options.end()) {
+    if (autotune_it->second == "1") {
+      autotune = true;
+    } else if (autotune_it->second != "0") {
+      throw Error("compressor spec: autotune= expects 0 or 1, got '" +
+                  autotune_it->second + "'");
+    }
+  }
+  if (autotune) {
+    if (spec.options.find("chunk") != spec.options.end()) {
+      throw Error(
+          "compressor spec: autotune picks the chunk size itself — drop "
+          "chunk= or autotune");
+    }
+    if (bucket_it != spec.options.end()) {
+      throw Error(
+          "compressor spec: autotune picks the bucket size itself — drop "
+          "bucket= or autotune");
+    }
+  }
+  if (pipeline.bucket_mode == sched::BucketMode::kLayerBuckets &&
+      layout != nullptr) {
+    pipeline.layout = *layout;
+  }
+  if (autotune && layout != nullptr) {
+    // Resolve the autotuned sizes against the cost model, standing the
+    // layout in for a calibrated workload (sched/autotune.h).
+    const sim::WorkloadSpec workload =
+        sched::workload_for_layout(*layout, spec.kind);
+    // Strip the knobs the sweep varies so charge dispatch sees a plain
+    // scheme spec (chunk=/bucket= are rejected above; buckets=layer in
+    // the spec would force bucketed charging inside the sweep's chunked
+    // arm).
+    std::string plain = spec.kind;
+    for (const auto& [key, value] : spec.options) {
+      if (key == "buckets" || key == "workers" || key == "fabric" ||
+          key == "port" || key == "iface" || key == "autotune") {
+        continue;
+      }
+      plain += ":" + key + "=" + value;
+    }
+    for (const auto& flag : spec.flags) {
+      if (flag == "fabric" || flag == "autotune") continue;
+      plain += ":" + flag;
+    }
+    const sim::CostModel cost(sim::CostConstants{},
+                              netsim::NetworkModel{}, world_size);
+    const sched::AutotuneChoice choice = sched::autotune_sizes(
+        cost, workload, plain, pipeline.encode_workers);
+    if (pipeline.bucket_mode == sched::BucketMode::kLayerBuckets) {
+      pipeline.bucket_bytes = choice.bucket_bytes;
+    } else {
+      pipeline.chunk_bytes = choice.chunk_bytes;
+    }
   }
   return pipeline;
 }
@@ -253,7 +358,8 @@ SchemeCodecPtr codec_of(const Spec& spec, const std::string& text,
 CompressorPtr make_compressor(const std::string& text,
                               const ModelLayout& layout, int world_size) {
   const Spec spec = parse_spec(text);
-  const PipelineConfig pipeline = pipeline_config_of(spec);
+  const PipelineConfig pipeline =
+      pipeline_config_of(spec, &layout, world_size);
   return make_pipeline_compressor(codec_of(spec, text, layout, world_size),
                                   pipeline);
 }
@@ -264,12 +370,28 @@ SchemeCodecPtr make_scheme_codec(const std::string& text,
   // The shared knobs are ignored here (the caller owns the pipeline) but
   // still validated: a typo must not silently run a different experiment
   // through this entry point either.
-  (void)pipeline_config_of(spec);
+  (void)pipeline_config_of(spec, &layout, world_size);
   return codec_of(spec, text, layout, world_size);
 }
 
 PipelineConfig parse_pipeline_config(const std::string& text) {
-  return pipeline_config_of(parse_spec(text));
+  // No layout here: buckets=layer parses, but the caller must attach its
+  // own layout (PipelineConfig::layout) before constructing a pipeline.
+  return pipeline_config_of(parse_spec(text), nullptr, 4);
+}
+
+PipelineConfig parse_pipeline_config(const std::string& text,
+                                     const ModelLayout& layout,
+                                     int world_size) {
+  return pipeline_config_of(parse_spec(text), &layout, world_size);
+}
+
+bool has_scheduler_knobs(const std::string& text) {
+  const Spec spec = parse_spec(text);
+  for (const char* key : {"buckets", "bucket", "workers", "autotune"}) {
+    if (spec.options.find(key) != spec.options.end()) return true;
+  }
+  return spec.has_flag("autotune");
 }
 
 }  // namespace gcs::core

@@ -15,7 +15,18 @@
 // many bytes for the pipelined collectives (bit-identical values; affects
 // the wire schedule and the charged round time).
 //
-// Transport selection (see DESIGN.md section 4):
+// Scheduler knobs (see DESIGN.md section 4):
+//   "buckets=layer"          layer-aligned DDP-style buckets (reverse
+//                            backprop order) instead of size-based chunks
+//   "buckets=size"           the default size-based chunking, explicitly
+//   "bucket=<bytes>"         layer-bucket cap (default 25 MB); only with
+//                            buckets=layer
+//   "workers=<N>"            encode worker pool width (default 1)
+//   "autotune" / "autotune=1"
+//                            pick chunk/bucket bytes by sweeping the cost
+//                            model; rejects an explicit chunk=/bucket=
+//
+// Transport selection (see DESIGN.md section 5):
 //   "fabric"                 legacy flag: threaded in-process fabric
 //   "fabric=local"           local reference aggregators (the default)
 //   "fabric=threaded"        one thread per rank over comm::Fabric
@@ -52,9 +63,23 @@ CompressorPtr make_compressor(const std::string& spec,
 SchemeCodecPtr make_scheme_codec(const std::string& spec,
                                  const ModelLayout& layout, int world_size);
 
-/// Parses the shared pipeline/transport knobs of a spec (chunk=, fabric,
-/// fabric=, port=, iface=) without building the codec. Validates the
-/// values with the same rejection rules as make_compressor.
+/// Parses the shared pipeline/transport/scheduler knobs of a spec
+/// (chunk=, fabric, fabric=, port=, iface=, buckets=, bucket=, workers=,
+/// autotune) without building the codec. Validates the values with the
+/// same rejection rules as make_compressor. The layout-free overload
+/// accepts buckets=layer/autotune but leaves PipelineConfig::layout empty
+/// (and the autotuned sizes unresolved) — the caller attaches a layout,
+/// or uses the overload below.
 PipelineConfig parse_pipeline_config(const std::string& spec);
+PipelineConfig parse_pipeline_config(const std::string& spec,
+                                     const ModelLayout& layout,
+                                     int world_size);
+
+/// True when the spec explicitly carries any scheduler knob (buckets=,
+/// bucket=, workers=, autotune). For callers that append default
+/// scheduler knobs to user specs (the ddp examples): parse_spec is
+/// last-wins for options, so appending over an explicit choice would
+/// silently override it.
+bool has_scheduler_knobs(const std::string& spec);
 
 }  // namespace gcs::core

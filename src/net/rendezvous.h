@@ -1,6 +1,6 @@
 // Full-mesh rendezvous: bootstrap n processes into n*(n-1)/2 connections.
 //
-// Protocol (rank 0 is the rendezvous point, see DESIGN.md section 4):
+// Protocol (rank 0 is the rendezvous point, see DESIGN.md section 5):
 //
 //   1. Every rank r > 0 opens its own listener — unix: `<path>.r<r>`,
 //      tcp: same host, kernel-assigned port — then connects to rank 0's

@@ -1,0 +1,32 @@
+#include "sched/backward_source.h"
+
+#include "common/check.h"
+
+namespace gcs::sched {
+
+BackwardSource::BackwardSource(const ModelLayout& layout,
+                               double backward_seconds)
+    : backward_seconds_(backward_seconds) {
+  GCS_CHECK_MSG(layout.num_layers() > 0, "BackwardSource: empty layout");
+  GCS_CHECK(backward_seconds >= 0.0);
+  const auto total = static_cast<double>(layout.total_size());
+  ready_s_.assign(layout.num_layers(), 0.0);
+  events_.reserve(layout.num_layers());
+  double clock = 0.0;
+  for (std::size_t l = layout.num_layers(); l-- > 0;) {
+    clock += backward_seconds * static_cast<double>(layout.layer(l).size()) /
+             total;
+    ready_s_[l] = clock;
+    events_.push_back({l, clock});
+  }
+}
+
+double BackwardSource::layer_ready_s(std::size_t layer) const {
+  return ready_s_.at(layer);
+}
+
+double BackwardSource::bucket_ready_s(const Bucket& bucket) const {
+  return layer_ready_s(bucket.first_layer);
+}
+
+}  // namespace gcs::sched

@@ -1,0 +1,66 @@
+// Replay of per-layer gradient-ready events during the backward pass.
+//
+// The backward pass visits layers in reverse index order (the loss end of
+// the model first), and a layer's gradient exists only once its backward
+// step completes. BackwardSource turns a WorkloadSpec's layer table into
+// that event stream: per-layer backward time is allocated proportionally
+// to the layer's parameter count (the same FLOP proxy the cost model's
+// matmul charges use), summing to the workload's backward share of
+// fp32_compute_seconds.
+//
+// Consumers:
+//   * sim/cost_model's backward-overlap charge — bucket k's encode may
+//     start at bucket_ready_s(k), not at backward_end_s(), which is
+//     exactly the head start DDP-style bucketing buys;
+//   * tests — the legality proof that a layer-aligned bucket never needs
+//     a coordinate whose layer is still pending at the bucket's ready
+//     time;
+//   * the autotuner/bench — printing and sweeping the bucket schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/bucket_planner.h"
+#include "tensor/layout.h"
+
+namespace gcs::sched {
+
+/// Share of fp32 forward+backward time spent in the backward pass (the
+/// usual ~2x-forward rule of thumb; gradients w.r.t. inputs and weights).
+inline constexpr double kBackwardFraction = 2.0 / 3.0;
+
+/// One gradient-ready event: layer `layer`'s gradient exists from
+/// `time_s` (seconds after the backward pass starts).
+struct LayerReadyEvent {
+  std::size_t layer = 0;
+  double time_s = 0.0;
+};
+
+class BackwardSource {
+ public:
+  /// `backward_seconds` is the duration of the whole backward pass;
+  /// events are timestamped relative to its start.
+  BackwardSource(const ModelLayout& layout, double backward_seconds);
+
+  /// Events in replay (time) order: the last layer first.
+  const std::vector<LayerReadyEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Seconds after backward start at which layer i's gradient is ready.
+  double layer_ready_s(std::size_t layer) const;
+
+  /// A bucket is ready when its *lowest-index* layer is — the one the
+  /// backward pass reaches last.
+  double bucket_ready_s(const Bucket& bucket) const;
+
+  double backward_seconds() const noexcept { return backward_seconds_; }
+
+ private:
+  std::vector<double> ready_s_;  ///< indexed by layer
+  std::vector<LayerReadyEvent> events_;
+  double backward_seconds_ = 0.0;
+};
+
+}  // namespace gcs::sched

@@ -1,0 +1,153 @@
+#include "sched/bucket_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gcs::sched {
+namespace {
+
+constexpr std::size_t kGradBytesPerElem = 4;  // FP32 gradient coordinates
+
+}  // namespace
+
+BucketPlan::BucketPlan(std::vector<Bucket> buckets, std::size_t total_elems)
+    : buckets_(std::move(buckets)), total_elems_(total_elems) {
+  GCS_CHECK_MSG(!buckets_.empty(), "BucketPlan: no buckets");
+  std::size_t covered = 0;
+  for (const auto& b : buckets_) {
+    GCS_CHECK_MSG(b.grad_elems > 0, "BucketPlan: empty bucket");
+    covered += b.grad_elems;
+  }
+  GCS_CHECK_MSG(covered == total_elems_,
+                "BucketPlan: buckets cover " << covered << " of "
+                                             << total_elems_ << " elements");
+}
+
+double BucketPlan::fraction(std::size_t i) const {
+  return static_cast<double>(bucket(i).grad_elems) /
+         static_cast<double>(total_elems_);
+}
+
+std::vector<comm::ChunkRange> BucketPlan::chunk_plan(
+    std::size_t payload_bytes, std::size_t granularity) const {
+  GCS_CHECK(granularity >= 1);
+  GCS_CHECK_MSG(payload_bytes % granularity == 0,
+                "BucketPlan: payload " << payload_bytes
+                                       << " not a multiple of granularity "
+                                       << granularity);
+  std::vector<comm::ChunkRange> chunks;
+  if (payload_bytes == 0) {
+    chunks.push_back({0, 0});
+    return chunks;
+  }
+  // Ascending byte order = reverse bucket order (bucket 0 holds the
+  // trailing layers). Walk buckets from the last (lowest offset) to the
+  // first, projecting each cumulative element boundary onto the payload
+  // and aligning down to the op's granularity; collapsed boundaries merge
+  // the adjacent chunks.
+  std::size_t pos = 0;
+  std::size_t cum_elems = 0;
+  for (std::size_t j = buckets_.size(); j-- > 0;) {
+    cum_elems += buckets_[j].grad_elems;
+    std::size_t boundary;
+    if (j == 0) {
+      boundary = payload_bytes;  // exact: no rounding at the end
+    } else {
+      const double frac = static_cast<double>(cum_elems) /
+                          static_cast<double>(total_elems_);
+      boundary = static_cast<std::size_t>(
+          frac * static_cast<double>(payload_bytes));
+      boundary -= boundary % granularity;
+      boundary = std::min(boundary, payload_bytes);
+    }
+    if (boundary > pos) {
+      chunks.push_back({pos, boundary - pos});
+      pos = boundary;
+    }
+  }
+  comm::check_chunk_plan(chunks, payload_bytes);
+  return chunks;
+}
+
+std::size_t BucketPlan::bucket_of_chunk(const comm::ChunkRange& chunk,
+                                        std::size_t payload_bytes) const {
+  GCS_CHECK(payload_bytes > 0 && chunk.size > 0 &&
+            chunk.end() <= payload_bytes);
+  // Bucket j's *unaligned* proportional byte range is
+  // [payload * before/total, payload * (before+elems)/total); walking j
+  // downward walks those ranges in ascending byte order, so the first
+  // overlap is the highest j — the latest-ready bucket the chunk touches.
+  // 128-bit products: payload_bytes * total_elems can exceed 64 bits.
+  using Wide = unsigned __int128;
+  const auto payload = static_cast<Wide>(payload_bytes);
+  const auto total = static_cast<Wide>(total_elems_);
+  std::size_t before = 0;  // elements at lower byte offsets than bucket j
+  for (std::size_t j = buckets_.size(); j-- > 0;) {
+    const Wide lo = payload * static_cast<Wide>(before);  // scaled by total
+    const Wide hi =
+        payload * static_cast<Wide>(before + buckets_[j].grad_elems);
+    // Overlap of [chunk.offset, chunk.end()) x total with [lo, hi).
+    if (static_cast<Wide>(chunk.end()) * total > lo &&
+        static_cast<Wide>(chunk.offset) * total < hi) {
+      return j;
+    }
+    before += buckets_[j].grad_elems;
+  }
+  throw Error("BucketPlan::bucket_of_chunk: chunk overlaps no bucket");
+}
+
+BucketPlan plan_buckets(const ModelLayout& layout,
+                        const BucketPlannerConfig& config) {
+  GCS_CHECK_MSG(layout.num_layers() > 0, "plan_buckets: empty layout");
+  GCS_CHECK(config.bucket_bytes > 0 && config.first_bucket_bytes > 0);
+  const std::size_t cap_elems =
+      std::max<std::size_t>(config.bucket_bytes / kGradBytesPerElem, 1);
+  // The first bucket is never *larger* than the steady-state cap: a
+  // bucket_bytes below the 1 MB first-bucket default (tiny models, tests)
+  // must still produce a multi-bucket plan.
+  const std::size_t first_cap_elems = std::min(
+      cap_elems,
+      std::max<std::size_t>(config.first_bucket_bytes / kGradBytesPerElem,
+                            1));
+
+  // Walk layers in backward order (last layer first), opening a new
+  // bucket whenever the current one would exceed its cap. Layers are
+  // never split, so a single huge layer yields one oversized bucket.
+  std::vector<Bucket> buckets;
+  Bucket current;
+  bool open = false;
+  for (std::size_t l = layout.num_layers(); l-- > 0;) {
+    const std::size_t elems = layout.layer(l).size();
+    const std::size_t cap = buckets.empty() ? first_cap_elems : cap_elems;
+    if (open && current.grad_elems > 0 &&
+        current.grad_elems + elems > cap) {
+      buckets.push_back(current);
+      open = false;
+    }
+    if (!open) {
+      current = Bucket{};
+      open = true;
+    }
+    current.first_layer = l;
+    current.grad_offset = layout.offset(l);
+    current.layer_count += 1;
+    current.grad_elems += elems;
+  }
+  GCS_CHECK(open);
+  // Last-bucket special case: a runt tail (the first layers of the model)
+  // folds into its predecessor instead of paying a whole extra
+  // per-collective latency for a sliver of gradient.
+  if (!buckets.empty() && current.grad_elems < cap_elems / 4) {
+    Bucket& prev = buckets.back();
+    prev.first_layer = current.first_layer;
+    prev.grad_offset = current.grad_offset;
+    prev.layer_count += current.layer_count;
+    prev.grad_elems += current.grad_elems;
+  } else {
+    buckets.push_back(current);
+  }
+  return BucketPlan(std::move(buckets), layout.total_size());
+}
+
+}  // namespace gcs::sched

@@ -1,0 +1,114 @@
+// Layer-aligned gradient buckets (the scheduler layer's chunk plans).
+//
+// PyTorch DDP hides communication behind the backward pass by grouping
+// parameters into ~25 MB buckets in *reverse* layer order: the last
+// layers' gradients materialize first, so their bucket can be encoded and
+// put on the wire while earlier layers are still backpropagating. This
+// planner reproduces that structure on top of ModelLayout:
+//
+//   * buckets are contiguous runs of whole layers (a chunk boundary in
+//     the middle of a layer would need a gradient that does not exist yet
+//     when the bucket becomes ready);
+//   * buckets are stored in gradient-ready (backward) order — bucket 0
+//     holds the *trailing* layers of the flat tensor;
+//   * the first bucket is capped small (kDefaultFirstBucketBytes, like
+//     DDP's first-bucket special case) so the wire starts early, and a
+//     runt last bucket is folded into its predecessor so the final
+//     backward steps do not pay a whole extra per-collective latency.
+//
+// A BucketPlan maps to the transport layer through chunk_plan(): the
+// bucket boundaries (fractions of the gradient coordinate space) are
+// projected proportionally onto a stage's payload bytes, producing the
+// ascending, granularity-aligned ChunkRange tiling the chunked
+// collectives require. Chunking is value-transparent (DESIGN.md section
+// 6), so a layer-aligned plan is bit-identical to a size-based one — the
+// alignment buys *schedule* legality, which sim/cost_model charges and
+// sched/backward_source timestamps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/chunked_collectives.h"
+#include "tensor/layout.h"
+
+namespace gcs::sched {
+
+/// How the orchestration layer splits stage payloads into chunks.
+enum class BucketMode : std::uint8_t {
+  kSizeChunks,    ///< fixed-size chunks (PR 1 behaviour; `chunk=` bytes)
+  kLayerBuckets,  ///< layer-aligned DDP-style buckets (this planner)
+};
+
+/// DDP-style defaults: 25 MB buckets, 1 MB first bucket (both measured in
+/// FP32 gradient bytes, 4 bytes per coordinate).
+struct BucketPlannerConfig {
+  std::size_t bucket_bytes = kDefaultBucketBytes;
+  std::size_t first_bucket_bytes = kDefaultFirstBucketBytes;
+
+  static constexpr std::size_t kDefaultBucketBytes = 25u << 20;
+  static constexpr std::size_t kDefaultFirstBucketBytes = 1u << 20;
+};
+
+/// One bucket: layers [first_layer, first_layer + layer_count) of the
+/// layout, occupying [grad_offset, grad_offset + grad_elems) of the flat
+/// gradient. Buckets are held in backward (gradient-ready) order.
+struct Bucket {
+  std::size_t first_layer = 0;
+  std::size_t layer_count = 0;
+  std::size_t grad_offset = 0;
+  std::size_t grad_elems = 0;
+
+  std::size_t grad_end() const noexcept { return grad_offset + grad_elems; }
+  friend bool operator==(const Bucket&, const Bucket&) = default;
+};
+
+/// The full bucket schedule of one model layout.
+class BucketPlan {
+ public:
+  BucketPlan() = default;
+  BucketPlan(std::vector<Bucket> buckets, std::size_t total_elems);
+
+  /// Buckets in gradient-ready (backward) order: bucket 0 covers the
+  /// trailing layers of the flat tensor.
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  const Bucket& bucket(std::size_t i) const { return buckets_.at(i); }
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+  std::size_t total_elems() const noexcept { return total_elems_; }
+
+  /// Fraction of the gradient held by bucket i (its share of any
+  /// proportional per-bucket charge).
+  double fraction(std::size_t i) const;
+
+  /// Projects the bucket boundaries onto a stage payload of
+  /// `payload_bytes`, producing an ascending, gapless ChunkRange tiling
+  /// with every boundary aligned to `granularity`. Chunk j corresponds to
+  /// bucket num_buckets()-1-j (ascending byte order is the transport
+  /// contract; backward order is the scheduler's reading of the same
+  /// plan). Boundaries that collapse under alignment are merged, so the
+  /// plan may have fewer chunks than buckets for tiny payloads.
+  std::vector<comm::ChunkRange> chunk_plan(std::size_t payload_bytes,
+                                           std::size_t granularity) const;
+
+  /// The bucket whose gradient-ready time gates `chunk` of a
+  /// `payload_bytes`-sized stage payload: the LATEST-ready (highest-index)
+  /// bucket whose proportional byte range the chunk overlaps. With no
+  /// collapsed boundaries chunk j maps to bucket num_buckets()-1-j; a
+  /// merged chunk maps to the latest-ready of its constituents, so a
+  /// scheduler waiting on the result never reads a pending gradient.
+  std::size_t bucket_of_chunk(const comm::ChunkRange& chunk,
+                              std::size_t payload_bytes) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::size_t total_elems_ = 0;
+};
+
+/// Builds the DDP-style plan for `layout` (see file comment). Layers are
+/// never split: a layer larger than bucket_bytes forms its own oversized
+/// bucket. Throws gcs::Error on an empty layout.
+BucketPlan plan_buckets(const ModelLayout& layout,
+                        const BucketPlannerConfig& config = {});
+
+}  // namespace gcs::sched

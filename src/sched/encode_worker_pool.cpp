@@ -1,0 +1,74 @@
+#include "sched/encode_worker_pool.h"
+
+#include "common/check.h"
+
+namespace gcs::sched {
+
+EncodeWorkerPool::EncodeWorkerPool(int workers) : workers_(workers) {
+  if (workers < 1) {
+    throw Error("EncodeWorkerPool needs >= 1 workers, got " +
+                std::to_string(workers));
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EncodeWorkerPool::~EncodeWorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void EncodeWorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void EncodeWorkerPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return next_task_ == queue_.size() && in_flight_ == 0; });
+  queue_.clear();
+  next_task_ = 0;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void EncodeWorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stop_ || next_task_ < queue_.size(); });
+      if (stop_ && next_task_ >= queue_.size()) return;
+      task = std::move(queue_[next_task_]);
+      ++next_task_;
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace gcs::sched

@@ -1,0 +1,65 @@
+// A small persistent thread pool for codec encodes.
+//
+// The orchestration layer encodes one payload per worker per stage;
+// those encodes are independent (each reads shared round state and writes
+// only its own buffer — verified per scheme, asserted by the bit-identity
+// tests), so a pool of N threads can run them concurrently while the
+// fabric already carries earlier payloads.
+//
+// Determinism rule: the pool never decides *what* bytes are produced,
+// only *when*. Every task writes to a slot chosen by the submitter
+// (disjoint across tasks), tasks are claimed in submission order, and the
+// caller's hand-off — wait_idle() or a per-slot signal — fixes the order
+// in which results become visible. The multi-worker path is therefore
+// bit-identical to the single-threaded one by construction; tests close
+// the loop for all five schemes on all three pipeline backends.
+//
+// Exceptions thrown by a task are captured and rethrown from wait_idle()
+// (first one wins), so a codec error inside the pool fails the round
+// loudly, exactly like the serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcs::sched {
+
+class EncodeWorkerPool {
+ public:
+  /// Spawns `workers` threads (>= 1).
+  explicit EncodeWorkerPool(int workers);
+  ~EncodeWorkerPool();
+
+  EncodeWorkerPool(const EncodeWorkerPool&) = delete;
+  EncodeWorkerPool& operator=(const EncodeWorkerPool&) = delete;
+
+  int workers() const noexcept { return workers_; }
+
+  /// Enqueues a task; threads claim tasks in submission order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  int workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::function<void()>> queue_;
+  std::size_t next_task_ = 0;   ///< queue_ index of the next unclaimed task
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace gcs::sched

@@ -12,6 +12,8 @@
 #include "hadamard/hadamard.h"
 #include "lowrank/orthogonalize.h"
 #include "lowrank/powersgd_step.h"
+#include "sched/backward_source.h"
+#include "sched/bucket_planner.h"
 
 namespace gcs::sim {
 namespace {
@@ -20,6 +22,7 @@ namespace {
 struct ParsedSpec {
   std::string kind;
   std::vector<std::pair<std::string, double>> options;
+  std::vector<std::pair<std::string, std::string>> texts;
   std::vector<std::string> flags;
 
   bool flag(const std::string& f) const {
@@ -27,6 +30,13 @@ struct ParsedSpec {
   }
   double option(const std::string& key, double fallback) const {
     for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  std::string text_option(const std::string& key,
+                          const std::string& fallback) const {
+    for (const auto& [k, v] : texts) {
       if (k == key) return v;
     }
     return fallback;
@@ -48,12 +58,17 @@ ParsedSpec parse(const std::string& text) {
     if (eq == std::string::npos) {
       out.flags.push_back(token);
     } else {
+      const std::string value = token.substr(eq + 1);
       out.options.emplace_back(token.substr(0, eq),
-                               std::strtod(token.substr(eq + 1).c_str(),
-                                           nullptr));
+                               std::strtod(value.c_str(), nullptr));
+      out.texts.emplace_back(token.substr(0, eq), value);
     }
   }
   return out;
+}
+
+double clamp_nonneg(double x, double hi) {
+  return std::min(std::max(x, 0.0), hi);
 }
 
 }  // namespace
@@ -66,26 +81,25 @@ double CostModel::train_compute(const WorkloadSpec& w,
              : base;
 }
 
-RoundTime CostModel::apply_overlap(RoundTime t, double payload_bytes,
-                                   double step_latency_s,
-                                   std::size_t chunk_bytes,
-                                   double comm_pipelined_s,
-                                   double compress_pipelined_s) const {
-  if (chunk_bytes == 0 || payload_bytes <= 0.0) return t;
+RoundTime CostModel::apply_overlap(const RoundCharge& charge,
+                                   std::size_t chunk_bytes) const {
+  RoundTime t = charge.serial;
+  if (chunk_bytes == 0 || charge.payload_bytes <= 0.0) return t;
   const auto m = static_cast<std::size_t>(
-      std::ceil(payload_bytes / static_cast<double>(chunk_bytes)));
+      std::ceil(charge.payload_bytes / static_cast<double>(chunk_bytes)));
   t.chunks = std::max<std::size_t>(m, 1);
   if (t.chunks <= 1) return t;
   // Only the main stage's collective and the per-chunk encode/decode
   // compute pipeline; consensus rounds and whole-vector pre-barrier work
   // (selection, rotation) stay serial.
-  comm_pipelined_s = std::min(std::max(comm_pipelined_s, 0.0), t.comm_s);
-  compress_pipelined_s =
-      std::min(std::max(compress_pipelined_s, 0.0), t.compress_s);
+  const double comm_pipelined_s =
+      clamp_nonneg(charge.comm_pipelined_s, t.comm_s);
+  const double compress_pipelined_s =
+      clamp_nonneg(charge.compress_pipelined_s, t.compress_s);
   // Every chunk beyond the first pays the collective's per-step latency
   // again; the bytes term is unchanged (same total volume).
   const double extra_latency =
-      static_cast<double>(t.chunks - 1) * step_latency_s;
+      static_cast<double>(t.chunks - 1) * charge.step_latency_s;
   t.comm_s += extra_latency;
   // Two-stage pipeline over m chunks (encode e, hops c per chunk): the
   // serial schedule costs e*m + c*m, the pipelined one e + (m-1)max(e,c)
@@ -97,65 +111,171 @@ RoundTime CostModel::apply_overlap(RoundTime t, double payload_bytes,
   return t;
 }
 
+RoundTime CostModel::apply_backward_overlap(const RoundCharge& charge,
+                                            const WorkloadSpec& w,
+                                            std::size_t bucket_bytes,
+                                            int workers) const {
+  GCS_CHECK_MSG(workers >= 1, "backward overlap needs >= 1 encode workers");
+  RoundTime t = charge.serial;
+  sched::BucketPlannerConfig planner;
+  if (bucket_bytes != 0) planner.bucket_bytes = bucket_bytes;
+  const sched::BucketPlan plan = sched::plan_buckets(w.layout, planner);
+  const std::size_t m = plan.num_buckets();
+  t.chunks = m;
+
+  const double comm_pipelined_s =
+      clamp_nonneg(charge.comm_pipelined_s, t.comm_s);
+  const double compress_pipelined_s =
+      clamp_nonneg(charge.compress_pipelined_s, t.compress_s);
+  double barrier_compress = t.compress_s - compress_pipelined_s;
+  const double barrier_comm = t.comm_s - comm_pipelined_s;
+  // Once-per-coordinate passes stream with the backward pass; whatever
+  // does not fit under it spills back into the barrier.
+  const double streamable =
+      clamp_nonneg(charge.backward_streamable_s, barrier_compress);
+  barrier_compress -= streamable;
+
+  // Every bucket beyond the first pays the collective latency again (the
+  // serial reference below includes this, exactly like apply_overlap).
+  const double extra_latency =
+      static_cast<double>(m - 1) * charge.step_latency_s;
+  t.comm_s += extra_latency;
+  const double serial_total =
+      t.compute_s + t.compress_s + t.comm_s + t.fixed_s;
+
+  const double forward =
+      (1.0 - sched::kBackwardFraction) * t.compute_s;
+  const double backward = t.compute_s - forward;
+  const sched::BackwardSource source(w.layout, backward);
+  const double backward_end = forward + backward;
+  const double stream_spill = std::max(0.0, streamable - backward);
+  // Whole-vector encode work (selection, full rotation) needs the full
+  // gradient: it gates every bucket's encode. Zero barrier = no gate.
+  const double encode_gate =
+      barrier_compress + stream_spill > 0.0
+          ? backward_end + stream_spill + barrier_compress
+          : 0.0;
+  // Consensus rings (whole-payload metadata) occupy the wire before the
+  // first bucket; they are charged alongside the compute barrier (the
+  // model lets them overlap it — both need only the full gradient).
+  double wire_free = 0.0;
+  if (barrier_comm > 0.0) {
+    wire_free = std::max(encode_gate, backward_end) + barrier_comm;
+  }
+
+  // Event replay over buckets in gradient-ready order: encode on the
+  // earliest-free pool thread (lowest index on ties — the pool's
+  // deterministic claim order), then the serial wire.
+  std::vector<double> worker_free(static_cast<std::size_t>(workers), 0.0);
+  double compute_end = std::max(backward_end + stream_spill, encode_gate);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double frac = plan.fraction(k);
+    const double ready = forward + source.bucket_ready_s(plan.bucket(k));
+    auto slot = std::min_element(worker_free.begin(), worker_free.end());
+    const double start = std::max({ready, encode_gate, *slot});
+    const double end = start + compress_pipelined_s * frac;
+    *slot = end;
+    compute_end = std::max(compute_end, end);
+    const double hops = comm_pipelined_s * frac +
+                        (k > 0 ? charge.step_latency_s : 0.0);
+    wire_free = std::max(end, wire_free) + hops;
+  }
+  const double makespan = std::max(wire_free, compute_end);
+  t.overlap_saved_s =
+      std::max(0.0, serial_total - (makespan + t.fixed_s));
+  return t;
+}
+
+CostModel::RoundCharge CostModel::baseline_charge(
+    const WorkloadSpec& w, Precision train_precision,
+    Precision comm_precision) const {
+  RoundCharge charge;
+  charge.serial.compute_s = train_compute(w, train_precision);
+  charge.serial.fixed_s = constants_.fixed_overhead_s;
+  const double bytes =
+      static_cast<double>(w.dimension()) * wire_bits(comm_precision) / 8.0;
+  charge.serial.comm_s = net_.ring_all_reduce_time(n_, bytes);
+  charge.payload_bytes = bytes;
+  charge.step_latency_s = net_.ring_step_latency(n_);
+  charge.comm_pipelined_s = charge.serial.comm_s;
+  return charge;
+}
+
 RoundTime CostModel::baseline_round(const WorkloadSpec& w,
                                     Precision train_precision,
                                     Precision comm_precision,
                                     std::size_t chunk_bytes) const {
-  RoundTime t;
-  t.compute_s = train_compute(w, train_precision);
-  t.fixed_s = constants_.fixed_overhead_s;
-  const double bytes =
-      static_cast<double>(w.dimension()) * wire_bits(comm_precision) / 8.0;
-  t.comm_s = net_.ring_all_reduce_time(n_, bytes);
-  return apply_overlap(t, bytes, net_.ring_step_latency(n_), chunk_bytes,
-                       t.comm_s, 0.0);
+  return apply_overlap(baseline_charge(w, train_precision, comm_precision),
+                       chunk_bytes);
+}
+
+CostModel::RoundCharge CostModel::topk_charge(const WorkloadSpec& w,
+                                              double bits) const {
+  const auto d = static_cast<double>(w.dimension());
+  const double k = d * bits / 48.0;  // FP16 value + 32-bit index
+  RoundCharge charge;
+  charge.serial.compute_s = train_compute(w, Precision::kFp32);
+  charge.serial.fixed_s = constants_.fixed_overhead_s;
+  // Selection + rearrangement on the full vector; decode scatters n*K
+  // received coordinates with poor locality.
+  charge.serial.compress_s = constants_.topk_select_per_coord_s * d +
+                             constants_.scatter_add_per_coord_s * k * n_;
+  const double payload = d * bits / 8.0;
+  charge.serial.comm_s = net_.all_gather_time(n_, payload);
+  charge.payload_bytes = payload;
+  charge.step_latency_s = net_.all_gather_step_latency(n_);
+  charge.comm_pipelined_s = charge.serial.comm_s;
+  // The selection runs on the whole vector before the first chunk can
+  // leave — the global top-K barrier is exactly what blocks backward
+  // overlap; only the receive-side scatter-add streams with the gather.
+  charge.compress_pipelined_s = constants_.scatter_add_per_coord_s * k * n_;
+  return charge;
 }
 
 RoundTime CostModel::topk_round(const WorkloadSpec& w, double bits,
                                 std::size_t chunk_bytes) const {
-  const auto d = static_cast<double>(w.dimension());
-  const double k = d * bits / 48.0;  // FP16 value + 32-bit index
-  RoundTime t;
-  t.compute_s = train_compute(w, Precision::kFp32);
-  t.fixed_s = constants_.fixed_overhead_s;
-  // Selection + rearrangement on the full vector; decode scatters n*K
-  // received coordinates with poor locality.
-  t.compress_s = constants_.topk_select_per_coord_s * d +
-                 constants_.scatter_add_per_coord_s * k * n_;
-  const double payload = d * bits / 8.0;
-  t.comm_s = net_.all_gather_time(n_, payload);
-  // The selection runs on the whole vector before the first chunk can
-  // leave; only the receive-side scatter-add streams with the gather.
-  return apply_overlap(t, payload, net_.all_gather_step_latency(n_),
-                       chunk_bytes, t.comm_s,
-                       constants_.scatter_add_per_coord_s * k * n_);
+  return apply_overlap(topk_charge(w, bits), chunk_bytes);
 }
 
-RoundTime CostModel::topkc_round(const WorkloadSpec& w, double bits,
-                                 std::size_t chunk_size,
-                                 std::size_t chunk_bytes) const {
+CostModel::RoundCharge CostModel::topkc_charge(const WorkloadSpec& w,
+                                               double bits,
+                                               std::size_t chunk_size) const {
   const auto d = static_cast<double>(w.dimension());
   const auto c = static_cast<double>(chunk_size);
   const std::size_t j =
       core::TopKCConfig::j_for_bits(w.dimension(), chunk_size, bits);
   const double payload_coords = static_cast<double>(j) * c;
   const double norm_coords = std::ceil(d / c);
-  RoundTime t;
-  t.compute_s = train_compute(w, Precision::kFp32);
-  t.fixed_s = constants_.fixed_overhead_s;
+  RoundCharge charge;
+  charge.serial.compute_s = train_compute(w, Precision::kFp32);
+  charge.serial.fixed_s = constants_.fixed_overhead_s;
   // Sequential norm pass + a top-J selection over only d/C candidates +
   // sequential chunk gather/scatter.
-  t.compress_s = constants_.chunk_norm_per_coord_s * d +
-                 constants_.topk_select_per_coord_s * norm_coords +
-                 constants_.chunk_norm_per_coord_s * payload_coords;
-  t.comm_s = net_.ring_all_reduce_time(n_, norm_coords * 2.0) +
-             net_.ring_all_reduce_time(n_, payload_coords * 2.0);
+  charge.serial.compress_s =
+      constants_.chunk_norm_per_coord_s * d +
+      constants_.topk_select_per_coord_s * norm_coords +
+      constants_.chunk_norm_per_coord_s * payload_coords;
+  charge.serial.comm_s =
+      net_.ring_all_reduce_time(n_, norm_coords * 2.0) +
+      net_.ring_all_reduce_time(n_, payload_coords * 2.0);
   // Overlap applies to the main chunk-values stage only; the norm pass,
   // the consensus ring and the selection are a dependency barrier.
-  return apply_overlap(t, payload_coords * 2.0, net_.ring_step_latency(n_),
-                       chunk_bytes,
-                       net_.ring_all_reduce_time(n_, payload_coords * 2.0),
-                       constants_.chunk_norm_per_coord_s * payload_coords);
+  charge.payload_bytes = payload_coords * 2.0;
+  charge.step_latency_s = net_.ring_step_latency(n_);
+  charge.comm_pipelined_s =
+      net_.ring_all_reduce_time(n_, payload_coords * 2.0);
+  charge.compress_pipelined_s =
+      constants_.chunk_norm_per_coord_s * payload_coords;
+  // The norm pass reads each coordinate exactly once: it streams with the
+  // backward pass, layer by layer, under the bucketed schedule.
+  charge.backward_streamable_s = constants_.chunk_norm_per_coord_s * d;
+  return charge;
+}
+
+RoundTime CostModel::topkc_round(const WorkloadSpec& w, double bits,
+                                 std::size_t chunk_size,
+                                 std::size_t chunk_bytes) const {
+  return apply_overlap(topkc_charge(w, bits, chunk_size), chunk_bytes);
 }
 
 unsigned CostModel::rotation_iters(const WorkloadSpec& w,
@@ -168,9 +288,9 @@ unsigned CostModel::rotation_iters(const WorkloadSpec& w,
   return full_iterations(padded);
 }
 
-RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
-                               unsigned rot_iters,
-                               std::size_t chunk_bytes) const {
+CostModel::RoundCharge CostModel::thc_charge(const WorkloadSpec& w,
+                                             unsigned bits,
+                                             unsigned rot_iters) const {
   // Padding matches the compressor: full rotation needs the next power of
   // two; partial rotation only a whole number of 2^l' blocks; no rotation
   // only byte alignment.
@@ -185,26 +305,43 @@ RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
     const std::size_t block = std::size_t{1} << rot_iters;
     d_padded = static_cast<double>(ceil_div(w.dimension(), block) * block);
   }
-  RoundTime t;
-  t.compute_s = train_compute(w, Precision::kFp32);
-  t.fixed_s = constants_.fixed_overhead_s;
-  t.compress_s = constants_.rht_per_coord_iter_s * d_padded * rot_iters +
-                 constants_.quantize_per_coord_s * d_padded;
+  RoundCharge charge;
+  charge.serial.compute_s = train_compute(w, Precision::kFp32);
+  charge.serial.fixed_s = constants_.fixed_overhead_s;
+  const double rotation_s =
+      constants_.rht_per_coord_iter_s * d_padded * rot_iters;
+  charge.serial.compress_s =
+      rotation_s + constants_.quantize_per_coord_s * d_padded;
   // Range metadata: 8 bytes per rotation block (or one global block).
   const double blocks =
       rot_iters == 0
           ? 1.0
           : d_padded / static_cast<double>(
                            std::size_t{1} << std::min<unsigned>(rot_iters, 62));
-  t.comm_s = net_.ring_all_reduce_time(n_, d_padded * bits / 8.0) +
-             net_.ring_all_reduce_time(n_, std::max(blocks, 1.0) * 8.0);
+  charge.serial.comm_s =
+      net_.ring_all_reduce_time(n_, d_padded * bits / 8.0) +
+      net_.ring_all_reduce_time(n_, std::max(blocks, 1.0) * 8.0);
   // Quantize+pack is per-coordinate and the range consensus fixes the
   // scales up front, so the levels stage pipelines chunk by chunk; the
   // rotation and the range rings stay serial.
-  return apply_overlap(t, d_padded * bits / 8.0, net_.ring_step_latency(n_),
-                       chunk_bytes,
-                       net_.ring_all_reduce_time(n_, d_padded * bits / 8.0),
-                       constants_.quantize_per_coord_s * d_padded);
+  charge.payload_bytes = d_padded * bits / 8.0;
+  charge.step_latency_s = net_.ring_step_latency(n_);
+  charge.comm_pipelined_s =
+      net_.ring_all_reduce_time(n_, d_padded * bits / 8.0);
+  charge.compress_pipelined_s = constants_.quantize_per_coord_s * d_padded;
+  // Partial rotation mixes only within 2^l' blocks: each block rotates as
+  // soon as its coordinates exist, streaming with the backward pass. The
+  // full rotation's butterflies span the whole vector — a true barrier.
+  if (rot_iters > 0 && rot_iters < full) {
+    charge.backward_streamable_s = rotation_s;
+  }
+  return charge;
+}
+
+RoundTime CostModel::thc_round(const WorkloadSpec& w, unsigned bits,
+                               unsigned rot_iters,
+                               std::size_t chunk_bytes) const {
+  return apply_overlap(thc_charge(w, bits, rot_iters), chunk_bytes);
 }
 
 double CostModel::powersgd_bits(const WorkloadSpec& w,
@@ -223,12 +360,11 @@ double CostModel::powersgd_bits(const WorkloadSpec& w,
   return payload_bytes * 8.0 / static_cast<double>(w.dimension());
 }
 
-RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
-                                    std::size_t rank,
-                                    std::size_t chunk_bytes) const {
-  RoundTime t;
-  t.compute_s = train_compute(w, Precision::kFp32);
-  t.fixed_s = constants_.fixed_overhead_s;
+CostModel::RoundCharge CostModel::powersgd_charge(const WorkloadSpec& w,
+                                                  std::size_t rank) const {
+  RoundCharge charge;
+  charge.serial.compute_s = train_compute(w, Precision::kFp32);
+  charge.serial.fixed_s = constants_.fixed_overhead_s;
 
   double matmul_flops = 0.0;
   double ortho_flops = 0.0;
@@ -252,45 +388,54 @@ RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
     payload_bytes += 2.0 * static_cast<double>(r) *
                      static_cast<double>(layer.rows + layer.cols);
   }
-  t.compress_s = matmul_flops / constants_.matmul_flops_per_sec +
-                 ortho_flops / constants_.ortho_flops_per_sec +
-                 qr_steps * constants_.qr_step_launch_s +
-                 launches * constants_.layer_launch_s;
-  t.comm_s = net_.ring_all_reduce_time(n_, payload_bytes);
-  // The P and Q matmuls run layer by layer, so their encode streams into
-  // the ring; orthogonalization and the per-layer launches are barriers.
-  return apply_overlap(t, payload_bytes, net_.ring_step_latency(n_),
-                       chunk_bytes, t.comm_s,
-                       matmul_flops / constants_.matmul_flops_per_sec);
+  const double matmul_s = matmul_flops / constants_.matmul_flops_per_sec;
+  charge.serial.compress_s = matmul_s +
+                             ortho_flops / constants_.ortho_flops_per_sec +
+                             qr_steps * constants_.qr_step_launch_s +
+                             launches * constants_.layer_launch_s;
+  charge.serial.comm_s = net_.ring_all_reduce_time(n_, payload_bytes);
+  // The Q and reconstruction matmuls run layer by layer, so their encode
+  // streams into the ring; orthogonalization and the per-layer launches
+  // are barriers. The P = M Q matmul of a layer needs only that layer's
+  // gradient, so the P phase (one of the three matmuls) instead streams
+  // with the backward pass under the bucketed schedule.
+  charge.payload_bytes = payload_bytes;
+  charge.step_latency_s = net_.ring_step_latency(n_);
+  charge.comm_pipelined_s = charge.serial.comm_s;
+  charge.compress_pipelined_s = matmul_s * 2.0 / 3.0;
+  charge.backward_streamable_s = matmul_s / 3.0;
+  return charge;
 }
 
-RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
-                                    const std::string& text,
+RoundTime CostModel::powersgd_round(const WorkloadSpec& w,
+                                    std::size_t rank,
                                     std::size_t chunk_bytes) const {
+  return apply_overlap(powersgd_charge(w, rank), chunk_bytes);
+}
+
+CostModel::RoundCharge CostModel::charge_for_spec(
+    const WorkloadSpec& w, const std::string& text) const {
   const ParsedSpec spec = parse(text);
-  if (chunk_bytes == 0) {
-    chunk_bytes = static_cast<std::size_t>(spec.option("chunk", 0.0));
-  }
   if (spec.kind == "fp32" || spec.kind == "fp16") {
     const Precision comm =
         spec.kind == "fp16" ? Precision::kFp16 : Precision::kFp32;
     const Precision train =
         spec.flag("tf32") ? Precision::kTf32 : Precision::kFp32;
-    return baseline_round(w, train, comm, chunk_bytes);
+    return baseline_charge(w, train, comm);
   }
   if (spec.kind == "topk") {
     double bits = spec.option("b", 0.0);
     if (bits == 0.0) {
       bits = spec.option("k", 0.0) * 48.0 / static_cast<double>(w.dimension());
     }
-    return topk_round(w, bits, chunk_bytes);
+    return topk_charge(w, bits);
   }
   if (spec.kind == "topkc") {
     const double bits = spec.option("b", 8.0);
     const auto c = static_cast<std::size_t>(spec.option(
         "c",
         static_cast<double>(core::TopKCConfig::default_chunk_size(bits))));
-    return topkc_round(w, bits, c, chunk_bytes);
+    return topkc_charge(w, bits, c);
   }
   if (spec.kind == "thc") {
     const auto q = static_cast<unsigned>(spec.option("q", 4));
@@ -298,13 +443,38 @@ RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
     std::string mode = "partial";
     if (spec.flag("full")) mode = "full";
     if (spec.flag("norot")) mode = "none";
-    return thc_round(w, b, rotation_iters(w, mode), chunk_bytes);
+    return thc_charge(w, b, rotation_iters(w, mode));
   }
   if (spec.kind == "powersgd") {
-    return powersgd_round(w, static_cast<std::size_t>(spec.option("r", 4)),
-                          chunk_bytes);
+    return powersgd_charge(w, static_cast<std::size_t>(spec.option("r", 4)));
   }
   throw Error("CostModel: unknown scheme spec '" + text + "'");
+}
+
+RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
+                                    const std::string& text,
+                                    std::size_t chunk_bytes) const {
+  const ParsedSpec spec = parse(text);
+  if (spec.text_option("buckets", "") == "layer") {
+    const auto bucket_bytes =
+        static_cast<std::size_t>(spec.option("bucket", 0.0));
+    const auto workers =
+        std::max(1, static_cast<int>(spec.option("workers", 1.0)));
+    return apply_backward_overlap(charge_for_spec(w, text), w, bucket_bytes,
+                                  workers);
+  }
+  if (chunk_bytes == 0) {
+    chunk_bytes = static_cast<std::size_t>(spec.option("chunk", 0.0));
+  }
+  return apply_overlap(charge_for_spec(w, text), chunk_bytes);
+}
+
+RoundTime CostModel::bucketed_round_for_spec(const WorkloadSpec& w,
+                                             const std::string& spec,
+                                             std::size_t bucket_bytes,
+                                             int workers) const {
+  return apply_backward_overlap(charge_for_spec(w, spec), w, bucket_bytes,
+                                workers);
 }
 
 }  // namespace gcs::sim

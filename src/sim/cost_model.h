@@ -39,6 +39,15 @@
 // apparent wins for the *baseline*, here available to every scheme.
 // RoundTime::overlap_saved_s records the hidden time; total() subtracts
 // it.
+//
+// bucketed_round_for_spec (or "buckets=layer" in a spec) charges the
+// stronger schedule the sched/ subsystem executes: layer-aligned DDP
+// buckets in backward order, so bucket k's encode and collective start at
+// the bucket's gradient-ready time (sched/BackwardSource) instead of at
+// backward end, with an encode worker pool of `workers` threads.
+// Whole-vector encode work (TopK selection, full rotation) still gates
+// every bucket — the regime where compression's encode cost stops being
+// free, which is the paper's core warning.
 #pragma once
 
 #include <string>
@@ -74,10 +83,14 @@ struct RoundTime {
   double comm_s = 0.0;      ///< collective transfer time (incl. per-chunk
                             ///< latency when chunked)
   double fixed_s = 0.0;     ///< launches, optimizer, bookkeeping
-  /// Compression compute hidden under communication by the chunked
-  /// pipeline (0 for monolithic execution). Never exceeds compress_s.
+  /// Time hidden by pipelining: compression compute under communication
+  /// (chunked charge; never exceeds compress_s there) or, for the
+  /// bucketed backward-overlap charge, additionally communication and
+  /// streamable encode hidden under the backward pass itself.
   double overlap_saved_s = 0.0;
-  /// Number of chunks the main payload was split into (1 = monolithic).
+  /// Number of chunks (size-chunked charge) or layer-aligned buckets
+  /// (backward-overlap charge) the main payload was split into
+  /// (1 = monolithic).
   std::size_t chunks = 1;
 
   double total() const noexcept {
@@ -143,12 +156,52 @@ class CostModel {
   /// grammar, so benches drive timing and value-path from one spec. A
   /// "chunk=<bytes>" option in the spec selects chunked charging (matching
   /// the factory's pipeline knob); the explicit `chunk_bytes` argument
-  /// overrides the spec when non-zero.
+  /// overrides the spec when non-zero. A "buckets=layer" option instead
+  /// selects the bucketed backward-overlap charge (with "bucket=<bytes>"
+  /// and "workers=<N>" from the spec); it takes precedence over chunked
+  /// charging.
   RoundTime round_for_spec(const WorkloadSpec& w, const std::string& spec,
                            std::size_t chunk_bytes = 0) const;
 
+  /// Charges the layer-bucketed, backward-overlapped schedule for a spec:
+  /// DDP-style buckets of `bucket_bytes` (0 = the planner's 25 MB
+  /// default) in backward order, an encode pool of `workers` threads,
+  /// comm of bucket k overlapping both the backward pass and the encode
+  /// of bucket k+1. See the file comment.
+  RoundTime bucketed_round_for_spec(const WorkloadSpec& w,
+                                    const std::string& spec,
+                                    std::size_t bucket_bytes = 0,
+                                    int workers = 1) const;
+
  private:
+  /// One scheme's serial round plus the parts of it that may pipeline:
+  /// what every overlap policy below consumes.
+  struct RoundCharge {
+    RoundTime serial;
+    double payload_bytes = 0.0;      ///< main-stage wire payload
+    double step_latency_s = 0.0;     ///< per-chunk collective latency
+    double comm_pipelined_s = 0.0;   ///< main-stage collective time
+    double compress_pipelined_s = 0.0;  ///< per-chunk encode/decode
+    /// Encode compute that needs each gradient coordinate only once
+    /// (TopKC's norm pass, THC's blockwise partial rotation, PowerSGD's
+    /// per-layer P matmuls) and can therefore stream with the backward
+    /// pass; a subset of the non-pipelined compress barrier.
+    double backward_streamable_s = 0.0;
+  };
+
   double train_compute(const WorkloadSpec& w, Precision train_precision) const;
+
+  RoundCharge baseline_charge(const WorkloadSpec& w,
+                              Precision train_precision,
+                              Precision comm_precision) const;
+  RoundCharge topk_charge(const WorkloadSpec& w, double bits) const;
+  RoundCharge topkc_charge(const WorkloadSpec& w, double bits,
+                           std::size_t chunk_size) const;
+  RoundCharge thc_charge(const WorkloadSpec& w, unsigned wire_bits,
+                         unsigned rotation_iters) const;
+  RoundCharge powersgd_charge(const WorkloadSpec& w, std::size_t rank) const;
+  RoundCharge charge_for_spec(const WorkloadSpec& w,
+                              const std::string& spec) const;
 
   /// Two-stage pipeline over m = ceil(payload/chunk) items: encode of
   /// chunk k+1 overlaps the hops of chunk k; every chunk beyond the first
@@ -157,10 +210,19 @@ class CostModel {
   /// collective — consensus rounds are a barrier) and
   /// `compress_pipelined_s` of its compute (the per-chunk encode/decode —
   /// whole-vector selection/rotation is a barrier) participate.
-  RoundTime apply_overlap(RoundTime t, double payload_bytes,
-                          double step_latency_s, std::size_t chunk_bytes,
-                          double comm_pipelined_s,
-                          double compress_pipelined_s) const;
+  RoundTime apply_overlap(const RoundCharge& charge,
+                          std::size_t chunk_bytes) const;
+
+  /// Event-driven charge of the sched/ subsystem's schedule: per-bucket
+  /// gradient-ready times from sched::BackwardSource gate each bucket's
+  /// encode (on the earliest-free of `workers` pool threads) and its
+  /// collective (on the serial wire). Whole-vector encode barriers and
+  /// consensus rings stay after backward end; streamable encode hides
+  /// under the backward pass.
+  RoundTime apply_backward_overlap(const RoundCharge& charge,
+                                   const WorkloadSpec& w,
+                                   std::size_t bucket_bytes,
+                                   int workers) const;
 
   CostConstants constants_;
   netsim::NetworkModel net_;

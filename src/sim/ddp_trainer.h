@@ -52,6 +52,12 @@ struct DdpConfig {
   /// 0 charges the monolithic round cost. Values are bit-identical either
   /// way — this changes only the per-round time (see sim/cost_model.h).
   std::size_t overlap_chunk_bytes = 0;
+  /// Layer-bucketed backward-overlap charging (the sched/ subsystem's
+  /// schedule): overrides the size-chunked charge above. Equivalent to
+  /// "buckets=layer" in the scheme spec, which also selects it.
+  bool layer_buckets = false;
+  std::size_t bucket_bytes = 0;  ///< layer-bucket cap; 0 = 25 MB default
+  int encode_workers = 1;        ///< encode pool width for the charge
   std::uint64_t seed = 42;
 };
 

@@ -148,6 +148,56 @@ TEST(Factory, TopKWithoutSizeThrows) {
   EXPECT_THROW(make_compressor("topk", l, 4), Error);
 }
 
+TEST(Factory, SchedulerGrammarAccepts) {
+  const ModelLayout l({LayerSpec{"a", 100, 1}, LayerSpec{"b", 60, 1}});
+  EXPECT_NO_THROW(make_compressor("fp16:buckets=layer", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:buckets=size:chunk=64", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:buckets=layer:bucket=128", l, 4));
+  EXPECT_NO_THROW(make_compressor("topkc:b=8:buckets=layer:workers=2", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:workers=3", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:autotune", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:autotune=1", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:autotune=0:chunk=64", l, 4));
+  EXPECT_NO_THROW(
+      make_compressor("fp16:buckets=layer:workers=2:autotune", l, 4));
+  // The parsed knobs land in the pipeline config.
+  const auto config = parse_pipeline_config(
+      "fp16:buckets=layer:bucket=256:workers=2", l, 4);
+  EXPECT_EQ(config.bucket_mode, sched::BucketMode::kLayerBuckets);
+  EXPECT_EQ(config.bucket_bytes, 256u);
+  EXPECT_EQ(config.encode_workers, 2);
+  EXPECT_EQ(config.layout.total_size(), l.total_size());
+}
+
+TEST(Factory, SchedulerGrammarRejects) {
+  // The no-silent-typo contract extends to the scheduler knobs: a bogus
+  // bucket mode, a zero-width pool or contradictory autotuning must not
+  // silently run a different schedule.
+  const ModelLayout l({LayerSpec{"a", 100, 1}, LayerSpec{"b", 60, 1}});
+  EXPECT_THROW(make_compressor("fp16:workers=0", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:workers=-2", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:workers=1.5", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:workers=abc", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:buckets=bogus", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:buckets=", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:buckets=Layer", l, 4), Error);
+  // autotune picks the sizes itself; explicit sizes contradict it.
+  EXPECT_THROW(make_compressor("fp16:autotune:chunk=65536", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:autotune=1:chunk=65536", l, 4), Error);
+  EXPECT_THROW(
+      make_compressor("fp16:buckets=layer:autotune:bucket=1024", l, 4),
+      Error);
+  EXPECT_THROW(make_compressor("fp16:autotune=2", l, 4), Error);
+  // bucket= is a layer-bucket knob.
+  EXPECT_THROW(make_compressor("fp16:bucket=1024", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:buckets=size:bucket=1024", l, 4),
+               Error);
+  EXPECT_THROW(make_compressor("fp16:buckets=layer:bucket=0", l, 4), Error);
+  // Misspellings stay fatal.
+  EXPECT_THROW(make_compressor("fp16:bucketz=layer", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:worker=2", l, 4), Error);
+}
+
 TEST(Factory, NoEfFlag) {
   // Spec parsing must accept the noef flag everywhere it is documented.
   const auto l = layout();
