@@ -22,6 +22,7 @@
 // identical checksums across ranks are asserted in --launch mode.
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <span>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "common/table.h"
 #include "core/aggregation_pipeline.h"
 #include "core/factory.h"
+#include "core/synthetic_grad.h"
+#include "measure/trace.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
 #include "tensor/layout.h"
@@ -46,23 +49,20 @@ struct WorkerConfig {
   std::size_t dim = 1 << 16;
   std::size_t chunk = 4096;
   std::uint64_t seed = 1234;
+  /// Round-trace output prefix; each rank writes
+  /// <trace>.rank<r>.json (measure/trace.h spans: encode, per-chunk
+  /// send/recv, reduce, decode). Empty = tracing off (zero overhead).
+  std::string trace;
 };
 
 /// Deterministic per-worker gradients: every process regenerates the same
 /// tensors from (seed, round, worker), so nothing but protocol bytes
-/// crosses the wire.
+/// crosses the wire. One shared recipe (core/synthetic_grad.h) across
+/// every protocol binary — the cross-process checks depend on it.
 std::vector<std::vector<float>> make_grads(const WorkerConfig& config,
                                            std::uint64_t round) {
-  std::vector<std::vector<float>> grads(
-      static_cast<std::size_t>(config.world),
-      std::vector<float>(config.dim));
-  for (int w = 0; w < config.world; ++w) {
-    gcs::Rng rng(gcs::derive_seed(config.seed + round, w));
-    for (auto& v : grads[static_cast<std::size_t>(w)]) {
-      v = static_cast<float>(rng.next_gaussian());
-    }
-  }
-  return grads;
+  return gcs::core::seeded_worker_grads(config.dim, config.world,
+                                        config.seed, round);
 }
 
 /// FNV-1a over the aggregated floats — a cheap cross-process agreement
@@ -113,12 +113,15 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
       config.scheme.find("autotune") != std::string::npos ||
       pipeline_config.bucket_mode == gcs::sched::BucketMode::kLayerBuckets;
   if (!spec_sets_chunk) pipeline_config.chunk_bytes = config.chunk;
+  gcs::measure::TraceRecorder recorder;
+  if (!config.trace.empty()) pipeline_config.trace = &recorder;
   gcs::core::AggregationPipeline pipeline(
       gcs::core::make_scheme_codec(config.scheme, layout, config.world),
       pipeline_config);
 
   std::vector<float> out(config.dim);
   std::uint64_t sum_hash = 0;
+  std::vector<gcs::measure::RoundTrace> traces;
   for (int r = 0; r < config.rounds; ++r) {
     const auto grads = make_grads(config, static_cast<std::uint64_t>(r));
     std::vector<std::span<const float>> views;
@@ -128,6 +131,20 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
                             out, static_cast<std::uint64_t>(r));
     sum_hash ^= checksum(out) + 0x9e3779b97f4a7c15ull + (sum_hash << 6) +
                 (sum_hash >> 2);
+    if (!config.trace.empty()) {
+      traces.push_back(recorder.take(static_cast<std::uint64_t>(r),
+                                     config.scheme, "socket"));
+    }
+  }
+  if (!config.trace.empty()) {
+    const std::string path =
+        config.trace + ".rank" + std::to_string(rank) + ".json";
+    std::ofstream trace_out(path);
+    if (trace_out) {
+      trace_out << gcs::measure::traces_to_json(traces);
+    } else {
+      std::cerr << "gcs_worker: warning: cannot write " << path << '\n';
+    }
   }
   WorkerResult result;
   result.checksum = sum_hash;
@@ -199,7 +216,9 @@ int main(int argc, char** argv) {
              "  --rounds=<k>          aggregation rounds (default 2)\n"
              "  --dim=<d>             gradient dimension (default 65536)\n"
              "  --chunk=<bytes>       pipeline chunk size (default 4096)\n"
-             "  --seed=<s>            gradient seed (default 1234)\n";
+             "  --seed=<s>            gradient seed (default 1234)\n"
+             "  --trace=<prefix>      write per-rank round traces to\n"
+             "                        <prefix>.rank<r>.json (measure/)\n";
       return 0;
     }
     WorkerConfig config;
@@ -213,6 +232,7 @@ int main(int argc, char** argv) {
         flags.get_int("chunk", static_cast<std::int64_t>(config.chunk)));
     config.seed = static_cast<std::uint64_t>(
         flags.get_int("seed", static_cast<std::int64_t>(config.seed)));
+    config.trace = flags.get_string("trace", "");
 
     if (flags.get_bool("launch", false)) return launch_all(config);
 

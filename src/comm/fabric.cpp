@@ -26,6 +26,8 @@ const Fabric::Channel& Fabric::channel(int src, int dst) const {
 
 void Fabric::send(int src, int dst, std::uint64_t tag, ByteBuffer payload) {
   const std::size_t bytes = payload.size();
+  const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
   Channel& ch = channel(src, dst);
   {
     std::lock_guard lock(ch.mu);
@@ -36,9 +38,15 @@ void Fabric::send(int src, int dst, std::uint64_t tag, ByteBuffer payload) {
     std::lock_guard lock(counter_mu_);
     sent_bytes_[static_cast<std::size_t>(src)] += bytes;
   }
+  if (tap_ != nullptr) {
+    tap_->on_wire(src, dst, /*is_send=*/true, tag, bytes, start,
+                  std::chrono::steady_clock::now());
+  }
 }
 
 Message Fabric::recv(int dst, int src, std::uint64_t expected_tag) {
+  const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
   Channel& ch = channel(src, dst);
   std::unique_lock lock(ch.mu);
   ch.cv.wait(lock,
@@ -62,6 +70,11 @@ Message Fabric::recv(int dst, int src, std::uint64_t expected_tag) {
   {
     std::lock_guard clock(counter_mu_);
     received_bytes_[static_cast<std::size_t>(dst)] += msg.payload.size();
+  }
+  if (tap_ != nullptr) {
+    tap_->on_wire(dst, src, /*is_send=*/false, expected_tag,
+                  msg.payload.size(), start,
+                  std::chrono::steady_clock::now());
   }
   return msg;
 }

@@ -51,6 +51,11 @@ class Fabric final : public Transport {
   /// holds undelivered messages (see Transport::reset_counters).
   void reset_counters() override;
 
+  /// Installs a wire tap: every send/recv is timed on the monotonic clock
+  /// and reported. Install while quiescent (before rank threads run); no
+  /// tap (the default) means no clock readings on the hot path.
+  void set_wire_tap(WireTap* tap) override { tap_ = tap; }
+
   /// Aborts the fabric: every recv blocked on an empty channel — and
   /// every later recv that would block — throws gcs::Error instead of
   /// waiting. For failure propagation across rank threads: a rank that
@@ -71,6 +76,7 @@ class Fabric final : public Transport {
 
   int world_size_;
   std::atomic<bool> aborted_{false};
+  WireTap* tap_ = nullptr;  ///< non-owning; written only while quiescent
   // Dense (src, dst) -> channel matrix; unique_ptr keeps Channel stable
   // (mutex/condvar are not movable).
   std::vector<std::unique_ptr<Channel>> channels_;

@@ -16,6 +16,7 @@
 // a violation is a programmer error (GCS_CHECK / std::logic_error).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "common/bytes.h"
@@ -26,6 +27,27 @@ namespace gcs::comm {
 struct Message {
   std::uint64_t tag = 0;
   ByteBuffer payload;
+};
+
+/// Observer of individual transport operations (the measurement layer's
+/// hook, see src/measure/trace.h). A transport with a tap installed times
+/// each send/recv with the monotonic clock and reports it here; with no
+/// tap installed it takes no clock readings at all, so tracing off means
+/// zero overhead and — since observation never touches payloads — zero
+/// wire or value impact either way. Implementations must be thread-safe:
+/// collectives call send/recv from one thread per owned rank.
+class WireTap {
+ public:
+  virtual ~WireTap() = default;
+
+  /// One completed transport operation: `rank` performed a send to (or a
+  /// recv from) `peer` of `bytes` payload bytes under `tag`, occupying
+  /// [start, end) on the monotonic clock. For recv, the interval includes
+  /// the time blocked waiting for the message.
+  virtual void on_wire(int rank, int peer, bool is_send, std::uint64_t tag,
+                       std::size_t bytes,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end) = 0;
 };
 
 /// Abstract all-to-all transport for `world_size` endpoints (see file
@@ -54,6 +76,12 @@ class Transport {
   /// holds undelivered messages — resetting mid-collective indicates the
   /// caller lost track of the protocol state.
   virtual void reset_counters() = 0;
+
+  /// Installs (or, with nullptr, removes) a wire tap. Must be called while
+  /// the transport is quiescent — before the rank threads enter a
+  /// collective — because implementations read the pointer without
+  /// synchronization on the hot path. Default: taps unsupported, ignored.
+  virtual void set_wire_tap(WireTap* /*tap*/) {}
 };
 
 }  // namespace gcs::comm

@@ -1,6 +1,7 @@
 #include "common/cli.h"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -73,6 +74,16 @@ bool CliFlags::get_bool(const std::string& name, bool fallback) const {
   if (*v == "true" || *v == "1" || *v == "yes") return true;
   if (*v == "false" || *v == "0" || *v == "no") return false;
   throw Error("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
 }
 
 }  // namespace gcs

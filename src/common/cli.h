@@ -42,4 +42,8 @@ class CliFlags {
   bool help_ = false;
 };
 
+/// Splits a comma-separated flag value ("a,b,c"); empty tokens are
+/// dropped. The shape every list-valued --flag in the tools uses.
+std::vector<std::string> split_csv(const std::string& text);
+
 }  // namespace gcs

@@ -9,6 +9,7 @@
 #include "comm/fabric.h"
 #include "comm/group.h"
 #include "common/check.h"
+#include "measure/trace.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
 #include "sched/encode_worker_pool.h"
@@ -16,13 +17,33 @@
 namespace gcs::core {
 namespace {
 
+/// Installs a wire tap on a transport for one scope and removes it on the
+/// way out (the transports require quiescence at both points — a round
+/// boundary satisfies it). A null recorder is a no-op.
+class ScopedWireTap {
+ public:
+  ScopedWireTap(comm::Transport& transport, measure::TraceRecorder* trace)
+      : transport_(transport), installed_(trace != nullptr) {
+    if (installed_) transport_.set_wire_tap(trace);
+  }
+  ~ScopedWireTap() {
+    if (installed_) transport_.set_wire_tap(nullptr);
+  }
+  ScopedWireTap(const ScopedWireTap&) = delete;
+  ScopedWireTap& operator=(const ScopedWireTap&) = delete;
+
+ private:
+  comm::Transport& transport_;
+  bool installed_;
+};
+
 /// Runs one stage over the local reference aggregators. Chunking is
 /// value-transparent, so the chunk plan is validated and the reduction
 /// happens once (see comm/chunked_collectives.h).
 void run_stage_local(const WireStage& stage, CodecRound& round,
                      const std::vector<ByteBuffer>& payloads,
                      std::span<const comm::ChunkRange> chunks,
-                     int ps_server) {
+                     int ps_server, measure::TraceRecorder* trace) {
   switch (stage.route) {
     case AggregationPath::kAllReduce: {
       GCS_CHECK_MSG(stage.op != nullptr,
@@ -33,6 +54,11 @@ void run_stage_local(const WireStage& stage, CodecRound& round,
                                                     *stage.op)
               : comm::local_chunked_ring_all_reduce(payloads, chunks,
                                                     *stage.op);
+      // kReduce covers only the absorb, matching the transport backends
+      // (the local aggregators have no wire, so there are no send/recv
+      // spans and the collective time is left unattributed by design).
+      measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                      stage.name);
       round.absorb_reduced(reduced);
       return;
     }
@@ -41,12 +67,16 @@ void run_stage_local(const WireStage& stage, CodecRound& round,
                     "stage '" << stage.name << "' needs a ReduceOp");
       const ByteBuffer reduced = comm::local_chunked_ps_aggregate(
           payloads, chunks, *stage.op, ps_server);
+      measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                      stage.name);
       round.absorb_reduced(reduced);
       return;
     }
     case AggregationPath::kAllGather: {
       // Gather payloads may differ in size across workers (TopK's delta
       // format pads per-worker); the local gather is a pure hand-over.
+      measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                      stage.name);
       round.absorb_gathered(payloads);
       return;
     }
@@ -99,7 +129,8 @@ std::vector<ByteBuffer> run_stage_rank(const WireStage& stage,
 void run_stage_threaded(const WireStage& stage, CodecRound& round,
                         const std::vector<ByteBuffer>& payloads,
                         std::span<const comm::ChunkRange> chunks,
-                        int ps_server, WireTraffic& wire) {
+                        int ps_server, WireTraffic& wire,
+                        measure::TraceRecorder* trace) {
   const auto n = static_cast<int>(payloads.size());
   if (stage.route != AggregationPath::kAllGather) {
     GCS_CHECK_MSG(stage.op != nullptr,
@@ -107,6 +138,7 @@ void run_stage_threaded(const WireStage& stage, CodecRound& round,
   }
   const bool symmetric = payloads_symmetric(payloads);
   comm::Fabric fabric(n);
+  if (trace != nullptr) fabric.set_wire_tap(trace);
   std::vector<ByteBuffer> bufs(payloads.begin(), payloads.end());
   std::vector<std::vector<ByteBuffer>> gathered(
       static_cast<std::size_t>(n));
@@ -119,6 +151,8 @@ void run_stage_threaded(const WireStage& stage, CodecRound& round,
     wire.sent[static_cast<std::size_t>(r)] += fabric.bytes_sent(r);
     wire.received[static_cast<std::size_t>(r)] += fabric.bytes_received(r);
   }
+  measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                  stage.name);
   if (stage.route == AggregationPath::kAllGather) {
     for (int r = 1; r < n; ++r) {
       GCS_CHECK_MSG(gathered[static_cast<std::size_t>(r)] == gathered[0],
@@ -147,7 +181,8 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
                                    std::vector<ByteBuffer>& payloads,
                                    std::span<const comm::ChunkRange> chunks,
                                    int ps_server, WireTraffic& wire,
-                                   sched::EncodeWorkerPool& pool) {
+                                   sched::EncodeWorkerPool& pool,
+                                   measure::TraceRecorder* trace) {
   const auto n = static_cast<int>(payloads.size());
   GCS_CHECK_MSG(stage.op != nullptr,
                 "stage '" << stage.name << "' needs a ReduceOp");
@@ -158,9 +193,11 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
   for (auto& p : ready) encoded.push_back(p.get_future().share());
   ready[0].set_value();  // payloads[0] is already encoded (it fixed the plan)
   for (int w = 1; w < n; ++w) {
-    pool.submit([&round, &payloads, &ready, w] {
+    pool.submit([&round, &payloads, &ready, w, trace] {
       try {
+        measure::ScopedSpan span(trace, measure::Phase::kEncode, "", w);
         payloads[static_cast<std::size_t>(w)] = round.encode(w);
+        span.set_bytes(payloads[static_cast<std::size_t>(w)].size());
         ready[static_cast<std::size_t>(w)].set_value();
       } catch (...) {
         // The waiting rank thread rethrows this from its future.
@@ -170,6 +207,7 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
     });
   }
   comm::Fabric fabric(n);
+  if (trace != nullptr) fabric.set_wire_tap(trace);
   try {
     comm::run_workers(fabric, [&](comm::Communicator& comm) {
       const auto rank = static_cast<std::size_t>(comm.rank());
@@ -207,6 +245,8 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
                   "stage '" << stage.name
                             << "': ranks disagree after reduction");
   }
+  measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                  stage.name);
   round.absorb_reduced(payloads[0]);
 }
 
@@ -267,15 +307,22 @@ std::vector<comm::ChunkRange> AggregationPipeline::stage_chunks(
 void AggregationPipeline::encode_rest(CodecRound& session,
                                       std::vector<ByteBuffer>& payloads) {
   const auto n = payloads.size();
+  measure::TraceRecorder* trace = config_.trace;
   if (pool_ == nullptr) {
     for (std::size_t w = 1; w < n; ++w) {
+      measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                               static_cast<int>(w));
       payloads[w] = session.encode(static_cast<int>(w));
+      span.set_bytes(payloads[w].size());
     }
     return;
   }
   for (std::size_t w = 1; w < n; ++w) {
-    pool_->submit([&session, &payloads, w] {
+    pool_->submit([&session, &payloads, w, trace] {
+      measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                               static_cast<int>(w));
       payloads[w] = session.encode(static_cast<int>(w));
+      span.set_bytes(payloads[w].size());
     });
   }
   pool_->wait_idle();
@@ -298,14 +345,23 @@ RoundStats AggregationPipeline::aggregate(
     wire_.received.assign(n, 0);
   }
 
+  measure::TraceRecorder* trace = config_.trace;
+  measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
+
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
+    measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
+                                   stage.name);
     // Worker 0 is always encoded first: its payload size fixes the chunk
     // plan every rank must share.
-    payloads[0] = session->encode(0);
+    {
+      measure::ScopedSpan span(trace, measure::Phase::kEncode, "", 0);
+      payloads[0] = session->encode(0);
+      span.set_bytes(payloads[0].size());
+    }
     const std::size_t stage_bytes = payloads[0].size();
     const std::size_t granularity =
         stage.op != nullptr ? stage.op->granularity() : 1;
@@ -315,7 +371,7 @@ RoundStats AggregationPipeline::aggregate(
       // The hand-off path: collective threads start now; the pool feeds
       // them payloads as they are encoded.
       run_stage_threaded_overlapped(stage, *session, payloads, chunks,
-                                    config_.ps_server, wire_, *pool_);
+                                    config_.ps_server, wire_, *pool_, trace);
     } else {
       encode_rest(*session, payloads);
       for (std::size_t w = 1; w < n; ++w) {
@@ -328,15 +384,16 @@ RoundStats AggregationPipeline::aggregate(
       }
       if (backend == PipelineBackend::kThreadedFabric) {
         run_stage_threaded(stage, *session, payloads, chunks,
-                           config_.ps_server, wire_);
+                           config_.ps_server, wire_, trace);
       } else {
         run_stage_local(stage, *session, payloads, chunks,
-                        config_.ps_server);
+                        config_.ps_server, trace);
       }
     }
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
         stage_bytes;
   }
+  measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
   session->finish(out, stats);
   return stats;
 }
@@ -353,11 +410,19 @@ RoundStats AggregationPipeline::aggregate_over(
                                         << codec_->world_size());
   const auto rank = static_cast<std::size_t>(comm.rank());
 
+  measure::TraceRecorder* trace = config_.trace;
+  // The caller's transport reports per-chunk send/recv spans for the
+  // duration of the round (round boundaries are quiescent points).
+  ScopedWireTap tap(comm.transport(), trace);
+  measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
+
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
+    measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
+                                   stage.name);
     if (stage.route != AggregationPath::kAllGather) {
       GCS_CHECK_MSG(stage.op != nullptr,
                     "stage '" << stage.name << "' needs a ReduceOp");
@@ -373,13 +438,22 @@ RoundStats AggregationPipeline::aggregate_over(
       // copies while the collective's hops are already in flight.
       // Reducible payloads are size-symmetric, so the rank's own size
       // fixes the shared chunk plan.
-      ByteBuffer mine = session->encode(static_cast<int>(rank));
+      ByteBuffer mine;
+      {
+        measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                                 static_cast<int>(rank));
+        mine = session->encode(static_cast<int>(rank));
+        span.set_bytes(mine.size());
+      }
       const std::size_t stage_bytes = mine.size();
       const auto chunks = stage_chunks(stage_bytes, granularity);
       for (std::size_t w = 0; w < n; ++w) {
         if (w == rank) continue;
-        pool_->submit([&session, &payloads, w] {
+        pool_->submit([&session, &payloads, w, trace] {
+          measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                                   static_cast<int>(w));
           payloads[w] = session->encode(static_cast<int>(w));
+          span.set_bytes(payloads[w].size());
         });
       }
       try {
@@ -399,12 +473,20 @@ RoundStats AggregationPipeline::aggregate_over(
                       "stage '" << stage.name
                                 << "': asymmetric payload sizes");
       }
-      session->absorb_reduced(mine);
+      {
+        measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                        stage.name);
+        session->absorb_reduced(mine);
+      }
       (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
           stage_bytes;
       continue;
     }
-    payloads[0] = session->encode(0);
+    {
+      measure::ScopedSpan span(trace, measure::Phase::kEncode, "", 0);
+      payloads[0] = session->encode(0);
+      span.set_bytes(payloads[0].size());
+    }
     encode_rest(*session, payloads);
     for (std::size_t w = 1; w < n; ++w) {
       GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
@@ -421,14 +503,19 @@ RoundStats AggregationPipeline::aggregate_over(
     ByteBuffer mine = std::move(payloads[rank]);
     const auto gathered = run_stage_rank(stage, comm, mine, symmetric,
                                          chunks, config_.ps_server);
-    if (stage.route == AggregationPath::kAllGather) {
-      session->absorb_gathered(gathered);
-    } else {
-      session->absorb_reduced(mine);
+    {
+      measure::ScopedSpan reduce_span(trace, measure::Phase::kReduce,
+                                      stage.name);
+      if (stage.route == AggregationPath::kAllGather) {
+        session->absorb_gathered(gathered);
+      } else {
+        session->absorb_reduced(mine);
+      }
     }
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
         stage_bytes;
   }
+  measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
   session->finish(out, stats);
   return stats;
 }

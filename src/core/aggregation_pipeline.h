@@ -48,6 +48,10 @@ namespace gcs::comm {
 class Communicator;
 }
 
+namespace gcs::measure {
+class TraceRecorder;
+}
+
 namespace gcs::sched {
 class EncodeWorkerPool;
 }
@@ -93,6 +97,14 @@ struct PipelineConfig {
   /// Layer table for kLayerBuckets (the factory passes its layout
   /// through). Must cover the codec's dimension.
   ModelLayout layout;
+  /// Measurement hook (non-owning, see measure/trace.h): when set, the
+  /// pipeline records per-phase monotonic-clock spans — encode per
+  /// worker, per-chunk collective send/recv (via the transport's wire
+  /// tap), reduce, decode, stage and round envelopes. Null (the default)
+  /// means not a single clock read; either way values and wire bytes are
+  /// untouched. The socket backend traces rank 0's endpoint (the
+  /// surviving process); forked peers run untraced.
+  measure::TraceRecorder* trace = nullptr;
 
   PipelineBackend effective_backend() const noexcept {
     if (backend != PipelineBackend::kLocalReference) return backend;

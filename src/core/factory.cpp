@@ -18,9 +18,9 @@ namespace {
 
 /// Spec keys/flags consumed by the pipeline/scheduler layers rather than
 /// a scheme; every scheme's require_known() treats these as known.
-constexpr const char* kPipelineOptions[] = {"chunk",   "fabric", "port",
-                                            "iface",   "buckets", "bucket",
-                                            "workers", "autotune"};
+constexpr const char* kPipelineOptions[] = {
+    "chunk",   "fabric",   "port",          "iface", "buckets",
+    "bucket",  "workers",  "backward_frac", "autotune"};
 constexpr const char* kPipelineFlags[] = {"fabric", "autotune"};
 
 struct Spec {
@@ -208,6 +208,21 @@ PipelineConfig pipeline_config_of(const Spec& spec,
           workers_it->second + "'");
     }
     pipeline.encode_workers = static_cast<int>(workers);
+  }
+
+  // backward_frac is a charge-path knob (sim::CostModel re-parses the
+  // spec; the pipeline's value path never needs it), but its validation
+  // lives here with the rest of the grammar: a typo or an out-of-range
+  // share must not silently charge a different schedule.
+  const auto frac_it = spec.options.find("backward_frac");
+  if (frac_it != spec.options.end()) {
+    const double frac = spec.get_double("backward_frac", 0.0);
+    if (!(frac > 0.0 && frac < 1.0)) {
+      throw Error(
+          "compressor spec: backward_frac= expects a fraction strictly "
+          "between 0 and 1 (the backward share of fwd+bwd compute), got '" +
+          frac_it->second + "'");
+    }
   }
 
   bool autotune = spec.has_flag("autotune");

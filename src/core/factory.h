@@ -22,6 +22,10 @@
 //   "bucket=<bytes>"         layer-bucket cap (default 25 MB); only with
 //                            buckets=layer
 //   "workers=<N>"            encode worker pool width (default 1)
+//   "backward_frac=<f>"      backward share of fwd+bwd compute used by
+//                            the backward-overlap charge; strictly inside
+//                            (0, 1), default 2/3 (the classic rule of
+//                            thumb — override with a measured profile)
 //   "autotune" / "autotune=1"
 //                            pick chunk/bucket bytes by sweeping the cost
 //                            model; rejects an explicit chunk=/bucket=

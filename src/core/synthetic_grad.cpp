@@ -7,6 +7,22 @@
 
 namespace gcs::core {
 
+std::vector<std::vector<float>> seeded_worker_grads(std::size_t dimension,
+                                                    int world_size,
+                                                    std::uint64_t seed,
+                                                    std::uint64_t round) {
+  std::vector<std::vector<float>> grads(
+      static_cast<std::size_t>(world_size),
+      std::vector<float>(dimension));
+  for (int w = 0; w < world_size; ++w) {
+    Rng rng(derive_seed(seed + round, w));
+    for (auto& v : grads[static_cast<std::size_t>(w)]) {
+      v = static_cast<float>(rng.next_gaussian());
+    }
+  }
+  return grads;
+}
+
 SyntheticGradients::SyntheticGradients(SyntheticGradConfig config)
     : config_(std::move(config)) {
   GCS_CHECK(config_.world_size >= 1);

@@ -52,6 +52,17 @@ struct SyntheticGradConfig {
   std::uint64_t seed = 0x9eadbeef;
 };
 
+/// Deterministic unstructured per-worker gradients from (seed, round,
+/// worker) alone: iid N(0,1) coordinates. The multi-process protocol
+/// binaries (gcs_worker, gcs_driver) and the measurement tests all
+/// regenerate identical tensors from this one recipe in every process —
+/// the cross-process agreement checks depend on there being exactly one
+/// implementation, so nothing but protocol bytes crosses the wire.
+std::vector<std::vector<float>> seeded_worker_grads(std::size_t dimension,
+                                                    int world_size,
+                                                    std::uint64_t seed,
+                                                    std::uint64_t round);
+
 /// Deterministic per-round gradient source for a simulated cluster.
 class SyntheticGradients {
  public:

@@ -1,0 +1,210 @@
+#include "measure/link_prober.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace gcs::measure {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Probe tags live far above the collectives' tag space (tag_of packs
+// small enums/steps); a probe is a standalone protocol on a quiescent
+// transport, the offset just makes a stray frame unmistakable.
+constexpr std::uint64_t kPing = 0x6d50000000000000ull;
+constexpr std::uint64_t kPong = 0x6d51000000000000ull;
+constexpr std::uint64_t kBulk = 0x6d52000000000000ull;
+constexpr std::uint64_t kAck = 0x6d53000000000000ull;
+constexpr std::uint64_t kGo = 0x6d54000000000000ull;
+constexpr std::uint64_t kFlow = 0x6d55000000000000ull;
+
+ByteBuffer filled(std::size_t bytes) {
+  ByteBuffer b(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    b[i] = static_cast<std::byte>(i * 131u + 17u);
+  }
+  return b;
+}
+
+}  // namespace
+
+LinkEstimate probe_link(comm::Communicator& comm, int probe_src,
+                        int probe_dst, const ProbeConfig& config) {
+  const int n = comm.world_size();
+  GCS_CHECK_MSG(probe_src != probe_dst,
+                "probe_link needs two distinct ranks");
+  GCS_CHECK(probe_src >= 0 && probe_src < n && probe_dst >= 0 &&
+            probe_dst < n);
+  GCS_CHECK(config.rtt_iters >= 1 && config.bandwidth_iters >= 1 &&
+            config.bandwidth_bytes >= 1);
+  const int rank = comm.rank();
+
+  LinkEstimate est;
+  est.rtt_samples = config.rtt_iters;
+  est.bandwidth_samples = config.bandwidth_iters;
+
+  const ByteBuffer ping = filled(1);
+  if (rank == probe_src) {
+    // RTT: minimal-payload ping-pong, warmup untimed.
+    for (int i = 0; i < config.warmup_iters; ++i) {
+      comm.send(probe_dst, kPing + static_cast<std::uint64_t>(i), ping);
+      (void)comm.recv(probe_dst, kPong + static_cast<std::uint64_t>(i));
+    }
+    const auto t0 = Clock::now();
+    for (int i = 0; i < config.rtt_iters; ++i) {
+      const auto seq =
+          static_cast<std::uint64_t>(config.warmup_iters + i);
+      comm.send(probe_dst, kPing + seq, ping);
+      (void)comm.recv(probe_dst, kPong + seq);
+    }
+    est.rtt_s = seconds_since(t0) / config.rtt_iters;
+    est.latency_s = est.rtt_s / 2.0;
+
+    // Bandwidth: bulk one-way transfers, one trailing ack. The transfer
+    // volume dwarfs the ack's half round trip by construction.
+    const ByteBuffer bulk = filled(config.bandwidth_bytes);
+    for (int i = 0; i < config.warmup_iters; ++i) {
+      comm.send(probe_dst, kBulk + static_cast<std::uint64_t>(i), bulk);
+    }
+    (void)comm.recv(probe_dst, kAck);
+    const auto b0 = Clock::now();
+    for (int i = 0; i < config.bandwidth_iters; ++i) {
+      const auto seq =
+          static_cast<std::uint64_t>(config.warmup_iters + i);
+      comm.send(probe_dst, kBulk + seq, bulk);
+    }
+    (void)comm.recv(probe_dst, kAck + 1);
+    const double elapsed = seconds_since(b0);
+    const double bytes = static_cast<double>(config.bandwidth_bytes) *
+                         config.bandwidth_iters;
+    est.bandwidth_bytes_per_sec = elapsed > 0.0 ? bytes / elapsed : 0.0;
+  } else if (rank == probe_dst) {
+    for (int i = 0; i < config.warmup_iters + config.rtt_iters; ++i) {
+      const auto seq = static_cast<std::uint64_t>(i);
+      (void)comm.recv(probe_src, kPing + seq);
+      comm.send(probe_src, kPong + seq, ping);
+    }
+    for (int i = 0; i < config.warmup_iters; ++i) {
+      (void)comm.recv(probe_src, kBulk + static_cast<std::uint64_t>(i));
+    }
+    comm.send(probe_src, kAck, filled(1));
+    for (int i = 0; i < config.bandwidth_iters; ++i) {
+      const auto seq =
+          static_cast<std::uint64_t>(config.warmup_iters + i);
+      (void)comm.recv(probe_src, kBulk + seq);
+    }
+    comm.send(probe_src, kAck + 1, filled(1));
+  }
+
+  // Ship the measuring rank's numbers to everyone (SPMD return value).
+  ByteBuffer wire;
+  if (rank == probe_src) {
+    ByteWriter w(wire);
+    w.put<double>(est.rtt_s);
+    w.put<double>(est.latency_s);
+    w.put<double>(est.bandwidth_bytes_per_sec);
+  }
+  comm::broadcast(comm, wire, probe_src);
+  if (rank != probe_src) {
+    ByteReader r(wire);
+    est.rtt_s = r.get<double>();
+    est.latency_s = r.get<double>();
+    est.bandwidth_bytes_per_sec = r.get<double>();
+  }
+  return est;
+}
+
+IncastEstimate probe_incast(comm::Communicator& comm, int server,
+                            const ProbeConfig& config) {
+  const int n = comm.world_size();
+  GCS_CHECK(server >= 0 && server < n);
+  GCS_CHECK(config.incast_bytes >= 1);
+  const int rank = comm.rank();
+
+  IncastEstimate est;
+  est.senders = n - 1;
+  est.bytes_per_sender = config.incast_bytes;
+  if (n <= 1) return est;
+
+  const ByteBuffer payload = filled(config.incast_bytes);
+  // Every pass (warmups included) runs both shapes so client code is one
+  // loop; only the last pass is timed.
+  for (int pass = 0; pass <= config.warmup_iters; ++pass) {
+    const bool timed = pass == config.warmup_iters;
+    const auto seq = static_cast<std::uint64_t>(pass) << 8;
+    if (rank == server) {
+      // Serialized baseline: one flow at a time, in rank order.
+      double serialized = 0.0;
+      for (int c = 0; c < n; ++c) {
+        if (c == server) continue;
+        const auto t0 = Clock::now();
+        comm.send(c, kGo + seq, ByteBuffer{});
+        (void)comm.recv(c, kFlow + seq);
+        serialized += seconds_since(t0);
+      }
+      // Concurrent incast: release every client, then drain them all.
+      const auto t0 = Clock::now();
+      for (int c = 0; c < n; ++c) {
+        if (c == server) continue;
+        comm.send(c, kGo + seq + 1, ByteBuffer{});
+      }
+      for (int c = 0; c < n; ++c) {
+        if (c == server) continue;
+        (void)comm.recv(c, kFlow + seq + 1);
+      }
+      const double concurrent = seconds_since(t0);
+      if (timed) {
+        est.serialized_s = serialized;
+        est.concurrent_s = concurrent;
+        est.penalty =
+            serialized > 0.0 ? concurrent / serialized : 1.0;
+      }
+    } else {
+      (void)comm.recv(server, kGo + seq);
+      comm.send(server, kFlow + seq, payload);
+      (void)comm.recv(server, kGo + seq + 1);
+      comm.send(server, kFlow + seq + 1, payload);
+    }
+  }
+
+  ByteBuffer wire;
+  if (rank == server) {
+    ByteWriter w(wire);
+    w.put<double>(est.penalty);
+    w.put<double>(est.serialized_s);
+    w.put<double>(est.concurrent_s);
+  }
+  comm::broadcast(comm, wire, server);
+  if (rank != server) {
+    ByteReader r(wire);
+    est.penalty = r.get<double>();
+    est.serialized_s = r.get<double>();
+    est.concurrent_s = r.get<double>();
+  }
+  return est;
+}
+
+netsim::NetworkModel probed_network_model(const LinkEstimate& link,
+                                          const IncastEstimate& incast) {
+  netsim::LinkSpec spec;
+  if (link.bandwidth_bytes_per_sec > 0.0) {
+    spec.bandwidth_bytes_per_sec = link.bandwidth_bytes_per_sec;
+  }
+  if (link.latency_s > 0.0) spec.latency_sec = link.latency_s;
+  // The probe measures goodput on the actual substrate, so the line-rate
+  // fractions collapse to 1: efficiency is already inside the estimate.
+  netsim::CollectiveEfficiency eff;
+  eff.ring = eff.tree = eff.all_gather = eff.ps = 1.0;
+  netsim::NetworkModel model(spec, eff);
+  if (incast.penalty > 0.0) {
+    model.set_measured_incast_penalty(incast.penalty);
+  }
+  return model;
+}
+
+}  // namespace gcs::measure

@@ -1,0 +1,85 @@
+// Active link probing over comm::Transport — measuring what netsim
+// assumes (DESIGN.md "Measurement layer").
+//
+// The alpha-beta model in netsim/network_model.h charges the *paper's*
+// testbed. On the transports this repo actually runs (loopback TCP, Unix
+// sockets, the in-process threaded fabric) neither the 5 us hop latency
+// nor the 100 Gbps line rate holds; these probes measure the real link so
+// the Calibrator and the driver can put charged and measured times in one
+// frame:
+//
+//   * probe_link    — tagged ping-pong between two ranks: RTT from
+//                     minimal payloads (the per-hop alpha), bandwidth
+//                     from large one-way transfers (the per-byte beta).
+//   * probe_incast  — the paper's congestion pattern, run for real: n-1
+//                     ranks first send to one server strictly one at a
+//                     time (serialized baseline), then all at once. The
+//                     ratio of the concurrent completion time to the
+//                     serialized one is a *measured* incast penalty that
+//                     NetworkModel::set_measured_incast_penalty consumes
+//                     in place of the assumed analytic curve.
+//
+// All entry points are SPMD collectives over a Communicator: every rank
+// of the transport must call them (like any collective); the returned
+// estimates are meaningful on every rank (the measuring rank broadcasts
+// its numbers as the final protocol step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "comm/collectives.h"
+#include "netsim/network_model.h"
+
+namespace gcs::measure {
+
+struct ProbeConfig {
+  /// Ping-pong iterations for the RTT estimate (after warmup).
+  int rtt_iters = 64;
+  /// One-way payload bytes per bandwidth iteration.
+  std::size_t bandwidth_bytes = 1 << 20;
+  /// Bandwidth transfer iterations (after warmup).
+  int bandwidth_iters = 4;
+  /// Payload bytes per sender flow in the incast probe.
+  std::size_t incast_bytes = 1 << 18;
+  /// Untimed warmup iterations preceding each timed section.
+  int warmup_iters = 2;
+};
+
+/// One probed (src, dst) link, as charged by the alpha-beta model.
+struct LinkEstimate {
+  double rtt_s = 0.0;        ///< mean minimal-payload round trip
+  double latency_s = 0.0;    ///< one-way alpha estimate (rtt / 2)
+  double bandwidth_bytes_per_sec = 0.0;  ///< one-way beta estimate
+  int rtt_samples = 0;
+  int bandwidth_samples = 0;
+};
+
+/// One measured n-to-1 incast, vs the serialized single-flow baseline.
+struct IncastEstimate {
+  double penalty = 1.0;       ///< concurrent / serialized slowdown factor
+  double serialized_s = 0.0;  ///< sum of one-at-a-time flow times
+  double concurrent_s = 0.0;  ///< all-at-once completion time
+  int senders = 0;
+  std::size_t bytes_per_sender = 0;
+};
+
+/// Probes the (probe_src -> probe_dst) link. SPMD: every rank calls it;
+/// ranks outside the pair only participate in the final broadcast.
+LinkEstimate probe_link(comm::Communicator& comm, int probe_src,
+                        int probe_dst, const ProbeConfig& config = {});
+
+/// Probes n-1 concurrent flows into `server`. SPMD: every rank calls it.
+/// World size must be >= 2 (with exactly 2 the "incast" is one flow and
+/// the penalty is ~1 by construction).
+IncastEstimate probe_incast(comm::Communicator& comm, int server,
+                            const ProbeConfig& config = {});
+
+/// A NetworkModel whose link parameters come from the probes instead of
+/// the paper's testbed: alpha from the RTT, beta from the bandwidth
+/// estimate (efficiencies left at 1.0 — the probe measures goodput
+/// directly), and the measured incast penalty installed.
+netsim::NetworkModel probed_network_model(const LinkEstimate& link,
+                                          const IncastEstimate& incast);
+
+}  // namespace gcs::measure

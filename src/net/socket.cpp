@@ -146,6 +146,41 @@ void Socket::write_all(const void* data, std::size_t size) {
   }
 }
 
+void Socket::write_two(std::span<const std::byte> head,
+                       std::span<const std::byte> tail) {
+  GCS_CHECK(valid());
+  std::size_t done = 0;
+  const std::size_t total = head.size() + tail.size();
+  while (done < total) {
+    // Rebuild the iovec pair from what is left; a partial write may land
+    // inside either part.
+    iovec iov[2];
+    int parts = 0;
+    if (done < head.size()) {
+      iov[parts].iov_base =
+          const_cast<std::byte*>(head.data() + done);
+      iov[parts].iov_len = head.size() - done;
+      ++parts;
+    }
+    const std::size_t tail_done = done > head.size() ? done - head.size() : 0;
+    if (tail_done < tail.size()) {
+      iov[parts].iov_base =
+          const_cast<std::byte*>(tail.data() + tail_done);
+      iov[parts].iov_len = tail.size() - tail_done;
+      ++parts;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(parts);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket writev failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
 bool Socket::read_exact(void* data, std::size_t size) {
   GCS_CHECK(valid());
   auto* p = static_cast<char*>(data);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 namespace gcs::net {
@@ -51,6 +52,13 @@ class Socket {
   /// Writes exactly `size` bytes; throws gcs::Error on a broken pipe or
   /// I/O error (SIGPIPE is suppressed).
   void write_all(const void* data, std::size_t size);
+
+  /// Writes the concatenation of `head` then `tail` with scatter-gather
+  /// I/O (sendmsg with two iovecs): one syscall per frame on the common
+  /// path instead of one per part, with the identical byte stream on the
+  /// wire. Loops on partial writes; same error contract as write_all.
+  void write_two(std::span<const std::byte> head,
+                 std::span<const std::byte> tail);
 
   /// Reads exactly `size` bytes. Returns false on a clean EOF before the
   /// first byte; throws gcs::Error on a mid-read EOF or I/O error.

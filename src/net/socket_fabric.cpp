@@ -88,6 +88,8 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
   GCS_CHECK_MSG(src == config_.rank,
                 "SocketFabric owns rank " << config_.rank
                                           << ", cannot send as " << src);
+  const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
   const std::size_t bytes = payload.size();
   if (dst == config_.rank) {
     {
@@ -101,8 +103,14 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
     std::lock_guard lock(p.send_mu);
     write_frame(p.sock, static_cast<std::uint32_t>(src), tag, payload);
   }
-  std::lock_guard lock(counter_mu_);
-  sent_bytes_ += bytes;
+  {
+    std::lock_guard lock(counter_mu_);
+    sent_bytes_ += bytes;
+  }
+  if (tap_ != nullptr) {
+    tap_->on_wire(src, dst, /*is_send=*/true, tag, bytes, start,
+                  std::chrono::steady_clock::now());
+  }
 }
 
 comm::Message SocketFabric::recv(int dst, int src,
@@ -110,6 +118,8 @@ comm::Message SocketFabric::recv(int dst, int src,
   GCS_CHECK_MSG(dst == config_.rank,
                 "SocketFabric owns rank " << config_.rank
                                           << ", cannot recv as " << dst);
+  const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config_.recv_timeout_ms);
@@ -156,6 +166,10 @@ comm::Message SocketFabric::recv(int dst, int src,
   {
     std::lock_guard lock(counter_mu_);
     received_bytes_ += payload.size();
+  }
+  if (tap_ != nullptr) {
+    tap_->on_wire(dst, src, /*is_send=*/false, expected_tag, payload.size(),
+                  start, std::chrono::steady_clock::now());
   }
   return comm::Message{expected_tag, std::move(payload)};
 }

@@ -75,6 +75,11 @@ class SocketFabric final : public comm::Transport {
   std::uint64_t bytes_received(int rank) const override;
   void reset_counters() override;
 
+  /// Installs a wire tap (see comm::Transport): send/recv on the owned
+  /// rank are timed and reported. Install while no collective is in
+  /// flight; reader threads never touch the tap.
+  void set_wire_tap(comm::WireTap* tap) override { tap_ = tap; }
+
  private:
   struct Peer {
     Socket sock;
@@ -104,6 +109,7 @@ class SocketFabric final : public comm::Transport {
   mutable std::mutex counter_mu_;
   std::uint64_t sent_bytes_ = 0;
   std::uint64_t received_bytes_ = 0;
+  comm::WireTap* tap_ = nullptr;  ///< non-owning; set while quiescent
 };
 
 }  // namespace gcs::net

@@ -47,7 +47,7 @@ double NetworkModel::ps_aggregate_time(int n, double payload_bytes,
   const double senders = static_cast<double>(n - 1);
   const double bw = link_.bandwidth_bytes_per_sec * eff_.ps;
   double gather = link_.latency_sec +
-                  senders * payload_bytes * incast_penalty(n - 1) / bw;
+                  senders * payload_bytes * incast(n - 1) / bw;
   double bcast = link_.latency_sec + senders * payload_bytes / bw;
   double total = gather + bcast;
   if (colocated) {

@@ -42,7 +42,9 @@ struct CollectiveEfficiency {
 };
 
 /// Multiplicative slowdown of the PS ingest link when `senders` flows
-/// converge on it simultaneously (incast). 1.0 = no penalty.
+/// converge on it simultaneously (incast). 1.0 = no penalty. This is the
+/// *assumed* analytic curve; a NetworkModel can carry a measured factor
+/// instead (set_measured_incast_penalty, fed by measure::probe_incast).
 double incast_penalty(int senders) noexcept;
 
 /// Time model for one training cluster.
@@ -79,9 +81,29 @@ class NetworkModel {
   /// Same for the ring all-gather ((n-1) hops per chunk).
   double all_gather_step_latency(int n) const noexcept;
 
+  /// Replaces the analytic incast_penalty(senders) curve with a factor
+  /// measured on a real transport (measure::probe_incast hammers one rank
+  /// with n-1 concurrent flows and reports the slowdown vs serialized
+  /// single flows). <= 0 restores the analytic model. The measured factor
+  /// is applied for every sender count — a probe measures one topology.
+  void set_measured_incast_penalty(double penalty) noexcept {
+    measured_incast_ = penalty;
+  }
+
+  /// The incast factor ps_aggregate_time charges: the measured one when
+  /// installed, the analytic curve otherwise.
+  double incast(int senders) const noexcept {
+    return measured_incast_ > 0.0 ? measured_incast_
+                                  : incast_penalty(senders);
+  }
+
+  /// True when a measured factor is installed.
+  bool has_measured_incast() const noexcept { return measured_incast_ > 0.0; }
+
  private:
   LinkSpec link_;
   CollectiveEfficiency eff_;
+  double measured_incast_ = 0.0;  ///< <= 0 = analytic incast_penalty()
 };
 
 }  // namespace gcs::netsim

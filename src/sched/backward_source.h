@@ -26,8 +26,10 @@
 
 namespace gcs::sched {
 
-/// Share of fp32 forward+backward time spent in the backward pass (the
-/// usual ~2x-forward rule of thumb; gradients w.r.t. inputs and weights).
+/// Default share of fp32 forward+backward time spent in the backward pass
+/// (the usual ~2x-forward rule of thumb; gradients w.r.t. inputs and
+/// weights). The factory's "backward_frac=" spec knob overrides it per
+/// run — e.g. with a measured fwd/bwd split from a profiler.
 inline constexpr double kBackwardFraction = 2.0 / 3.0;
 
 /// One gradient-ready event: layer `layer`'s gradient exists from

@@ -114,8 +114,12 @@ RoundTime CostModel::apply_overlap(const RoundCharge& charge,
 RoundTime CostModel::apply_backward_overlap(const RoundCharge& charge,
                                             const WorkloadSpec& w,
                                             std::size_t bucket_bytes,
-                                            int workers) const {
+                                            int workers,
+                                            double backward_frac) const {
   GCS_CHECK_MSG(workers >= 1, "backward overlap needs >= 1 encode workers");
+  GCS_CHECK_MSG(backward_frac > 0.0 && backward_frac < 1.0,
+                "backward_frac must be strictly inside (0, 1), got "
+                    << backward_frac);
   RoundTime t = charge.serial;
   sched::BucketPlannerConfig planner;
   if (bucket_bytes != 0) planner.bucket_bytes = bucket_bytes;
@@ -143,8 +147,7 @@ RoundTime CostModel::apply_backward_overlap(const RoundCharge& charge,
   const double serial_total =
       t.compute_s + t.compress_s + t.comm_s + t.fixed_s;
 
-  const double forward =
-      (1.0 - sched::kBackwardFraction) * t.compute_s;
+  const double forward = (1.0 - backward_frac) * t.compute_s;
   const double backward = t.compute_s - forward;
   const sched::BackwardSource source(w.layout, backward);
   const double backward_end = forward + backward;
@@ -460,8 +463,10 @@ RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
         static_cast<std::size_t>(spec.option("bucket", 0.0));
     const auto workers =
         std::max(1, static_cast<int>(spec.option("workers", 1.0)));
+    const double backward_frac =
+        spec.option("backward_frac", sched::kBackwardFraction);
     return apply_backward_overlap(charge_for_spec(w, text), w, bucket_bytes,
-                                  workers);
+                                  workers, backward_frac);
   }
   if (chunk_bytes == 0) {
     chunk_bytes = static_cast<std::size_t>(spec.option("chunk", 0.0));
@@ -472,9 +477,10 @@ RoundTime CostModel::round_for_spec(const WorkloadSpec& w,
 RoundTime CostModel::bucketed_round_for_spec(const WorkloadSpec& w,
                                              const std::string& spec,
                                              std::size_t bucket_bytes,
-                                             int workers) const {
+                                             int workers,
+                                             double backward_frac) const {
   return apply_backward_overlap(charge_for_spec(w, spec), w, bucket_bytes,
-                                workers);
+                                workers, backward_frac);
 }
 
 }  // namespace gcs::sim

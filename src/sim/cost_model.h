@@ -54,6 +54,7 @@
 
 #include "netsim/network_model.h"
 #include "numeric/precision.h"
+#include "sched/backward_source.h"
 #include "sim/workload.h"
 
 namespace gcs::sim {
@@ -157,9 +158,9 @@ class CostModel {
   /// "chunk=<bytes>" option in the spec selects chunked charging (matching
   /// the factory's pipeline knob); the explicit `chunk_bytes` argument
   /// overrides the spec when non-zero. A "buckets=layer" option instead
-  /// selects the bucketed backward-overlap charge (with "bucket=<bytes>"
-  /// and "workers=<N>" from the spec); it takes precedence over chunked
-  /// charging.
+  /// selects the bucketed backward-overlap charge (with "bucket=<bytes>",
+  /// "workers=<N>" and "backward_frac=<f>" from the spec); it takes
+  /// precedence over chunked charging.
   RoundTime round_for_spec(const WorkloadSpec& w, const std::string& spec,
                            std::size_t chunk_bytes = 0) const;
 
@@ -167,11 +168,13 @@ class CostModel {
   /// DDP-style buckets of `bucket_bytes` (0 = the planner's 25 MB
   /// default) in backward order, an encode pool of `workers` threads,
   /// comm of bucket k overlapping both the backward pass and the encode
-  /// of bucket k+1. See the file comment.
-  RoundTime bucketed_round_for_spec(const WorkloadSpec& w,
-                                    const std::string& spec,
-                                    std::size_t bucket_bytes = 0,
-                                    int workers = 1) const;
+  /// of bucket k+1. `backward_frac` is the backward share of fwd+bwd
+  /// compute (strictly inside (0, 1); default: the 2/3 rule the spec
+  /// knob "backward_frac=" overrides). See the file comment.
+  RoundTime bucketed_round_for_spec(
+      const WorkloadSpec& w, const std::string& spec,
+      std::size_t bucket_bytes = 0, int workers = 1,
+      double backward_frac = sched::kBackwardFraction) const;
 
  private:
   /// One scheme's serial round plus the parts of it that may pipeline:
@@ -218,11 +221,11 @@ class CostModel {
   /// encode (on the earliest-free of `workers` pool threads) and its
   /// collective (on the serial wire). Whole-vector encode barriers and
   /// consensus rings stay after backward end; streamable encode hides
-  /// under the backward pass.
+  /// under the backward pass, whose share of compute is `backward_frac`.
   RoundTime apply_backward_overlap(const RoundCharge& charge,
                                    const WorkloadSpec& w,
-                                   std::size_t bucket_bytes,
-                                   int workers) const;
+                                   std::size_t bucket_bytes, int workers,
+                                   double backward_frac) const;
 
   CostConstants constants_;
   netsim::NetworkModel net_;

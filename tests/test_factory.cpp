@@ -198,6 +198,30 @@ TEST(Factory, SchedulerGrammarRejects) {
   EXPECT_THROW(make_compressor("fp16:worker=2", l, 4), Error);
 }
 
+TEST(Factory, BackwardFracAcceptsInRangeFractions) {
+  const ModelLayout l({LayerSpec{"a", 100, 1}, LayerSpec{"b", 60, 1}});
+  EXPECT_NO_THROW(make_compressor("fp16:backward_frac=0.5", l, 4));
+  EXPECT_NO_THROW(
+      make_compressor("fp16:buckets=layer:backward_frac=0.8", l, 4));
+  // Both factory entry points validate the knob (it is consumed by the
+  // cost model's re-parse of the same spec, tested in test_sched.cpp).
+  EXPECT_NO_THROW(parse_pipeline_config("fp16:backward_frac=0.71", l, 4));
+}
+
+TEST(Factory, BackwardFracRejectsOutOfRange) {
+  // The fraction is a share of compute: 0 and 1 are degenerate (no
+  // backward pass / no forward pass) and anything outside is a typo.
+  const ModelLayout l({LayerSpec{"a", 100, 1}, LayerSpec{"b", 60, 1}});
+  EXPECT_THROW(make_compressor("fp16:backward_frac=0", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:backward_frac=1", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:backward_frac=1.5", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:backward_frac=-0.3", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:backward_frac=abc", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:backward_frac=", l, 4), Error);
+  // The misspelled knob stays fatal, as everywhere in the grammar.
+  EXPECT_THROW(make_compressor("fp16:backwards_frac=0.5", l, 4), Error);
+}
+
 TEST(Factory, NoEfFlag) {
   // Spec parsing must accept the noef flag everywhere it is documented.
   const auto l = layout();

@@ -83,6 +83,67 @@ TEST(Framing, RoundTripsTagsAndPayloads) {
   EXPECT_FALSE(read_frame(b, src, tag, received));
 }
 
+TEST(Framing, ScatterGatherWritePutsExactBytesOnTheWire) {
+  // write_frame sends header+payload via one sendmsg; the stream must be
+  // byte-for-byte the documented GCSF layout (little-endian magic,
+  // src_rank, tag, length, then the raw payload) — the framing contract
+  // peers parse against, independent of how many syscalls produced it.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket a(fds[0]), b(fds[1]);
+
+  const ByteBuffer payload = bytes_of({0xde, 0xad, 0xbe, 0xef, 0x42});
+  const std::uint32_t src_rank = 0x01020304u;
+  const std::uint64_t tag = 0x1122334455667788ull;
+  write_frame(a, src_rank, tag, payload);
+
+  ByteBuffer wire(kFrameHeaderBytes + payload.size());
+  ASSERT_TRUE(b.read_exact(wire.data(), wire.size()));
+
+  ByteBuffer expected;
+  ByteWriter w(expected);
+  w.put<std::uint32_t>(kFrameMagic);
+  w.put<std::uint32_t>(src_rank);
+  w.put<std::uint64_t>(tag);
+  w.put<std::uint64_t>(payload.size());
+  w.put_bytes(payload);
+  EXPECT_EQ(wire, expected);
+
+  // The scatter-gather path and a manual two-part write_all produce the
+  // identical stream.
+  a.write_all(expected.data(), kFrameHeaderBytes);
+  a.write_all(expected.data() + kFrameHeaderBytes, payload.size());
+  std::uint32_t got_src = 0;
+  std::uint64_t got_tag = 0;
+  ByteBuffer got_payload;
+  ASSERT_TRUE(read_frame(b, got_src, got_tag, got_payload));
+  EXPECT_EQ(got_src, src_rank);
+  EXPECT_EQ(got_tag, tag);
+  EXPECT_EQ(got_payload, payload);
+}
+
+TEST(Framing, ScatterGatherHandlesLargePayloads) {
+  // Payloads beyond the socket buffer force partial sendmsg returns; the
+  // iovec rebuild must resume mid-payload without corrupting the stream.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket a(fds[0]), b(fds[1]);
+
+  ByteBuffer payload(1 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 2654435761u >> 13);
+  }
+  std::thread writer([&] { write_frame(a, 3, 99, payload); });
+  std::uint32_t src = 0;
+  std::uint64_t tag = 0;
+  ByteBuffer received;
+  ASSERT_TRUE(read_frame(b, src, tag, received));
+  writer.join();
+  EXPECT_EQ(src, 3u);
+  EXPECT_EQ(tag, 99u);
+  EXPECT_EQ(received, payload);
+}
+
 TEST(Framing, BadMagicThrows) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);

@@ -296,6 +296,26 @@ TEST(BackwardOverlapCost, SpecGrammarSelectsBucketedCharge) {
   EXPECT_GT(sized.chunks, by_spec.chunks);  // smaller cap, more buckets
 }
 
+TEST(BackwardOverlapCost, BackwardFracKnobShiftsTheHideableWindow) {
+  // A larger backward share means a longer window to hide comm under;
+  // the fp16 baseline (pure comm hiding) must save monotonically more.
+  // The spec knob and the API argument must agree, and the default must
+  // stay the 2/3 rule.
+  const sim::CostModel cost;
+  const auto w = sim::make_bert_large_workload();
+  const auto low = cost.bucketed_round_for_spec(w, "fp16", 0, 2, 0.34);
+  const auto mid = cost.bucketed_round_for_spec(w, "fp16", 0, 2);
+  const auto high = cost.bucketed_round_for_spec(w, "fp16", 0, 2, 0.9);
+  EXPECT_LT(low.overlap_saved_s, mid.overlap_saved_s);
+  EXPECT_LT(mid.overlap_saved_s, high.overlap_saved_s);
+  const auto by_spec = cost.round_for_spec(
+      w, "fp16:buckets=layer:workers=2:backward_frac=0.9");
+  EXPECT_DOUBLE_EQ(by_spec.total(), high.total());
+  const auto by_default =
+      cost.round_for_spec(w, "fp16:buckets=layer:workers=2");
+  EXPECT_DOUBLE_EQ(by_default.total(), mid.total());
+}
+
 TEST(Autotune, PicksArgminAndRecordsSweep) {
   const sim::CostModel cost;
   const auto w = sim::make_bert_large_workload();

@@ -16,6 +16,12 @@
 // Unclassified numeric metrics are reported but not gated. A row or
 // tracked metric present in the baseline but missing from the current
 // file is itself a regression (coverage must not silently shrink).
+// Metrics only the current file carries are tolerated (new coverage).
+//
+// A gate that can never fire is a misconfiguration, not a pass: a
+// baseline with zero rows (e.g. an accidentally empty or truncated
+// file), or whose rows track zero metrics, exits 2 loudly instead of
+// reporting "0 regressions".
 //
 // Usage:
 //   bench_compare <baseline.json> <current.json>
@@ -217,16 +223,6 @@ bool contains(const std::string& haystack, const char* needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::istringstream is(text);
-  std::string token;
-  while (std::getline(is, token, ',')) {
-    if (!token.empty()) out.push_back(token);
-  }
-  return out;
-}
-
 Direction classify(const std::string& key,
                    const std::vector<std::string>& higher,
                    const std::vector<std::string>& lower) {
@@ -261,11 +257,16 @@ int main(int argc, char** argv) {
     const std::string baseline_path = flags.positional()[0];
     const std::string current_path = flags.positional()[1];
     const double tolerance = flags.get_double("tolerance", 0.10);
-    const auto higher = split_csv(flags.get_string("higher", ""));
-    const auto lower = split_csv(flags.get_string("lower", ""));
+    const auto higher = gcs::split_csv(flags.get_string("higher", ""));
+    const auto lower = gcs::split_csv(flags.get_string("lower", ""));
 
     const auto baseline = load_bench(baseline_path);
     const auto current = load_bench(current_path);
+    if (baseline.empty()) {
+      throw gcs::Error("bench_compare: baseline " + baseline_path +
+                       " has no rows — an empty gate passes everything; "
+                       "regenerate or re-commit the baseline");
+    }
 
     int regressions = 0;
     int tracked = 0;
@@ -321,6 +322,14 @@ int main(int argc, char** argv) {
           ++regressions;
         }
       }
+    }
+    // (regressions from whole-missing rows count even when no metric got
+    // as far as classification — those must stay exit 1, not exit 2.)
+    if (tracked == 0 && regressions == 0) {
+      throw gcs::Error(
+          "bench_compare: baseline " + baseline_path +
+          " tracks no metrics (no key matches a known direction and no "
+          "--higher/--lower was given) — the gate would be vacuous");
     }
     std::cout << "bench_compare: " << tracked << " tracked metric(s), "
               << regressions << " regression(s) beyond "
