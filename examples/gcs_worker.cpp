@@ -20,11 +20,14 @@
 //
 // Each rank prints its wire meters and a checksum of the aggregated sum;
 // identical checksums across ranks are asserted in --launch mode.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "comm/collectives.h"
@@ -53,6 +56,18 @@ struct WorkerConfig {
   /// <trace>.rank<r>.json (measure/trace.h spans: encode, per-chunk
   /// send/recv, reduce, decode). Empty = tracing off (zero overhead).
   std::string trace;
+  /// Elastic membership: survive peer failure (kill -9 one of the
+  /// workers and watch the survivors re-rendezvous) instead of failing
+  /// the run loudly.
+  bool elastic = false;
+  /// Recv deadline in ms (0 = transport default, 60 s).
+  int peer_timeout_ms = 0;
+  /// Elastic rejoin window in ms (0 = transport default, 2 s).
+  int rejoin_window_ms = 0;
+  /// Fault demo: this original rank kills itself (SIGKILL-equivalent
+  /// _exit) while encoding round `die_round`. -1 = nobody dies.
+  int die_rank = -1;
+  int die_round = 0;
 };
 
 /// Deterministic per-worker gradients: every process regenerates the same
@@ -80,6 +95,8 @@ struct WorkerResult {
   std::uint64_t checksum = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t final_epoch = 0;
+  int final_world = 0;
 };
 
 /// Runs all rounds as one rank over its own socket endpoint.
@@ -88,8 +105,13 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   fc.rendezvous = config.rendezvous;
   fc.world_size = config.world;
   fc.rank = rank;
+  fc.elastic = config.elastic;
+  if (config.peer_timeout_ms > 0) fc.recv_timeout_ms = config.peer_timeout_ms;
+  if (config.rejoin_window_ms > 0) {
+    fc.rejoin_window_ms = config.rejoin_window_ms;
+  }
   gcs::net::SocketFabric fabric(fc);
-  gcs::comm::Communicator comm(fabric, rank);
+  gcs::comm::Communicator comm(fabric, fabric.rank());
 
   const gcs::ModelLayout layout({gcs::LayerSpec{"flat", config.dim, 1}});
   // The spec's own knobs (validated and resolved by the factory — chunk=,
@@ -115,6 +137,20 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   if (!spec_sets_chunk) pipeline_config.chunk_bytes = config.chunk;
   gcs::measure::TraceRecorder recorder;
   if (!config.trace.empty()) pipeline_config.trace = &recorder;
+  pipeline_config.elastic = config.elastic;
+  pipeline_config.peer_timeout_ms = config.peer_timeout_ms;
+  pipeline_config.rejoin_window_ms = config.rejoin_window_ms;
+  if (config.die_rank == rank) {
+    const int die_round = config.die_round;
+    pipeline_config.fault_hook = [die_round](const char* point,
+                                             std::uint64_t round) {
+      if (round == static_cast<std::uint64_t>(die_round) &&
+          std::string_view(point) == "encode") {
+        std::cerr << "rank dying on purpose at round " << round << "\n";
+        _exit(9);  // crash, not unwind: the demo's simulated kill -9
+      }
+    };
+  }
   gcs::core::AggregationPipeline pipeline(
       gcs::core::make_scheme_codec(config.scheme, layout, config.world),
       pipeline_config);
@@ -122,13 +158,33 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   std::vector<float> out(config.dim);
   std::uint64_t sum_hash = 0;
   std::vector<gcs::measure::RoundTrace> traces;
+  std::uint64_t seen_epoch = 0;
   for (int r = 0; r < config.rounds; ++r) {
     const auto grads = make_grads(config, static_cast<std::uint64_t>(r));
-    std::vector<std::span<const float>> views;
-    for (const auto& g : grads) views.emplace_back(g.data(), g.size());
-    pipeline.aggregate_over(comm,
-                            std::span<const std::span<const float>>(views),
-                            out, static_cast<std::uint64_t>(r));
+    if (config.elastic) {
+      // Gradients stay keyed by each worker's immutable original rank:
+      // a survivor keeps its own gradient stream across epoch swaps.
+      pipeline.aggregate_elastic(
+          fabric,
+          [&](int original) {
+            return std::span<const float>(
+                grads[static_cast<std::size_t>(original)]);
+          },
+          out, static_cast<std::uint64_t>(r));
+      const auto world = fabric.membership();
+      if (world.epoch != seen_epoch) {
+        seen_epoch = world.epoch;
+        std::cerr << "original rank " << rank << ": recovered into epoch "
+                  << world.epoch << " as rank " << world.self
+                  << " of " << world.world_size() << "\n";
+      }
+    } else {
+      std::vector<std::span<const float>> views;
+      for (const auto& g : grads) views.emplace_back(g.data(), g.size());
+      pipeline.aggregate_over(
+          comm, std::span<const std::span<const float>>(views), out,
+          static_cast<std::uint64_t>(r));
+    }
     sum_hash ^= checksum(out) + 0x9e3779b97f4a7c15ull + (sum_hash << 6) +
                 (sum_hash >> 2);
     if (!config.trace.empty()) {
@@ -148,8 +204,10 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   }
   WorkerResult result;
   result.checksum = sum_hash;
-  result.bytes_sent = fabric.bytes_sent(rank);
-  result.bytes_received = fabric.bytes_received(rank);
+  result.bytes_sent = fabric.bytes_sent(fabric.rank());
+  result.bytes_received = fabric.bytes_received(fabric.rank());
+  result.final_epoch = fabric.membership().epoch;
+  result.final_world = fabric.world_size();
   return result;
 }
 
@@ -162,6 +220,15 @@ int launch_all(WorkerConfig config) {
             << config.scheme << ", d=" << config.dim << ", "
             << config.rounds << " rounds, rendezvous "
             << config.rendezvous << ")\n";
+  if (config.die_rank >= 0) {
+    std::cout << "Fault demo: rank " << config.die_rank
+              << " dies at round " << config.die_round
+              << (config.elastic ? " (elastic: survivors recover)\n"
+                                 : " (elastic off: run fails loudly)\n");
+  }
+  // Children inherit stdio buffers copy-on-write; flush before forking so
+  // the banner cannot be replayed by a child's own flush.
+  std::cout.flush();
   net::ForkedWorkers workers(0, config.world, [&](int rank) {
     const WorkerResult r = run_worker(config, rank);
     ByteBuffer report;
@@ -169,30 +236,52 @@ int launch_all(WorkerConfig config) {
     w.put<std::uint64_t>(r.checksum);
     w.put<std::uint64_t>(r.bytes_sent);
     w.put<std::uint64_t>(r.bytes_received);
+    w.put<std::uint64_t>(r.final_epoch);
+    w.put<std::uint64_t>(static_cast<std::uint64_t>(r.final_world));
     return report;
   });
-  const auto reports = workers.join();
+  const auto outcomes = workers.join_outcomes();
 
-  AsciiTable table({"rank", "agg checksum", "sent bytes", "recv bytes"});
+  AsciiTable table({"rank", "agg checksum", "sent bytes", "recv bytes",
+                    "epoch", "world"});
   std::vector<WorkerResult> results;
-  for (std::size_t rank = 0; rank < reports.size(); ++rank) {
-    ByteReader r(reports[rank]);
+  int dead = 0;
+  for (const auto& out : outcomes) {
+    if (!out.ok) {
+      ++dead;
+      const std::string cause =
+          out.error.empty() ? out.wait_status : out.error;
+      table.add_row({std::to_string(out.rank), "DEAD (" + cause + ")", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    ByteReader r(out.report);
     WorkerResult res;
     res.checksum = r.get<std::uint64_t>();
     res.bytes_sent = r.get<std::uint64_t>();
     res.bytes_received = r.get<std::uint64_t>();
+    res.final_epoch = r.get<std::uint64_t>();
+    res.final_world = static_cast<int>(r.get<std::uint64_t>());
     results.push_back(res);
     std::ostringstream hash;
     hash << std::hex << res.checksum;
-    table.add_row({std::to_string(rank), hash.str(),
+    table.add_row({std::to_string(out.rank), hash.str(),
                    std::to_string(res.bytes_sent),
-                   std::to_string(res.bytes_received)});
+                   std::to_string(res.bytes_received),
+                   std::to_string(res.final_epoch),
+                   std::to_string(res.final_world)});
   }
   std::cout << table.to_string();
 
+  const int expected_dead = config.die_rank >= 0 ? 1 : 0;
+  if (dead != expected_dead || results.empty()) {
+    std::cout << dead << " rank(s) died unexpectedly.\n";
+    return 1;
+  }
   bool agree = true;
   for (const auto& r : results) agree &= r.checksum == results[0].checksum;
-  std::cout << (agree ? "All ranks hold the identical aggregated sum.\n"
+  std::cout << (agree ? "All surviving ranks hold the identical "
+                        "aggregated sum.\n"
                       : "RANKS DISAGREE — protocol bug.\n");
   return agree ? 0 : 1;
 }
@@ -218,7 +307,15 @@ int main(int argc, char** argv) {
              "  --chunk=<bytes>       pipeline chunk size (default 4096)\n"
              "  --seed=<s>            gradient seed (default 1234)\n"
              "  --trace=<prefix>      write per-rank round traces to\n"
-             "                        <prefix>.rank<r>.json (measure/)\n";
+             "                        <prefix>.rank<r>.json (measure/)\n"
+             "  --elastic             survive peer failure: re-rendezvous\n"
+             "                        the survivors (new epoch, dense\n"
+             "                        re-ranking) with EF state intact\n"
+             "  --peer-timeout-ms=<t> recv deadline (default 60000)\n"
+             "  --rejoin-window-ms=<t> elastic rejoin window (default\n"
+             "                        2000)\n"
+             "  --die-rank=<r>        fault demo: rank r kills itself\n"
+             "  --die-round=<k>       ... while encoding round k\n";
       return 0;
     }
     WorkerConfig config;
@@ -233,6 +330,27 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(
         flags.get_int("seed", static_cast<std::int64_t>(config.seed)));
     config.trace = flags.get_string("trace", "");
+    config.elastic = flags.get_bool("elastic", false);
+    config.peer_timeout_ms =
+        static_cast<int>(flags.get_int("peer-timeout-ms", 0));
+    config.rejoin_window_ms =
+        static_cast<int>(flags.get_int("rejoin-window-ms", 0));
+    config.die_rank = static_cast<int>(flags.get_int("die-rank", -1));
+    config.die_round = static_cast<int>(flags.get_int("die-round", 0));
+    if (config.die_rank >= 0) {
+      // A fault demo whose hook can never fire would report a healthy
+      // run as "0 rank(s) died unexpectedly" — reject it up front.
+      if (config.die_rank >= config.world) {
+        std::cerr << "--die-rank=" << config.die_rank
+                  << " is outside --world=" << config.world << "\n";
+        return 2;
+      }
+      if (config.die_round < 0 || config.die_round >= config.rounds) {
+        std::cerr << "--die-round=" << config.die_round
+                  << " is outside --rounds=" << config.rounds << "\n";
+        return 2;
+      }
+    }
 
     if (flags.get_bool("launch", false)) return launch_all(config);
 

@@ -18,8 +18,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/check.h"
 
 namespace gcs::comm {
 
@@ -27,6 +30,49 @@ namespace gcs::comm {
 struct Message {
   std::uint64_t tag = 0;
   ByteBuffer payload;
+};
+
+/// Membership snapshot of an elastic transport (DESIGN.md "Fault
+/// tolerance"). Ranks are always dense [0, world); `original_ranks` maps
+/// each current rank to the immutable identity it held at epoch 0, so
+/// callers can follow a worker's state (gradient stream, EF memory)
+/// across membership changes. Epoch 0 with the identity mapping is the
+/// non-elastic world every transport starts in.
+struct Membership {
+  std::uint64_t epoch = 0;
+  std::vector<int> original_ranks;  ///< indexed by current rank
+  int self = -1;  ///< local current rank; -1 when the transport owns all
+
+  int world_size() const noexcept {
+    return static_cast<int>(original_ranks.size());
+  }
+
+  /// The identity membership of a fresh n-rank world.
+  static Membership identity(int world_size, int self = -1) {
+    Membership m;
+    m.self = self;
+    m.original_ranks.resize(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) {
+      m.original_ranks[static_cast<std::size_t>(r)] = r;
+    }
+    return m;
+  }
+};
+
+/// A peer stopped participating (process exit, torn connection, silent
+/// timeout). Distinct from plain Error so elastic callers can catch
+/// exactly the failure class that re-rendezvous recovers from, while
+/// protocol bugs and config errors stay fatal. `peer` is the current-epoch
+/// rank whose channel failed (-1 when unattributable, e.g. a timeout with
+/// every connection formally open).
+class PeerFailure : public Error {
+ public:
+  PeerFailure(const std::string& what, int peer)
+      : Error(what), peer_(peer) {}
+  int peer() const noexcept { return peer_; }
+
+ private:
+  int peer_;
 };
 
 /// Observer of individual transport operations (the measurement layer's
@@ -82,6 +128,25 @@ class Transport {
   /// collective — because implementations read the pointer without
   /// synchronization on the hot path. Default: taps unsupported, ignored.
   virtual void set_wire_tap(WireTap* /*tap*/) {}
+
+  /// Current membership. Non-elastic transports are forever the identity
+  /// world of their construction size.
+  virtual Membership membership() const {
+    return Membership::identity(world_size());
+  }
+
+  /// Elastic membership hook: after a PeerFailure, runs the transport's
+  /// re-membership protocol (tear down the old world, re-rendezvous the
+  /// survivors under a new epoch) and returns the shrunken world.
+  /// `resume_round` is the round the caller will retry; elastic
+  /// implementations cross-check it among survivors so ranks whose
+  /// committed state diverged fail loudly instead of mixing epochs of
+  /// training state. Collectives re-plan their hop schedules from the
+  /// new world_size() on the next call — nothing is cached across rounds.
+  /// Default: the transport is not elastic.
+  virtual Membership rebuild(std::uint64_t /*resume_round*/) {
+    throw Error("Transport::rebuild: this transport is not elastic");
+  }
 };
 
 }  // namespace gcs::comm

@@ -1,5 +1,6 @@
 #include "core/aggregation_pipeline.h"
 
+#include <algorithm>
 #include <cstring>
 #include <future>
 #include <utility>
@@ -258,6 +259,57 @@ std::string socket_rendezvous(const PipelineConfig& config) {
   return "tcp:" + host + ":" + std::to_string(config.socket_port);
 }
 
+net::SocketFabricConfig socket_fabric_config(const PipelineConfig& config,
+                                             const std::string& rendezvous,
+                                             int world, int rank) {
+  net::SocketFabricConfig fc;
+  fc.rendezvous = rendezvous;
+  fc.world_size = world;
+  fc.rank = rank;
+  fc.elastic = config.elastic;
+  if (config.peer_timeout_ms > 0) fc.recv_timeout_ms = config.peer_timeout_ms;
+  if (config.rejoin_window_ms > 0) {
+    fc.rejoin_window_ms = config.rejoin_window_ms;
+  }
+  return fc;
+}
+
+/// Commit-barrier tags, far above the collectives' tag space (< 2^32) and
+/// distinct from the rendezvous (0xffff'ffff'...) and probe (0x6d5...)
+/// namespaces. The low 32 bits carry the round so a straggler of round k
+/// can never satisfy round k+1's barrier.
+constexpr std::uint64_t kCommitDoneTag = 0xffff'fffd'0000'0000ull;
+constexpr std::uint64_t kCommitAckTag = 0xffff'fffe'0000'0000ull;
+
+/// The all-or-nothing commit point of an elastic round: every rank
+/// reports DONE to rank 0, which acknowledges each rank directly (a star,
+/// deliberately not a tree — an ACK must never be relayed through a rank
+/// that might be the one that just died). A rank passes the barrier iff
+/// rank 0 heard *every* rank finish the round's collectives; therefore
+/// either all survivors of a failure committed the round or none did, and
+/// the re-rendezvous resume round is well defined.
+void commit_barrier(comm::Communicator& comm, std::uint64_t round) {
+  const int n = comm.world_size();
+  if (n <= 1) return;
+  const std::uint64_t done = kCommitDoneTag | (round & 0xffff'ffffull);
+  const std::uint64_t ack = kCommitAckTag | (round & 0xffff'ffffull);
+  if (comm.rank() == 0) {
+    for (int r = 1; r < n; ++r) {
+      (void)comm.recv(r, done);  // a dead rank aborts the whole barrier
+    }
+    for (int r = 1; r < n; ++r) {
+      try {
+        comm.send(r, ack, ByteBuffer{});
+      } catch (const comm::PeerFailure&) {
+        // r reported DONE and died since; whether it commits is moot.
+      }
+    }
+  } else {
+    comm.send(0, done, ByteBuffer{});
+    (void)comm.recv(0, ack);
+  }
+}
+
 }  // namespace
 
 AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
@@ -445,6 +497,7 @@ RoundStats AggregationPipeline::aggregate_over(
         mine = session->encode(static_cast<int>(rank));
         span.set_bytes(mine.size());
       }
+      if (config_.fault_hook) config_.fault_hook("encode", round);
       const std::size_t stage_bytes = mine.size();
       const auto chunks = stage_chunks(stage_bytes, granularity);
       for (std::size_t w = 0; w < n; ++w) {
@@ -487,6 +540,7 @@ RoundStats AggregationPipeline::aggregate_over(
       payloads[0] = session->encode(0);
       span.set_bytes(payloads[0].size());
     }
+    if (config_.fault_hook) config_.fault_hook("encode", round);
     encode_rest(*session, payloads);
     for (std::size_t w = 1; w < n; ++w) {
       GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
@@ -515,9 +569,76 @@ RoundStats AggregationPipeline::aggregate_over(
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
         stage_bytes;
   }
+  // Elastic rounds commit atomically: cross-round state (EF memories,
+  // warm starts) only mutates once every rank is known to have completed
+  // the round's collectives, so an aborted round is retryable from the
+  // exact pre-round state on every survivor.
+  if (config_.elastic) commit_barrier(comm, round);
+  if (config_.fault_hook) config_.fault_hook("decode", round);
   measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
   session->finish(out, stats);
   return stats;
+}
+
+void AggregationPipeline::adopt_membership(const comm::Membership& current) {
+  if (current.original_ranks == membership_.original_ranks) {
+    membership_ = current;  // epoch/self may still have moved
+    return;
+  }
+  // Positions of the new members within the previous membership: exactly
+  // the codec worker slots whose state survives.
+  std::vector<int> survivors;
+  survivors.reserve(current.original_ranks.size());
+  for (const int original : current.original_ranks) {
+    const auto& previous = membership_.original_ranks;
+    const auto it = std::find(previous.begin(), previous.end(), original);
+    if (it == previous.end()) {
+      throw Error(
+          "aggregate_elastic: transport membership contains original rank " +
+          std::to_string(original) +
+          " which was not part of the previous world — members can leave, "
+          "not join");
+    }
+    survivors.push_back(static_cast<int>(it - previous.begin()));
+  }
+  codec_ = codec_->remap_workers(survivors);
+  membership_ = current;
+}
+
+RoundStats AggregationPipeline::aggregate_elastic(
+    comm::Transport& transport, const GradSource& grad_of,
+    std::span<float> out, std::uint64_t round) {
+  GCS_CHECK_MSG(config_.elastic,
+                "aggregate_elastic needs PipelineConfig::elastic "
+                "(factory knob elastic=on)");
+  if (membership_.original_ranks.empty()) {
+    membership_ = comm::Membership::identity(codec_->world_size());
+  }
+  // Each failed attempt shrinks the world (or, pathologically, only bumps
+  // the epoch); the cap turns a rebuild storm into a loud error instead
+  // of an unbounded retry loop.
+  const int max_attempts = 2 * membership_.world_size() + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    adopt_membership(transport.membership());
+    std::vector<std::span<const float>> views;
+    views.reserve(membership_.original_ranks.size());
+    for (const int original : membership_.original_ranks) {
+      views.push_back(grad_of(original));
+    }
+    comm::Communicator comm(transport, membership_.self);
+    try {
+      return aggregate_over(
+          comm, std::span<const std::span<const float>>(views), out, round);
+    } catch (const comm::PeerFailure&) {
+      if (membership_.world_size() <= 1) throw;
+      (void)transport.rebuild(round);
+      // The retried attempt adopts the shrunken membership (and remaps
+      // the codec) at the top of the loop.
+    }
+  }
+  throw Error("aggregate_elastic: round " + std::to_string(round) +
+              " failed after " + std::to_string(max_attempts) +
+              " membership rebuilds");
 }
 
 RoundStats AggregationPipeline::aggregate_socket(
@@ -543,11 +664,8 @@ RoundStats AggregationPipeline::aggregate_socket(
   pool_.reset();
   auto worker = [&](int rank) -> ByteBuffer {
     rebuild_pool();
-    net::SocketFabricConfig fc;
-    fc.rendezvous = rendezvous;
-    fc.world_size = n;
-    fc.rank = rank;
-    net::SocketFabric fabric(fc);
+    net::SocketFabric fabric(
+        socket_fabric_config(config_, rendezvous, n, rank));
     comm::Communicator comm(fabric, rank);
     std::vector<float> worker_out(dim);
     aggregate_over(comm, grads, worker_out, round);
@@ -561,11 +679,7 @@ RoundStats AggregationPipeline::aggregate_socket(
   net::ForkedWorkers peers(1, n, worker);
   rebuild_pool();
 
-  net::SocketFabricConfig fc;
-  fc.rendezvous = rendezvous;
-  fc.world_size = n;
-  fc.rank = 0;
-  net::SocketFabric fabric(fc);
+  net::SocketFabric fabric(socket_fabric_config(config_, rendezvous, n, 0));
   comm::Communicator comm(fabric, 0);
   const RoundStats stats = aggregate_over(comm, grads, out, round);
   wire_.sent[0] = fabric.bytes_sent(0);

@@ -36,10 +36,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "comm/transport.h"
 #include "core/codec.h"
 #include "sched/bucket_planner.h"
 #include "tensor/layout.h"
@@ -105,6 +107,29 @@ struct PipelineConfig {
   /// untouched. The socket backend traces rank 0's endpoint (the
   /// surviving process); forked peers run untraced.
   measure::TraceRecorder* trace = nullptr;
+  /// Elastic membership (socket transport only; DESIGN.md "Fault
+  /// tolerance"): survive a peer failure by re-rendezvousing the
+  /// survivors and retrying the interrupted round via aggregate_elastic.
+  /// Off (the default) keeps the loud-failure experiment contract: a
+  /// peer exit mid-round throws on every surviving rank within the peer
+  /// timeout. Factory knob: "elastic=on|off".
+  bool elastic = false;
+  /// Socket transport recv deadline in ms — how long a silent peer can
+  /// stall a round before it is declared failed. 0 = the transport's
+  /// default (60 s). Factory knob: "peer_timeout_ms=".
+  int peer_timeout_ms = 0;
+  /// Elastic rejoin window in ms (how long re-rendezvous keeps its doors
+  /// open for survivors). 0 = the transport's default (2 s).
+  int rejoin_window_ms = 0;
+  /// Fault-injection hook for the failure-path test harness
+  /// (tests/fault_injection.h): when set, invoked at named execution
+  /// points of aggregate_over — "encode" right after this rank encodes
+  /// its first payload of each stage, "decode" after the round's
+  /// collectives (and, in elastic mode, the commit barrier) but before
+  /// finish(). The harness's hook _exit()s the process at a chosen
+  /// (round, point) to simulate a crash; production runs leave it null
+  /// and pay nothing.
+  std::function<void(const char* point, std::uint64_t round)> fault_hook;
 
   PipelineBackend effective_backend() const noexcept {
     if (backend != PipelineBackend::kLocalReference) return backend;
@@ -141,9 +166,42 @@ class AggregationPipeline {
   /// and ends up with the identical aggregated sum in `out`. Used by the
   /// socket backend's workers and the gcs_worker binary; wire bytes are
   /// read off the caller's transport, not last_wire().
+  ///
+  /// With config.elastic the round ends in a commit barrier (a star
+  /// through rank 0) before finish() commits cross-round state: either
+  /// every rank that survives the round commits it, or none does — the
+  /// invariant that makes a retried round deterministic.
   RoundStats aggregate_over(comm::Communicator& comm,
                             std::span<const std::span<const float>> grads,
                             std::span<float> out, std::uint64_t round);
+
+  /// Per-original-rank gradient source for elastic rounds: must return
+  /// worker `original_rank`'s gradient for the round being executed
+  /// (size dimension(); the span must stay alive through the call).
+  using GradSource = std::function<std::span<const float>(int original_rank)>;
+
+  /// Elastic SPMD entry (requires config.elastic and an elastic
+  /// transport, i.e. net::SocketFabric with elastic on): runs
+  /// aggregate_over and, when a peer fails mid-round, rebuilds the
+  /// transport's membership (new epoch, dense re-ranking), remaps the
+  /// codec so every survivor's error-feedback and warm-start state rides
+  /// across bit-for-bit, and retries the interrupted round over the new
+  /// world size with the survivors' gradients. Rounds the cluster
+  /// committed before the failure are never re-run (the commit barrier
+  /// guarantees survivors agree on what committed). Returns the stats of
+  /// the attempt that committed; membership() reports the world it ran
+  /// in. Throws PeerFailure only when no recovery is possible (last rank
+  /// standing, repeated rebuild storms) and gcs::Error on unrecoverable
+  /// protocol divergence.
+  RoundStats aggregate_elastic(comm::Transport& transport,
+                               const GradSource& grad_of,
+                               std::span<float> out, std::uint64_t round);
+
+  /// The membership the last aggregate_elastic round ran in (identity of
+  /// the codec's world before the first elastic round).
+  const comm::Membership& membership() const noexcept {
+    return membership_;
+  }
 
   /// Per-rank wire bytes of the last aggregate() call. Empty vectors for
   /// the local reference backend (nothing crosses a transport).
@@ -177,9 +235,14 @@ class AggregationPipeline {
   /// both sides of the fork.
   void rebuild_pool();
 
+  /// Adopts `current` as the pipeline's membership, remapping the codec
+  /// when the member set changed (the survivor carry-over).
+  void adopt_membership(const comm::Membership& current);
+
   SchemeCodecPtr codec_;
   PipelineConfig config_;
   WireTraffic wire_;
+  comm::Membership membership_;  ///< set on first aggregate_elastic
   std::unique_ptr<sched::BucketPlan> bucket_plan_;
   std::unique_ptr<sched::EncodeWorkerPool> pool_;
 };

@@ -63,6 +63,15 @@ class DenseCodec final : public SchemeCodec {
 
   void reset() override {}
 
+  SchemeCodecPtr remap_workers(
+      std::span<const int> survivors) const override {
+    check_survivor_set(survivors, config_.world_size);
+    // Stateless across rounds: the shrunken codec is simply a fresh one.
+    BaselineConfig shrunk = config_;
+    shrunk.world_size = static_cast<int>(survivors.size());
+    return std::make_unique<DenseCodec>(shrunk);
+  }
+
   const BaselineConfig& config() const noexcept { return config_; }
   const comm::ReduceOp& op() const noexcept { return *op_; }
 

@@ -13,4 +13,24 @@ void CodecRound::absorb_gathered(
   throw Error("CodecRound: this stage does not take gathered payloads");
 }
 
+SchemeCodecPtr SchemeCodec::remap_workers(
+    std::span<const int> /*survivors*/) const {
+  throw Error(name() + ": elastic membership (remap_workers) unsupported");
+}
+
+void check_survivor_set(std::span<const int> survivors, int world_size) {
+  if (survivors.empty()) {
+    throw Error("remap_workers: empty survivor set");
+  }
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (survivors[i] < 0 || survivors[i] >= world_size) {
+      throw Error("remap_workers: worker " + std::to_string(survivors[i]) +
+                  " out of world " + std::to_string(world_size));
+    }
+    if (i > 0 && survivors[i] <= survivors[i - 1]) {
+      throw Error("remap_workers: survivors must be strictly increasing");
+    }
+  }
+}
+
 }  // namespace gcs::core

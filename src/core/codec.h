@@ -120,7 +120,31 @@ class SchemeCodec {
 
   /// Clears cross-round state (EF memories, warm starts).
   virtual void reset() = 0;
+
+  /// Elastic membership (DESIGN.md "Fault tolerance"): a codec for the
+  /// shrunken world whose worker i is this codec's worker survivors[i] —
+  /// per-worker cross-round state (EF residuals) carried bit-for-bit,
+  /// shared state (PowerSGD Q iterates, permutations) kept as is. The
+  /// result behaves exactly like a fresh survivors.size()-worker codec
+  /// seeded with the survivors' state. `survivors` must be strictly
+  /// increasing worker indices into this codec's world. The five paper
+  /// schemes all implement this; the default keeps synthetic/test codecs
+  /// honest by refusing loudly.
+  virtual std::unique_ptr<SchemeCodec> remap_workers(
+      std::span<const int> survivors) const;
+
+  /// Worker `worker`'s error-feedback residual, for diagnostics and the
+  /// fault-injection harness's bit-preservation checks. Empty span for
+  /// schemes without EF (or with EF disabled).
+  virtual std::span<const float> ef_memory(int /*worker*/) const {
+    return {};
+  }
 };
+
+/// Shared validation for remap_workers implementations: survivors must be
+/// a non-empty, strictly increasing subset of [0, world). Throws
+/// gcs::Error otherwise.
+void check_survivor_set(std::span<const int> survivors, int world_size);
 
 using SchemeCodecPtr = std::unique_ptr<SchemeCodec>;
 

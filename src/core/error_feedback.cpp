@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "core/codec.h"
 
 namespace gcs::core {
 
@@ -48,6 +49,19 @@ void ErrorFeedback::absorb_masked(int worker, std::span<const float> y,
 
 void ErrorFeedback::reset() {
   for (auto& m : memories_) std::fill(m.begin(), m.end(), 0.0f);
+}
+
+ErrorFeedback ErrorFeedback::remap(std::span<const int> survivors) const {
+  check_survivor_set(survivors, world_size_);
+  ErrorFeedback out(static_cast<int>(survivors.size()), dimension_,
+                    enabled_);
+  if (enabled_) {
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      out.memories_[i] =
+          memories_[static_cast<std::size_t>(survivors[i])];
+    }
+  }
+  return out;
 }
 
 std::span<const float> ErrorFeedback::memory(int worker) const {

@@ -45,6 +45,13 @@ class ErrorFeedback {
 
   void reset();
 
+  /// Elastic membership (DESIGN.md "Fault tolerance"): a new memory bank
+  /// for the shrunken world whose row i is this bank's row survivors[i],
+  /// bit-for-bit — the EF residual a surviving worker carries across an
+  /// epoch swap. `survivors` must be strictly increasing current worker
+  /// indices.
+  ErrorFeedback remap(std::span<const int> survivors) const;
+
   /// Direct access for tests / diagnostics.
   std::span<const float> memory(int worker) const;
 

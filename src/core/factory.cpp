@@ -19,8 +19,9 @@ namespace {
 /// Spec keys/flags consumed by the pipeline/scheduler layers rather than
 /// a scheme; every scheme's require_known() treats these as known.
 constexpr const char* kPipelineOptions[] = {
-    "chunk",   "fabric",   "port",          "iface", "buckets",
-    "bucket",  "workers",  "backward_frac", "autotune"};
+    "chunk",   "fabric",   "port",          "iface",    "buckets",
+    "bucket",  "workers",  "backward_frac", "autotune", "elastic",
+    "peer_timeout_ms"};
 constexpr const char* kPipelineFlags[] = {"fabric", "autotune"};
 
 struct Spec {
@@ -170,6 +171,42 @@ PipelineConfig pipeline_config_of(const Spec& spec,
     pipeline.socket_iface = iface_it->second;
   }
 
+  // ---- elastic membership knobs (DESIGN.md "Fault tolerance"):
+  // elastic=on|off, peer_timeout_ms=. Socket-only, like port=/iface= —
+  // the in-process fabrics have no membership to lose.
+  const auto elastic_it = spec.options.find("elastic");
+  if (elastic_it != spec.options.end()) {
+    const std::string& value = elastic_it->second;
+    if (value != "on" && value != "off") {
+      throw Error("compressor spec: elastic= expects on or off, got '" +
+                  value + "'");
+    }
+    if (!socket) {
+      throw Error(
+          "compressor spec: elastic= is only meaningful with "
+          "fabric=socket (elastic membership lives in the socket "
+          "transport)");
+    }
+    pipeline.elastic = value == "on";
+  }
+  const auto peer_timeout_it = spec.options.find("peer_timeout_ms");
+  if (peer_timeout_it != spec.options.end()) {
+    if (!socket) {
+      throw Error(
+          "compressor spec: peer_timeout_ms= is only meaningful with "
+          "fabric=socket");
+    }
+    const double ms = spec.get_double("peer_timeout_ms", 0.0);
+    if (ms < 1.0 ||
+        ms != static_cast<double>(static_cast<int>(ms))) {
+      throw Error(
+          "compressor spec: peer_timeout_ms= expects a positive integer "
+          "millisecond count, got '" +
+          peer_timeout_it->second + "'");
+    }
+    pipeline.peer_timeout_ms = static_cast<int>(ms);
+  }
+
   // ---- scheduler knobs (DESIGN.md section 4): buckets=, bucket=,
   // workers=, autotune.
   const auto buckets_it = spec.options.find("buckets");
@@ -263,7 +300,8 @@ PipelineConfig pipeline_config_of(const Spec& spec,
     std::string plain = spec.kind;
     for (const auto& [key, value] : spec.options) {
       if (key == "buckets" || key == "workers" || key == "fabric" ||
-          key == "port" || key == "iface" || key == "autotune") {
+          key == "port" || key == "iface" || key == "autotune" ||
+          key == "elastic" || key == "peer_timeout_ms") {
         continue;
       }
       plain += ":" + key + "=" + value;

@@ -41,6 +41,16 @@
 // port=/iface= are only meaningful — and only accepted — together with
 // fabric=socket.
 //
+// Elastic membership (see DESIGN.md "Fault tolerance"):
+//   "elastic=on|off"         survive a peer failure by re-rendezvousing
+//                            the survivors (epoch bump, dense re-ranking,
+//                            EF state carried over) instead of failing
+//                            the run. Default off: a peer exit mid-round
+//                            throws loudly on every surviving rank.
+//   "peer_timeout_ms=<ms>"   how long a silent peer can stall a recv
+//                            before it counts as failed (default 60000).
+// Both are socket-only knobs, rejected without fabric=socket.
+//
 // Throws gcs::Error on malformed specs — a typo must not silently run a
 // different experiment.
 #pragma once

@@ -109,6 +109,24 @@ class PowerSgdCodec final : public SchemeCodec {
     }
   }
 
+  SchemeCodecPtr remap_workers(
+      std::span<const int> survivors) const override {
+    check_survivor_set(survivors, config_.world_size);
+    PowerSgdConfig shrunk = config_;
+    shrunk.world_size = static_cast<int>(survivors.size());
+    auto codec = std::make_unique<PowerSgdCodec>(shrunk);
+    codec->ef_ = ef_.remap(survivors);
+    // The Q iterates are shared cluster state (identical on every
+    // worker); the warm start survives the membership change as is.
+    codec->states_ = states_;
+    return codec;
+  }
+
+  std::span<const float> ef_memory(int worker) const override {
+    if (!ef_.enabled()) return {};
+    return ef_.memory(worker);
+  }
+
   const PowerSgdConfig& config() const noexcept { return config_; }
   ErrorFeedback& ef() noexcept { return ef_; }
   const comm::ReduceOp& fp16_sum() const noexcept { return *fp16_sum_; }

@@ -107,6 +107,17 @@ class ThcCodec final : public SchemeCodec {
 
   void reset() override {}
 
+  SchemeCodecPtr remap_workers(
+      std::span<const int> survivors) const override {
+    check_survivor_set(survivors, config_.world_size);
+    // Stateless across rounds (the rotation is seeded per round); the
+    // shrunken codec is a fresh one. Shrinking only relaxes the wide-mode
+    // headroom requirement b >= q + log2(n), so construction cannot fail.
+    ThcConfig shrunk = config_;
+    shrunk.world_size = static_cast<int>(survivors.size());
+    return std::make_unique<ThcCodec>(shrunk);
+  }
+
   const ThcConfig& config() const noexcept { return config_; }
   std::size_t padded() const noexcept { return padded_; }
   std::size_t block() const noexcept { return block_; }

@@ -36,14 +36,18 @@ class TopKRound final : public CodecRound {
   }
 
   void absorb_gathered(std::span<const ByteBuffer> payloads) override;
-  void finish(std::span<float> out, RoundStats& /*stats*/) override {
-    std::copy(sum_.begin(), sum_.end(), out.begin());
-  }
+  void finish(std::span<float> out, RoundStats& stats) override;
 
  private:
   TopKCodec& codec_;
   bool stage_done_ = false;
   std::vector<ByteBuffer> payloads_;
+  // EF commit is deferred to finish() — the codec-layer contract that an
+  // abandoned session (an aborted round on an elastic transport) leaves
+  // the codec's cross-round state untouched, so the round can be retried
+  // on a shrunken world from exactly the pre-round state.
+  std::vector<std::vector<float>> ys_;
+  std::vector<std::vector<std::uint8_t>> masks_;
   std::vector<float> sum_;
 };
 
@@ -71,6 +75,21 @@ class TopKCodec final : public SchemeCodec {
 
   void reset() override { ef_.reset(); }
 
+  SchemeCodecPtr remap_workers(
+      std::span<const int> survivors) const override {
+    check_survivor_set(survivors, config_.world_size);
+    TopKConfig shrunk = config_;
+    shrunk.world_size = static_cast<int>(survivors.size());
+    auto codec = std::make_unique<TopKCodec>(shrunk);
+    codec->ef_ = ef_.remap(survivors);
+    return codec;
+  }
+
+  std::span<const float> ef_memory(int worker) const override {
+    if (!ef_.enabled()) return {};
+    return ef_.memory(worker);
+  }
+
   const TopKConfig& config() const noexcept { return config_; }
   ErrorFeedback& ef() noexcept { return ef_; }
 
@@ -87,22 +106,33 @@ TopKRound::TopKRound(TopKCodec& codec,
   const auto n = static_cast<std::size_t>(config.world_size);
   GCS_CHECK(grads.size() == n);
 
-  std::vector<float> y(d);
-  std::vector<std::uint8_t> mask(d);
   payloads_.resize(n);
+  ys_.assign(n, std::vector<float>(d));
+  masks_.assign(n, std::vector<std::uint8_t>(d));
   for (std::size_t w = 0; w < n; ++w) {
     GCS_CHECK(grads[w].size() == d);
-    codec_.ef().compensate(static_cast<int>(w), grads[w], y);
-    const auto idx = top_k_indices(y, config.k);
-    SparseVector sparse = extract_sparse(y, idx);
+    codec_.ef().compensate(static_cast<int>(w), grads[w], ys_[w]);
+    const auto idx = top_k_indices(ys_[w], config.k);
+    SparseVector sparse = extract_sparse(ys_[w], idx);
     payloads_[w] = config.delta_indices ? encode_sparse_delta16(sparse)
                                         : encode_sparse_fp16(sparse);
     // The transmitted contribution is the FP16-rounded selected values;
     // the EF memory keeps everything else (see the masked-absorb contract
-    // in core/error_feedback.h).
-    std::fill(mask.begin(), mask.end(), std::uint8_t{0});
-    for (auto i : idx) mask[i] = 1;
-    codec_.ef().absorb_masked(static_cast<int>(w), y, mask);
+    // in core/error_feedback.h). The absorb itself waits for finish():
+    // memories are per-worker, so deferring the writes past the other
+    // workers' compensate reads is bit-transparent — and it keeps aborted
+    // rounds side-effect-free.
+    for (auto i : idx) masks_[w][i] = 1;
+  }
+}
+
+void TopKRound::finish(std::span<float> out, RoundStats& /*stats*/) {
+  std::copy(sum_.begin(), sum_.end(), out.begin());
+  if (codec_.ef().enabled()) {
+    const auto n = ys_.size();
+    for (std::size_t w = 0; w < n; ++w) {
+      codec_.ef().absorb_masked(static_cast<int>(w), ys_[w], masks_[w]);
+    }
   }
 }
 

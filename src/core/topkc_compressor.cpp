@@ -74,6 +74,24 @@ class TopKCCodec final : public SchemeCodec {
 
   void reset() override { ef_.reset(); }
 
+  SchemeCodecPtr remap_workers(
+      std::span<const int> survivors) const override {
+    check_survivor_set(survivors, config_.world_size);
+    TopKCConfig shrunk = config_;
+    shrunk.world_size = static_cast<int>(survivors.size());
+    // The permutation is derived from the config seed, not the world
+    // size, so the shrunken codec rebuilds the identical domain mapping
+    // and the carried EF residuals stay consistent with it.
+    auto codec = std::make_unique<TopKCCodec>(shrunk);
+    codec->ef_ = ef_.remap(survivors);
+    return codec;
+  }
+
+  std::span<const float> ef_memory(int worker) const override {
+    if (!ef_.enabled()) return {};
+    return ef_.memory(worker);
+  }
+
   const TopKCConfig& config() const noexcept { return config_; }
   std::size_t n_chunks() const noexcept { return n_chunks_; }
   ErrorFeedback& ef() noexcept { return ef_; }

@@ -40,8 +40,12 @@ LinkEstimate probe_link(comm::Communicator& comm, int probe_src,
                 "probe_link needs two distinct ranks");
   GCS_CHECK(probe_src >= 0 && probe_src < n && probe_dst >= 0 &&
             probe_dst < n);
-  GCS_CHECK(config.rtt_iters >= 1 && config.bandwidth_iters >= 1 &&
-            config.bandwidth_bytes >= 1);
+  GCS_CHECK(config.rtt_iters >= 1 && config.bandwidth_iters >= 1);
+  // Degenerate payloads are legal probe configurations, not programmer
+  // errors: a zero-byte bulk transfer measures pure per-message overhead
+  // (zero-length frames are valid GCSF frames) and simply yields a zero
+  // bandwidth estimate, which probed_network_model already treats as
+  // "keep the default". One-byte payloads are the RTT probe's own size.
   const int rank = comm.rank();
 
   LinkEstimate est;
@@ -123,7 +127,10 @@ IncastEstimate probe_incast(comm::Communicator& comm, int server,
                             const ProbeConfig& config) {
   const int n = comm.world_size();
   GCS_CHECK(server >= 0 && server < n);
-  GCS_CHECK(config.incast_bytes >= 1);
+  // incast_bytes == 0 is legal (see probe_link): the flows degenerate to
+  // empty frames and the probe measures the pure synchronization cost;
+  // the penalty falls back to 1.0 if the serialized baseline rounds to
+  // zero time.
   const int rank = comm.rank();
 
   IncastEstimate est;

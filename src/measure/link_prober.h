@@ -36,11 +36,16 @@ namespace gcs::measure {
 struct ProbeConfig {
   /// Ping-pong iterations for the RTT estimate (after warmup).
   int rtt_iters = 64;
-  /// One-way payload bytes per bandwidth iteration.
+  /// One-way payload bytes per bandwidth iteration. Degenerate sizes are
+  /// legal: 0 measures pure per-message overhead (the bandwidth estimate
+  /// is reported as 0, which probed_network_model treats as "keep the
+  /// default") and 1 byte is the minimum timed transfer.
   std::size_t bandwidth_bytes = 1 << 20;
   /// Bandwidth transfer iterations (after warmup).
   int bandwidth_iters = 4;
-  /// Payload bytes per sender flow in the incast probe.
+  /// Payload bytes per sender flow in the incast probe (0 legal, see
+  /// bandwidth_bytes; the penalty falls back to 1.0 when the serialized
+  /// baseline rounds to zero).
   std::size_t incast_bytes = 1 << 18;
   /// Untimed warmup iterations preceding each timed section.
   int warmup_iters = 2;

@@ -38,13 +38,14 @@ std::uint64_t get_u64(const std::byte* in) {
 
 }  // namespace
 
-void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t tag,
-                 std::span<const std::byte> payload) {
+void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t epoch,
+                 std::uint64_t tag, std::span<const std::byte> payload) {
   std::byte header[kFrameHeaderBytes];
   put_u32(header, kFrameMagic);
   put_u32(header + 4, src_rank);
-  put_u64(header + 8, tag);
-  put_u64(header + 16, static_cast<std::uint64_t>(payload.size()));
+  put_u64(header + 8, epoch);
+  put_u64(header + 16, tag);
+  put_u64(header + 24, static_cast<std::uint64_t>(payload.size()));
   // Header and payload leave in one scatter-gather syscall: at real line
   // rates the two-write version costs a syscall + a potential small
   // TCP segment per frame. On-wire bytes are identical either way
@@ -53,19 +54,19 @@ void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t tag,
                  payload);
 }
 
-bool read_frame(Socket& sock, std::uint32_t& src_rank, std::uint64_t& tag,
-                ByteBuffer& payload) {
-  std::byte header[kFrameHeaderBytes];
-  if (!sock.read_exact(header, sizeof(header))) return false;
-  const std::uint32_t magic = get_u32(header);
+bool read_frame(Socket& sock, FrameHeader& header, ByteBuffer& payload) {
+  std::byte raw[kFrameHeaderBytes];
+  if (!sock.read_exact(raw, sizeof(raw))) return false;
+  const std::uint32_t magic = get_u32(raw);
   if (magic != kFrameMagic) {
     std::ostringstream os;
     os << "frame desync: bad magic 0x" << std::hex << magic;
     throw Error(os.str());
   }
-  src_rank = get_u32(header + 4);
-  tag = get_u64(header + 8);
-  const std::uint64_t length = get_u64(header + 16);
+  header.src_rank = get_u32(raw + 4);
+  header.epoch = get_u64(raw + 8);
+  header.tag = get_u64(raw + 16);
+  const std::uint64_t length = get_u64(raw + 24);
   if (length > kMaxFramePayload) {
     throw Error("frame desync: implausible payload length " +
                 std::to_string(length));

@@ -5,14 +5,22 @@
 //   offset  size  field
 //        0     4  magic      0x47435346 ("GCSF"), little-endian
 //        4     4  src_rank   sender's rank (sanity-checked per frame)
-//        8     8  tag        collective tag (comm/collectives.h layout)
-//       16     8  length     payload bytes that follow
-//       24   len  payload
+//        8     8  epoch      membership epoch the frame belongs to
+//       16     8  tag        collective tag (comm/collectives.h layout)
+//       24     8  length     payload bytes that follow
+//       32   len  payload
 //
 // All header fields are little-endian (the project-wide wire order, see
 // common/bytes.h). Zero-length payloads are legal frames. A frame whose
 // magic or length is implausible throws gcs::Error — a desynchronized
 // stream must fail loudly, not feed garbage into a reduction.
+//
+// The epoch stamps every frame with the membership generation it was
+// sent under (DESIGN.md "Fault tolerance"). Receivers compare it against
+// their own epoch: a frame from an older epoch is a straggler of an
+// aborted round and must be *rejected* — never parked in a reassembly
+// bucket where a same-tag recv of the new epoch would mis-deliver it.
+// Non-elastic runs live their whole life in epoch 0.
 #pragma once
 
 #include <cstdint>
@@ -29,16 +37,22 @@ constexpr std::uint32_t kFrameMagic = 0x47435346;  // "GCSF"
 constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 40;
 
 /// Serialized header size in bytes.
-constexpr std::size_t kFrameHeaderBytes = 24;
+constexpr std::size_t kFrameHeaderBytes = 32;
+
+/// One parsed frame header (everything but the payload bytes).
+struct FrameHeader {
+  std::uint32_t src_rank = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t tag = 0;
+};
 
 /// Writes one frame (header + payload) to `sock`.
-void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t tag,
-                 std::span<const std::byte> payload);
+void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t epoch,
+                 std::uint64_t tag, std::span<const std::byte> payload);
 
 /// Reads one frame. Returns false on a clean EOF at a frame boundary
 /// (peer closed); throws gcs::Error on a torn frame, bad magic, or an
 /// implausible length.
-bool read_frame(Socket& sock, std::uint32_t& src_rank, std::uint64_t& tag,
-                ByteBuffer& payload);
+bool read_frame(Socket& sock, FrameHeader& header, ByteBuffer& payload);
 
 }  // namespace gcs::net

@@ -135,12 +135,13 @@ void ForkedWorkers::kill_and_reap() noexcept {
   children_.clear();
 }
 
-std::vector<ByteBuffer> ForkedWorkers::join() {
+std::vector<ForkedWorkers::Outcome> ForkedWorkers::join_outcomes() {
   GCS_CHECK(!joined_);
   joined_ = true;
-  std::vector<ByteBuffer> reports;
-  std::string first_error;
+  std::vector<Outcome> outcomes;
   for (const Child& c : children_) {
+    Outcome out;
+    out.rank = c.rank;
     std::uint8_t status = 2;
     std::uint64_t len = 0;
     ByteBuffer report;
@@ -157,21 +158,41 @@ std::vector<ByteBuffer> ForkedWorkers::join() {
     int wstatus = 0;
     while (::waitpid(c.pid, &wstatus, 0) < 0 && errno == EINTR) {
     }
+    out.wait_status = describe_wait_status(wstatus);
+    if (WIFEXITED(wstatus)) out.exit_code = WEXITSTATUS(wstatus);
+    if (WIFSIGNALED(wstatus)) out.exit_signal = WTERMSIG(wstatus);
+    out.reported = status != 2;
     if (status == 0 && WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
-      reports.push_back(std::move(report));
+      out.ok = true;
+      out.report = std::move(report);
+    } else if (status == 1) {
+      out.error = std::string(reinterpret_cast<const char*>(report.data()),
+                              report.size());
+    }
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+std::vector<ByteBuffer> ForkedWorkers::join() {
+  auto outcomes = join_outcomes();
+  std::vector<ByteBuffer> reports;
+  std::string first_error;
+  for (auto& out : outcomes) {
+    if (out.ok) {
+      reports.push_back(std::move(out.report));
       continue;
     }
     if (first_error.empty()) {
-      std::string cause;
-      if (status == 1) {
-        cause = std::string(reinterpret_cast<const char*>(report.data()),
-                            report.size());
-      } else {
-        cause = "died without reporting (" +
-                describe_wait_status(wstatus) + ")";
-      }
+      // `reported` distinguishes a body that threw (its message may be
+      // empty) from a child that died before framing anything.
+      const std::string cause =
+          out.reported
+              ? (out.error.empty() ? "body failed without a message"
+                                   : out.error)
+              : "died without reporting (" + out.wait_status + ")";
       first_error =
-          "worker rank " + std::to_string(c.rank) + ": " + cause;
+          "worker rank " + std::to_string(out.rank) + ": " + cause;
     }
   }
   if (!first_error.empty()) throw Error(first_error);

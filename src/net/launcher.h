@@ -24,6 +24,21 @@ namespace gcs::net {
 
 class ForkedWorkers {
  public:
+  /// One child's outcome, as observed by the parent.
+  struct Outcome {
+    int rank = -1;
+    /// The body returned and the child exited 0.
+    bool ok = false;
+    /// The child wrote a framed report before exiting (ok implies this;
+    /// a body that threw reports too — `error` carries its message).
+    bool reported = false;
+    ByteBuffer report;       ///< valid when ok
+    std::string error;       ///< body exception message, if any
+    std::string wait_status; ///< "exit code N" / "signal N" description
+    int exit_signal = -1;    ///< terminating signal, -1 if exited
+    int exit_code = -1;      ///< exit code, -1 if signaled
+  };
+
   /// Forks `body(rank)` for every rank in [first_rank, world_size).
   /// Throws gcs::Error if a fork fails (already-spawned children are
   /// reaped).
@@ -37,6 +52,12 @@ class ForkedWorkers {
   /// whose body threw, or that died without reporting, turns into a
   /// gcs::Error naming the rank and the cause.
   std::vector<ByteBuffer> join();
+
+  /// Fault-tolerant collect: every child's outcome, indexed by
+  /// rank - first_rank, with nothing promoted to an exception — the
+  /// fault-injection harness kills ranks on purpose and must tell an
+  /// expected death from a survivor's report itself.
+  std::vector<Outcome> join_outcomes();
 
  private:
   struct Child {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
 
 #include "common/check.h"
@@ -24,16 +25,20 @@ std::string decode_text(ByteReader& r) {
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
 }
 
-/// Derives rank r's listener address from the rendezvous address: unix
-/// sockets get a sibling path; tcp listeners bind the wildcard on a
+/// Derives a member's listener address from the rendezvous address: unix
+/// sockets get a sibling path tagged with the epoch and the member's
+/// original rank (stable identities — current ranks are only assigned
+/// once the membership is known); tcp listeners bind the wildcard on a
 /// kernel-assigned port (a rank may live on any host — it cannot bind
 /// rank 0's address, and it cannot reliably know its own externally
 /// visible one; rank 0 fills the host in from where the HELLO came
 /// from, see below).
-Address listener_template(const Address& rendezvous, int rank) {
+Address listener_template(const Address& rendezvous, std::uint64_t epoch,
+                          int original_rank) {
   Address addr = rendezvous;
   if (addr.is_unix) {
-    addr.path += ".r" + std::to_string(rank);
+    addr.path += ".e" + std::to_string(epoch) + ".r" +
+                 std::to_string(original_rank);
   } else {
     addr.host = "0.0.0.0";
     addr.port = 0;
@@ -45,130 +50,309 @@ bool is_wildcard_host(const std::string& host) {
   return host == "0.0.0.0" || host == "::" || host == "*";
 }
 
-}  // namespace
+bool rank_eligible(const EpochConfig& config, int original_rank) {
+  if (original_rank <= 0 || original_rank >= config.max_world) return false;
+  if (config.eligible.empty()) return true;
+  return std::find(config.eligible.begin(), config.eligible.end(),
+                   original_rank) != config.eligible.end();
+}
 
-std::vector<Socket> rendezvous_mesh(const RendezvousConfig& config) {
-  const int n = config.world_size;
-  const int rank = config.rank;
-  GCS_CHECK(n >= 1 && rank >= 0 && rank < n);
-  std::vector<Socket> peers(static_cast<std::size_t>(n));
-  if (n == 1) return peers;
+/// One accepted, validated hello.
+struct Hello {
+  int original_rank = -1;
+  std::string address;
+  Socket conn;
+};
 
-  if (rank == 0) {
-    Address listen_addr = config.rendezvous;
-    Socket listener = listen_on(listen_addr, n);
-    std::vector<std::string> addresses(static_cast<std::size_t>(n));
-    addresses[0] = listen_addr.to_string();
-    // Gather hellos: arrival order is whatever the OS scheduler produced.
-    for (int i = 1; i < n; ++i) {
-      Socket conn = accept_from(listener, config.timeout_ms);
-      std::uint32_t src = 0;
-      std::uint64_t tag = 0;
-      ByteBuffer payload;
-      if (!read_frame(conn, src, tag, payload)) {
-        throw Error("rendezvous: peer closed before HELLO");
-      }
-      if (tag != kHelloTag) {
-        throw Error("rendezvous: expected HELLO, got tag " +
-                    std::to_string(tag));
-      }
-      if (src == 0 || static_cast<int>(src) >= n) {
-        throw Error("rendezvous: HELLO from invalid rank " +
-                    std::to_string(src));
-      }
-      if (peers[src].valid()) {
-        throw Error("rendezvous: duplicate HELLO from rank " +
-                    std::to_string(src));
-      }
-      ByteReader r(payload);
-      Address advertised = Address::parse(decode_text(r));
-      // A TCP rank binds the wildcard and cannot know its externally
-      // visible host; substitute the address its HELLO arrived from.
-      if (!advertised.is_unix && is_wildcard_host(advertised.host)) {
-        advertised.host = peer_host(conn);
-      }
-      addresses[src] = advertised.to_string();
-      peers[src] = std::move(conn);
+enum class HelloStatus { kOk, kRejected, kClosed };
+
+/// Accepts one connection and reads its hello. kRejected covers a hello
+/// that fails validation (`reason` says how, naming the rank where one
+/// is known) — elastic mode drops such stragglers of an older epoch
+/// without failing the epoch being formed, strict mode surfaces the
+/// reason. kClosed is an accept deadline (no arrival); genuine
+/// listener/syscall failures stay loud errors — they must never be
+/// mistaken for a closed window and silently shrink the world. Throws
+/// also on a round mismatch: survivors whose committed state diverged
+/// must not train together, so that is fatal rather than a closed door.
+HelloStatus accept_hello(Socket& listener, const EpochConfig& config,
+                         const std::vector<Hello>& have, int timeout_ms,
+                         Hello& out, std::string& reason) {
+  Socket conn = try_accept_from(listener, timeout_ms);
+  if (!conn.valid()) return HelloStatus::kClosed;
+  FrameHeader header;
+  ByteBuffer payload;
+  try {
+    if (!read_frame(conn, header, payload)) {
+      reason = "peer closed before HELLO";
+      return HelloStatus::kRejected;
     }
-    // Hand out the peer map over the (kept) rendezvous connections.
-    ByteBuffer map;
-    ByteWriter w(map);
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(n));
-    for (const auto& a : addresses) {
-      const ByteBuffer entry = encode_text(a);
-      w.put_bytes(entry);
+  } catch (const Error& e) {
+    reason = std::string("torn HELLO: ") + e.what();
+    return HelloStatus::kRejected;
+  }
+  const int rank = static_cast<int>(header.src_rank);
+  if (header.tag != kHelloTag) {
+    reason = "expected HELLO, got tag " + std::to_string(header.tag);
+    return HelloStatus::kRejected;
+  }
+  if (header.epoch != config.epoch) {
+    reason = "HELLO from rank " + std::to_string(rank) + " for epoch " +
+             std::to_string(header.epoch) + ", forming epoch " +
+             std::to_string(config.epoch);
+    return HelloStatus::kRejected;
+  }
+  if (!rank_eligible(config, rank)) {
+    reason = "HELLO from ineligible rank " + std::to_string(rank);
+    return HelloStatus::kRejected;
+  }
+  for (const auto& h : have) {
+    if (h.original_rank == rank) {
+      reason = "duplicate HELLO from rank " + std::to_string(rank);
+      return HelloStatus::kRejected;
     }
-    for (int r = 1; r < n; ++r) {
-      write_frame(peers[static_cast<std::size_t>(r)], 0, kPeerMapTag, map);
+  }
+  ByteReader r(payload);
+  Address advertised = Address::parse(decode_text(r));
+  const std::uint64_t round = r.get<std::uint64_t>();
+  if (round != config.round) {
+    throw Error("rendezvous epoch " + std::to_string(config.epoch) +
+                ": rank " + std::to_string(rank) + " resumes round " +
+                std::to_string(round) + " but the coordinator resumes " +
+                std::to_string(config.round) +
+                " — survivors' committed state diverged");
+  }
+  // A TCP rank binds the wildcard and cannot know its externally visible
+  // host; substitute the address its HELLO arrived from.
+  if (!advertised.is_unix && is_wildcard_host(advertised.host)) {
+    advertised.host = peer_host(conn);
+  }
+  out.original_rank = rank;
+  out.address = advertised.to_string();
+  out.conn = std::move(conn);
+  return HelloStatus::kOk;
+}
+
+EpochResult coordinate(const EpochConfig& config) {
+  Address listen_addr = config.rendezvous;
+  Socket listener = listen_on(listen_addr, config.max_world);
+  std::vector<Hello> hellos;
+  if (config.elastic) {
+    // Whoever shows up within the window is the membership. The FIRST
+    // arrival gets the full handshake deadline — start skew must not
+    // shrink a healthy world to 1 — and only then does window_ms govern
+    // how long the doors stay open; the window restarts on every
+    // arrival so a burst of survivors is never cut mid-stampede. It is
+    // bounded above by max_world - 1 arrivals.
+    while (static_cast<int>(hellos.size()) < config.max_world - 1) {
+      Hello h;
+      std::string reason;
+      const int wait_ms =
+          hellos.empty() ? config.timeout_ms : config.window_ms;
+      const HelloStatus status = accept_hello(listener, config, hellos,
+                                              wait_ms, h, reason);
+      if (status == HelloStatus::kClosed) break;  // window expired
+      if (status == HelloStatus::kRejected) continue;
+      hellos.push_back(std::move(h));
     }
-    listener.close();
-    if (listen_addr.is_unix) ::unlink(listen_addr.path.c_str());
-    return peers;
+  } else {
+    for (int i = 1; i < config.max_world; ++i) {
+      Hello h;
+      std::string reason;
+      const HelloStatus status = accept_hello(listener, config, hellos,
+                                              config.timeout_ms, h, reason);
+      if (status == HelloStatus::kClosed) {
+        throw Error("rendezvous: timed out waiting for HELLO " +
+                    std::to_string(i) + "/" +
+                    std::to_string(config.max_world - 1));
+      }
+      if (status == HelloStatus::kRejected) {
+        throw Error("rendezvous: " + reason);
+      }
+      hellos.push_back(std::move(h));
+    }
   }
 
-  // rank > 0: open own listener first so lower-ranked peers can always
+  // Close (and unlink) the listener BEFORE handing out the maps: the
+  // instant a member holds its map it may fail and reconnect for the
+  // next epoch, and a connect that lands in this now-stale listener's
+  // backlog would be reset when the listener closes — silently evicting
+  // a healthy, fast-rejoining member. With the listener gone first, an
+  // early rejoin simply retries until the next epoch's listener exists.
+  listener.close();
+  if (listen_addr.is_unix) ::unlink(listen_addr.path.c_str());
+
+  EpochResult result;
+  std::sort(hellos.begin(), hellos.end(),
+            [](const Hello& a, const Hello& b) {
+              return a.original_rank < b.original_rank;
+            });
+  result.original_ranks.push_back(0);
+  for (const auto& h : hellos) {
+    result.original_ranks.push_back(h.original_rank);
+  }
+  result.rank = 0;
+  result.peers.resize(result.original_ranks.size());
+
+  // Hand out the peer map over the (kept) rendezvous connections.
+  ByteBuffer map;
+  ByteWriter w(map);
+  w.put<std::uint32_t>(
+      static_cast<std::uint32_t>(result.original_ranks.size()));
+  {
+    const ByteBuffer self_entry = encode_text(listen_addr.to_string());
+    w.put<std::uint32_t>(0);
+    w.put_bytes(self_entry);
+  }
+  for (const auto& h : hellos) {
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(h.original_rank));
+    const ByteBuffer entry = encode_text(h.address);
+    w.put_bytes(entry);
+  }
+  for (std::size_t i = 0; i < hellos.size(); ++i) {
+    write_frame(hellos[i].conn, 0, config.epoch, kPeerMapTag, map);
+    result.peers[i + 1] = std::move(hellos[i].conn);
+  }
+  return result;
+}
+
+EpochResult join(const EpochConfig& config) {
+  // Open the member's own listener first so lower-ranked peers can always
   // reach it once the map is out.
-  Address my_addr = listener_template(config.rendezvous, rank);
-  Socket listener = listen_on(my_addr, n);
+  Address my_addr =
+      listener_template(config.rendezvous, config.epoch,
+                        config.original_rank);
+  Socket listener = listen_on(my_addr, config.max_world);
 
   Socket to_zero = connect_to(config.rendezvous, config.timeout_ms);
-  write_frame(to_zero, static_cast<std::uint32_t>(rank), kHelloTag,
-              encode_text(my_addr.to_string()));
-  std::uint32_t src = 0;
-  std::uint64_t tag = 0;
+  {
+    ByteBuffer hello;
+    ByteWriter w(hello);
+    const ByteBuffer addr = encode_text(my_addr.to_string());
+    w.put_bytes(addr);
+    w.put<std::uint64_t>(config.round);
+    write_frame(to_zero, static_cast<std::uint32_t>(config.original_rank),
+                config.epoch, kHelloTag, hello);
+  }
+  FrameHeader header;
   ByteBuffer payload;
-  if (!read_frame(to_zero, src, tag, payload)) {
-    throw Error("rendezvous: rank 0 closed before sending the peer map");
+  if (!read_frame(to_zero, header, payload)) {
+    throw Error("rendezvous: rank 0 closed before sending the peer map "
+                "(epoch " + std::to_string(config.epoch) +
+                " — evicted after missing the rejoin window?)");
   }
-  if (tag != kPeerMapTag) {
+  if (header.tag != kPeerMapTag) {
     throw Error("rendezvous: expected PEER-MAP, got tag " +
-                std::to_string(tag));
+                std::to_string(header.tag));
   }
+  if (header.epoch != config.epoch) {
+    throw Error("rendezvous: peer map for epoch " +
+                std::to_string(header.epoch) + ", expected " +
+                std::to_string(config.epoch));
+  }
+
+  EpochResult result;
   ByteReader reader(payload);
-  const auto world = reader.get<std::uint32_t>();
-  if (static_cast<int>(world) != n) {
-    throw Error("rendezvous: peer map world size " + std::to_string(world) +
-                " != configured " + std::to_string(n));
+  const auto members = reader.get<std::uint32_t>();
+  if (members < 1 || static_cast<int>(members) > config.max_world) {
+    throw Error("rendezvous: peer map world size " +
+                std::to_string(members) + " out of range");
   }
   std::vector<std::string> addresses;
-  for (std::uint32_t i = 0; i < world; ++i) {
+  for (std::uint32_t i = 0; i < members; ++i) {
+    const auto original = static_cast<int>(reader.get<std::uint32_t>());
+    result.original_ranks.push_back(original);
     addresses.push_back(decode_text(reader));
+    if (original == config.original_rank) {
+      result.rank = static_cast<int>(i);
+    }
   }
-  peers[0] = std::move(to_zero);
+  if (result.rank < 0) {
+    throw Error("rendezvous: epoch " + std::to_string(config.epoch) +
+                " formed without original rank " +
+                std::to_string(config.original_rank) +
+                " — evicted after missing the rejoin window");
+  }
+  result.peers.resize(members);
+  result.peers[0] = std::move(to_zero);
 
-  // Connect downward, accept upward (see file comment).
-  for (int s = 1; s < rank; ++s) {
-    Socket conn = connect_to(Address::parse(addresses[static_cast<
-                                 std::size_t>(s)]),
-                             config.timeout_ms);
-    write_frame(conn, static_cast<std::uint32_t>(rank), kHelloTag, {});
-    peers[static_cast<std::size_t>(s)] = std::move(conn);
+  // Connect downward, accept upward, in current-rank order (see file
+  // comment). Mesh hellos carry the member's *current* rank: that is the
+  // identity every data frame of this epoch will carry.
+  const int me = result.rank;
+  for (int s = 1; s < me; ++s) {
+    Socket conn = connect_to(
+        Address::parse(addresses[static_cast<std::size_t>(s)]),
+        config.timeout_ms);
+    write_frame(conn, static_cast<std::uint32_t>(me), config.epoch,
+                kHelloTag, {});
+    result.peers[static_cast<std::size_t>(s)] = std::move(conn);
   }
-  for (int s = rank + 1; s < n; ++s) {
+  for (int s = me + 1; s < static_cast<int>(members); ++s) {
     Socket conn = accept_from(listener, config.timeout_ms);
-    std::uint32_t peer = 0;
-    std::uint64_t peer_tag = 0;
+    FrameHeader mesh;
     ByteBuffer hello;
-    if (!read_frame(conn, peer, peer_tag, hello)) {
+    if (!read_frame(conn, mesh, hello)) {
       throw Error("rendezvous: peer closed before mesh HELLO");
     }
-    if (peer_tag != kHelloTag) {
+    if (mesh.tag != kHelloTag) {
       throw Error("rendezvous: expected mesh HELLO, got tag " +
-                  std::to_string(peer_tag));
+                  std::to_string(mesh.tag));
     }
-    if (static_cast<int>(peer) <= rank || static_cast<int>(peer) >= n) {
+    if (mesh.epoch != config.epoch) {
+      throw Error("rendezvous: mesh HELLO from epoch " +
+                  std::to_string(mesh.epoch) + ", expected " +
+                  std::to_string(config.epoch));
+    }
+    const int peer = static_cast<int>(mesh.src_rank);
+    if (peer <= me || peer >= static_cast<int>(members)) {
       throw Error("rendezvous: mesh HELLO from unexpected rank " +
                   std::to_string(peer));
     }
-    if (peers[peer].valid()) {
+    if (result.peers[static_cast<std::size_t>(peer)].valid()) {
       throw Error("rendezvous: duplicate mesh HELLO from rank " +
                   std::to_string(peer));
     }
-    peers[peer] = std::move(conn);
+    result.peers[static_cast<std::size_t>(peer)] = std::move(conn);
   }
   listener.close();
   if (my_addr.is_unix) ::unlink(my_addr.path.c_str());
-  return peers;
+  return result;
+}
+
+}  // namespace
+
+EpochResult rendezvous_epoch(const EpochConfig& config) {
+  GCS_CHECK(config.max_world >= 1);
+  GCS_CHECK(config.original_rank >= 0 &&
+            config.original_rank < config.max_world);
+  if (config.max_world == 1) {
+    EpochResult solo;
+    solo.original_ranks = {0};
+    solo.rank = 0;
+    solo.peers.resize(1);
+    return solo;
+  }
+  return config.original_rank == 0 ? coordinate(config) : join(config);
+}
+
+std::vector<Socket> rendezvous_mesh(const RendezvousConfig& config) {
+  GCS_CHECK(config.world_size >= 1 && config.rank >= 0 &&
+            config.rank < config.world_size);
+  EpochConfig epoch;
+  epoch.rendezvous = config.rendezvous;
+  epoch.original_rank = config.rank;
+  epoch.max_world = config.world_size;
+  epoch.timeout_ms = config.timeout_ms;
+  EpochResult result = rendezvous_epoch(epoch);
+  // Strict mode admits exactly the configured world; positions are the
+  // identity mapping, so the PR 2 by-rank indexing holds unchanged.
+  if (static_cast<int>(result.original_ranks.size()) != config.world_size) {
+    throw Error("rendezvous: expected " +
+                std::to_string(config.world_size) + " ranks, got " +
+                std::to_string(result.original_ranks.size()));
+  }
+  return std::move(result.peers);
 }
 
 }  // namespace gcs::net

@@ -1,23 +1,37 @@
-// Full-mesh rendezvous: bootstrap n processes into n*(n-1)/2 connections.
+// Full-mesh rendezvous epochs: bootstrap (and re-bootstrap) a set of
+// processes into m*(m-1)/2 identified connections.
 //
-// Protocol (rank 0 is the rendezvous point, see DESIGN.md section 5):
+// Protocol (the *original* rank 0 is the rendezvous point in every epoch,
+// see DESIGN.md "Transport stack" and "Fault tolerance"):
 //
-//   1. Every rank r > 0 opens its own listener — unix: `<path>.r<r>`,
-//      tcp: same host, kernel-assigned port — then connects to rank 0's
-//      advertised address and sends a HELLO frame carrying its listener
-//      address.
-//   2. Rank 0 accepts n-1 connections, collects the hellos (arrival order
-//      is arbitrary; the frame header identifies the rank), then answers
-//      each with a PEER-MAP frame listing every rank's listener address.
-//      Each rendezvous connection is kept: it *is* the 0<->r data link.
-//   3. Rank r, on receiving the map, connects to every lower rank
-//      s in [1, r) (sending a HELLO so the acceptor knows who arrived)
-//      and accepts from every higher rank s in (r, n).
+//   1. Every member with original rank r > 0 opens its own listener —
+//      unix: `<path>.e<epoch>.r<r>`, tcp: same host, kernel-assigned
+//      port — then connects to rank 0's advertised address and sends a
+//      HELLO frame carrying its listener address and the round it will
+//      (re)start from. The frame's src field is the member's original
+//      rank; its epoch field is the epoch being formed.
+//   2. Rank 0 accepts connections and collects the hellos (arrival order
+//      is arbitrary). Strict mode waits for all max_world - 1 expected
+//      members and fails on a deadline. Elastic mode closes the doors
+//      after `window_ms` without a new hello: whoever arrived *is* the
+//      epoch's membership — a dead peer shows up as an absence, not an
+//      error. Hellos carrying a wrong epoch, an ineligible or duplicate
+//      original rank, or a diverged resume round are rejected (wrong
+//      round is fatal: survivors whose committed state diverged must not
+//      train together).
+//   3. Rank 0 answers each member with a PEER-MAP frame listing the
+//      epoch's members — (original rank, listener address) pairs in
+//      original-rank order, which defines the dense re-ranking: the i-th
+//      member is current rank i. Each rendezvous connection is kept: it
+//      *is* the 0<->i data link.
+//   4. Member i connects to every member 1 <= j < i (sending a mesh
+//      HELLO with its current rank) and accepts from every j > i.
 //
-// The result is one connected, identified socket per peer. Listeners are
-// closed (and unix paths unlinked) before returning; only the mesh
-// remains. Every step has a deadline — a missing peer surfaces as a
-// gcs::Error naming the stage, never as a silent hang.
+// The result is one connected, identified socket per peer plus the
+// membership it belongs to. Listeners are closed (and unix paths
+// unlinked) before returning; only the mesh remains. Every step has a
+// deadline — in strict mode a missing peer surfaces as a gcs::Error
+// naming the stage, never as a silent hang.
 #pragma once
 
 #include <vector>
@@ -31,6 +45,43 @@ namespace gcs::net {
 constexpr std::uint64_t kHelloTag = 0xffff'ffff'0000'0001ull;
 constexpr std::uint64_t kPeerMapTag = 0xffff'ffff'0000'0002ull;
 
+struct EpochConfig {
+  Address rendezvous;  ///< original rank 0's listen address (all epochs)
+  /// Membership generation being formed; stamped on every frame.
+  std::uint64_t epoch = 0;
+  /// This process's immutable identity (its epoch-0 rank).
+  int original_rank = -1;
+  /// Upper bound on members this epoch (the previous world size).
+  int max_world = 0;
+  /// Original ranks allowed to join; empty = [0, max_world). Rebuilds
+  /// pass the previous membership so an evicted straggler cannot rejoin
+  /// a world whose state moved on without it.
+  std::vector<int> eligible;
+  /// Elastic: close the membership on window expiry instead of failing.
+  bool elastic = false;
+  /// Deadline for each blocking handshake step.
+  int timeout_ms = 20000;
+  /// Elastic gather window: once one hello has arrived, rank 0 keeps the
+  /// doors open this long for further hellos before shrinking the world.
+  int window_ms = 2000;
+  /// The round this member will (re)start from; members of one epoch
+  /// must agree (checked by rank 0) or recovery would splice diverged
+  /// error-feedback state into one training run.
+  std::uint64_t round = 0;
+};
+
+struct EpochResult {
+  /// Members in original-rank order; index = current (dense) rank.
+  std::vector<int> original_ranks;
+  /// This process's current rank within the epoch.
+  int rank = -1;
+  /// Connected data sockets indexed by current rank; own slot invalid.
+  std::vector<Socket> peers;
+};
+
+/// Runs one epoch of the protocol above (initial bootstrap or rebuild).
+EpochResult rendezvous_epoch(const EpochConfig& config);
+
 struct RendezvousConfig {
   Address rendezvous;  ///< rank 0's listen address
   int world_size = 0;
@@ -38,8 +89,9 @@ struct RendezvousConfig {
   int timeout_ms = 20000;
 };
 
-/// Runs the protocol above. Returns the connected data sockets indexed by
-/// peer rank; the local rank's slot is an invalid Socket.
+/// Strict epoch-0 wrapper (the PR 2 interface): all world_size ranks must
+/// arrive. Returns the connected data sockets indexed by peer rank; the
+/// local rank's slot is an invalid Socket.
 std::vector<Socket> rendezvous_mesh(const RendezvousConfig& config);
 
 }  // namespace gcs::net

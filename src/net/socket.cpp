@@ -244,20 +244,20 @@ Socket listen_on(Address& addr, int backlog) {
   return sock;
 }
 
-Socket accept_from(Socket& listener, int timeout_ms) {
+Socket try_accept_from(Socket& listener, int timeout_ms) {
   GCS_CHECK(listener.valid());
   pollfd pfd{listener.fd(), POLLIN, 0};
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
-    if (left.count() <= 0) throw Error("accept timed out");
+    if (left.count() <= 0) return Socket{};
     const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
     if (rc < 0) {
       if (errno == EINTR) continue;
       fail_errno("poll(accept)");
     }
-    if (rc == 0) throw Error("accept timed out");
+    if (rc == 0) return Socket{};
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -266,6 +266,12 @@ Socket accept_from(Socket& listener, int timeout_ms) {
     set_nodelay(fd);
     return Socket(fd);
   }
+}
+
+Socket accept_from(Socket& listener, int timeout_ms) {
+  Socket sock = try_accept_from(listener, timeout_ms);
+  if (!sock.valid()) throw Error("accept timed out");
+  return sock;
 }
 
 Socket connect_to(const Address& addr, int timeout_ms) {

@@ -76,6 +76,12 @@ Socket listen_on(Address& addr, int backlog);
 /// Accepts one connection; throws gcs::Error after `timeout_ms`.
 Socket accept_from(Socket& listener, int timeout_ms);
 
+/// Like accept_from, but a deadline returns an invalid Socket instead of
+/// throwing — for callers (the elastic rendezvous window) that treat "no
+/// one came" as an answer while real listener/syscall failures must stay
+/// loud errors.
+Socket try_accept_from(Socket& listener, int timeout_ms);
+
 /// Connects to `addr`, retrying while the listener does not exist yet
 /// (rendezvous races); throws gcs::Error after `timeout_ms`.
 Socket connect_to(const Address& addr, int timeout_ms);

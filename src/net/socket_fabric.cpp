@@ -14,59 +14,133 @@ SocketFabric::SocketFabric(const SocketFabricConfig& config)
     : config_(config) {
   GCS_CHECK(config_.world_size >= 1);
   GCS_CHECK(config_.rank >= 0 && config_.rank < config_.world_size);
-  RendezvousConfig rc;
-  rc.rendezvous = Address::parse(config_.rendezvous);
-  rc.world_size = config_.world_size;
-  rc.rank = config_.rank;
-  rc.timeout_ms = config_.connect_timeout_ms;
-  auto sockets = rendezvous_mesh(rc);
+  EpochConfig ec;
+  ec.rendezvous = Address::parse(config_.rendezvous);
+  ec.original_rank = config_.rank;
+  ec.max_world = config_.world_size;
+  ec.elastic = config_.elastic;
+  ec.timeout_ms = config_.connect_timeout_ms;
+  ec.window_ms = config_.rejoin_window_ms;
+  EpochResult epoch = rendezvous_epoch(ec);
+  adopt_epoch(std::move(epoch.peers), std::move(epoch.original_ranks),
+              epoch.rank, /*epoch=*/0);
+}
 
-  peers_.resize(static_cast<std::size_t>(config_.world_size));
-  for (int r = 0; r < config_.world_size; ++r) {
-    if (r == config_.rank) continue;
+SocketFabric::~SocketFabric() { teardown_mesh(); }
+
+void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
+                               std::vector<int> original_ranks, int self,
+                               std::uint64_t epoch) {
+  membership_.epoch = epoch;
+  membership_.original_ranks = std::move(original_ranks);
+  membership_.self = self;
+  const int world = membership_.world_size();
+  peers_.clear();
+  peers_.resize(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    if (r == self) continue;
     auto p = std::make_unique<Peer>();
     p->sock = std::move(sockets[static_cast<std::size_t>(r)]);
     peers_[static_cast<std::size_t>(r)] = std::move(p);
   }
   // Readers start only after the whole mesh is up; from here on every
-  // connection is permanently drained.
-  for (int r = 0; r < config_.world_size; ++r) {
-    if (r == config_.rank) continue;
+  // connection is permanently drained (until the epoch ends).
+  for (int r = 0; r < world; ++r) {
+    if (r == self) continue;
     Peer& p = *peers_[static_cast<std::size_t>(r)];
-    p.reader = std::thread([this, r] { reader_loop(r); });
+    p.reader = std::thread([this, r, epoch] { reader_loop(r, epoch); });
   }
 }
 
-SocketFabric::~SocketFabric() {
+void SocketFabric::teardown_mesh() {
   for (auto& p : peers_) {
     if (p != nullptr) p->sock.shutdown();
   }
   for (auto& p : peers_) {
     if (p != nullptr && p->reader.joinable()) p->reader.join();
   }
+  // Whatever is still parked belongs to an aborted round of the closing
+  // epoch: stale by definition once the epoch ends.
+  std::uint64_t discarded = 0;
+  for (auto& p : peers_) {
+    if (p != nullptr) discarded += p->buffered;
+  }
+  {
+    std::lock_guard lock(self_mu_);
+    discarded += self_buffered_;
+    self_by_tag_.clear();
+    self_buffered_ = 0;
+  }
+  peers_.clear();
+  std::lock_guard lock(counter_mu_);
+  stale_rejected_ += discarded;
+}
+
+comm::Membership SocketFabric::rebuild(std::uint64_t resume_round) {
+  if (!config_.elastic) {
+    throw Error("SocketFabric::rebuild: elastic membership is off "
+                "(construct with SocketFabricConfig::elastic)");
+  }
+  // Closing every connection is the abort broadcast: survivors blocked in
+  // recv anywhere in the old world see EOF, throw PeerFailure and land
+  // here themselves — the teardown cascades until every survivor is in
+  // the re-rendezvous.
+  teardown_mesh();
+  const comm::Membership previous = membership_;
+  EpochConfig ec;
+  ec.rendezvous = Address::parse(config_.rendezvous);
+  ec.epoch = previous.epoch + 1;
+  ec.original_rank = config_.rank;
+  ec.max_world = config_.world_size;
+  ec.eligible = previous.original_ranks;
+  ec.elastic = true;
+  ec.timeout_ms = config_.connect_timeout_ms;
+  ec.window_ms = config_.rejoin_window_ms;
+  ec.round = resume_round;
+  EpochResult epoch = rendezvous_epoch(ec);
+  adopt_epoch(std::move(epoch.peers), std::move(epoch.original_ranks),
+              epoch.rank, ec.epoch);
+  return membership_;
+}
+
+std::uint64_t SocketFabric::stale_frames_rejected() const {
+  std::lock_guard lock(counter_mu_);
+  return stale_rejected_;
 }
 
 SocketFabric::Peer& SocketFabric::peer(int rank) const {
-  GCS_CHECK(rank >= 0 && rank < config_.world_size && rank != config_.rank);
+  GCS_CHECK(rank >= 0 && rank < membership_.world_size() &&
+            rank != membership_.self);
   return *peers_[static_cast<std::size_t>(rank)];
 }
 
-void SocketFabric::reader_loop(int peer_rank) {
+void SocketFabric::reader_loop(int peer_rank, std::uint64_t epoch) {
   Peer& p = *peers_[static_cast<std::size_t>(peer_rank)];
   std::string reason = "peer exited";
   try {
-    std::uint32_t src = 0;
-    std::uint64_t tag = 0;
+    FrameHeader header;
     ByteBuffer payload;
-    while (read_frame(p.sock, src, tag, payload)) {
-      if (static_cast<int>(src) != peer_rank) {
-        throw Error("frame from rank " + std::to_string(src) +
+    while (read_frame(p.sock, header, payload)) {
+      if (header.epoch < epoch) {
+        // A straggler of an aborted epoch: reject it — parking it would
+        // let a same-tag recv of this epoch mis-deliver old data.
+        std::lock_guard lock(counter_mu_);
+        ++stale_rejected_;
+        continue;
+      }
+      if (header.epoch > epoch) {
+        throw Error("frame from future epoch " +
+                    std::to_string(header.epoch) + " on an epoch-" +
+                    std::to_string(epoch) + " connection");
+      }
+      if (static_cast<int>(header.src_rank) != peer_rank) {
+        throw Error("frame from rank " + std::to_string(header.src_rank) +
                     " on the connection to rank " +
                     std::to_string(peer_rank));
       }
       {
         std::lock_guard lock(p.mu);
-        p.by_tag[tag].push_back(std::move(payload));
+        p.by_tag[header.tag].push_back(std::move(payload));
         ++p.buffered;
       }
       p.cv.notify_all();
@@ -85,13 +159,13 @@ void SocketFabric::reader_loop(int peer_rank) {
 
 void SocketFabric::send(int src, int dst, std::uint64_t tag,
                         ByteBuffer payload) {
-  GCS_CHECK_MSG(src == config_.rank,
-                "SocketFabric owns rank " << config_.rank
+  GCS_CHECK_MSG(src == membership_.self,
+                "SocketFabric owns rank " << membership_.self
                                           << ", cannot send as " << src);
   const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point{};
   const std::size_t bytes = payload.size();
-  if (dst == config_.rank) {
+  if (dst == membership_.self) {
     {
       std::lock_guard lock(self_mu_);
       self_by_tag_[tag].push_back(std::move(payload));
@@ -101,7 +175,17 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
   } else {
     Peer& p = peer(dst);
     std::lock_guard lock(p.send_mu);
-    write_frame(p.sock, static_cast<std::uint32_t>(src), tag, payload);
+    try {
+      write_frame(p.sock, static_cast<std::uint32_t>(src),
+                  membership_.epoch, tag, payload);
+    } catch (const Error& e) {
+      // A write onto a dead peer's connection is the send-side face of
+      // the same failure recv sees as EOF.
+      throw comm::PeerFailure(
+          "SocketFabric::send to rank " + std::to_string(dst) +
+              " failed: " + e.what(),
+          dst);
+    }
   }
   {
     std::lock_guard lock(counter_mu_);
@@ -115,8 +199,8 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
 
 comm::Message SocketFabric::recv(int dst, int src,
                                  std::uint64_t expected_tag) {
-  GCS_CHECK_MSG(dst == config_.rank,
-                "SocketFabric owns rank " << config_.rank
+  GCS_CHECK_MSG(dst == membership_.self,
+                "SocketFabric owns rank " << membership_.self
                                           << ", cannot recv as " << dst);
   const auto start = tap_ != nullptr ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point{};
@@ -124,7 +208,7 @@ comm::Message SocketFabric::recv(int dst, int src,
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config_.recv_timeout_ms);
   ByteBuffer payload;
-  if (src == config_.rank) {
+  if (src == membership_.self) {
     std::unique_lock lock(self_mu_);
     const bool got = self_cv_.wait_until(lock, deadline, [&] {
       const auto it = self_by_tag_.find(expected_tag);
@@ -157,7 +241,10 @@ comm::Message SocketFabric::recv(int dst, int src,
         os << "timed out after " << config_.recv_timeout_ms << " ms";
       }
       (void)got;
-      throw Error(os.str());
+      // Typed as a peer failure either way: an EOF names the peer
+      // directly, and a silent timeout is the same condition without the
+      // courtesy of a FIN — elastic callers recover from both.
+      throw comm::PeerFailure(os.str(), src);
     }
     payload = std::move(it->second.front());
     it->second.pop_front();
@@ -175,13 +262,13 @@ comm::Message SocketFabric::recv(int dst, int src,
 }
 
 std::uint64_t SocketFabric::bytes_sent(int rank) const {
-  GCS_CHECK(rank == config_.rank);
+  GCS_CHECK(rank == membership_.self);
   std::lock_guard lock(counter_mu_);
   return sent_bytes_;
 }
 
 std::uint64_t SocketFabric::bytes_received(int rank) const {
-  GCS_CHECK(rank == config_.rank);
+  GCS_CHECK(rank == membership_.self);
   std::lock_guard lock(counter_mu_);
   return received_bytes_;
 }
@@ -197,8 +284,8 @@ void SocketFabric::reset_counters() {
                   " undelivered loopback message(s)");
     }
   }
-  for (int r = 0; r < config_.world_size; ++r) {
-    if (r == config_.rank) continue;
+  for (int r = 0; r < membership_.world_size(); ++r) {
+    if (r == membership_.self) continue;
     Peer& p = peer(r);
     std::lock_guard lock(p.mu);
     if (p.buffered != 0) {

@@ -18,9 +18,23 @@
 //     frames from concurrently in-flight chunks may legally arrive ahead
 //     of the one being waited on.
 //   * recv never hangs: a peer that exits (EOF), a torn frame, or a
-//     deadline (`recv_timeout_ms`) all throw gcs::Error.
+//     deadline (`recv_timeout_ms`) all throw — specifically
+//     comm::PeerFailure, so elastic callers can catch exactly the
+//     failure class that membership recovery repairs.
 //   * Only the local rank is owned: send's src, recv's dst and counter
 //     queries must name it.
+//
+// Elastic membership (config.elastic, DESIGN.md "Fault tolerance"): the
+// fabric tracks a comm::Membership — an epoch counter plus the original
+// (epoch-0) rank of every current rank. Every frame is stamped with the
+// sender's epoch; a reader that sees an older epoch *rejects* the frame
+// (counted in stale_frames_rejected(), never parked where a same-tag
+// recv could mis-deliver it). After a PeerFailure, rebuild() tears the
+// old mesh down — which wakes every survivor blocked anywhere in the old
+// world, cascading the abort — re-runs the rendezvous as a new epoch
+// with a shrunken membership (dense re-ranking, original rank 0
+// coordinating), and restarts the readers. Recv/reassembly state of the
+// old epoch is discarded; byte meters are cumulative across epochs.
 //
 // Determinism: the collectives fix the reduction order, the per-peer
 // streams are FIFO (TCP/UDS ordering), and reassembly only reorders
@@ -48,25 +62,38 @@ struct SocketFabricConfig {
   /// Rank 0's rendezvous address: "unix:<path>" or "tcp:<host>:<port>".
   std::string rendezvous;
   int world_size = 0;
-  int rank = -1;
+  int rank = -1;  ///< this process's original (epoch-0) rank
   /// Deadline for the rendezvous handshake steps.
   int connect_timeout_ms = 20000;
   /// Deadline for a recv with no matching frame; guards against protocol
-  /// bugs hanging a worker forever.
+  /// bugs hanging a worker forever — and bounds how long a silent (not
+  /// cleanly exited) peer can stall a round. The factory's
+  /// `peer_timeout_ms=` knob lands here.
   int recv_timeout_ms = 60000;
+  /// Elastic membership: survive peer failure via epoch rebuilds. Off by
+  /// default — a peer exit then fails the round loudly (the experiment
+  /// contract) instead of shrinking the world.
+  bool elastic = false;
+  /// Elastic: rendezvous keeps its doors open this long for further
+  /// members before closing an epoch's membership.
+  int rejoin_window_ms = 2000;
 };
 
 class SocketFabric final : public comm::Transport {
  public:
-  /// Connects the full mesh (blocks until all peers arrive).
+  /// Connects the full mesh (blocks until all peers arrive — or, with
+  /// config.elastic, until the rejoin window closes on whoever came).
   explicit SocketFabric(const SocketFabricConfig& config);
   ~SocketFabric() override;
 
   SocketFabric(const SocketFabric&) = delete;
   SocketFabric& operator=(const SocketFabric&) = delete;
 
-  int rank() const noexcept { return config_.rank; }
-  int world_size() const override { return config_.world_size; }
+  /// Current (this-epoch) rank; equals the configured original rank until
+  /// a rebuild re-ranks the survivors densely.
+  int rank() const noexcept { return membership_.self; }
+  int original_rank() const noexcept { return config_.rank; }
+  int world_size() const override { return membership_.world_size(); }
 
   void send(int src, int dst, std::uint64_t tag, ByteBuffer payload) override;
   comm::Message recv(int dst, int src, std::uint64_t expected_tag) override;
@@ -79,6 +106,21 @@ class SocketFabric final : public comm::Transport {
   /// rank are timed and reported. Install while no collective is in
   /// flight; reader threads never touch the tap.
   void set_wire_tap(comm::WireTap* tap) override { tap_ = tap; }
+
+  comm::Membership membership() const override { return membership_; }
+
+  /// Elastic recovery (requires config.elastic): tears down the current
+  /// mesh, re-rendezvouses the survivors as epoch + 1 and resumes with a
+  /// dense re-ranking. See the file comment. Must be called from the
+  /// rank's (single) collective thread with no collective in flight
+  /// elsewhere — i.e. right after catching the PeerFailure that aborted
+  /// the round. Throws if the local process is evicted (it missed the
+  /// window) or survivors' resume rounds diverge.
+  comm::Membership rebuild(std::uint64_t resume_round) override;
+
+  /// Old-epoch frames dropped by the readers plus reassembly buckets
+  /// discarded at rebuilds — the "rejected, not mis-delivered" meter.
+  std::uint64_t stale_frames_rejected() const;
 
  private:
   struct Peer {
@@ -94,10 +136,15 @@ class SocketFabric final : public comm::Transport {
     std::string close_reason;
   };
 
-  void reader_loop(int peer_rank);
+  void adopt_epoch(std::vector<Socket> sockets,
+                   std::vector<int> original_ranks, int self,
+                   std::uint64_t epoch);
+  void teardown_mesh();
+  void reader_loop(int peer_rank, std::uint64_t epoch);
   Peer& peer(int rank) const;
 
   SocketFabricConfig config_;
+  comm::Membership membership_;
   std::vector<std::unique_ptr<Peer>> peers_;  // self slot has no socket
 
   // Loopback (self-send) queue, same reassembly semantics.
@@ -109,6 +156,7 @@ class SocketFabric final : public comm::Transport {
   mutable std::mutex counter_mu_;
   std::uint64_t sent_bytes_ = 0;
   std::uint64_t received_bytes_ = 0;
+  std::uint64_t stale_rejected_ = 0;
   comm::WireTap* tap_ = nullptr;  ///< non-owning; set while quiescent
 };
 

@@ -483,4 +483,24 @@ RoundTime CostModel::bucketed_round_for_spec(const WorkloadSpec& w,
                                 workers, backward_frac);
 }
 
+double CostModel::rerendezvous_stall_s(const WorkloadSpec& w,
+                                       const std::string& spec,
+                                       int new_world) const {
+  GCS_CHECK_MSG(new_world >= 1 && new_world <= n_,
+                "recovery can only shrink the world (got " << new_world
+                                                           << " of " << n_
+                                                           << ")");
+  // The aborted attempt: the commit barrier guarantees nothing of the
+  // interrupted round survives, so its whole charge is paid again.
+  const double lost_round_s = round_for_spec(w, spec).total();
+  // Mesh re-formation: m(m-1)/2 connections, one handshake round trip
+  // each, charged serialized — the coordinator accepts hellos one at a
+  // time and the per-pair links follow in rank order.
+  const double links =
+      static_cast<double>(new_world) *
+      static_cast<double>(new_world - 1) / 2.0;
+  const double mesh_s = links * 2.0 * net_.link().latency_sec;
+  return lost_round_s + constants_.rejoin_window_s + mesh_s;
+}
+
 }  // namespace gcs::sim

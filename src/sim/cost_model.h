@@ -75,6 +75,10 @@ struct CostConstants {
   double qr_step_launch_s = 1.2e-5;
   /// GPU shared-memory budget bounding partial rotation (2^l' floats).
   std::size_t shared_memory_bytes = 32 * 1024;
+  /// Elastic recovery: how long survivors keep the re-rendezvous doors
+  /// open before a shrunken epoch forms (mirrors
+  /// net::SocketFabricConfig::rejoin_window_ms).
+  double rejoin_window_s = 2.0;
 };
 
 /// Per-round time breakdown (seconds).
@@ -163,6 +167,18 @@ class CostModel {
   /// precedence over chunked charging.
   RoundTime round_for_spec(const WorkloadSpec& w, const std::string& spec,
                            std::size_t chunk_bytes = 0) const;
+
+  /// Charges one elastic membership recovery (DESIGN.md "Fault
+  /// tolerance"): a peer dies mid-round, so the interrupted attempt's
+  /// work is lost (one full round under this spec), survivors wait out
+  /// the rejoin window, and the shrunken `new_world`-rank mesh re-forms —
+  /// one handshake round trip per connection, serialized at the
+  /// coordinator's accept loop in the worst case. TTA curves shift right
+  /// by this stall at the failure round (sim/tta.h
+  /// with_recovery_stall), which is how a recovery shows up as end-to-end
+  /// utility lost rather than as a free event.
+  double rerendezvous_stall_s(const WorkloadSpec& w, const std::string& spec,
+                              int new_world) const;
 
   /// Charges the layer-bucketed, backward-overlapped schedule for a spec:
   /// DDP-style buckets of `bucket_bytes` (0 = the planner's 25 MB

@@ -75,4 +75,18 @@ std::string curves_to_csv(const std::vector<DdpResult>& runs) {
   return os.str();
 }
 
+DdpResult with_recovery_stall(DdpResult run, int failure_round,
+                              double stall_s) {
+  GCS_CHECK(stall_s >= 0.0);
+  for (auto& point : run.curve) {
+    if (point.round >= failure_round) point.time_s += stall_s;
+  }
+  run.simulated_seconds += stall_s;
+  if (run.simulated_seconds > 0.0) {
+    run.rounds_per_second =
+        static_cast<double>(run.rounds_run) / run.simulated_seconds;
+  }
+  return run;
+}
+
 }  // namespace gcs::sim

@@ -39,4 +39,14 @@ std::string tabulate_curves(const std::vector<DdpResult>& runs,
 /// CSV with columns scheme,round,time_s,metric,raw_metric for plotting.
 std::string curves_to_csv(const std::vector<DdpResult>& runs);
 
+/// The TTA view of an elastic recovery (DESIGN.md "Fault tolerance"): a
+/// peer died at `failure_round` and the run resumed after `stall_s`
+/// seconds of re-rendezvous (CostModel::rerendezvous_stall_s), so every
+/// curve point from that round on shifts right by the stall. Metric
+/// values are untouched — recovery preserves EF state, so the *rounds*
+/// axis is unchanged; only wall-clock is lost. This is what lets TTA
+/// curves show the recovery cost of a failure mid-training.
+DdpResult with_recovery_stall(DdpResult run, int failure_round,
+                              double stall_s);
+
 }  // namespace gcs::sim

@@ -1,0 +1,42 @@
+// Shared helpers for socket-touching test suites.
+//
+// Hardcoded TCP port constants make socket suites collide under
+// `ctest -j` (two test processes picking the same port race on bind);
+// ephemeral_tcp_port() asks the kernel instead: bind port 0, read the
+// assignment back, release it. The tiny window between release and the
+// test's own bind is tolerated by SO_REUSEADDR (net/socket.cpp sets it on
+// every TCP listener) and by the kernel's preference for fresh ephemeral
+// ports over just-released ones.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace gcs::net {
+
+/// A TCP port that was free a moment ago, unique per call.
+inline int ephemeral_tcp_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("ephemeral_tcp_port: socket failed");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = 0;  // kernel picks
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ephemeral_tcp_port: bind failed");
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ephemeral_tcp_port: getsockname failed");
+  }
+  const int port = ntohs(sa.sin_port);
+  ::close(fd);
+  return port;
+}
+
+}  // namespace gcs::net

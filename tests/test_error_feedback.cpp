@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
+
+#include "common/check.h"
 
 namespace gcs::core {
 namespace {
@@ -88,6 +91,55 @@ TEST(ErrorFeedback, SizeMismatchThrows) {
   std::vector<float> y(2);
   EXPECT_THROW(ef.compensate(0, std::vector<float>{1.0f}, y),
                std::logic_error);
+}
+
+TEST(ErrorFeedback, RemapCarriesSurvivorRowsBitExact) {
+  // The elastic carry-over primitive: the shrunken bank's row i is the
+  // old bank's row survivors[i], byte for byte, and the dropped worker's
+  // residual is gone.
+  ErrorFeedback ef(4, 3, true);
+  std::vector<float> y(3);
+  const std::vector<float> zero(3, 0.0f);
+  for (int w = 0; w < 4; ++w) {
+    const std::vector<float> grad{0.5f * static_cast<float>(w + 1),
+                                  -1.25f * static_cast<float>(w),
+                                  3.75f};
+    ef.compensate(w, grad, y);
+    ef.absorb(w, y, zero);  // memory = y (nothing transmitted)
+  }
+  const std::vector<int> survivors{0, 1, 3};
+  const ErrorFeedback remapped = ef.remap(survivors);
+  EXPECT_TRUE(remapped.enabled());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const auto original = ef.memory(survivors[i]);
+    const auto carried = remapped.memory(static_cast<int>(i));
+    ASSERT_EQ(carried.size(), original.size());
+    EXPECT_EQ(std::memcmp(carried.data(), original.data(),
+                          carried.size() * sizeof(float)),
+              0)
+        << "worker " << survivors[i];
+  }
+}
+
+TEST(ErrorFeedback, RemapOfDisabledStaysDisabled) {
+  ErrorFeedback ef(3, 2, /*enabled=*/false);
+  const std::vector<int> survivors{0, 2};
+  const ErrorFeedback remapped = ef.remap(survivors);
+  EXPECT_FALSE(remapped.enabled());
+  const std::vector<float> grad{1.0f, 2.0f};
+  std::vector<float> y(2);
+  remapped.compensate(1, grad, y);
+  EXPECT_EQ(y, grad);
+}
+
+TEST(ErrorFeedback, RemapRejectsBadSurvivorSets) {
+  // Shares check_survivor_set with the codecs' remap_workers — same
+  // rules, same gcs::Error, one place to change them.
+  ErrorFeedback ef(3, 2, true);
+  EXPECT_THROW((void)ef.remap(std::vector<int>{}), Error);
+  EXPECT_THROW((void)ef.remap(std::vector<int>{3}), Error);
+  EXPECT_THROW((void)ef.remap(std::vector<int>{1, 0}), Error);
+  EXPECT_THROW((void)ef.remap(std::vector<int>{1, 1}), Error);
 }
 
 }  // namespace

@@ -104,6 +104,49 @@ TEST(Factory, FabricOptionSelectsBackend) {
       29500);
 }
 
+TEST(Factory, ElasticKnobsParseAndReject) {
+  const ModelLayout l({LayerSpec{"x", 100, 1}});
+  // The knobs parse with fabric=socket and land in the pipeline config.
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=socket:elastic=on", l, 4));
+  EXPECT_NO_THROW(make_compressor("fp16:fabric=socket:elastic=off", l, 4));
+  EXPECT_NO_THROW(
+      make_compressor("fp16:fabric=socket:peer_timeout_ms=500", l, 4));
+  EXPECT_TRUE(parse_pipeline_config("fp16:fabric=socket:elastic=on")
+                  .elastic);
+  EXPECT_FALSE(parse_pipeline_config("fp16:fabric=socket:elastic=off")
+                   .elastic);
+  EXPECT_FALSE(parse_pipeline_config("fp16:fabric=socket").elastic);
+  EXPECT_EQ(parse_pipeline_config(
+                "fp16:fabric=socket:elastic=on:peer_timeout_ms=1500")
+                .peer_timeout_ms,
+            1500);
+  // Malformed values must not silently run a different experiment.
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:elastic=yes", l, 4),
+               Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=socket:elastic=", l, 4), Error);
+  EXPECT_THROW(
+      make_compressor("fp16:fabric=socket:peer_timeout_ms=0", l, 4), Error);
+  EXPECT_THROW(
+      make_compressor("fp16:fabric=socket:peer_timeout_ms=-5", l, 4),
+      Error);
+  EXPECT_THROW(
+      make_compressor("fp16:fabric=socket:peer_timeout_ms=abc", l, 4),
+      Error);
+  EXPECT_THROW(
+      make_compressor("fp16:fabric=socket:peer_timeout_ms=1.5", l, 4),
+      Error);
+  // Socket-only knobs, like port=/iface=: elastic membership lives in
+  // the socket transport, the in-process fabrics have none to lose.
+  EXPECT_THROW(make_compressor("fp16:elastic=on", l, 4), Error);
+  EXPECT_THROW(make_compressor("fp16:fabric=threaded:elastic=on", l, 4),
+               Error);
+  EXPECT_THROW(make_compressor("fp16:peer_timeout_ms=500", l, 4), Error);
+  EXPECT_THROW(
+      make_compressor("fp16:fabric=threaded:peer_timeout_ms=500", l, 4),
+      Error);
+  EXPECT_THROW(make_compressor("fp16:elastic=off", l, 4), Error);
+}
+
 TEST(Factory, SchemeCodecEntryValidatesPipelineKnobs) {
   // make_scheme_codec ignores the shared knobs (the caller drives its
   // own pipeline) but must still reject malformed ones — same no-silent-

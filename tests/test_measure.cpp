@@ -338,6 +338,82 @@ TEST(Calibrator, RejectsUnderdeterminedFit) {
   EXPECT_THROW((void)calibrator.fit(), Error);  // 2 samples, 4 params
 }
 
+TEST(Calibrator, UnderdeterminedFitErrorIsClearAndCounted) {
+  // Fewer traced rounds than coefficients must exit with an error that
+  // names both counts — "widen the sweep" is actionable, a garbage fit
+  // is not. Every additional scheme kind raises the parameter count
+  // (3 + #kinds), so the boundary moves with the sweep's diversity.
+  Calibrator calibrator;
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSample s;
+    s.scheme_kind = i % 2 == 0 ? "fp16" : "topkc";  // 2 kinds -> 5 params
+    s.messages = 10.0 + i;
+    s.wire_bytes = 1000.0 * (i + 1);
+    s.coordinates = 100.0 * (i + 1);
+    s.measured_round_s = 1e-3 * (i + 1);
+    calibrator.add(s);
+  }
+  try {
+    (void)calibrator.fit();
+    FAIL() << "4 samples cannot fit 5 parameters";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 sample(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("5 parameters"), std::string::npos) << what;
+    EXPECT_NE(what.find("widen the sweep"), std::string::npos) << what;
+  }
+  // One more independent sample crosses the boundary and the fit runs.
+  ScenarioSample s;
+  s.scheme_kind = "fp16";
+  s.messages = 99.0;
+  s.wire_bytes = 123456.0;
+  s.coordinates = 77.0;
+  s.measured_round_s = 5e-3;
+  calibrator.add(s);
+  EXPECT_NO_THROW((void)calibrator.fit());
+}
+
+TEST(LinkProber, HandlesZeroByteAndOneByteProbes) {
+  // Degenerate payloads are legal probe configurations: a zero-byte bulk
+  // transfer measures pure per-message overhead (bandwidth reported as
+  // 0, which probed_network_model treats as "keep the default") and
+  // 1-byte payloads are the smallest timed transfer. Neither may crash,
+  // divide by zero, or hang — and the incast probe's penalty must fall
+  // back to a sane value when the flows carry nothing.
+  for (const std::size_t bytes : {std::size_t{0}, std::size_t{1}}) {
+    comm::Fabric fabric(3);
+    std::vector<LinkEstimate> links(3);
+    std::vector<IncastEstimate> incasts(3);
+    ProbeConfig config;
+    config.rtt_iters = 4;
+    config.bandwidth_iters = 2;
+    config.bandwidth_bytes = bytes;
+    config.incast_bytes = bytes;
+    config.warmup_iters = 1;
+    comm::run_workers(fabric, [&](comm::Communicator& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      links[rank] = probe_link(comm, 0, 1, config);
+      incasts[rank] = probe_incast(comm, 0, config);
+    });
+    EXPECT_GT(links[0].rtt_s, 0.0) << bytes;
+    if (bytes == 0) {
+      EXPECT_EQ(links[0].bandwidth_bytes_per_sec, 0.0);
+      // Zero-bandwidth estimates must not poison the packaged model.
+      const auto model = probed_network_model(links[0], incasts[0]);
+      EXPECT_GT(model.link().bandwidth_bytes_per_sec, 0.0);
+    } else {
+      EXPECT_GT(links[0].bandwidth_bytes_per_sec, 0.0);
+    }
+    EXPECT_GT(incasts[0].penalty, 0.0) << bytes;
+    EXPECT_EQ(incasts[0].bytes_per_sender, bytes);
+    for (int r = 1; r < 3; ++r) {
+      EXPECT_DOUBLE_EQ(links[static_cast<std::size_t>(r)].rtt_s,
+                       links[0].rtt_s)
+          << bytes;
+    }
+  }
+}
+
 TEST(Calibrator, RecoversPlantedCoefficients) {
   // Synthetic ground truth: samples generated from known (fixed, alpha,
   // beta, gamma) must be recovered to float-ish precision — the normal

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include "comm/chunked_collectives.h"
@@ -18,6 +19,8 @@
 #include "common/check.h"
 #include "net/framing.h"
 #include "net/launcher.h"
+#include "net/rendezvous.h"
+#include "net_test_util.h"
 
 namespace gcs::net {
 namespace {
@@ -65,37 +68,39 @@ TEST(Framing, RoundTripsTagsAndPayloads) {
   Socket a(fds[0]), b(fds[1]);
 
   const ByteBuffer payload = bytes_of({1, 2, 3, 4, 5});
-  write_frame(a, 7, 42, payload);
-  write_frame(a, 7, 43, {});  // zero-length payloads are legal frames
+  write_frame(a, 7, 0, 42, payload);
+  write_frame(a, 7, 0, 43, {});  // zero-length payloads are legal frames
 
-  std::uint32_t src = 0;
-  std::uint64_t tag = 0;
+  FrameHeader header;
   ByteBuffer received;
-  ASSERT_TRUE(read_frame(b, src, tag, received));
-  EXPECT_EQ(src, 7u);
-  EXPECT_EQ(tag, 42u);
+  ASSERT_TRUE(read_frame(b, header, received));
+  EXPECT_EQ(header.src_rank, 7u);
+  EXPECT_EQ(header.epoch, 0u);
+  EXPECT_EQ(header.tag, 42u);
   EXPECT_EQ(received, payload);
-  ASSERT_TRUE(read_frame(b, src, tag, received));
-  EXPECT_EQ(tag, 43u);
+  ASSERT_TRUE(read_frame(b, header, received));
+  EXPECT_EQ(header.tag, 43u);
   EXPECT_TRUE(received.empty());
 
   a.close();  // clean EOF at a frame boundary
-  EXPECT_FALSE(read_frame(b, src, tag, received));
+  EXPECT_FALSE(read_frame(b, header, received));
 }
 
 TEST(Framing, ScatterGatherWritePutsExactBytesOnTheWire) {
   // write_frame sends header+payload via one sendmsg; the stream must be
   // byte-for-byte the documented GCSF layout (little-endian magic,
-  // src_rank, tag, length, then the raw payload) — the framing contract
-  // peers parse against, independent of how many syscalls produced it.
+  // src_rank, epoch, tag, length, then the raw payload) — the framing
+  // contract peers parse against, independent of how many syscalls
+  // produced it.
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   Socket a(fds[0]), b(fds[1]);
 
   const ByteBuffer payload = bytes_of({0xde, 0xad, 0xbe, 0xef, 0x42});
   const std::uint32_t src_rank = 0x01020304u;
+  const std::uint64_t epoch = 0x0a0b0c0d0e0f1011ull;
   const std::uint64_t tag = 0x1122334455667788ull;
-  write_frame(a, src_rank, tag, payload);
+  write_frame(a, src_rank, epoch, tag, payload);
 
   ByteBuffer wire(kFrameHeaderBytes + payload.size());
   ASSERT_TRUE(b.read_exact(wire.data(), wire.size()));
@@ -104,6 +109,7 @@ TEST(Framing, ScatterGatherWritePutsExactBytesOnTheWire) {
   ByteWriter w(expected);
   w.put<std::uint32_t>(kFrameMagic);
   w.put<std::uint32_t>(src_rank);
+  w.put<std::uint64_t>(epoch);
   w.put<std::uint64_t>(tag);
   w.put<std::uint64_t>(payload.size());
   w.put_bytes(payload);
@@ -113,12 +119,12 @@ TEST(Framing, ScatterGatherWritePutsExactBytesOnTheWire) {
   // identical stream.
   a.write_all(expected.data(), kFrameHeaderBytes);
   a.write_all(expected.data() + kFrameHeaderBytes, payload.size());
-  std::uint32_t got_src = 0;
-  std::uint64_t got_tag = 0;
+  FrameHeader got;
   ByteBuffer got_payload;
-  ASSERT_TRUE(read_frame(b, got_src, got_tag, got_payload));
-  EXPECT_EQ(got_src, src_rank);
-  EXPECT_EQ(got_tag, tag);
+  ASSERT_TRUE(read_frame(b, got, got_payload));
+  EXPECT_EQ(got.src_rank, src_rank);
+  EXPECT_EQ(got.epoch, epoch);
+  EXPECT_EQ(got.tag, tag);
   EXPECT_EQ(got_payload, payload);
 }
 
@@ -133,14 +139,14 @@ TEST(Framing, ScatterGatherHandlesLargePayloads) {
   for (std::size_t i = 0; i < payload.size(); ++i) {
     payload[i] = static_cast<std::byte>(i * 2654435761u >> 13);
   }
-  std::thread writer([&] { write_frame(a, 3, 99, payload); });
-  std::uint32_t src = 0;
-  std::uint64_t tag = 0;
+  std::thread writer([&] { write_frame(a, 3, 1, 99, payload); });
+  FrameHeader header;
   ByteBuffer received;
-  ASSERT_TRUE(read_frame(b, src, tag, received));
+  ASSERT_TRUE(read_frame(b, header, received));
   writer.join();
-  EXPECT_EQ(src, 3u);
-  EXPECT_EQ(tag, 99u);
+  EXPECT_EQ(header.src_rank, 3u);
+  EXPECT_EQ(header.epoch, 1u);
+  EXPECT_EQ(header.tag, 99u);
   EXPECT_EQ(received, payload);
 }
 
@@ -148,12 +154,84 @@ TEST(Framing, BadMagicThrows) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   Socket a(fds[0]), b(fds[1]);
-  const char garbage[kFrameHeaderBytes] = "not a frame header";
+  const char garbage[kFrameHeaderBytes] = "not a frame header, padding..";
   a.write_all(garbage, sizeof(garbage));
-  std::uint32_t src = 0;
-  std::uint64_t tag = 0;
+  FrameHeader header;
   ByteBuffer payload;
-  EXPECT_THROW(read_frame(b, src, tag, payload), Error);
+  EXPECT_THROW(read_frame(b, header, payload), Error);
+}
+
+TEST(Framing, PropertyRandomizedPartialWritesRoundTripBitIdentically) {
+  // Property test: a randomized sequence of frames — interleaved tags,
+  // epochs, payload sizes from empty to multi-segment — written through
+  // an adversarial byte-dribbler (random split points force every
+  // possible short read inside headers and payloads) must round-trip
+  // bit-identically and in order. 32 seeded trials.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull);
+    const int frames = 1 + static_cast<int>(rng() % 12);
+    struct Sent {
+      std::uint32_t src;
+      std::uint64_t epoch;
+      std::uint64_t tag;
+      ByteBuffer payload;
+    };
+    std::vector<Sent> sent;
+    ByteBuffer stream;
+    {
+      // Serialize through a real socketpair to reuse write_frame
+      // verbatim, collecting the exact byte stream it produces.
+      int fds[2];
+      ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+      Socket w(fds[0]), r(fds[1]);
+      std::size_t total = 0;
+      for (int f = 0; f < frames; ++f) {
+        Sent s;
+        s.src = static_cast<std::uint32_t>(rng() % 16);
+        s.epoch = rng() % 4;
+        s.tag = rng();  // interleaved, arbitrary tags
+        s.payload.resize(static_cast<std::size_t>(rng() % 4096));
+        for (auto& byte : s.payload) {
+          byte = static_cast<std::byte>(rng() & 0xff);
+        }
+        write_frame(w, s.src, s.epoch, s.tag, s.payload);
+        total += kFrameHeaderBytes + s.payload.size();
+        sent.push_back(std::move(s));
+      }
+      stream.resize(total);
+      ASSERT_TRUE(r.read_exact(stream.data(), stream.size()));
+    }
+
+    // Replay the identical bytes in random dribbles from another thread;
+    // the reader must reassemble every frame exactly.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    Socket w(fds[0]), r(fds[1]);
+    std::thread dribbler([&, seed] {
+      std::mt19937_64 chop(seed ^ 0xdeadbeefull);
+      std::size_t at = 0;
+      while (at < stream.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + chop() % 97, stream.size() - at);
+        w.write_all(stream.data() + at, n);
+        at += n;
+      }
+      w.close();  // clean EOF at the final frame boundary
+    });
+    for (const auto& s : sent) {
+      FrameHeader header;
+      ByteBuffer payload;
+      ASSERT_TRUE(read_frame(r, header, payload)) << "seed " << seed;
+      EXPECT_EQ(header.src_rank, s.src) << "seed " << seed;
+      EXPECT_EQ(header.epoch, s.epoch) << "seed " << seed;
+      EXPECT_EQ(header.tag, s.tag) << "seed " << seed;
+      EXPECT_EQ(payload, s.payload) << "seed " << seed;
+    }
+    FrameHeader header;
+    ByteBuffer payload;
+    EXPECT_FALSE(read_frame(r, header, payload)) << "seed " << seed;
+    dribbler.join();
+  }
 }
 
 TEST(Address, ParsesAndRejects) {
@@ -360,10 +438,11 @@ TEST(SocketFabric, TcpMeshWithWildcardListenerRewrite) {
   // TCP ranks bind the wildcard and advertise it; rank 0 must rewrite
   // the peer-map hosts to where each HELLO actually came from (here
   // 127.0.0.1) or the r<->s mesh connections cannot form. A 3-rank mesh
-  // forces at least one non-rank-0 connection (1<->2).
-  const int port = 20000 + static_cast<int>(::getpid() % 20000);
+  // forces at least one non-rank-0 connection (1<->2). The port comes
+  // from the kernel, not a constant, so socket suites can run under
+  // `ctest -j` without colliding.
   const std::string rendezvous =
-      "tcp:127.0.0.1:" + std::to_string(port);
+      "tcp:127.0.0.1:" + std::to_string(ephemeral_tcp_port());
   const int n = 3;
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
@@ -397,6 +476,92 @@ TEST(SocketFabric, TcpMeshWithWildcardListenerRewrite) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// A hand-driven peer speaking the raw rendezvous + framing protocol —
+/// the only way to put deliberately mis-stamped frames on a real fabric
+/// connection (the genuine SocketFabric always stamps its current epoch).
+struct FakeRank {
+  Socket link;
+
+  /// Joins `rendezvous` as original rank 1 of a 2-rank world at `epoch`,
+  /// leaving `link` as the 0<->1 data connection.
+  void join(const std::string& rendezvous, std::uint64_t epoch) {
+    const Address rz = Address::parse(rendezvous);
+    link = connect_to(rz, 10000);
+    ByteBuffer hello;
+    ByteWriter w(hello);
+    const std::string advertised = rendezvous + ".fake-listener";
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(advertised.size()));
+    w.put_bytes(std::as_bytes(
+        std::span(advertised.data(), advertised.size())));
+    w.put<std::uint64_t>(0);  // resume round
+    write_frame(link, 1, epoch, kHelloTag, hello);
+    FrameHeader header;
+    ByteBuffer map;
+    GCS_CHECK(read_frame(link, header, map));
+    GCS_CHECK(header.tag == kPeerMapTag);
+    GCS_CHECK(header.epoch == epoch);
+  }
+};
+
+TEST(SocketFabric, StaleEpochFrameIsRejectedNotMisdelivered) {
+  // The epoch contract end to end: a straggler frame stamped with an
+  // older epoch must be dropped by the reader — never parked where a
+  // same-tag recv of the current epoch would consume stale data. The
+  // fake rank joins epoch 0, dies, re-joins the rebuild as epoch 1, and
+  // then sends two frames under one tag: a stale epoch-0 one first, the
+  // genuine epoch-1 one second. recv must deliver the second.
+  const std::string rendezvous = unique_unix_rendezvous();
+  std::exception_ptr rank0_error;
+  std::thread rank0([&] {
+    try {
+      SocketFabricConfig config;
+      config.rendezvous = rendezvous;
+      config.world_size = 2;
+      config.rank = 0;
+      config.elastic = true;
+      config.rejoin_window_ms = 10000;
+      config.recv_timeout_ms = 20000;  // bound the worst case, not 60 s
+      SocketFabric fabric(config);
+      comm::Communicator comm(fabric, 0);
+      EXPECT_EQ(comm.recv(1, 4).payload, bytes_of({7}));
+      // The fake rank closes its link: the next recv is a peer failure,
+      // and the elastic answer is a rebuild into epoch 1.
+      EXPECT_THROW((void)comm.recv(1, 5), comm::PeerFailure);
+      const comm::Membership world = fabric.rebuild(0);
+      EXPECT_EQ(world.epoch, 1u);
+      ASSERT_EQ(world.world_size(), 2);
+      // Tag 5 again, now in epoch 1: the stale epoch-0 frame arrives
+      // first but must not be the one delivered.
+      EXPECT_EQ(comm.recv(1, 5).payload, bytes_of({42}));
+      EXPECT_GE(fabric.stale_frames_rejected(), 1u);
+    } catch (...) {
+      rank0_error = std::current_exception();
+    }
+  });
+
+  // Anything the fake-rank side throws must still join the rank-0
+  // thread first (a joinable std::thread dying in unwind is terminate),
+  // and rank 0's own error is the more useful one to surface.
+  std::exception_ptr fake_error;
+  try {
+    FakeRank fake;
+    fake.join(rendezvous, 0);
+    write_frame(fake.link, 1, 0, 4, bytes_of({7}));
+    fake.link.close();  // "dies"
+
+    // Rejoin the rebuild (rank 0 re-listens on the same address for
+    // epoch 1; connect_to retries until the listener exists).
+    fake.join(rendezvous, 1);
+    write_frame(fake.link, 1, /*epoch=*/0, 5, bytes_of({9}));   // stale
+    write_frame(fake.link, 1, /*epoch=*/1, 5, bytes_of({42}));  // genuine
+  } catch (...) {
+    fake_error = std::current_exception();
+  }
+  rank0.join();
+  if (rank0_error) std::rethrow_exception(rank0_error);
+  if (fake_error) std::rethrow_exception(fake_error);
 }
 
 TEST(ForkedWorkers, CollectsReportsAndPropagatesFailures) {

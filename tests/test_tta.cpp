@@ -85,5 +85,31 @@ TEST(Csv, OneRowPerPoint) {
             std::string::npos);
 }
 
+TEST(RecoveryStall, ShiftsCurveFromFailureRoundOn) {
+  // A failure at round 2 with a 10 s recovery: rounds before the failure
+  // keep their times, rounds from the failure on shift right, metrics
+  // stay put (EF-preserving recovery keeps the rounds axis intact) —
+  // which is exactly how the stall degrades time-to-accuracy.
+  const DdpResult run = make_run("topkc", {10.0, 20.0, 30.0, 40.0},
+                                 {0.1, 0.2, 0.3, 0.4});
+  const DdpResult stalled = with_recovery_stall(run, 2, 10.0);
+  ASSERT_EQ(stalled.curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(stalled.curve[0].time_s, 10.0);  // round 1: untouched
+  EXPECT_DOUBLE_EQ(stalled.curve[1].time_s, 30.0);  // round 2: +10
+  EXPECT_DOUBLE_EQ(stalled.curve[2].time_s, 40.0);
+  EXPECT_DOUBLE_EQ(stalled.curve[3].time_s, 50.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(stalled.curve[i].metric, run.curve[i].metric);
+  }
+  EXPECT_DOUBLE_EQ(stalled.simulated_seconds, 50.0);
+
+  // TTA at a target past the failure moves by exactly the stall.
+  const auto before = time_to_target(run, 0.3, train::MetricDirection::kHigherIsBetter);
+  const auto after =
+      time_to_target(stalled, 0.3, train::MetricDirection::kHigherIsBetter);
+  ASSERT_TRUE(before && after);
+  EXPECT_DOUBLE_EQ(*after - *before, 10.0);
+}
+
 }  // namespace
 }  // namespace gcs::sim

@@ -204,5 +204,31 @@ TEST(CostModel, CompressionSchemesBeatFp32Baseline) {
   }
 }
 
+TEST(CostModel, RerendezvousStallChargesLostRoundPlusWindowPlusMesh) {
+  // The elastic recovery stall (DESIGN.md "Fault tolerance"): losing the
+  // interrupted round's work dominates for heavy schemes, the rejoin
+  // window is a fixed floor, and the mesh term grows with the survivor
+  // count. TTA curves consume this via with_recovery_stall.
+  const auto w = make_bert_large_workload();
+  const CostModel cost;  // paper testbed, n = 4
+  const double round = cost.round_for_spec(w, "topkc:b=8").total();
+  const double window = cost.constants().rejoin_window_s;
+
+  const double stall3 = cost.rerendezvous_stall_s(w, "topkc:b=8", 3);
+  EXPECT_GT(stall3, round + window);  // lost round + window + mesh > both
+  // The mesh term is per-link: more survivors, more connections.
+  const double stall2 = cost.rerendezvous_stall_s(w, "topkc:b=8", 2);
+  EXPECT_GT(stall3, stall2);
+  // Mesh formation at loopback-scale latency is tiny next to the window.
+  EXPECT_LT(stall3 - stall2, window);
+  // Shrinking beyond the old world is nonsense and must be loud.
+  EXPECT_THROW((void)cost.rerendezvous_stall_s(w, "topkc:b=8", 5),
+               std::logic_error);
+  // A heavier per-round spec pays a bigger lost-round term.
+  const double fp32_stall = cost.rerendezvous_stall_s(w, "fp32", 3);
+  const double fp32_round = cost.round_for_spec(w, "fp32").total();
+  EXPECT_NEAR(fp32_stall - stall3, fp32_round - round, 1e-9);
+}
+
 }  // namespace
 }  // namespace gcs::sim
