@@ -1,0 +1,249 @@
+// Codec encode-side throughput per scheme per payload size.
+//
+// The paper's thesis is that utility is decided by end-to-end system cost,
+// and encode CPU time is the dominant self-inflicted cost in this stack:
+// the backward-overlap scheduler can only hide communication behind
+// compute if encoding a bucket is fast enough to keep the wire busy. This
+// bench times the encode side of every scheme — begin_round (rotation, EF
+// compensation, TopK selection), every stage's per-worker encodes, and the
+// intermediate consensus absorbs that gate later stages — and reports MB/s
+// of gradient bytes processed. The final absorb/decode is excluded: it is
+// the decode side, measured elsewhere.
+//
+// BENCH_codec_throughput.json is bench_compare-gated against
+// bench/baselines/ (--higher=encode_MBps): the committed baseline is the
+// pre-kernel scalar code, so the gate enforces that the SIMD kernel layer
+// never silently falls back below the scalar floor. Wall-clock MB/s varies
+// across machines, hence the generous CI tolerance; the point of the gate
+// is catching order-of-magnitude losses (a broken dispatch, a dropped
+// fusion), not 10% jitter.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/chunked_collectives.h"
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/powersgd_compressor.h"
+#include "core/thc_compressor.h"
+#include "core/topk_compressor.h"
+#include "core/topkc_compressor.h"
+#include "kernels/kernels.h"
+#include "tensor/layout.h"
+
+namespace {
+
+using namespace gcs;
+using namespace gcs::bench;
+
+constexpr int kWorld = 2;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SchemeCase {
+  std::string label;
+  core::SchemeCodecPtr codec;
+};
+
+std::vector<SchemeCase> make_schemes(std::size_t d) {
+  std::vector<SchemeCase> out;
+  {
+    core::BaselineConfig config;
+    config.dimension = d;
+    config.world_size = kWorld;
+    config.comm_precision = Precision::kFp16;
+    out.push_back({"dense_fp16", core::make_baseline_codec(config)});
+  }
+  {
+    core::ThcConfig config;
+    config.dimension = d;
+    config.world_size = kWorld;  // defaults: b=q=4, Sat, partial rotation
+    out.push_back({"thc", core::make_thc_codec(config)});
+  }
+  {
+    core::TopKConfig config;
+    config.dimension = d;
+    config.world_size = kWorld;
+    config.k = core::TopKConfig::k_for_bits(d, 1.0, false);
+    out.push_back({"topk", core::make_topk_codec(config)});
+  }
+  {
+    core::TopKCConfig config;
+    config.dimension = d;
+    config.world_size = kWorld;
+    config.chunk_size = 64;
+    config.num_top_chunks = core::TopKCConfig::j_for_bits(d, 64, 2.0);
+    out.push_back({"topkc", core::make_topkc_codec(config)});
+  }
+  {
+    core::PowerSgdConfig config;
+    config.layout = make_transformer_like_layout(d);
+    config.world_size = kWorld;
+    config.rank = 4;
+    out.push_back({"powersgd", core::make_powersgd_codec(config)});
+  }
+  return out;
+}
+
+/// One encode-side pass: begin_round, all workers' encodes per stage, and
+/// the consensus absorbs that gate later stages. Stops before the last
+/// stage's absorb (sessions are abandonable by the codec contract).
+/// Returns the total wire bytes the pass produced.
+std::size_t encode_side_pass(core::SchemeCodec& codec,
+                             std::span<const std::span<const float>> views,
+                             std::uint64_t round, int n_stages) {
+  auto session = codec.begin_round(views, round);
+  core::WireStage stage;
+  std::vector<ByteBuffer> payloads(kWorld);
+  std::size_t wire_bytes = 0;
+  for (int s = 0; s < n_stages; ++s) {
+    GCS_CHECK(session->next_stage(stage));
+    for (int w = 0; w < kWorld; ++w) {
+      payloads[static_cast<std::size_t>(w)] = session->encode(w);
+      wire_bytes += payloads[static_cast<std::size_t>(w)].size();
+    }
+    if (s + 1 == n_stages) break;  // the rest is the decode side
+    const std::size_t granularity =
+        stage.op != nullptr ? stage.op->granularity() : 1;
+    const auto chunks =
+        comm::chunk_payload(payloads[0].size(), 0, granularity);
+    if (stage.route == core::AggregationPath::kAllGather) {
+      session->absorb_gathered(payloads);
+    } else {
+      session->absorb_reduced(
+          comm::local_chunked_ring_all_reduce(payloads, chunks, *stage.op));
+    }
+  }
+  return wire_bytes;
+}
+
+int count_stages(core::SchemeCodec& codec,
+                 std::span<const std::span<const float>> views) {
+  auto session = codec.begin_round(views, 0);
+  core::WireStage stage;
+  int n_stages = 0;
+  std::vector<ByteBuffer> payloads(kWorld);
+  while (session->next_stage(stage)) {
+    ++n_stages;
+    for (int w = 0; w < kWorld; ++w) {
+      payloads[static_cast<std::size_t>(w)] = session->encode(w);
+    }
+    const std::size_t granularity =
+        stage.op != nullptr ? stage.op->granularity() : 1;
+    const auto chunks =
+        comm::chunk_payload(payloads[0].size(), 0, granularity);
+    if (stage.route == core::AggregationPath::kAllGather) {
+      session->absorb_gathered(payloads);
+    } else {
+      session->absorb_reduced(
+          comm::local_chunked_ring_all_reduce(payloads, chunks, *stage.op));
+    }
+  }
+  return n_stages;
+}
+
+/// Times encode-side passes until `min_seconds` of work or `max_iters`
+/// passes accumulate; returns MB/s of gradient input (n * d * 4 bytes per
+/// pass).
+double measure_mbps(core::SchemeCodec& codec,
+                    std::span<const std::span<const float>> views,
+                    std::size_t d, int n_stages, double min_seconds,
+                    int max_iters, std::uint64_t& round) {
+  double elapsed = 0.0;
+  int iters = 0;
+  while (iters < 2 || (elapsed < min_seconds && iters < max_iters)) {
+    const double t0 = now_seconds();
+    encode_side_pass(codec, views, round++, n_stages);
+    elapsed += now_seconds() - t0;
+    ++iters;
+  }
+  const double bytes_per_pass =
+      static_cast<double>(kWorld) * static_cast<double>(d) * 4.0;
+  return bytes_per_pass * iters / elapsed / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  print_header("codec throughput",
+               "Encode-side MB/s per scheme per payload size (gradient "
+               "bytes in; active kernel backend vs forced scalar)");
+  const double min_seconds = flags.get_double("min-seconds", 0.4);
+  const int max_iters = static_cast<int>(flags.get_double("max-iters", 12));
+
+  const struct {
+    const char* label;
+    std::size_t d;
+  } payloads[] = {
+      {"64KB", 16384}, {"1MB", 262144}, {"25MB", 6553600}};
+
+  std::cout << "kernel backend: " << kernels::backend_name() << "\n\n";
+  AsciiTable table(
+      {"scheme", "payload", "MB/s", "MB/s scalar", "speedup", "wire bytes"});
+  for (const auto& payload : payloads) {
+    const std::size_t d = payload.d;
+    // Deterministic pseudo-gradients, shared across schemes and backends.
+    std::vector<std::vector<float>> grads(
+        kWorld, std::vector<float>(d));
+    Rng rng(0xC0DEC << 4 | 1);
+    for (auto& g : grads) {
+      for (float& v : g) v = rng.next_float() * 2.0f - 1.0f;
+    }
+    std::vector<std::span<const float>> views(grads.begin(), grads.end());
+    const std::span<const std::span<const float>> view_span(views);
+
+    for (auto& scheme : make_schemes(d)) {
+      // PowerSGD's layout rounds the dimension to the layout total.
+      const std::size_t dim = scheme.codec->dimension();
+      std::vector<std::vector<float>> local_grads;
+      std::span<const std::span<const float>> local_views = view_span;
+      std::vector<std::span<const float>> patched;
+      if (dim != d) {
+        local_grads.assign(kWorld, std::vector<float>(dim));
+        for (int w = 0; w < kWorld; ++w) {
+          auto& g = local_grads[static_cast<std::size_t>(w)];
+          for (std::size_t i = 0; i < dim; ++i) {
+            g[i] = grads[static_cast<std::size_t>(w)][i % d];
+          }
+          patched.emplace_back(g.data(), g.size());
+        }
+        local_views = std::span<const std::span<const float>>(patched);
+      }
+      const int n_stages = count_stages(*scheme.codec, local_views);
+      const std::size_t wire_bytes =
+          encode_side_pass(*scheme.codec, local_views, 1, n_stages);
+      std::uint64_t round = 2;
+      kernels::force_backend_for_testing("scalar");
+      const double scalar_mbps =
+          measure_mbps(*scheme.codec, local_views, dim, n_stages,
+                       min_seconds, max_iters, round);
+      kernels::force_backend_for_testing(nullptr);
+      const double mbps =
+          measure_mbps(*scheme.codec, local_views, dim, n_stages,
+                       min_seconds, max_iters, round);
+      const double speedup = scalar_mbps > 0.0 ? mbps / scalar_mbps : 0.0;
+      const std::string row = scheme.label + "/" + payload.label;
+      table.add_row({scheme.label, payload.label, format_sig(mbps, 4),
+                     format_sig(scalar_mbps, 4), format_sig(speedup, 3),
+                     std::to_string(wire_bytes)});
+      auto& json = bench_json();
+      json.set(row, "payload", std::string(payload.label));
+      json.set(row, "encode_MBps", mbps);
+      json.set(row, "encode_MBps_scalar", scalar_mbps);
+      json.set(row, "backend_speedup", speedup);
+      json.set(row, "wire_bytes", static_cast<double>(wire_bytes));
+      std::cout << "  " << row << ": " << format_sig(mbps, 4) << " MB/s ("
+                << format_sig(scalar_mbps, 4) << " scalar, "
+                << format_sig(speedup, 3) << "x)\n";
+    }
+  }
+  std::cout << '\n' << table.to_string() << '\n';
+  bench_json().write();
+  return 0;
+}

@@ -4,12 +4,18 @@
 // from the calibrated testbed model; these benches validate the relative
 // ordering the model assumes: selection > chunk-norms, full RHT > partial
 // RHT, orthogonalization superlinear in r, etc.).
+// The BM_Kernel* group benches the src/kernels backends head to head
+// (scalar vs AVX2, selected per benchmark instance, no global dispatch
+// involved); bytes_per_second is the per-kernel MB/s a backend sustains on
+// the fp32 input side.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "hadamard/hadamard.h"
+#include "kernels/kernels.h"
 #include "lowrank/orthogonalize.h"
 #include "numeric/half.h"
 #include "quant/packing.h"
@@ -167,6 +173,155 @@ void BM_SparseEncodeDecode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
 }
 BENCHMARK(BM_SparseEncodeDecode)->Args({1 << 20, 1 << 14});
+
+// ---- src/kernels backend benches (per-kernel MB/s, scalar vs AVX2) ----
+
+/// Picks the backend for a BM_Kernel* instance from benchmark arg 0
+/// (0 = scalar, 1 = avx2); returns null when the host lacks AVX2.
+const kernels::Backend* backend_arg(benchmark::State& state) {
+  if (state.range(0) == 0) return &kernels::scalar();
+  if (!kernels::avx2_supported()) {
+    state.SkipWithError("AVX2 not supported on this host");
+    return nullptr;
+  }
+  return &kernels::avx2();
+}
+
+void set_fp32_bytes(benchmark::State& state, std::size_t n) {
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+
+void BM_KernelFp32ToFp16(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const auto x = random_vec(n, 21);
+  std::vector<std::uint16_t> out(n);
+  for (auto _ : state) {
+    backend->fp32_to_fp16(x.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelFp32ToFp16)->Arg(0)->Arg(1);
+
+void BM_KernelFp16ToFp32(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const auto x = random_vec(n, 22);
+  std::vector<std::uint16_t> half(n);
+  kernels::scalar().fp32_to_fp16(x.data(), n, half.data());
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    backend->fp16_to_fp32(half.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelFp16ToFp32)->Arg(0)->Arg(1);
+
+void BM_KernelGatherFp16(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20, k = 1 << 16;
+  const auto x = random_vec(n, 23);
+  const auto idx = top_k_indices(x, k);
+  std::vector<std::uint16_t> out(k);
+  for (auto _ : state) {
+    backend->gather_fp32_to_fp16(x.data(), idx.data(), k, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, k);
+}
+BENCHMARK(BM_KernelGatherFp16)->Arg(0)->Arg(1);
+
+void BM_KernelFwhtLevel(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  auto x = random_vec(n, 24);
+  const auto h = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    backend->fwht_level(x.data(), n, h);
+    benchmark::DoNotOptimize(x.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelFwhtLevel)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 256})
+    ->Args({1, 256});
+
+void BM_KernelAdd(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const auto a = random_vec(n, 28);
+  const auto b = random_vec(n, 29);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    backend->add(a.data(), b.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelAdd)->Arg(0)->Arg(1);
+
+void BM_KernelMinMax(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const auto x = random_vec(n, 30);
+  for (auto _ : state) {
+    float lo, hi;
+    backend->min_max(x.data(), n, &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+    benchmark::DoNotOptimize(hi);
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelMinMax)->Arg(0)->Arg(1);
+
+void BM_KernelThcEncodeLanes(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const unsigned q = 4, b = 4;
+  const auto x = random_vec(n, 25);
+  std::vector<float> u(n);
+  Rng rng(26);
+  for (auto& v : u) v = rng.next_float();
+  const auto range = compute_range(x);
+  std::vector<std::uint8_t> out(n * b / 8);
+  for (auto _ : state) {
+    backend->thc_encode_lanes(x.data(), u.data(), n, range.lo, range.hi, q,
+                              b, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelThcEncodeLanes)->Arg(0)->Arg(1);
+
+void BM_KernelThcDecodeLanes(benchmark::State& state) {
+  const auto* backend = backend_arg(state);
+  if (backend == nullptr) return;
+  const std::size_t n = 1 << 20;
+  const unsigned q = 4, b = 4;
+  std::vector<std::uint8_t> wire(n * b / 8);
+  Rng rng(27);
+  for (auto& v : wire) v = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    backend->thc_decode_lanes(wire.data(), n, -1.0f, 1.0f, q, b, 8,
+                              out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_fp32_bytes(state, n);
+}
+BENCHMARK(BM_KernelThcDecodeLanes)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -36,13 +37,31 @@ class Rng {
 
   result_type operator()() noexcept { return next_u64(); }
 
-  std::uint64_t next_u64() noexcept;
+  // next_u64 is inlined (and next_sign branchless): the RHT sign diagonal
+  // and the stochastic-rounding uniforms draw tens of millions of values
+  // per round, and an out-of-line call per draw dominated the THC encode
+  // profile. Same xoshiro256++ steps, same values.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
   std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
 
   /// Uniform in [0, 1). 53-bit resolution.
-  double next_double() noexcept;
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform in [0, 1). 24-bit resolution; used by stochastic rounding.
-  float next_float() noexcept;
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
 
   /// Uniform integer in [0, bound). bound must be > 0.
   std::uint64_t next_below(std::uint64_t bound) noexcept;
@@ -50,8 +69,15 @@ class Rng {
   /// Standard normal via Box–Muller (deterministic across platforms).
   double next_gaussian() noexcept;
 
-  /// +1.0f or -1.0f with equal probability (RHT sign diagonal).
-  float next_sign() noexcept { return (next_u64() >> 63) != 0 ? -1.0f : 1.0f; }
+  /// +1.0f or -1.0f with equal probability (RHT sign diagonal). Branchless:
+  /// the top bit of the draw becomes the float's sign bit directly (a
+  /// data-dependent branch here mispredicts half the time over millions of
+  /// signs per round).
+  float next_sign() noexcept {
+    const std::uint32_t sign_bit =
+        static_cast<std::uint32_t>(next_u64() >> 63) << 31;
+    return std::bit_cast<float>(0x3F800000u | sign_bit);
+  }
 
   /// In-place Fisher–Yates shuffle.
   template <typename T>

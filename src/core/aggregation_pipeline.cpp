@@ -1,8 +1,12 @@
 #include "core/aggregation_pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -10,6 +14,7 @@
 #include "comm/fabric.h"
 #include "comm/group.h"
 #include "common/check.h"
+#include "kernels/kernels.h"
 #include "measure/trace.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
@@ -183,6 +188,7 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
                                    std::span<const comm::ChunkRange> chunks,
                                    int ps_server, WireTraffic& wire,
                                    sched::EncodeWorkerPool& pool,
+                                   bool ranged,
                                    measure::TraceRecorder* trace) {
   const auto n = static_cast<int>(payloads.size());
   GCS_CHECK_MSG(stage.op != nullptr,
@@ -193,17 +199,61 @@ void run_stage_threaded_overlapped(const WireStage& stage, CodecRound& round,
   encoded.reserve(static_cast<std::size_t>(n));
   for (auto& p : ready) encoded.push_back(p.get_future().share());
   ready[0].set_value();  // payloads[0] is already encoded (it fixed the plan)
+  const bool use_ranges =
+      ranged && !chunks.empty() && round.supports_encode_range();
+  // Per-worker completion state for the ranged path (heap arrays: atomics
+  // are not movable, and the addresses must be stable for the tasks).
+  std::unique_ptr<std::atomic<std::size_t>[]> remaining;
+  std::unique_ptr<std::atomic<bool>[]> failed;
+  if (use_ranges) {
+    remaining = std::make_unique<std::atomic<std::size_t>[]>(
+        static_cast<std::size_t>(n));
+    failed =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(n));
+    for (int w = 1; w < n; ++w) {
+      remaining[static_cast<std::size_t>(w)].store(chunks.size());
+      failed[static_cast<std::size_t>(w)].store(false);
+    }
+  }
   for (int w = 1; w < n; ++w) {
-    pool.submit([&round, &payloads, &ready, w, trace] {
+    const auto ws = static_cast<std::size_t>(w);
+    if (use_ranges) {
+      // Bucket-sized slices: the fabric thread for rank w unblocks once
+      // every chunk of its payload is written (concatenation of the
+      // ranges == encode(w) byte-for-byte by the codec contract).
+      payloads[ws].assign(stage_bytes, std::byte{0});
+      for (const comm::ChunkRange c : chunks) {
+        pool.submit([&round, &payloads, &ready, &remaining, &failed, w, ws,
+                     c, trace] {
+          try {
+            measure::ScopedSpan span(trace, measure::Phase::kEncode, "", w);
+            round.encode_range(
+                w, c.offset,
+                std::span<std::byte>(payloads[ws]).subspan(c.offset, c.size));
+            span.set_bytes(c.size);
+          } catch (...) {
+            // First failing range wins; later ranges of this worker only
+            // decrement the counter.
+            if (!failed[ws].exchange(true)) {
+              ready[ws].set_exception(std::current_exception());
+            }
+          }
+          if (remaining[ws].fetch_sub(1) == 1 && !failed[ws].load()) {
+            ready[ws].set_value();
+          }
+        });
+      }
+      continue;
+    }
+    pool.submit([&round, &payloads, &ready, w, ws, trace] {
       try {
         measure::ScopedSpan span(trace, measure::Phase::kEncode, "", w);
-        payloads[static_cast<std::size_t>(w)] = round.encode(w);
-        span.set_bytes(payloads[static_cast<std::size_t>(w)].size());
-        ready[static_cast<std::size_t>(w)].set_value();
+        payloads[ws] = round.encode(w);
+        span.set_bytes(payloads[ws].size());
+        ready[ws].set_value();
       } catch (...) {
         // The waiting rank thread rethrows this from its future.
-        ready[static_cast<std::size_t>(w)].set_exception(
-            std::current_exception());
+        ready[ws].set_exception(std::current_exception());
       }
     });
   }
@@ -316,6 +366,13 @@ AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
                                          PipelineConfig config)
     : codec_(std::move(codec)), config_(std::move(config)) {
   GCS_CHECK(codec_ != nullptr);
+  // Announce the codec kernel backend once per process so perf runs are
+  // attributable (AVX2 vs scalar; see GCS_FORCE_SCALAR).
+  static std::once_flag backend_logged;
+  std::call_once(backend_logged, [] {
+    std::fprintf(stderr, "gcs: codec kernel backend: %s\n",
+                 kernels::backend_name());
+  });
   if (config_.encode_workers < 1) {
     throw Error("AggregationPipeline: encode_workers must be >= 1");
   }
@@ -356,8 +413,9 @@ std::vector<comm::ChunkRange> AggregationPipeline::stage_chunks(
   return comm::chunk_payload(payload_bytes, config_.chunk_bytes, granularity);
 }
 
-void AggregationPipeline::encode_rest(CodecRound& session,
-                                      std::vector<ByteBuffer>& payloads) {
+void AggregationPipeline::encode_rest(
+    CodecRound& session, std::vector<ByteBuffer>& payloads,
+    std::span<const comm::ChunkRange> chunks) {
   const auto n = payloads.size();
   measure::TraceRecorder* trace = config_.trace;
   if (pool_ == nullptr) {
@@ -369,7 +427,24 @@ void AggregationPipeline::encode_rest(CodecRound& session,
     }
     return;
   }
+  const bool use_ranges = bucket_plan_ != nullptr && !chunks.empty() &&
+                          session.supports_encode_range();
+  const std::size_t stage_bytes = payloads[0].size();
   for (std::size_t w = 1; w < n; ++w) {
+    if (use_ranges) {
+      payloads[w].assign(stage_bytes, std::byte{0});
+      for (const comm::ChunkRange c : chunks) {
+        pool_->submit([&session, &payloads, w, c, trace] {
+          measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                                   static_cast<int>(w));
+          session.encode_range(
+              static_cast<int>(w), c.offset,
+              std::span<std::byte>(payloads[w]).subspan(c.offset, c.size));
+          span.set_bytes(c.size);
+        });
+      }
+      continue;
+    }
     pool_->submit([&session, &payloads, w, trace] {
       measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
                                static_cast<int>(w));
@@ -421,11 +496,13 @@ RoundStats AggregationPipeline::aggregate(
     if (backend == PipelineBackend::kThreadedFabric && pool_ != nullptr &&
         stage.route != AggregationPath::kAllGather) {
       // The hand-off path: collective threads start now; the pool feeds
-      // them payloads as they are encoded.
+      // them payloads as they are encoded (bucket-sized ranges on
+      // bucketed runs).
       run_stage_threaded_overlapped(stage, *session, payloads, chunks,
-                                    config_.ps_server, wire_, *pool_, trace);
+                                    config_.ps_server, wire_, *pool_,
+                                    bucket_plan_ != nullptr, trace);
     } else {
-      encode_rest(*session, payloads);
+      encode_rest(*session, payloads, chunks);
       for (std::size_t w = 1; w < n; ++w) {
         // Reducible routes need symmetric sizes; all-gather payloads may
         // differ (TopK's delta format pads per-worker).
@@ -500,8 +577,27 @@ RoundStats AggregationPipeline::aggregate_over(
       if (config_.fault_hook) config_.fault_hook("encode", round);
       const std::size_t stage_bytes = mine.size();
       const auto chunks = stage_chunks(stage_bytes, granularity);
+      const bool use_ranges = bucket_plan_ != nullptr && !chunks.empty() &&
+                              session->supports_encode_range();
       for (std::size_t w = 0; w < n; ++w) {
         if (w == rank) continue;
+        if (use_ranges) {
+          // Bucket-sized slices, one pool task per chunk (byte-identical
+          // to whole-payload encode by the codec contract).
+          payloads[w].assign(stage_bytes, std::byte{0});
+          for (const comm::ChunkRange c : chunks) {
+            pool_->submit([&session, &payloads, w, c, trace] {
+              measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
+                                       static_cast<int>(w));
+              session->encode_range(
+                  static_cast<int>(w), c.offset,
+                  std::span<std::byte>(payloads[w]).subspan(c.offset,
+                                                            c.size));
+              span.set_bytes(c.size);
+            });
+          }
+          continue;
+        }
         pool_->submit([&session, &payloads, w, trace] {
           measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
                                    static_cast<int>(w));
@@ -541,7 +637,7 @@ RoundStats AggregationPipeline::aggregate_over(
       span.set_bytes(payloads[0].size());
     }
     if (config_.fault_hook) config_.fault_hook("encode", round);
-    encode_rest(*session, payloads);
+    encode_rest(*session, payloads, {});
     for (std::size_t w = 1; w < n; ++w) {
       GCS_CHECK_MSG(stage.route == AggregationPath::kAllGather ||
                         payloads[w].size() == payloads[0].size(),

@@ -228,7 +228,11 @@ class AggregationPipeline {
   /// Encodes workers [1, n) into `payloads` through the worker pool (or
   /// inline without one); payloads[0] must already be encoded. Blocking;
   /// bit-identical to the serial encode order by the pool's slot rule.
-  void encode_rest(CodecRound& session, std::vector<ByteBuffer>& payloads);
+  /// On bucketed runs with a range-capable stage, each worker's encode is
+  /// split into one pool task per chunk of `chunks` via encode_range
+  /// (byte-identical by the CodecRound contract).
+  void encode_rest(CodecRound& session, std::vector<ByteBuffer>& payloads,
+                   std::span<const comm::ChunkRange> chunks);
 
   /// (Re)creates the encode pool per config. Also the fork-safety hook:
   /// the socket backend drops the pool before forking and calls this on

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/aggregation_pipeline.h"
+#include "kernels/kernels.h"
 #include "numeric/half.h"
 
 namespace gcs::core {
@@ -22,6 +23,9 @@ class DenseRound final : public CodecRound {
 
   bool next_stage(WireStage& stage) override;
   ByteBuffer encode(int worker) override;
+  bool supports_encode_range() const override { return true; }
+  void encode_range(int worker, std::size_t offset,
+                    std::span<std::byte> out) override;
   void absorb_reduced(const ByteBuffer& reduced) override {
     reduced_ = reduced;
   }
@@ -95,13 +99,37 @@ bool DenseRound::next_stage(WireStage& stage) {
 ByteBuffer DenseRound::encode(int worker) {
   const auto grad = grads_[static_cast<std::size_t>(worker)];
   ByteBuffer buf;
-  ByteWriter w(buf);
   if (codec_.config().comm_precision == Precision::kFp32) {
+    ByteWriter w(buf);
     w.put_span<float>(grad);
   } else {
-    for (float v : grad) w.put<std::uint16_t>(float_to_half_bits(v));
+    buf.resize(grad.size() * sizeof(std::uint16_t));
+    kernels::active().fp32_to_fp16(
+        grad.data(), grad.size(),
+        reinterpret_cast<std::uint16_t*>(buf.data()));
   }
   return buf;
+}
+
+void DenseRound::encode_range(int worker, std::size_t offset,
+                              std::span<std::byte> out) {
+  const auto grad = grads_[static_cast<std::size_t>(worker)];
+  if (codec_.config().comm_precision == Precision::kFp32) {
+    GCS_CHECK(offset % sizeof(float) == 0 &&
+              out.size() % sizeof(float) == 0);
+    GCS_CHECK(offset + out.size() <= grad.size() * sizeof(float));
+    std::memcpy(out.data(),
+                reinterpret_cast<const std::byte*>(grad.data()) + offset,
+                out.size());
+  } else {
+    GCS_CHECK(offset % 2 == 0 && out.size() % 2 == 0);
+    const std::size_t first = offset / 2;
+    const std::size_t n = out.size() / 2;
+    GCS_CHECK(first + n <= grad.size());
+    kernels::active().fp32_to_fp16(
+        grad.data() + first, n,
+        reinterpret_cast<std::uint16_t*>(out.data()));
+  }
 }
 
 void DenseRound::finish(std::span<float> out, RoundStats& /*stats*/) {
@@ -111,11 +139,9 @@ void DenseRound::finish(std::span<float> out, RoundStats& /*stats*/) {
     std::memcpy(out.data(), reduced_.data(), d * sizeof(float));
   } else {
     GCS_CHECK(reduced_.size() == d * 2);
-    const auto* bits =
-        reinterpret_cast<const std::uint16_t*>(reduced_.data());
-    for (std::size_t i = 0; i < d; ++i) {
-      out[i] = half_bits_to_float(bits[i]);
-    }
+    kernels::active().fp16_to_fp32(
+        reinterpret_cast<const std::uint16_t*>(reduced_.data()), d,
+        out.data());
   }
 }
 

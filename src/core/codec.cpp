@@ -13,6 +13,11 @@ void CodecRound::absorb_gathered(
   throw Error("CodecRound: this stage does not take gathered payloads");
 }
 
+void CodecRound::encode_range(int /*worker*/, std::size_t /*offset*/,
+                              std::span<std::byte> /*out*/) {
+  throw Error("CodecRound: encode_range unsupported for this stage");
+}
+
 SchemeCodecPtr SchemeCodec::remap_workers(
     std::span<const int> /*survivors*/) const {
   throw Error(name() + ": elastic membership (remap_workers) unsupported");

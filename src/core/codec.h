@@ -82,6 +82,23 @@ class CodecRound {
   /// sizes are equal across workers (the schemes are SPMD-symmetric).
   virtual ByteBuffer encode(int worker) = 0;
 
+  /// True when encode_range() may be used for the *current* stage: the
+  /// stage's payload is a pure per-range function of state fixed before
+  /// the stage's first encode (no sequential dependency between ranges).
+  /// May differ per stage; re-query after every absorb.
+  virtual bool supports_encode_range() const { return false; }
+
+  /// Encodes the byte range [offset, offset + out.size()) of `worker`'s
+  /// current-stage payload into `out`: concatenating the ranges of any
+  /// tiling of the payload must equal encode(worker) byte-for-byte (the
+  /// equivalence test in tests/test_kernels.cpp). Both offset and size
+  /// must be multiples of the stage op's granularity(). Thread-safe for
+  /// concurrent calls on distinct (worker, range) pairs within one stage —
+  /// this is what lets the EncodeWorkerPool encode bucket-sized slices at
+  /// gradient-ready time. Throws when !supports_encode_range().
+  virtual void encode_range(int worker, std::size_t offset,
+                            std::span<std::byte> out);
+
   /// Delivers the reduced payload of a kAllReduce / kParameterServer
   /// stage.
   virtual void absorb_reduced(const ByteBuffer& reduced);

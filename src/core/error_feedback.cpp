@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/codec.h"
+#include "kernels/kernels.h"
 
 namespace gcs::core {
 
@@ -26,7 +27,7 @@ void ErrorFeedback::compensate(int worker, std::span<const float> grad,
     return;
   }
   const auto& m = memories_[static_cast<std::size_t>(worker)];
-  for (std::size_t i = 0; i < dimension_; ++i) y[i] = grad[i] + m[i];
+  kernels::active().add(grad.data(), m.data(), dimension_, y.data());
 }
 
 void ErrorFeedback::absorb(int worker, std::span<const float> y,

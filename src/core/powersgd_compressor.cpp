@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/aggregation_pipeline.h"
 #include "core/error_feedback.h"
+#include "kernels/kernels.h"
 #include "lowrank/orthogonalize.h"
 #include "lowrank/powersgd_step.h"
 #include "numeric/half.h"
@@ -15,21 +16,22 @@
 namespace gcs::core {
 namespace {
 
-/// Encodes a float span as FP16 into a growing buffer.
+/// Encodes a float span as FP16 into a growing buffer (bulk kernel pass).
 void put_fp16(ByteBuffer& buf, std::span<const float> values) {
-  ByteWriter w(buf);
-  for (float v : values) w.put<std::uint16_t>(float_to_half_bits(v));
+  const std::size_t old = buf.size();
+  buf.resize(old + values.size() * sizeof(std::uint16_t));
+  kernels::active().fp32_to_fp16(
+      values.data(), values.size(),
+      reinterpret_cast<std::uint16_t*>(buf.data() + old));
 }
 
 /// Decodes `count` FP16 values starting at byte `offset`.
 void get_fp16(const ByteBuffer& buf, std::size_t offset,
               std::span<float> out) {
   GCS_CHECK(offset + out.size() * 2 <= buf.size());
-  const auto* bits =
-      reinterpret_cast<const std::uint16_t*>(buf.data() + offset);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = half_bits_to_float(bits[i]);
-  }
+  kernels::active().fp16_to_fp32(
+      reinterpret_cast<const std::uint16_t*>(buf.data() + offset),
+      out.size(), out.data());
 }
 
 class PowerSgdCodec;

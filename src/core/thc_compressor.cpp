@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "core/aggregation_pipeline.h"
 #include "hadamard/hadamard.h"
+#include "kernels/kernels.h"
+#include "quant/packing.h"
 #include "quant/quantize.h"
 
 namespace gcs::core {
@@ -28,6 +30,9 @@ class ThcRound final : public CodecRound {
 
   bool next_stage(WireStage& stage) override;
   ByteBuffer encode(int worker) override;
+  bool supports_encode_range() const override;
+  void encode_range(int worker, std::size_t offset,
+                    std::span<std::byte> out) override;
   void absorb_reduced(const ByteBuffer& reduced) override;
   void finish(std::span<float> out, RoundStats& stats) override;
 
@@ -37,8 +42,19 @@ class ThcRound final : public CodecRound {
   ThcCodec& codec_;
   std::uint64_t round_;
   int stage_ = kRangeLo;
+  // All level blocks are byte-aligned on the wire (block * b a multiple of
+  // 8), which makes the single-pass fused level kernels and per-range
+  // encoding applicable. When false (e.g. a tiny full-rotation transform),
+  // the legacy multi-pass level path is used instead.
+  bool fused_levels_;
   std::vector<std::vector<float>> rotated_;
+  std::vector<float> signs_;  // shared RHT diagonal, generated once per round
   std::vector<std::vector<float>> lo_, hi_;  // per worker, per block
+  // Per-worker stochastic rounding draws (one per padded coordinate, in
+  // coordinate order — the exact Rng consumption of the legacy encode),
+  // precomputed when the range consensus completes so that level encoding
+  // is pure and per-range calls can run concurrently.
+  std::vector<std::vector<float>> u_;
   std::vector<QuantRange> ranges_;
   SatStats sat_;
   std::unique_ptr<comm::ReduceOp> min_op_, max_op_, sat_op_;
@@ -154,16 +170,24 @@ ThcRound::ThcRound(ThcCodec& codec,
   max_op_ = comm::make_fp32_max();
   sat_op_ = comm::make_sat_int(config.b, &sat_);
 
+  // padded is always a whole number of blocks, so byte alignment of one
+  // block implies byte alignment of every block boundary on the wire.
+  fused_levels_ = (codec_.block() * config.b) % 8 == 0;
+
   // Rotate each worker's gradient (shared sign diagonal, so the transform
   // commutes with summation across workers), then compute the per-block
-  // ranges both consensus stages serialize from.
+  // ranges both consensus stages serialize from. The sign diagonal is the
+  // same for every worker — generate it once per round.
+  if (codec_.rht()) {
+    signs_ = rht_signs(padded, config.seed, round_);
+  }
   rotated_.assign(n, std::vector<float>(padded));
   lo_.assign(n, std::vector<float>(codec_.n_blocks()));
   hi_.assign(n, std::vector<float>(codec_.n_blocks()));
   for (std::size_t w = 0; w < n; ++w) {
     GCS_CHECK(grads[w].size() == d);
     if (codec_.rht()) {
-      codec_.rht()->forward(grads[w], rotated_[w], round_);
+      codec_.rht()->forward(grads[w], rotated_[w], signs_);
     } else {
       std::memcpy(rotated_[w].data(), grads[w].data(), d * sizeof(float));
       std::memset(rotated_[w].data() + d, 0, (padded - d) * sizeof(float));
@@ -208,8 +232,15 @@ ByteBuffer ThcRound::encode(int worker) {
     writer.put_span<float>(stage_ == kRangeLo ? lo_[w] : hi_[w]);
     return buf;
   }
-  // Quantize against the shared ranges; centered signed lanes.
   const std::size_t padded = codec_.padded();
+  if (fused_levels_) {
+    // Single fused pass per block: stochastic level, offset-binary lane,
+    // LSB-first bit packing — one kernel call instead of three sweeps.
+    ByteBuffer buf(packed_bytes(padded, config.b));
+    encode_range(worker, 0, buf);
+    return buf;
+  }
+  // Quantize against the shared ranges; centered signed lanes.
   const std::int32_t offset = 1 << (config.q - 1);
   const auto n = static_cast<std::size_t>(config.world_size);
   Rng rng(derive_seed(config.seed ^ 0x5707c457,
@@ -232,6 +263,40 @@ ByteBuffer ThcRound::encode(int worker) {
   return pack_signed_lanes(lanes, config.b);
 }
 
+bool ThcRound::supports_encode_range() const {
+  // Only the levels payload is rangeable (the range stages are tiny
+  // metadata); requires byte-aligned block boundaries.
+  return stage_ == kLevels && fused_levels_;
+}
+
+void ThcRound::encode_range(int worker, std::size_t offset,
+                            std::span<std::byte> out) {
+  const auto& config = codec_.config();
+  const auto w = static_cast<std::size_t>(worker);
+  GCS_CHECK(stage_ == kLevels && fused_levels_);
+  GCS_CHECK(!u_.empty());  // precomputed when range consensus completed
+  const std::size_t total = packed_bytes(codec_.padded(), config.b);
+  GCS_CHECK(offset + out.size() <= total);
+  const unsigned lanes_per_byte = 8u / config.b;  // b in {2, 4, 8}
+  const std::size_t block_bytes = codec_.block() * config.b / 8;
+  const auto& backend = kernels::active();
+  std::size_t byte = offset;
+  const std::size_t end = offset + out.size();
+  auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
+  while (byte < end) {
+    const std::size_t blk = byte / block_bytes;
+    const std::size_t n_bytes =
+        std::min(end, (blk + 1) * block_bytes) - byte;
+    const std::size_t lane0 = byte * lanes_per_byte;
+    backend.thc_encode_lanes(rotated_[w].data() + lane0,
+                             u_[w].data() + lane0, n_bytes * lanes_per_byte,
+                             ranges_[blk].lo, ranges_[blk].hi, config.q,
+                             config.b, dst);
+    dst += n_bytes;
+    byte += n_bytes;
+  }
+}
+
 void ThcRound::absorb_reduced(const ByteBuffer& reduced) {
   const auto& config = codec_.config();
   const std::size_t n_blocks = codec_.n_blocks();
@@ -249,6 +314,22 @@ void ThcRound::absorb_reduced(const ByteBuffer& reduced) {
         ranges_[blk].hi = vals[blk];
       }
       stage_ = kLevels;
+      if (fused_levels_) {
+        // Materialize every worker's stochastic draws now (identical Rng
+        // stream to the legacy per-encode draws: one next_float per padded
+        // coordinate, in coordinate order) so level encoding becomes a
+        // pure function of (worker, range).
+        const auto n = static_cast<std::size_t>(config.world_size);
+        const std::size_t padded = codec_.padded();
+        u_.assign(n, {});
+        for (std::size_t w = 0; w < n; ++w) {
+          Rng rng(derive_seed(config.seed ^ 0x5707c457, round_ * n + w));
+          u_[w].resize(padded);
+          for (std::size_t i = 0; i < padded; ++i) {
+            u_[w][i] = rng.next_float();
+          }
+        }
+      }
     }
     return;
   }
@@ -260,9 +341,28 @@ void ThcRound::absorb_reduced(const ByteBuffer& reduced) {
   // Homomorphic decode of the aggregated level sums.
   const std::size_t padded = codec_.padded();
   const auto n = static_cast<unsigned>(config.world_size);
+  rotated_sum_.assign(padded, 0.0f);
+  if (fused_levels_) {
+    // Fused unpack + dequantize per block (int32 level sums are exact
+    // here: n * 2^{q-1} + 2^{b-1} is far below 2^31 for q, b <= 8).
+    if (reduced.size() < packed_bytes(padded, config.b)) {
+      throw Error("unpack_lanes: payload too short");
+    }
+    const auto* in = reinterpret_cast<const std::uint8_t*>(reduced.data());
+    const std::size_t block_bytes = codec_.block() * config.b / 8;
+    const auto& backend = kernels::active();
+    for (std::size_t blk = 0; blk < codec_.n_blocks(); ++blk) {
+      const std::size_t begin = blk * codec_.block();
+      const std::size_t len = std::min(codec_.block(), padded - begin);
+      backend.thc_decode_lanes(in + blk * block_bytes, len,
+                               ranges_[blk].lo, ranges_[blk].hi, config.q,
+                               config.b, n, rotated_sum_.data() + begin);
+    }
+    stage_ = kDone;
+    return;
+  }
   const std::int32_t offset = 1 << (config.q - 1);
   const auto sums = unpack_signed_lanes(reduced, padded, config.b);
-  rotated_sum_.assign(padded, 0.0f);
   for (std::size_t blk = 0; blk < codec_.n_blocks(); ++blk) {
     const std::size_t begin = blk * codec_.block();
     const std::size_t len = std::min(codec_.block(), padded - begin);
@@ -280,7 +380,7 @@ void ThcRound::absorb_reduced(const ByteBuffer& reduced) {
 void ThcRound::finish(std::span<float> out, RoundStats& stats) {
   const std::size_t d = codec_.config().dimension;
   if (codec_.rht()) {
-    codec_.rht()->inverse(rotated_sum_, out, round_);
+    codec_.rht()->inverse(rotated_sum_, out, signs_);
   } else {
     std::memcpy(out.data(), rotated_sum_.data(), d * sizeof(float));
   }

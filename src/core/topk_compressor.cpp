@@ -113,9 +113,11 @@ TopKRound::TopKRound(TopKCodec& codec,
     GCS_CHECK(grads[w].size() == d);
     codec_.ef().compensate(static_cast<int>(w), grads[w], ys_[w]);
     const auto idx = top_k_indices(ys_[w], config.k);
-    SparseVector sparse = extract_sparse(ys_[w], idx);
-    payloads_[w] = config.delta_indices ? encode_sparse_delta16(sparse)
-                                        : encode_sparse_fp16(sparse);
+    // Plain-index payloads are built by a fused gather+fp16 pass straight
+    // into the wire buffer (byte-identical to extract_sparse + encode).
+    payloads_[w] = config.delta_indices
+                       ? encode_sparse_delta16(extract_sparse(ys_[w], idx))
+                       : encode_sparse_fp16_gather(ys_[w], idx);
     // The transmitted contribution is the FP16-rounded selected values;
     // the EF memory keeps everything else (see the masked-absorb contract
     // in core/error_feedback.h). The absorb itself waits for finish():
@@ -141,10 +143,12 @@ void TopKRound::absorb_gathered(std::span<const ByteBuffer> payloads) {
   sum_.assign(config.dimension, 0.0f);
   // Every worker receives all payloads and scatter-adds in rank order.
   for (const auto& payload : payloads) {
-    const SparseVector decoded = config.delta_indices
-                                     ? decode_sparse_delta16(payload)
-                                     : decode_sparse_fp16(payload);
-    scatter_add(decoded, sum_);
+    if (config.delta_indices) {
+      scatter_add(decode_sparse_delta16(payload), sum_);
+    } else {
+      // Fused decode + accumulate: no SparseVector materialization.
+      scatter_add_sparse_fp16(payload, sum_);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/aggregation_pipeline.h"
 #include "core/error_feedback.h"
+#include "kernels/kernels.h"
 #include "numeric/half.h"
 #include "sparse/chunks.h"
 
@@ -24,6 +25,9 @@ class TopKCRound final : public CodecRound {
 
   bool next_stage(WireStage& stage) override;
   ByteBuffer encode(int worker) override;
+  bool supports_encode_range() const override { return stage_ == 1; }
+  void encode_range(int worker, std::size_t offset,
+                    std::span<std::byte> out) override;
   void absorb_reduced(const ByteBuffer& reduced) override;
   void finish(std::span<float> out, RoundStats& stats) override;
 
@@ -33,6 +37,11 @@ class TopKCRound final : public CodecRound {
   std::vector<std::vector<float>> ys_;
   std::vector<std::uint32_t> top_chunks_;
   std::size_t payload_coords_ = 0;
+  // Per selected chunk: begin coordinate in y, and the cumulative payload
+  // coordinate offset (sel_prefix_ has one extra trailing entry ==
+  // payload_coords_). Built with the selection; lets encode_range map a
+  // payload byte range back to (chunk, intra-chunk offset) pairs.
+  std::vector<std::size_t> sel_begin_, sel_len_, sel_prefix_;
   std::vector<float> summed_;
 };
 
@@ -167,21 +176,48 @@ bool TopKCRound::next_stage(WireStage& stage) {
 ByteBuffer TopKCRound::encode(int worker) {
   const auto& config = codec_.config();
   const auto& y = ys_[static_cast<std::size_t>(worker)];
-  ByteBuffer buf;
-  ByteWriter writer(buf);
   if (stage_ == 0) {
-    // Squared chunk norms, rounded to FP16 exactly as they travel.
+    // Squared chunk norms, rounded to FP16 exactly as they travel. The
+    // norm accumulation order is wire-visible, so it stays scalar; only
+    // the conversion goes through the bulk kernel.
     std::vector<float> scores(codec_.n_chunks());
     chunk_squared_norms(y, config.chunk_size, scores);
-    for (float s : scores) writer.put<std::uint16_t>(float_to_half_bits(s));
-  } else {
-    std::vector<float> gathered(payload_coords_);
-    const std::size_t got =
-        gather_chunks(y, config.chunk_size, top_chunks_, gathered);
-    GCS_CHECK(got == payload_coords_);
-    for (float v : gathered) writer.put<std::uint16_t>(float_to_half_bits(v));
+    ByteBuffer buf(scores.size() * sizeof(std::uint16_t));
+    kernels::active().fp32_to_fp16(
+        scores.data(), scores.size(),
+        reinterpret_cast<std::uint16_t*>(buf.data()));
+    return buf;
   }
+  // Fused per-chunk gather + FP16 conversion straight into the wire
+  // buffer: no intermediate gathered copy.
+  ByteBuffer buf(payload_coords_ * sizeof(std::uint16_t));
+  encode_range(worker, 0, buf);
   return buf;
+}
+
+void TopKCRound::encode_range(int worker, std::size_t offset,
+                              std::span<std::byte> out) {
+  GCS_CHECK(stage_ == 1);
+  GCS_CHECK(offset % 2 == 0 && out.size() % 2 == 0);
+  GCS_CHECK(offset + out.size() <= payload_coords_ * 2);
+  const auto& y = ys_[static_cast<std::size_t>(worker)];
+  const auto& backend = kernels::active();
+  std::size_t coord = offset / 2;
+  std::size_t left = out.size() / 2;
+  auto* dst = reinterpret_cast<std::uint16_t*>(out.data());
+  // Locate the selected chunk containing `coord` in the payload layout.
+  std::size_t c = static_cast<std::size_t>(
+      std::upper_bound(sel_prefix_.begin(), sel_prefix_.end(), coord) -
+      sel_prefix_.begin() - 1);
+  while (left > 0) {
+    const std::size_t local = coord - sel_prefix_[c];
+    const std::size_t take = std::min(left, sel_len_[c] - local);
+    backend.fp32_to_fp16(y.data() + sel_begin_[c] + local, take, dst);
+    dst += take;
+    coord += take;
+    left -= take;
+    ++c;
+  }
 }
 
 void TopKCRound::absorb_reduced(const ByteBuffer& reduced) {
@@ -189,23 +225,34 @@ void TopKCRound::absorb_reduced(const ByteBuffer& reduced) {
     // Consensus: identical aggregated scores => identical selection on
     // every worker, with no further traffic.
     GCS_CHECK(reduced.size() == codec_.n_chunks() * 2);
-    const auto* bits =
-        reinterpret_cast<const std::uint16_t*>(reduced.data());
     std::vector<float> scores(codec_.n_chunks());
-    for (std::size_t i = 0; i < scores.size(); ++i) {
-      scores[i] = half_bits_to_float(bits[i]);
-    }
+    kernels::active().fp16_to_fp32(
+        reinterpret_cast<const std::uint16_t*>(reduced.data()),
+        scores.size(), scores.data());
     top_chunks_ = select_top_chunks(scores, codec_.config().num_top_chunks);
     payload_coords_ = codec_.payload_size(top_chunks_);
+    // Chunk layout tables for per-range value encoding.
+    const auto& config = codec_.config();
+    sel_begin_.clear();
+    sel_len_.clear();
+    sel_prefix_.assign(1, 0);
+    for (auto chunk : top_chunks_) {
+      const std::size_t begin =
+          static_cast<std::size_t>(chunk) * config.chunk_size;
+      const std::size_t len =
+          std::min(config.chunk_size, config.dimension - begin);
+      sel_begin_.push_back(begin);
+      sel_len_.push_back(len);
+      sel_prefix_.push_back(sel_prefix_.back() + len);
+    }
     stage_ = 1;
     return;
   }
   GCS_CHECK(reduced.size() == payload_coords_ * 2);
-  const auto* bits = reinterpret_cast<const std::uint16_t*>(reduced.data());
   summed_.resize(payload_coords_);
-  for (std::size_t i = 0; i < payload_coords_; ++i) {
-    summed_[i] = half_bits_to_float(bits[i]);
-  }
+  kernels::active().fp16_to_fp32(
+      reinterpret_cast<const std::uint16_t*>(reduced.data()),
+      payload_coords_, summed_.data());
   stage_ = 2;
 }
 

@@ -6,13 +6,9 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "kernels/kernels.h"
 
 namespace gcs {
-namespace {
-
-constexpr float kInvSqrt2 = 0.70710678118654752440f;
-
-}  // namespace
 
 void fwht(std::span<float> x, unsigned l_iters) {
   const std::size_t n = x.size();
@@ -24,16 +20,31 @@ void fwht(std::span<float> x, unsigned l_iters) {
   // Iteration k pairs elements at stride 2^k; after l iterations, elements
   // within each 2^l-aligned block are fully mixed and distinct blocks have
   // not interacted — this is precisely the partial-rotation semantics.
-  for (unsigned k = 0; k < l_iters; ++k) {
-    const std::size_t h = std::size_t{1} << k;
-    for (std::size_t base = 0; base < n; base += 2 * h) {
-      for (std::size_t i = base; i < base + h; ++i) {
-        const float a = x[i];
-        const float b = x[i + h];
-        x[i] = (a + b) * kInvSqrt2;
-        x[i + h] = (a - b) * kInvSqrt2;
+  // Each level is one single-pass kernel (SIMD under AVX2, bit-identical
+  // to the scalar butterflies by the kernel backend contract).
+  //
+  // Cache blocking: a butterfly at stride 2^k only touches its own
+  // 2^{k+1}-aligned block, so the first levels can run to completion on
+  // one L1-resident block at a time — the identical operations on the
+  // identical pairs, but one memory sweep instead of one per level (at
+  // 25MB payloads this is most of the rotation's wall-clock).
+  const auto& backend = kernels::active();
+  constexpr unsigned kBlockLog2 = 12;  // 2^12 floats = 16 KiB, L1-resident
+  const unsigned blocked = l_iters < kBlockLog2 ? l_iters : kBlockLog2;
+  const std::size_t block = std::size_t{1} << blocked;
+  if (n > block && blocked > 1) {
+    for (std::size_t base = 0; base < n; base += block) {
+      for (unsigned k = 0; k < blocked; ++k) {
+        backend.fwht_level(x.data() + base, block, std::size_t{1} << k);
       }
     }
+  } else {
+    for (unsigned k = 0; k < blocked; ++k) {
+      backend.fwht_level(x.data(), n, std::size_t{1} << k);
+    }
+  }
+  for (unsigned k = blocked; k < l_iters; ++k) {
+    backend.fwht_level(x.data(), n, std::size_t{1} << k);
   }
 }
 
@@ -51,7 +62,7 @@ std::vector<float> rht_signs(std::size_t size, std::uint64_t seed,
 
 void apply_signs(std::span<float> x, std::span<const float> signs) noexcept {
   const std::size_t n = x.size() < signs.size() ? x.size() : signs.size();
-  for (std::size_t i = 0; i < n; ++i) x[i] *= signs[i];
+  kernels::active().mul_inplace(x.data(), signs.data(), n);
 }
 
 unsigned full_iterations(std::size_t padded_size) noexcept {
@@ -88,24 +99,34 @@ RhtTransform::RhtTransform(std::size_t size, unsigned l_iters,
 
 void RhtTransform::forward(std::span<const float> x, std::span<float> out,
                            std::uint64_t round) const {
-  GCS_CHECK(x.size() == size_);
-  GCS_CHECK(out.size() == padded_);
-  std::memcpy(out.data(), x.data(), size_ * sizeof(float));
-  if (padded_ > size_) {
-    std::memset(out.data() + size_, 0, (padded_ - size_) * sizeof(float));
-  }
-  const auto signs = rht_signs(padded_, seed_, round);
-  apply_signs(out, signs);
-  fwht(out, l_iters_);
+  forward(x, out, rht_signs(padded_, seed_, round));
 }
 
 void RhtTransform::inverse(std::span<const float> in, std::span<float> x,
                            std::uint64_t round) const {
+  inverse(in, x, rht_signs(padded_, seed_, round));
+}
+
+void RhtTransform::forward(std::span<const float> x, std::span<float> out,
+                           std::span<const float> signs) const {
+  GCS_CHECK(x.size() == size_);
+  GCS_CHECK(out.size() == padded_);
+  GCS_CHECK(signs.size() == padded_);
+  // Fused copy + sign multiply. The pad positions must be 0 * sign, not a
+  // plain zero fill: a -1 sign makes the padded zero *negative* zero, and
+  // those sign bits travel the wire inside the range-consensus floats.
+  kernels::active().mul(x.data(), signs.data(), size_, out.data());
+  for (std::size_t i = size_; i < padded_; ++i) out[i] = 0.0f * signs[i];
+  fwht(out, l_iters_);
+}
+
+void RhtTransform::inverse(std::span<const float> in, std::span<float> x,
+                           std::span<const float> signs) const {
   GCS_CHECK(in.size() == padded_);
   GCS_CHECK(x.size() == size_);
+  GCS_CHECK(signs.size() == padded_);
   std::vector<float> tmp(in.begin(), in.end());
   fwht(std::span<float>(tmp), l_iters_);  // orthonormal involution
-  const auto signs = rht_signs(padded_, seed_, round);
   apply_signs(tmp, signs);  // signs are +-1: self-inverse
   std::memcpy(x.data(), tmp.data(), size_ * sizeof(float));
 }

@@ -77,6 +77,18 @@ class RhtTransform {
   void inverse(std::span<const float> in, std::span<float> x,
                std::uint64_t round) const;
 
+  /// forward() with a precomputed sign diagonal (signs.size() ==
+  /// padded_size(), as returned by rht_signs(padded_size(), seed, round)).
+  /// Lets a caller rotating many workers in one round generate the shared
+  /// signs once instead of once per worker; the copy + sign multiply is
+  /// fused into a single pass.
+  void forward(std::span<const float> x, std::span<float> out,
+               std::span<const float> signs) const;
+
+  /// inverse() with a precomputed sign diagonal.
+  void inverse(std::span<const float> in, std::span<float> x,
+               std::span<const float> signs) const;
+
  private:
   std::size_t size_;
   std::size_t padded_;

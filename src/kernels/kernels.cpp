@@ -1,0 +1,209 @@
+// Scalar reference backend + runtime dispatch.
+//
+// The scalar kernels are the semantic ground truth: they are written as
+// the exact fusion of the legacy per-coordinate passes (numeric/half RNE
+// conversion, gcs::stochastic_level, pack_lanes' LSB-first bit order,
+// dequantize_level_sum) so that "fused" never means "different bits".
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "numeric/half.h"
+#include "numeric/precision.h"
+
+namespace gcs::kernels {
+namespace {
+
+void fp32_to_fp16_scalar(const float* x, std::size_t n, std::uint16_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = float_to_half_bits(x[i]);
+}
+
+void fp16_to_fp32_scalar(const std::uint16_t* x, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = half_bits_to_float(x[i]);
+}
+
+void gather_fp32_to_fp16_scalar(const float* x, const std::uint32_t* idx,
+                                std::size_t n, std::uint16_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = float_to_half_bits(x[idx[i]]);
+}
+
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+
+void fwht_level_scalar(float* x, std::size_t n, std::size_t h) {
+  for (std::size_t base = 0; base < n; base += 2 * h) {
+    for (std::size_t i = base; i < base + h; ++i) {
+      const float a = x[i];
+      const float b = x[i + h];
+      x[i] = (a + b) * kInvSqrt2;
+      x[i + h] = (a - b) * kInvSqrt2;
+    }
+  }
+}
+
+void mul_scalar(const float* x, const float* s, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * s[i];
+}
+
+void mul_inplace_scalar(float* x, const float* s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s[i];
+}
+
+void add_scalar(const float* a, const float* b, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void min_max_scalar(const float* x, std::size_t n, float* lo, float* hi) {
+  float mn = x[0], mx = x[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+void thc_encode_lanes_scalar(const float* x, const float* u, std::size_t n,
+                             float lo, float hi, unsigned q, unsigned b,
+                             std::uint8_t* out) {
+  // Centered q-bit level -> offset-binary b-bit lane is a single constant
+  // add: (level - 2^{q-1}) + 2^{b-1}, always in [0, 2^b) for q <= b, so
+  // the legacy sat_clamp is a provable no-op here.
+  const std::uint32_t add = (1u << (b - 1)) - (1u << (q - 1));
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t raw = stochastic_level(x[i], lo, hi, q, u[i]) + add;
+    acc |= raw << acc_bits;
+    acc_bits += b;
+    while (acc_bits >= 8) {
+      *out++ = static_cast<std::uint8_t>(acc & 0xFFu);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+}
+
+void thc_decode_lanes_scalar(const std::uint8_t* in, std::size_t n, float lo,
+                             float hi, unsigned q, unsigned b,
+                             unsigned n_workers, float* out) {
+  const float levels = static_cast<float>((1u << q) - 1u);
+  const float width = hi - lo;
+  const float lo_n = lo * static_cast<float>(n_workers);
+  if (levels == 0.0f || width <= 0.0f) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lo_n;
+    return;
+  }
+  const float delta = width / levels;
+  // raw - 2^{b-1} undoes the offset-binary; + n * 2^{q-1} undoes the
+  // centering summed over n workers.
+  const std::int32_t base = static_cast<std::int32_t>(n_workers) *
+                                (1 << (q - 1)) -
+                            (1 << (b - 1));
+  const std::uint32_t mask = (1u << b) - 1u;
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (acc_bits < b) {
+      acc |= static_cast<std::uint32_t>(*in++) << acc_bits;
+      acc_bits += 8;
+    }
+    const std::int32_t level_sum = static_cast<std::int32_t>(acc & mask) + base;
+    acc >>= b;
+    acc_bits -= b;
+    out[i] = lo_n + delta * static_cast<float>(level_sum);
+  }
+}
+
+void abs_scalar(const float* x, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::fabs(x[i]);
+}
+
+std::size_t count_gt_scalar(const float* x, std::size_t n, float t) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += x[i] > t ? 1 : 0;
+  return count;
+}
+
+std::size_t collect_ge_scalar(const float* x, std::size_t n, float t,
+                              std::uint32_t* out) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] >= t) out[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+constexpr Backend kScalar = {
+    "scalar",
+    fp32_to_fp16_scalar,
+    fp16_to_fp32_scalar,
+    gather_fp32_to_fp16_scalar,
+    fwht_level_scalar,
+    mul_scalar,
+    mul_inplace_scalar,
+    add_scalar,
+    min_max_scalar,
+    thc_encode_lanes_scalar,
+    thc_decode_lanes_scalar,
+    abs_scalar,
+    count_gt_scalar,
+    collect_ge_scalar,
+};
+
+const Backend& default_backend() noexcept {
+  static const Backend* chosen = [] {
+    const char* env = std::getenv("GCS_FORCE_SCALAR");
+    if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      return &scalar();
+    }
+    return avx2_supported() ? &avx2() : &scalar();
+  }();
+  return *chosen;
+}
+
+std::atomic<const Backend*> g_forced{nullptr};
+
+}  // namespace
+
+const Backend& scalar() noexcept { return kScalar; }
+
+bool avx2_supported() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+const Backend& active() noexcept {
+  const Backend* forced = g_forced.load(std::memory_order_acquire);
+  return forced != nullptr ? *forced : default_backend();
+}
+
+const char* backend_name() noexcept { return active().name; }
+
+void force_backend_for_testing(const char* name) {
+  if (name == nullptr) {
+    g_forced.store(nullptr, std::memory_order_release);
+    return;
+  }
+  if (std::strcmp(name, "scalar") == 0) {
+    g_forced.store(&scalar(), std::memory_order_release);
+    return;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    if (!avx2_supported()) {
+      throw Error("kernels: AVX2 backend not supported on this host");
+    }
+    g_forced.store(&avx2(), std::memory_order_release);
+    return;
+  }
+  throw Error(std::string("kernels: unknown backend '") + name + "'");
+}
+
+}  // namespace gcs::kernels

@@ -1,0 +1,124 @@
+// Single-pass encode kernels with swappable backends.
+//
+// Every codec hot loop — fp32->fp16 conversion, stochastic quantization +
+// bit packing, Hadamard butterflies, TopK threshold select — funnels
+// through this narrow interface (Vitis-streaming-kernel style: flat
+// pointer + count, no allocation, no virtual dispatch inside the loop). A
+// scalar reference backend defines the semantics; an AVX2 backend is
+// selected at runtime via CPUID when the host supports it.
+//
+// Bit-identity contract: every backend must produce byte-for-byte the
+// output of the scalar reference for every input, including NaN payloads,
+// denormals and rounding ties. That means no FMA contraction (the AVX2 TU
+// is compiled with -ffp-contract=off), division instead of
+// reciprocal-multiply, and hardware fp16 conversion only because F16C
+// implements the same RNE semantics as numeric/half (tests/test_kernels.cpp
+// cross-checks all of this exhaustively). The contract is what lets the
+// wire-byte and EF-residual fingerprints stay fixed across backends, and
+// lets CI run the whole tier-1 suite under GCS_FORCE_SCALAR=1.
+//
+// Dispatch rules:
+//   1. force_backend_for_testing() override, when set (tests/benches only);
+//   2. GCS_FORCE_SCALAR env var (non-empty, non-"0"): scalar;
+//   3. CPUID: AVX2 + F16C present -> avx2(), else scalar().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcs::kernels {
+
+/// A backend is a table of single-pass kernels over flat arrays. All
+/// functions are thread-safe and may be called concurrently on disjoint
+/// output ranges (the EncodeWorkerPool does exactly that via
+/// CodecRound::encode_range).
+struct Backend {
+  const char* name;
+
+  /// out[i] = float_to_half_bits(x[i]) (RNE, NaN payload preserved).
+  void (*fp32_to_fp16)(const float* x, std::size_t n, std::uint16_t* out);
+
+  /// out[i] = half_bits_to_float(x[i]).
+  void (*fp16_to_fp32)(const std::uint16_t* x, std::size_t n, float* out);
+
+  /// Fused sparse-value gather + fp16 convert:
+  /// out[i] = float_to_half_bits(x[idx[i]]).
+  void (*gather_fp32_to_fp16)(const float* x, const std::uint32_t* idx,
+                              std::size_t n, std::uint16_t* out);
+
+  /// One FWHT butterfly level at stride h over x[0..n): for every
+  /// 2h-aligned pair (a, b) = (x[i], x[i+h]),
+  ///   x[i]   = (a + b) * invsqrt2,
+  ///   x[i+h] = (a - b) * invsqrt2.
+  /// Requires n % (2h) == 0.
+  void (*fwht_level)(float* x, std::size_t n, std::size_t h);
+
+  /// out[i] = x[i] * s[i] (the RHT sign diagonal; also the fused
+  /// copy+sign pass of RhtTransform::forward).
+  void (*mul)(const float* x, const float* s, std::size_t n, float* out);
+
+  /// x[i] *= s[i].
+  void (*mul_inplace)(float* x, const float* s, std::size_t n);
+
+  /// out[i] = a[i] + b[i] (the error-feedback compensate pass).
+  void (*add)(const float* a, const float* b, std::size_t n, float* out);
+
+  /// Min and max of x[0..n), bit-identical to the sequential
+  /// lo = min(lo, x[i]) / hi = max(hi, x[i]) fold seeded from x[0] —
+  /// including NaN semantics: a NaN x[i] for i > 0 is transparent
+  /// (std::min/max keep the first argument on an unordered compare) while
+  /// a NaN x[0] poisons both results. Requires n >= 1.
+  void (*min_max)(const float* x, std::size_t n, float* lo, float* hi);
+
+  /// Fused THC levels encode: stochastic quantization of x[0..n) against
+  /// [lo, hi] into q-bit levels using precomputed uniforms u[0..n)
+  /// (replicating gcs::stochastic_level bit-for-bit), centering to signed
+  /// lanes, offset-binary mapping and b-bit packing, in one pass.
+  /// Writes exactly n*b/8 bytes at out. Requires n*b % 8 == 0 and
+  /// 2 <= q <= b <= 8 (the centered levels then provably fit the
+  /// saturation domain, so the legacy clamp is a no-op).
+  void (*thc_encode_lanes)(const float* x, const float* u, std::size_t n,
+                           float lo, float hi, unsigned q, unsigned b,
+                           std::uint8_t* out);
+
+  /// Fused THC levels decode: unpack n b-bit offset-binary lanes, undo the
+  /// centering for an n_workers sum, dequantize against [lo, hi]
+  /// (replicating unpack_signed_lanes + dequantize_level_sum). Requires
+  /// n*b % 8 == 0, b <= 8 and n_workers * 2^{q-1} + 2^{b-1} < 2^31.
+  void (*thc_decode_lanes)(const std::uint8_t* in, std::size_t n, float lo,
+                           float hi, unsigned q, unsigned b,
+                           unsigned n_workers, float* out);
+
+  /// out[i] = |x[i]| (sign-bit clear; NaNs keep their payload).
+  void (*abs)(const float* x, std::size_t n, float* out);
+
+  /// #{ i : x[i] > t }.
+  std::size_t (*count_gt)(const float* x, std::size_t n, float t);
+
+  /// Appends every i with x[i] >= t to out (ascending); returns the count.
+  /// out must have room for n entries.
+  std::size_t (*collect_ge)(const float* x, std::size_t n, float t,
+                            std::uint32_t* out);
+};
+
+/// The scalar reference backend (always available; defines the semantics).
+const Backend& scalar() noexcept;
+
+/// The AVX2+F16C backend. Only meaningful when avx2_supported().
+const Backend& avx2() noexcept;
+
+/// True when the host CPU has AVX2 and F16C.
+bool avx2_supported() noexcept;
+
+/// The backend selected by the dispatch rules above.
+const Backend& active() noexcept;
+
+/// Name of the active backend ("scalar" or "avx2").
+const char* backend_name() noexcept;
+
+/// Test/bench hook: pin the active backend to "scalar" or "avx2", or
+/// restore normal dispatch with nullptr. Throws gcs::Error for an unknown
+/// name or when "avx2" is requested on a host without AVX2.
+void force_backend_for_testing(const char* name);
+
+}  // namespace gcs::kernels

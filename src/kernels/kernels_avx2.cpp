@@ -1,0 +1,480 @@
+// AVX2 + F16C backend.
+//
+// This TU is compiled with -mavx2 -mf16c -ffp-contract=off (see
+// CMakeLists.txt); nothing else in the library may assume those ISA
+// extensions, and the dispatcher only hands this table out after CPUID
+// confirms them. Bit-identity with the scalar reference is maintained by:
+//   - using vdivps (not reciprocal estimates) and vroundps, which match
+//     scalar '/' and std::floor exactly;
+//   - never letting mul+add contract to FMA (-ffp-contract=off; FMA
+//     intrinsics are not used);
+//   - F16C conversions, which implement the same RNE semantics as
+//     numeric/half for all finite values — groups containing an Inf/NaN
+//     take a scalar fallback because VCVTPH2PS quietens signaling NaNs
+//     where half_bits_to_float preserves them bit-for-bit;
+//   - FWHT butterflies built from true vaddps/vsubps pairs (blend-merged),
+//     not sign-flip tricks that would change NaN sign propagation.
+#include "kernels/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "numeric/half.h"
+#include "numeric/precision.h"
+
+namespace gcs::kernels {
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+
+/// True when any of the 8 floats has the all-ones exponent (Inf or NaN).
+inline bool any_inf_nan(__m256 v) {
+  const __m256i bits = _mm256_castps_si256(v);
+  const __m256i exp = _mm256_and_si256(bits, _mm256_set1_epi32(0x7F800000));
+  const __m256i hit =
+      _mm256_cmpeq_epi32(exp, _mm256_set1_epi32(0x7F800000));
+  return _mm256_testz_si256(hit, hit) == 0;
+}
+
+void fp32_to_fp16_avx2(const float* x, std::size_t n, std::uint16_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    if (any_inf_nan(v)) {
+      // half_bits_to_float's NaN payload rule is replicated in software.
+      for (std::size_t j = i; j < i + 8; ++j) {
+        out[j] = float_to_half_bits(x[j]);
+      }
+      continue;
+    }
+    const __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  for (; i < n; ++i) out[i] = float_to_half_bits(x[i]);
+}
+
+/// True when any of the 8 halves has the all-ones exponent (Inf or NaN).
+inline bool any_half_inf_nan(__m128i h) {
+  const __m128i exp = _mm_and_si128(h, _mm_set1_epi16(0x7C00));
+  const __m128i hit = _mm_cmpeq_epi16(exp, _mm_set1_epi16(0x7C00));
+  return _mm_testz_si128(hit, hit) == 0;
+}
+
+void fp16_to_fp32_avx2(const std::uint16_t* x, std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    if (any_half_inf_nan(h)) {
+      // VCVTPH2PS quietens signaling NaNs; the reference preserves them.
+      for (std::size_t j = i; j < i + 8; ++j) {
+        out[j] = half_bits_to_float(x[j]);
+      }
+      continue;
+    }
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) out[i] = half_bits_to_float(x[i]);
+}
+
+void gather_fp32_to_fp16_avx2(const float* x, const std::uint32_t* idx,
+                              std::size_t n, std::uint16_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i iv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m256 v = _mm256_i32gather_ps(x, iv, 4);
+    if (any_inf_nan(v)) {
+      for (std::size_t j = i; j < i + 8; ++j) {
+        out[j] = float_to_half_bits(x[idx[j]]);
+      }
+      continue;
+    }
+    const __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  for (; i < n; ++i) out[i] = float_to_half_bits(x[idx[i]]);
+}
+
+/// Scalar butterfly over [begin, end), identical expression to the scalar
+/// backend (and thus identical bits: (a+b)*c has no contractible form).
+inline void fwht_level_tail(float* x, std::size_t begin, std::size_t end,
+                            std::size_t h) {
+  for (std::size_t base = begin; base < end; base += 2 * h) {
+    for (std::size_t i = base; i < base + h; ++i) {
+      const float a = x[i];
+      const float b = x[i + h];
+      x[i] = (a + b) * kInvSqrt2;
+      x[i + h] = (a - b) * kInvSqrt2;
+    }
+  }
+}
+
+void fwht_level_avx2(float* x, std::size_t n, std::size_t h) {
+  const __m256 c = _mm256_set1_ps(kInvSqrt2);
+  if (h >= 8) {
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+      for (std::size_t i = base; i < base + h; i += 8) {
+        const __m256 a = _mm256_loadu_ps(x + i);
+        const __m256 b = _mm256_loadu_ps(x + i + h);
+        _mm256_storeu_ps(x + i,
+                         _mm256_mul_ps(_mm256_add_ps(a, b), c));
+        _mm256_storeu_ps(x + i + h,
+                         _mm256_mul_ps(_mm256_sub_ps(a, b), c));
+      }
+    }
+    return;
+  }
+  // h in {1, 2, 4}: whole butterfly groups fit inside one 8-lane vector.
+  // Build p = "a" lanes, q = "b" lanes, then blend add/sub results into
+  // place. True vaddps/vsubps keep NaN propagation identical to scalar.
+  const std::size_t vec_n = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < vec_n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    __m256 p, q;
+    int blend_mask;
+    if (h == 1) {
+      p = _mm256_moveldup_ps(v);  // [x0 x0 x2 x2 | x4 x4 x6 x6]
+      q = _mm256_movehdup_ps(v);  // [x1 x1 x3 x3 | x5 x5 x7 x7]
+      blend_mask = 0xAA;          // odd lanes take (a - b)
+    } else if (h == 2) {
+      p = _mm256_shuffle_ps(v, v, _MM_SHUFFLE(1, 0, 1, 0));
+      q = _mm256_shuffle_ps(v, v, _MM_SHUFFLE(3, 2, 3, 2));
+      blend_mask = 0xCC;          // lanes 2,3 (and 6,7) take (a - b)
+    } else {
+      p = _mm256_permute2f128_ps(v, v, 0x00);  // [low | low]
+      q = _mm256_permute2f128_ps(v, v, 0x11);  // [high | high]
+      blend_mask = 0xF0;          // upper half takes (a - b)
+    }
+    const __m256 s = _mm256_add_ps(p, q);
+    const __m256 d = _mm256_sub_ps(p, q);
+    __m256 r;
+    switch (blend_mask) {
+      case 0xAA: r = _mm256_blend_ps(s, d, 0xAA); break;
+      case 0xCC: r = _mm256_blend_ps(s, d, 0xCC); break;
+      default: r = _mm256_blend_ps(s, d, 0xF0); break;
+    }
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(r, c));
+  }
+  fwht_level_tail(x, vec_n, n, h);
+}
+
+void mul_avx2(const float* x, const float* s, std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(s + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * s[i];
+}
+
+void mul_inplace_avx2(float* x, const float* s, std::size_t n) {
+  mul_avx2(x, s, n, x);
+}
+
+void add_avx2(const float* a, const float* b, std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+/// Sequential min/max fold, identical to the scalar backend.
+void min_max_tail(const float* x, std::size_t n, float* lo, float* hi) {
+  float mn = x[0], mx = x[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+void min_max_avx2(const float* x, std::size_t n, float* lo, float* hi) {
+  if (n < 16) {
+    min_max_tail(x, n, lo, hi);
+    return;
+  }
+  // Lanewise blendv on v < acc / v > acc is exactly std::min/std::max per
+  // comparison, and min/max folds are order-independent for ordered,
+  // sign-normal values — but a NaN lane would stick and hide later values
+  // in that lane where the sequential fold would have kept them, and a
+  // -0.0 makes the fold order observable (std::min(+0,-0) keeps the first
+  // argument seen). Detect either and redo the whole call scalar; both are
+  // vanishingly rare in gradient data and the fast path must not change
+  // their result.
+  const __m256i neg_zero = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  __m256 vmn = _mm256_loadu_ps(x);
+  __m256 vmx = vmn;
+  __m256 bad = _mm256_or_ps(
+      _mm256_cmp_ps(vmn, vmn, _CMP_UNORD_Q),
+      _mm256_castsi256_ps(
+          _mm256_cmpeq_epi32(_mm256_castps_si256(vmn), neg_zero)));
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    bad = _mm256_or_ps(bad, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    bad = _mm256_or_ps(
+        bad, _mm256_castsi256_ps(
+                 _mm256_cmpeq_epi32(_mm256_castps_si256(v), neg_zero)));
+    vmn = _mm256_blendv_ps(vmn, v, _mm256_cmp_ps(v, vmn, _CMP_LT_OQ));
+    vmx = _mm256_blendv_ps(vmx, v, _mm256_cmp_ps(v, vmx, _CMP_GT_OQ));
+  }
+  if (_mm256_movemask_ps(bad) != 0) {
+    min_max_tail(x, n, lo, hi);
+    return;
+  }
+  alignas(32) float mns[8], mxs[8];
+  _mm256_store_ps(mns, vmn);
+  _mm256_store_ps(mxs, vmx);
+  float mn = mns[0], mx = mxs[0];
+  for (int j = 1; j < 8; ++j) {
+    mn = std::min(mn, mns[j]);
+    mx = std::max(mx, mxs[j]);
+  }
+  for (; i < n; ++i) {
+    std::uint32_t b;
+    std::memcpy(&b, x + i, sizeof(b));
+    if (x[i] != x[i] || b == 0x80000000u) {  // NaN/-0 tail: full-scalar redo
+      min_max_tail(x, n, lo, hi);
+      return;
+    }
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+/// Scalar remainder of the fused THC encode; same expressions as the
+/// scalar backend (gcs::stochastic_level is the shared reference).
+void thc_encode_lanes_tail(const float* x, const float* u, std::size_t n,
+                           float lo, float hi, unsigned q, unsigned b,
+                           std::uint8_t* out) {
+  const std::uint32_t add = (1u << (b - 1)) - (1u << (q - 1));
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t raw = stochastic_level(x[i], lo, hi, q, u[i]) + add;
+    acc |= raw << acc_bits;
+    acc_bits += b;
+    while (acc_bits >= 8) {
+      *out++ = static_cast<std::uint8_t>(acc & 0xFFu);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+}
+
+void thc_encode_lanes_avx2(const float* x, const float* u, std::size_t n,
+                           float lo, float hi, unsigned q, unsigned b,
+                           std::uint8_t* out) {
+  if (!(hi > lo) || !(b == 2 || b == 4 || b == 8)) {
+    // Degenerate range (every level is 0) or a lane width the packer
+    // below does not handle: the scalar path covers both exactly.
+    thc_encode_lanes_tail(x, u, n, lo, hi, q, b, out);
+    return;
+  }
+  const float levels_f = static_cast<float>((1u << q) - 1u);
+  const std::int32_t add = static_cast<std::int32_t>(
+      (1u << (b - 1)) - (1u << (q - 1)));
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vwidth = _mm256_set1_ps(hi - lo);
+  const __m256 vlevels = _mm256_set1_ps(levels_f);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256i vadd = _mm256_set1_epi32(add);
+  std::size_t i = 0;
+  alignas(32) std::int32_t tmp[8];
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 uu = _mm256_loadu_ps(u + i);
+    // t = (v - lo) / (hi - lo) * levels, the exact scalar op order.
+    const __m256 t = _mm256_mul_ps(
+        _mm256_div_ps(_mm256_sub_ps(v, vlo), vwidth), vlevels);
+    const __m256 fl = _mm256_floor_ps(t);
+    const __m256 frac = _mm256_sub_ps(t, fl);
+    const __m256 up =
+        _mm256_and_ps(_mm256_cmp_ps(uu, frac, _CMP_LT_OQ), vone);
+    __m256 level = _mm256_add_ps(fl, up);
+    level = _mm256_blendv_ps(level, vzero,
+                             _mm256_cmp_ps(t, vzero, _CMP_LE_OQ));
+    level = _mm256_blendv_ps(level, vlevels,
+                             _mm256_cmp_ps(t, vlevels, _CMP_GE_OQ));
+    const __m256i raw =
+        _mm256_add_epi32(_mm256_cvttps_epi32(level), vadd);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), raw);
+    std::uint64_t word = 0;
+    for (int j = 0; j < 8; ++j) {
+      word |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(tmp[j]))
+              << (static_cast<unsigned>(j) * b);
+    }
+    std::memcpy(out, &word, b);  // 8 lanes make exactly b bytes
+    out += b;
+  }
+  thc_encode_lanes_tail(x + i, u + i, n - i, lo, hi, q, b, out);
+}
+
+/// Scalar remainder of the fused THC decode (same bits as the scalar
+/// backend: hoisted delta/lo_n are the identical float computations).
+void thc_decode_lanes_tail(const std::uint8_t* in, std::size_t n, float lo,
+                           float hi, unsigned q, unsigned b,
+                           unsigned n_workers, float* out) {
+  const float levels = static_cast<float>((1u << q) - 1u);
+  const float width = hi - lo;
+  const float lo_n = lo * static_cast<float>(n_workers);
+  if (levels == 0.0f || width <= 0.0f) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lo_n;
+    return;
+  }
+  const float delta = width / levels;
+  const std::int32_t base = static_cast<std::int32_t>(n_workers) *
+                                (1 << (q - 1)) -
+                            (1 << (b - 1));
+  const std::uint32_t mask = (1u << b) - 1u;
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (acc_bits < b) {
+      acc |= static_cast<std::uint32_t>(*in++) << acc_bits;
+      acc_bits += 8;
+    }
+    const std::int32_t level_sum = static_cast<std::int32_t>(acc & mask) + base;
+    acc >>= b;
+    acc_bits -= b;
+    out[i] = lo_n + delta * static_cast<float>(level_sum);
+  }
+}
+
+void thc_decode_lanes_avx2(const std::uint8_t* in, std::size_t n, float lo,
+                           float hi, unsigned q, unsigned b,
+                           unsigned n_workers, float* out) {
+  const float levels = static_cast<float>((1u << q) - 1u);
+  const float width = hi - lo;
+  if (levels == 0.0f || width <= 0.0f || !(b == 2 || b == 4 || b == 8)) {
+    thc_decode_lanes_tail(in, n, lo, hi, q, b, n_workers, out);
+    return;
+  }
+  const float delta = width / levels;
+  const float lo_n = lo * static_cast<float>(n_workers);
+  const std::int32_t base = static_cast<std::int32_t>(n_workers) *
+                                (1 << (q - 1)) -
+                            (1 << (b - 1));
+  const __m256 vdelta = _mm256_set1_ps(delta);
+  const __m256 vlo_n = _mm256_set1_ps(lo_n);
+  const __m256i vbase = _mm256_set1_epi32(base);
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>((1u << b) - 1u));
+  const __m256i shifts = _mm256_setr_epi32(
+      0, static_cast<int>(b), static_cast<int>(2 * b),
+      static_cast<int>(3 * b), static_cast<int>(4 * b),
+      static_cast<int>(5 * b), static_cast<int>(6 * b),
+      static_cast<int>(7 * b));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i raw;
+    if (b == 8) {
+      raw = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in)));
+      in += 8;
+    } else {
+      // 8 lanes span b bytes; all shifts stay below 32 for b <= 4.
+      std::uint32_t word = 0;
+      std::memcpy(&word, in, b);
+      raw = _mm256_and_si256(
+          _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(word)),
+                            shifts),
+          vmask);
+      in += b;
+    }
+    const __m256 f =
+        _mm256_cvtepi32_ps(_mm256_add_epi32(raw, vbase));
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(vlo_n, _mm256_mul_ps(vdelta, f)));
+  }
+  thc_decode_lanes_tail(in, n - i, lo, hi, q, b, n_workers, out + i);
+}
+
+void abs_avx2(const float* x, std::size_t n, float* out) {
+  const __m256 mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_and_ps(_mm256_loadu_ps(x + i), mask));
+  }
+  for (; i < n; ++i) out[i] = std::fabs(x[i]);
+}
+
+std::size_t count_gt_avx2(const float* x, std::size_t n, float t) {
+  const __m256 vt = _mm256_set1_ps(t);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int m = _mm256_movemask_ps(
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), vt, _CMP_GT_OQ));
+    count += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(m)));
+  }
+  for (; i < n; ++i) count += x[i] > t ? 1 : 0;
+  return count;
+}
+
+std::size_t collect_ge_avx2(const float* x, std::size_t n, float t,
+                            std::uint32_t* out) {
+  const __m256 vt = _mm256_set1_ps(t);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    unsigned m = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), vt, _CMP_GE_OQ)));
+    while (m != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(m));
+      out[count++] = static_cast<std::uint32_t>(i + bit);
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (x[i] >= t) out[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+constexpr Backend kAvx2 = {
+    "avx2",
+    fp32_to_fp16_avx2,
+    fp16_to_fp32_avx2,
+    gather_fp32_to_fp16_avx2,
+    fwht_level_avx2,
+    mul_avx2,
+    mul_inplace_avx2,
+    add_avx2,
+    min_max_avx2,
+    thc_encode_lanes_avx2,
+    thc_decode_lanes_avx2,
+    abs_avx2,
+    count_gt_avx2,
+    collect_ge_avx2,
+};
+
+}  // namespace
+
+const Backend& avx2() noexcept { return kAvx2; }
+
+}  // namespace gcs::kernels
+
+#else  // non-x86: the dispatcher never selects avx2(), but the symbol must
+       // exist; alias the scalar reference.
+
+namespace gcs::kernels {
+const Backend& avx2() noexcept { return scalar(); }
+}  // namespace gcs::kernels
+
+#endif

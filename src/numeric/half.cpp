@@ -1,7 +1,10 @@
 #include "numeric/half.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+
+#include "kernels/kernels.h"
 
 namespace gcs {
 namespace {
@@ -94,20 +97,37 @@ float half_bits_to_float(std::uint16_t bits) noexcept {
   return std::bit_cast<float>(f);
 }
 
+// The bulk helpers go through the kernel layer (single-pass, SIMD when the
+// host supports it; bit-identical to the scalar functions above by the
+// kernel backend contract). Half is a trivially copyable wrapper around
+// its uint16_t pattern, so a Half array is a valid uint16_t array.
+static_assert(sizeof(Half) == sizeof(std::uint16_t));
+
 std::vector<Half> to_half(std::span<const float> values) {
   std::vector<Half> out(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) out[i] = Half(values[i]);
+  kernels::active().fp32_to_fp16(
+      values.data(), values.size(),
+      reinterpret_cast<std::uint16_t*>(out.data()));
   return out;
 }
 
 std::vector<float> to_float(std::span<const Half> values) {
   std::vector<float> out(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i].to_float();
+  kernels::active().fp16_to_fp32(
+      reinterpret_cast<const std::uint16_t*>(values.data()), values.size(),
+      out.data());
   return out;
 }
 
 void round_trip_half(std::span<float> values) noexcept {
-  for (float& v : values) v = half_bits_to_float(float_to_half_bits(v));
+  const auto& backend = kernels::active();
+  constexpr std::size_t kChunk = 4096;
+  std::uint16_t bits[kChunk];
+  for (std::size_t i = 0; i < values.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, values.size() - i);
+    backend.fp32_to_fp16(values.data() + i, n, bits);
+    backend.fp16_to_fp32(bits, n, values.data() + i);
+  }
 }
 
 }  // namespace gcs

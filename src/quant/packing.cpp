@@ -1,5 +1,7 @@
 #include "quant/packing.h"
 
+#include <algorithm>
+
 #include "common/bits.h"
 #include "common/check.h"
 
@@ -12,6 +14,29 @@ void pack_lanes_into(std::span<const std::uint16_t> values, unsigned bits,
   out.resize(start + packed_bytes(values.size(), bits), std::byte{0});
   auto* bytes = reinterpret_cast<std::uint8_t*>(out.data() + start);
   const std::uint32_t mask = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  if ((bits & (bits - 1u)) == 0u && bits <= 8) {
+    // Power-of-two widths <= 8 (the THC wire widths): a whole number of
+    // lanes fits each byte, so no lane ever straddles a byte boundary and
+    // the per-lane `/`/`%` bit-offset arithmetic reduces to a fixed shift
+    // schedule per byte. Bit order is identical to the generic path
+    // (LSB-first within each byte).
+    const unsigned per_byte = 8u / bits;
+    std::size_t i = 0;
+    while (i < values.size()) {
+      std::uint32_t byte = 0;
+      unsigned shift = 0;
+      const std::size_t group_end = std::min(values.size(), i + per_byte);
+      for (; i < group_end; ++i, shift += bits) {
+        const std::uint16_t raw = values[i];
+        GCS_CHECK_MSG((raw & ~mask) == 0, "lane value " << raw
+                                                        << " exceeds " << bits
+                                                        << " bits");
+        byte |= static_cast<std::uint32_t>(raw) << shift;
+      }
+      *bytes++ |= static_cast<std::uint8_t>(byte);
+    }
+    return;
+  }
   std::size_t bitpos = 0;
   for (std::uint16_t raw : values) {
     const std::uint32_t v = raw & mask;
@@ -48,6 +73,19 @@ std::vector<std::uint16_t> unpack_lanes(std::span<const std::byte> data,
   std::vector<std::uint16_t> out(count);
   const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
   const std::uint32_t mask = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  if ((bits & (bits - 1u)) == 0u && bits <= 8) {
+    // Mirror of the pack fast path: fixed shift schedule per byte.
+    const unsigned per_byte = 8u / bits;
+    std::size_t i = 0;
+    while (i < count) {
+      std::uint32_t byte = *bytes++;
+      const std::size_t group_end = std::min(count, i + per_byte);
+      for (; i < group_end; ++i, byte >>= bits) {
+        out[i] = static_cast<std::uint16_t>(byte & mask);
+      }
+    }
+    return out;
+  }
   std::size_t bitpos = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t byte = bitpos >> 3;

@@ -5,18 +5,19 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "kernels/kernels.h"
 #include "numeric/precision.h"
 
 namespace gcs {
 
 QuantRange compute_range(std::span<const float> x) noexcept {
   if (x.empty()) return {};
-  float lo = x[0], hi = x[0];
-  for (float v : x) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  return {lo, hi};
+  // Single-pass kernel; the backend contract pins it to the sequential
+  // std::min/std::max fold bit-for-bit (THC computes one range per block
+  // per worker per round, so this is an encode hot path).
+  QuantRange r;
+  kernels::active().min_max(x.data(), x.size(), &r.lo, &r.hi);
+  return r;
 }
 
 QuantRange merge_ranges(QuantRange a, QuantRange b) noexcept {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace gcs {
 
@@ -38,6 +39,40 @@ SparseVector decode_sparse_fp16(std::span<const std::byte> data) {
     v.values[i] = half_bits_to_float(r.get<std::uint16_t>());
   }
   return v;
+}
+
+ByteBuffer encode_sparse_fp16_gather(std::span<const float> x,
+                                     std::span<const std::uint32_t> indices) {
+  for (std::uint32_t idx : indices) GCS_CHECK(idx < x.size());
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(indices.size()));
+  w.put_span<std::uint32_t>(indices);
+  const std::size_t val_off = out.size();
+  out.resize(val_off + indices.size() * sizeof(std::uint16_t));
+  kernels::active().gather_fp32_to_fp16(
+      x.data(), indices.data(), indices.size(),
+      reinterpret_cast<std::uint16_t*>(out.data() + val_off));
+  return out;
+}
+
+void scatter_add_sparse_fp16(std::span<const std::byte> data,
+                             std::span<float> acc) {
+  ByteReader r(data);
+  const auto count = r.get<std::uint32_t>();
+  const auto idx = r.get_span<std::uint32_t>(count);
+  const auto halves = r.get_span<std::uint16_t>(count);
+  const auto& backend = kernels::active();
+  constexpr std::size_t kChunk = 4096;
+  float vals[kChunk];
+  for (std::size_t i = 0; i < count; i += kChunk) {
+    const std::size_t n = std::min<std::size_t>(kChunk, count - i);
+    backend.fp16_to_fp32(halves.data() + i, n, vals);
+    for (std::size_t j = 0; j < n; ++j) {
+      GCS_CHECK(idx[i + j] < acc.size());
+      acc[idx[i + j]] += vals[j];
+    }
+  }
 }
 
 ByteBuffer encode_sparse_delta16(const SparseVector& v) {

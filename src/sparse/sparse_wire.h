@@ -37,6 +37,18 @@ ByteBuffer encode_sparse_fp16(const SparseVector& v);
 /// Parses encode_sparse_fp16 output. Throws gcs::Error on malformed input.
 SparseVector decode_sparse_fp16(std::span<const std::byte> data);
 
+/// Fused equivalent of encode_sparse_fp16(extract_sparse(x, indices)):
+/// gathers + converts the selected coordinates in one pass (SIMD via the
+/// kernel layer). Byte-identical to the two-step composition.
+ByteBuffer encode_sparse_fp16_gather(std::span<const float> x,
+                                     std::span<const std::uint32_t> indices);
+
+/// Fused equivalent of scatter_add(decode_sparse_fp16(data), acc):
+/// decodes fp16 values in bulk and accumulates in wire order without
+/// materializing a SparseVector. Bit-identical accumulation.
+void scatter_add_sparse_fp16(std::span<const std::byte> data,
+                             std::span<float> acc);
+
 /// Delta-encoded variant: [count:u32][deltas:u16 * count][values:fp16 *
 /// count]. Indices whose gap from the previous entry exceeds 65535 force
 /// insertion of padding entries with value 0 (the "additional coordinates"

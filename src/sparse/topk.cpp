@@ -1,8 +1,13 @@
 #include "sparse/topk.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <numeric>
+
+#include "kernels/kernels.h"
 
 namespace gcs {
 namespace {
@@ -24,14 +29,69 @@ struct AbsGreater {
 std::vector<std::uint32_t> top_k_indices(std::span<const float> x,
                                          std::size_t k) {
   k = std::min(k, x.size());
-  std::vector<std::uint32_t> idx(x.size());
-  std::iota(idx.begin(), idx.end(), 0u);
-  if (k < x.size()) {
-    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                     idx.end(), AbsGreater{x});
-    idx.resize(k);
+  if (k == 0) return {};
+  if (k == x.size()) {
+    std::vector<std::uint32_t> idx(x.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    return idx;
   }
-  std::sort(idx.begin(), idx.end());
+  // Threshold select instead of nth_element over an index permutation:
+  // find t = the k-th largest |x| on a flat magnitude copy (cheap cache
+  // behaviour), then collect the selected set in one ascending pass. The
+  // selected set is exactly the AbsGreater (|v| desc, idx asc) top k: all
+  // magnitudes > t plus the lowest-indexed ties at t — so this is
+  // bit-for-bit the legacy selection (cross-checked against
+  // top_k_indices_reference in tests).
+  const auto& backend = kernels::active();
+  // Uninitialized scratch: both buffers are fully overwritten before any
+  // read, and value-initializing ~26MB twice per call showed up in the
+  // encode profile at large d.
+  const auto mags_buf = std::make_unique_for_overwrite<float[]>(x.size());
+  float* const mags = mags_buf.get();
+  backend.abs(x.data(), x.size(), mags);
+  // t = the k-th largest magnitude, found by exact radix select instead of
+  // nth_element over a full d-sized copy (the old encode bottleneck at
+  // 25MB payloads). Magnitudes are non-negative, so their IEEE bit
+  // patterns order exactly like their values: histogram the top 16 bits,
+  // walk buckets from the top to the one holding rank k, then rank only
+  // that bucket's members — same t, two cheap passes.
+  std::vector<std::uint32_t> hist(std::size_t{1} << 16, 0u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ++hist[std::bit_cast<std::uint32_t>(mags[i]) >> 16];
+  }
+  std::size_t rank = k;
+  std::uint32_t bucket = (1u << 16) - 1u;
+  while (hist[bucket] < rank) {
+    rank -= hist[bucket];
+    --bucket;
+  }
+  std::vector<float> members;
+  members.reserve(hist[bucket]);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if ((std::bit_cast<std::uint32_t>(mags[i]) >> 16) == bucket) {
+      members.push_back(mags[i]);
+    }
+  }
+  std::nth_element(members.begin(),
+                   members.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                   members.end(), std::greater<float>());
+  const float t = members[rank - 1];
+  const std::size_t greater = backend.count_gt(mags, x.size(), t);
+  const auto cand_buf = std::make_unique_for_overwrite<std::uint32_t[]>(x.size());
+  std::uint32_t* const candidates = cand_buf.get();
+  const std::size_t n_cand = backend.collect_ge(mags, x.size(), t, candidates);
+  std::vector<std::uint32_t> idx;
+  idx.reserve(k);
+  std::size_t ties_left = k - greater;
+  for (std::size_t c = 0; c < n_cand && idx.size() < k; ++c) {
+    const std::uint32_t i = candidates[c];
+    if (mags[i] > t) {
+      idx.push_back(i);
+    } else if (ties_left > 0) {
+      idx.push_back(i);
+      --ties_left;
+    }
+  }
   return idx;
 }
 

@@ -52,6 +52,41 @@ TEST(Packing, PackIntoAppends) {
   EXPECT_EQ(std::to_integer<std::uint8_t>(buf[3]), 0x0F);
 }
 
+/// Naive LSB-first bit-stream packer: lane i lands at bit positions
+/// [i*bits, (i+1)*bits) regardless of width. Pins down the wire format the
+/// pow2 fast paths (byte-aligned shifts) and the generic carry loop must
+/// both produce.
+ByteBuffer pack_lanes_bitstream(std::span<const std::uint16_t> values,
+                                unsigned bits) {
+  ByteBuffer out((values.size() * bits + 7) / 8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (unsigned b = 0; b < bits; ++b) {
+      if ((values[i] >> b) & 1u) {
+        const std::size_t pos = i * bits + b;
+        out[pos / 8] |= static_cast<std::byte>(1u << (pos % 8));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Packing, Pow2FastPathMatchesGenericBitOrder) {
+  Rng rng(99);
+  // Pow2 widths take the precomputed-shift fast path; odd widths take the
+  // generic bit-offset loop. Both must emit the same LSB-first stream.
+  for (unsigned bits : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    for (std::size_t count : {1u, 3u, 8u, 17u, 255u, 1024u}) {
+      std::vector<std::uint16_t> v(count);
+      const std::uint32_t mask = (1u << bits) - 1;
+      for (auto& x : v) {
+        x = static_cast<std::uint16_t>(rng.next_u64() & mask);
+      }
+      EXPECT_EQ(pack_lanes(v, bits), pack_lanes_bitstream(v, bits))
+          << "bits=" << bits << " count=" << count;
+    }
+  }
+}
+
 class PackRoundTrip : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(PackRoundTrip, RandomLanes) {
