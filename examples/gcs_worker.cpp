@@ -22,12 +22,15 @@
 // identical checksums across ranks are asserted in --launch mode.
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "comm/collectives.h"
@@ -40,6 +43,9 @@
 #include "measure/trace.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stats_server.h"
 #include "tensor/layout.h"
 
 namespace {
@@ -68,6 +74,19 @@ struct WorkerConfig {
   /// _exit) while encoding round `die_round`. -1 = nobody dies.
   int die_rank = -1;
   int die_round = 0;
+  /// Live telemetry (src/telemetry/): enable the metrics registry for
+  /// this run. Implied by --stats-port.
+  bool telemetry = false;
+  /// Stats endpoint base port: rank r serves Prometheus text exposition
+  /// on 127.0.0.1:(stats_port + r). -1 = no endpoint.
+  int stats_port = -1;
+  /// Keep the stats endpoint (and the process) alive this long after the
+  /// last round, so an external scraper (tools/gcs_stat, CI) has a
+  /// race-free window to read final counters.
+  int stats_hold_ms = 0;
+  /// With --trace: also write <prefix>.rank<r>.chrome.json, the Chrome
+  /// trace-event export (chrome://tracing / Perfetto-loadable).
+  bool chrome_trace = false;
 };
 
 /// Deterministic per-worker gradients: every process regenerates the same
@@ -101,6 +120,16 @@ struct WorkerResult {
 
 /// Runs all rounds as one rank over its own socket endpoint.
 WorkerResult run_worker(const WorkerConfig& config, int rank) {
+  // Telemetry must be on before any instrumented object is constructed —
+  // handles are resolved at construction time (src/telemetry/metrics.h).
+  if (config.telemetry || config.stats_port >= 0) {
+    gcs::telemetry::set_enabled(true);
+  }
+  std::unique_ptr<gcs::telemetry::StatsServer> stats;
+  if (config.stats_port >= 0) {
+    stats = std::make_unique<gcs::telemetry::StatsServer>(config.stats_port +
+                                                          rank);
+  }
   gcs::net::SocketFabricConfig fc;
   fc.rendezvous = config.rendezvous;
   fc.world_size = config.world;
@@ -201,6 +230,21 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
     } else {
       std::cerr << "gcs_worker: warning: cannot write " << path << '\n';
     }
+    if (config.chrome_trace) {
+      const std::string chrome_path =
+          config.trace + ".rank" + std::to_string(rank) + ".chrome.json";
+      std::ofstream chrome_out(chrome_path);
+      if (chrome_out) {
+        chrome_out << gcs::telemetry::chrome_trace_json(traces, rank);
+      } else {
+        std::cerr << "gcs_worker: warning: cannot write " << chrome_path
+                  << '\n';
+      }
+    }
+  }
+  if (stats != nullptr && config.stats_hold_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.stats_hold_ms));
   }
   WorkerResult result;
   result.checksum = sum_hash;
@@ -308,6 +352,17 @@ int main(int argc, char** argv) {
              "  --seed=<s>            gradient seed (default 1234)\n"
              "  --trace=<prefix>      write per-rank round traces to\n"
              "                        <prefix>.rank<r>.json (measure/)\n"
+             "  --chrome-trace        with --trace: also write the Chrome\n"
+             "                        trace-event export to\n"
+             "                        <prefix>.rank<r>.chrome.json\n"
+             "  --telemetry           enable the live metrics registry\n"
+             "                        (src/telemetry/; also via\n"
+             "                        GCS_TELEMETRY=1)\n"
+             "  --stats-port=<p>      serve Prometheus text exposition on\n"
+             "                        127.0.0.1:(p + rank); implies\n"
+             "                        --telemetry (scrape with gcs_stat)\n"
+             "  --stats-hold-ms=<t>   keep the stats endpoint up this long\n"
+             "                        after the last round\n"
              "  --elastic             survive peer failure: re-rendezvous\n"
              "                        the survivors (new epoch, dense\n"
              "                        re-ranking) with EF state intact\n"
@@ -330,6 +385,11 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(
         flags.get_int("seed", static_cast<std::int64_t>(config.seed)));
     config.trace = flags.get_string("trace", "");
+    config.chrome_trace = flags.get_bool("chrome-trace", false);
+    config.telemetry = flags.get_bool("telemetry", false);
+    config.stats_port = static_cast<int>(flags.get_int("stats-port", -1));
+    config.stats_hold_ms =
+        static_cast<int>(flags.get_int("stats-hold-ms", 0));
     config.elastic = flags.get_bool("elastic", false);
     config.peer_timeout_ms =
         static_cast<int>(flags.get_int("peer-timeout-ms", 0));

@@ -75,6 +75,35 @@ class PeerFailure : public Error {
   int peer_;
 };
 
+/// Uniform counter snapshot of one endpoint's transport state — the
+/// telemetry layer's view (DESIGN.md "Telemetry layer"). Before this
+/// existed, stale-frame counts and per-peer traffic were reachable only
+/// by downcasting to net::SocketFabric; stats() makes them part of the
+/// Transport contract. Fields a transport does not track stay zero/empty
+/// (the default implementation fills epoch and the byte totals, which
+/// every transport has).
+struct TransportStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  /// Epoch-stale frames discarded by readers (socket transports; see
+  /// DESIGN.md "Fault tolerance").
+  std::uint64_t stale_frames_rejected = 0;
+  /// Typed PeerFailure throws observed by this endpoint.
+  std::uint64_t peer_failures = 0;
+  /// Completed rebuild() re-rendezvous cycles.
+  std::uint64_t rebuilds = 0;
+
+  /// Per-peer traffic, keyed by the peer's *original* (epoch-0) rank so a
+  /// peer's row survives re-ranking across membership changes.
+  struct Peer {
+    int original_rank = -1;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+  std::vector<Peer> peers;  ///< sorted by original_rank when non-empty
+};
+
 /// Observer of individual transport operations (the measurement layer's
 /// hook, see src/measure/trace.h). A transport with a tap installed times
 /// each send/recv with the monotonic clock and reports it here; with no
@@ -117,6 +146,18 @@ class Transport {
   /// Total payload bytes sent by / received at `rank` (owned) so far.
   virtual std::uint64_t bytes_sent(int rank) const = 0;
   virtual std::uint64_t bytes_received(int rank) const = 0;
+
+  /// Uniform counter snapshot for `rank` (owned). The default covers what
+  /// every transport tracks — current epoch plus the byte totals;
+  /// transports with richer accounting (per-peer bytes, stale frames,
+  /// failure/rebuild events) override and fill the rest.
+  virtual TransportStats stats(int rank) const {
+    TransportStats s;
+    s.epoch = membership().epoch;
+    s.bytes_sent = bytes_sent(rank);
+    s.bytes_received = bytes_received(rank);
+    return s;
+  }
 
   /// Resets the traffic counters. Throws gcs::Error if any channel still
   /// holds undelivered messages — resetting mid-collective indicates the

@@ -376,6 +376,12 @@ AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
   if (config_.encode_workers < 1) {
     throw Error("AggregationPipeline: encode_workers must be >= 1");
   }
+  tel_.rounds = telemetry::counter("gcs_pipeline_rounds_total");
+  tel_.encode_bytes = telemetry::counter("gcs_codec_encode_bytes_total");
+  tel_.decode_bytes = telemetry::counter("gcs_codec_decode_bytes_total");
+  tel_.round_usec = telemetry::histogram("gcs_pipeline_round_usec");
+  tel_.stage_usec = telemetry::histogram("gcs_pipeline_stage_usec");
+  tel_.decode_usec = telemetry::histogram("gcs_pipeline_decode_usec");
   if (config_.bucket_mode == sched::BucketMode::kLayerBuckets) {
     if (config_.layout.total_size() != codec_->dimension()) {
       throw Error(
@@ -474,6 +480,8 @@ RoundStats AggregationPipeline::aggregate(
 
   measure::TraceRecorder* trace = config_.trace;
   measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
+  tel_.rounds.inc();
+  telemetry::ScopedUsecTimer round_timer(tel_.round_usec);
 
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
@@ -482,6 +490,7 @@ RoundStats AggregationPipeline::aggregate(
   while (session->next_stage(stage)) {
     measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
                                    stage.name);
+    telemetry::ScopedUsecTimer stage_timer(tel_.stage_usec);
     // Worker 0 is always encoded first: its payload size fixes the chunk
     // plan every rank must share.
     {
@@ -519,10 +528,21 @@ RoundStats AggregationPipeline::aggregate(
                         config_.ps_server, trace);
       }
     }
+    if (tel_.encode_bytes.live()) {
+      // All n worker payloads were encoded in this process; the overlapped
+      // path reduces in place but keeps the (symmetric) sizes.
+      std::uint64_t encoded = 0;
+      for (const auto& p : payloads) encoded += p.size();
+      tel_.encode_bytes.inc(encoded);
+      tel_.decode_bytes.inc(stage.route == AggregationPath::kAllGather
+                                ? encoded
+                                : stage_bytes);
+    }
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
         stage_bytes;
   }
   measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
+  telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
   session->finish(out, stats);
   return stats;
 }
@@ -544,6 +564,8 @@ RoundStats AggregationPipeline::aggregate_over(
   // duration of the round (round boundaries are quiescent points).
   ScopedWireTap tap(comm.transport(), trace);
   measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
+  tel_.rounds.inc();
+  telemetry::ScopedUsecTimer round_timer(tel_.round_usec);
 
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
@@ -552,6 +574,7 @@ RoundStats AggregationPipeline::aggregate_over(
   while (session->next_stage(stage)) {
     measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
                                    stage.name);
+    telemetry::ScopedUsecTimer stage_timer(tel_.stage_usec);
     if (stage.route != AggregationPath::kAllGather) {
       GCS_CHECK_MSG(stage.op != nullptr,
                     "stage '" << stage.name << "' needs a ReduceOp");
@@ -627,6 +650,8 @@ RoundStats AggregationPipeline::aggregate_over(
                                         stage.name);
         session->absorb_reduced(mine);
       }
+      tel_.encode_bytes.inc(static_cast<std::uint64_t>(stage_bytes) * n);
+      tel_.decode_bytes.inc(stage_bytes);
       (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
           stage_bytes;
       continue;
@@ -647,6 +672,11 @@ RoundStats AggregationPipeline::aggregate_over(
     const std::size_t stage_bytes = payloads[0].size();
     const auto chunks = stage_chunks(stage_bytes, granularity);
     const bool symmetric = payloads_symmetric(payloads);
+    if (tel_.encode_bytes.live()) {
+      std::uint64_t encoded = 0;
+      for (const auto& p : payloads) encoded += p.size();
+      tel_.encode_bytes.inc(encoded);
+    }
     // Move, not copy: the rank's payload is re-encoded next stage anyway,
     // and the dense stages are the wire hot path (stage_bytes captured
     // above because rank 0's buffer feeds the stats line below).
@@ -658,8 +688,14 @@ RoundStats AggregationPipeline::aggregate_over(
                                       stage.name);
       if (stage.route == AggregationPath::kAllGather) {
         session->absorb_gathered(gathered);
+        if (tel_.decode_bytes.live()) {
+          std::uint64_t absorbed = 0;
+          for (const auto& g : gathered) absorbed += g.size();
+          tel_.decode_bytes.inc(absorbed);
+        }
       } else {
         session->absorb_reduced(mine);
+        tel_.decode_bytes.inc(stage_bytes);
       }
     }
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
@@ -672,6 +708,7 @@ RoundStats AggregationPipeline::aggregate_over(
   if (config_.elastic) commit_barrier(comm, round);
   if (config_.fault_hook) config_.fault_hook("decode", round);
   measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
+  telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
   session->finish(out, stats);
   return stats;
 }

@@ -44,6 +44,7 @@
 #include "comm/transport.h"
 #include "core/codec.h"
 #include "sched/bucket_planner.h"
+#include "telemetry/metrics.h"
 #include "tensor/layout.h"
 
 namespace gcs::comm {
@@ -249,6 +250,17 @@ class AggregationPipeline {
   comm::Membership membership_;  ///< set on first aggregate_elastic
   std::unique_ptr<sched::BucketPlan> bucket_plan_;
   std::unique_ptr<sched::EncodeWorkerPool> pool_;
+
+  /// Live-telemetry handles (src/telemetry/metrics.h), acquired at
+  /// construction; dead (single-branch no-ops) when telemetry is off.
+  /// Orthogonal to config_.trace: the recorder captures every span of a
+  /// traced round, these feed cheap always-on counters and latency
+  /// histograms a mid-run scrape can read.
+  struct PipelineTelemetry {
+    telemetry::CounterHandle rounds, encode_bytes, decode_bytes;
+    telemetry::HistogramHandle round_usec, stage_usec, decode_usec;
+  };
+  PipelineTelemetry tel_;
 };
 
 /// Wraps a codec + pipeline behind the legacy Compressor interface. This

@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "numeric/half.h"
 #include "numeric/precision.h"
+#include "telemetry/metrics.h"
 
 namespace gcs::kernels {
 namespace {
@@ -182,7 +183,20 @@ bool avx2_supported() noexcept {
 
 const Backend& active() noexcept {
   const Backend* forced = g_forced.load(std::memory_order_acquire);
-  return forced != nullptr ? *forced : default_backend();
+  const Backend& chosen = forced != nullptr ? *forced : default_backend();
+  // Per-backend dispatch counters. Codecs resolve the table once per
+  // stage, not per coordinate, so one dead-handle branch here is cheap;
+  // the handles are pinned at first dispatch after telemetry is enabled.
+  static struct {
+    telemetry::CounterHandle scalar_count =
+        telemetry::counter("gcs_kernels_dispatch_total",
+                           telemetry::label_kv("backend", "scalar"));
+    telemetry::CounterHandle avx2_count =
+        telemetry::counter("gcs_kernels_dispatch_total",
+                           telemetry::label_kv("backend", "avx2"));
+  } dispatch;
+  (&chosen == &kScalar ? dispatch.scalar_count : dispatch.avx2_count).inc();
+  return chosen;
 }
 
 const char* backend_name() noexcept { return active().name; }

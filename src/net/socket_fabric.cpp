@@ -14,6 +14,13 @@ SocketFabric::SocketFabric(const SocketFabricConfig& config)
     : config_(config) {
   GCS_CHECK(config_.world_size >= 1);
   GCS_CHECK(config_.rank >= 0 && config_.rank < config_.world_size);
+  tel_.sent_bytes = telemetry::counter("gcs_net_sent_bytes_total");
+  tel_.recv_bytes = telemetry::counter("gcs_net_recv_bytes_total");
+  tel_.stale_frames = telemetry::counter("gcs_net_stale_frames_rejected_total");
+  tel_.peer_failures = telemetry::counter("gcs_net_peer_failures_total");
+  tel_.rebuilds = telemetry::counter("gcs_net_rebuilds_total");
+  tel_.epoch = telemetry::gauge("gcs_net_epoch");
+  tel_.world = telemetry::gauge("gcs_net_world_size");
   EpochConfig ec;
   ec.rendezvous = Address::parse(config_.rendezvous);
   ec.original_rank = config_.rank;
@@ -35,6 +42,8 @@ void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
   membership_.original_ranks = std::move(original_ranks);
   membership_.self = self;
   const int world = membership_.world_size();
+  tel_.epoch.set(static_cast<std::int64_t>(epoch));
+  tel_.world.set(world);
   peers_.clear();
   peers_.resize(static_cast<std::size_t>(world));
   for (int r = 0; r < world; ++r) {
@@ -72,8 +81,11 @@ void SocketFabric::teardown_mesh() {
     self_buffered_ = 0;
   }
   peers_.clear();
-  std::lock_guard lock(counter_mu_);
-  stale_rejected_ += discarded;
+  {
+    std::lock_guard lock(counter_mu_);
+    stale_rejected_ += discarded;
+  }
+  if (discarded != 0) tel_.stale_frames.inc(discarded);
 }
 
 comm::Membership SocketFabric::rebuild(std::uint64_t resume_round) {
@@ -100,6 +112,11 @@ comm::Membership SocketFabric::rebuild(std::uint64_t resume_round) {
   EpochResult epoch = rendezvous_epoch(ec);
   adopt_epoch(std::move(epoch.peers), std::move(epoch.original_ranks),
               epoch.rank, ec.epoch);
+  {
+    std::lock_guard lock(counter_mu_);
+    ++rebuilds_;
+  }
+  tel_.rebuilds.inc();
   return membership_;
 }
 
@@ -124,8 +141,11 @@ void SocketFabric::reader_loop(int peer_rank, std::uint64_t epoch) {
       if (header.epoch < epoch) {
         // A straggler of an aborted epoch: reject it — parking it would
         // let a same-tag recv of this epoch mis-deliver old data.
-        std::lock_guard lock(counter_mu_);
-        ++stale_rejected_;
+        {
+          std::lock_guard lock(counter_mu_);
+          ++stale_rejected_;
+        }
+        tel_.stale_frames.inc();
         continue;
       }
       if (header.epoch > epoch) {
@@ -181,16 +201,29 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
     } catch (const Error& e) {
       // A write onto a dead peer's connection is the send-side face of
       // the same failure recv sees as EOF.
+      note_peer_failure();
       throw comm::PeerFailure(
           "SocketFabric::send to rank " + std::to_string(dst) +
               " failed: " + e.what(),
           dst);
     }
   }
+  const int peer_orank =
+      membership_.original_ranks[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(counter_mu_);
     sent_bytes_ += bytes;
+    peer_sent_bytes_[peer_orank] += bytes;
+    if (tel_.sent_bytes.live()) {
+      PeerTel& pt = peer_tel_[peer_orank];
+      if (!pt.sent.live()) {
+        pt.sent = telemetry::counter("gcs_net_peer_sent_bytes_total",
+                                     telemetry::label_kv("peer", peer_orank));
+      }
+      pt.sent.inc(bytes);
+    }
   }
+  tel_.sent_bytes.inc(bytes);
   if (tap_ != nullptr) {
     tap_->on_wire(src, dst, /*is_send=*/true, tag, bytes, start,
                   std::chrono::steady_clock::now());
@@ -244,21 +277,77 @@ comm::Message SocketFabric::recv(int dst, int src,
       // Typed as a peer failure either way: an EOF names the peer
       // directly, and a silent timeout is the same condition without the
       // courtesy of a FIN — elastic callers recover from both.
+      note_peer_failure();
       throw comm::PeerFailure(os.str(), src);
     }
     payload = std::move(it->second.front());
     it->second.pop_front();
     --p.buffered;
   }
+  const int peer_orank =
+      membership_.original_ranks[static_cast<std::size_t>(src)];
   {
     std::lock_guard lock(counter_mu_);
     received_bytes_ += payload.size();
+    peer_recv_bytes_[peer_orank] += payload.size();
+    if (tel_.recv_bytes.live()) {
+      PeerTel& pt = peer_tel_[peer_orank];
+      if (!pt.recv.live()) {
+        pt.recv = telemetry::counter("gcs_net_peer_recv_bytes_total",
+                                     telemetry::label_kv("peer", peer_orank));
+      }
+      pt.recv.inc(payload.size());
+    }
   }
+  tel_.recv_bytes.inc(payload.size());
   if (tap_ != nullptr) {
     tap_->on_wire(dst, src, /*is_send=*/false, expected_tag, payload.size(),
                   start, std::chrono::steady_clock::now());
   }
   return comm::Message{expected_tag, std::move(payload)};
+}
+
+void SocketFabric::note_peer_failure() noexcept {
+  {
+    std::lock_guard lock(counter_mu_);
+    ++peer_failures_;
+  }
+  tel_.peer_failures.inc();
+}
+
+comm::TransportStats SocketFabric::stats(int rank) const {
+  GCS_CHECK(rank == membership_.self);
+  comm::TransportStats s;
+  s.epoch = membership_.epoch;
+  std::lock_guard lock(counter_mu_);
+  s.bytes_sent = sent_bytes_;
+  s.bytes_received = received_bytes_;
+  s.stale_frames_rejected = stale_rejected_;
+  s.peer_failures = peer_failures_;
+  s.rebuilds = rebuilds_;
+  // Merge the two per-peer maps; std::map iteration keeps the rows
+  // sorted by original rank.
+  auto row = [&s](int orank) -> comm::TransportStats::Peer& {
+    if (s.peers.empty() || s.peers.back().original_rank != orank) {
+      s.peers.push_back({orank, 0, 0});
+    }
+    return s.peers.back();
+  };
+  auto sent = peer_sent_bytes_.begin();
+  auto recv = peer_recv_bytes_.begin();
+  while (sent != peer_sent_bytes_.end() || recv != peer_recv_bytes_.end()) {
+    const bool take_sent =
+        recv == peer_recv_bytes_.end() ||
+        (sent != peer_sent_bytes_.end() && sent->first <= recv->first);
+    if (take_sent) {
+      row(sent->first).bytes_sent = sent->second;
+      ++sent;
+    } else {
+      row(recv->first).bytes_received = recv->second;
+      ++recv;
+    }
+  }
+  return s;
 }
 
 std::uint64_t SocketFabric::bytes_sent(int rank) const {
@@ -298,6 +387,8 @@ void SocketFabric::reset_counters() {
   std::lock_guard lock(counter_mu_);
   sent_bytes_ = 0;
   received_bytes_ = 0;
+  peer_sent_bytes_.clear();
+  peer_recv_bytes_.clear();
 }
 
 }  // namespace gcs::net

@@ -55,6 +55,7 @@
 
 #include "comm/transport.h"
 #include "net/socket.h"
+#include "telemetry/metrics.h"
 
 namespace gcs::net {
 
@@ -109,6 +110,11 @@ class SocketFabric final : public comm::Transport {
 
   comm::Membership membership() const override { return membership_; }
 
+  /// Uniform counter snapshot (see comm::TransportStats): totals plus
+  /// per-peer traffic keyed by original rank, stale-frame/failure/rebuild
+  /// event counts and the current epoch. `rank` must be the owned rank.
+  comm::TransportStats stats(int rank) const override;
+
   /// Elastic recovery (requires config.elastic): tears down the current
   /// mesh, re-rendezvouses the survivors as epoch + 1 and resumes with a
   /// dense re-ranking. See the file comment. Must be called from the
@@ -142,6 +148,8 @@ class SocketFabric final : public comm::Transport {
   void teardown_mesh();
   void reader_loop(int peer_rank, std::uint64_t epoch);
   Peer& peer(int rank) const;
+  /// Counts a typed PeerFailure about to be thrown (meter + telemetry).
+  void note_peer_failure() noexcept;
 
   SocketFabricConfig config_;
   comm::Membership membership_;
@@ -157,7 +165,28 @@ class SocketFabric final : public comm::Transport {
   std::uint64_t sent_bytes_ = 0;
   std::uint64_t received_bytes_ = 0;
   std::uint64_t stale_rejected_ = 0;
+  std::uint64_t peer_failures_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  /// Per-peer traffic keyed by the peer's original (epoch-0) rank, so a
+  /// peer's row is stable across rebuild re-rankings. Guarded by
+  /// counter_mu_ (the hot path already takes it for the totals).
+  std::map<int, std::uint64_t> peer_sent_bytes_;
+  std::map<int, std::uint64_t> peer_recv_bytes_;
   comm::WireTap* tap_ = nullptr;  ///< non-owning; set while quiescent
+
+  /// Telemetry handles, acquired at construction (dead when telemetry is
+  /// off — see src/telemetry/metrics.h). Per-peer registry counters are
+  /// materialized lazily under counter_mu_ as peers first exchange bytes.
+  struct Telemetry {
+    telemetry::CounterHandle sent_bytes, recv_bytes;
+    telemetry::CounterHandle stale_frames, peer_failures, rebuilds;
+    telemetry::GaugeHandle epoch, world;
+  };
+  Telemetry tel_;
+  struct PeerTel {
+    telemetry::CounterHandle sent, recv;
+  };
+  std::map<int, PeerTel> peer_tel_;  // keyed by original rank; counter_mu_
 };
 
 }  // namespace gcs::net

@@ -9,6 +9,8 @@ EncodeWorkerPool::EncodeWorkerPool(int workers) : workers_(workers) {
     throw Error("EncodeWorkerPool needs >= 1 workers, got " +
                 std::to_string(workers));
   }
+  queue_depth_ = telemetry::gauge("gcs_sched_queue_depth");
+  handoff_usec_ = telemetry::histogram("gcs_sched_handoff_usec");
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -27,7 +29,11 @@ EncodeWorkerPool::~EncodeWorkerPool() {
 void EncodeWorkerPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    Task t;
+    t.fn = std::move(task);
+    if (handoff_usec_.live()) t.submitted = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(t));
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size() - next_task_));
   }
   work_cv_.notify_one();
 }
@@ -53,9 +59,19 @@ void EncodeWorkerPool::worker_loop() {
       work_cv_.wait(lock,
                     [this] { return stop_ || next_task_ < queue_.size(); });
       if (stop_ && next_task_ >= queue_.size()) return;
-      task = std::move(queue_[next_task_]);
+      Task& claimed = queue_[next_task_];
+      task = std::move(claimed.fn);
+      if (handoff_usec_.live()) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - claimed.submitted);
+        handoff_usec_.observe(
+            static_cast<std::uint64_t>(waited.count() < 0 ? 0
+                                                          : waited.count()));
+      }
       ++next_task_;
       ++in_flight_;
+      queue_depth_.set(static_cast<std::int64_t>(queue_.size() - next_task_));
     }
     try {
       task();

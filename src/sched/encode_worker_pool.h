@@ -19,6 +19,7 @@
 // loudly, exactly like the serial path.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -26,6 +27,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace gcs::sched {
 
@@ -48,6 +51,12 @@ class EncodeWorkerPool {
   void wait_idle();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// Submission time, stamped only when hand-off telemetry is live.
+    std::chrono::steady_clock::time_point submitted;
+  };
+
   void worker_loop();
 
   int workers_;
@@ -55,11 +64,17 @@ class EncodeWorkerPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::vector<std::function<void()>> queue_;
+  std::vector<Task> queue_;
   std::size_t next_task_ = 0;   ///< queue_ index of the next unclaimed task
   std::size_t in_flight_ = 0;
   std::exception_ptr first_error_;
   bool stop_ = false;
+
+  /// Telemetry (dead handles when off): unclaimed-queue depth and the
+  /// submit -> claim hand-off latency. Updated under mu_, which the pool
+  /// already holds at both sites.
+  telemetry::GaugeHandle queue_depth_;
+  telemetry::HistogramHandle handoff_usec_;
 };
 
 }  // namespace gcs::sched

@@ -1,0 +1,140 @@
+#include "telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace gcs::telemetry {
+
+namespace {
+
+using measure::Phase;
+using measure::RoundTrace;
+using measure::TraceSpan;
+
+constexpr std::int64_t kPipelineTid = 0;
+constexpr std::int64_t kEncodeTidBase = 1;
+constexpr std::int64_t kWireTidBase = 100;
+
+std::int64_t span_tid(const TraceSpan& s) noexcept {
+  switch (s.phase) {
+    case Phase::kEncode:
+      return kEncodeTidBase + (s.worker >= 0 ? s.worker + 1 : 0);
+    case Phase::kSend:
+      return kWireTidBase + 2 * std::max(s.peer, 0);
+    case Phase::kRecv:
+      return kWireTidBase + 2 * std::max(s.peer, 0) + 1;
+    case Phase::kRound:
+    case Phase::kStage:
+    case Phase::kReduce:
+    case Phase::kDecode:
+      break;
+  }
+  return kPipelineTid;
+}
+
+std::string tid_name(std::int64_t tid) {
+  if (tid == kPipelineTid) return "pipeline";
+  if (tid < kWireTidBase) {
+    return tid == kEncodeTidBase
+               ? "encode (caller)"
+               : "encode worker " + std::to_string(tid - kEncodeTidBase - 1);
+  }
+  const std::int64_t peer = (tid - kWireTidBase) / 2;
+  return ((tid - kWireTidBase) % 2 == 0 ? "send -> peer " : "recv <- peer ") +
+         std::to_string(peer);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        out += c;
+    }
+  }
+}
+
+std::int64_t usec(double seconds) noexcept {
+  return static_cast<std::int64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<RoundTrace>& traces,
+                              int default_rank) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    out += first ? "\n" : ",\n";
+    out += event;
+    first = false;
+  };
+
+  // Rounds restart their clocks near zero; lay them out back to back with
+  // a 50us gap so round N+1 never overlaps round N on the timeline.
+  constexpr double kRoundGapS = 50e-6;
+  double offset_s = 0.0;
+
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;  // (pid, tid)
+  for (const RoundTrace& t : traces) {
+    double extent_s = 0.0;
+    for (const TraceSpan& s : t.spans) {
+      const std::int64_t pid = s.rank >= 0 ? s.rank : default_rank;
+      const std::int64_t tid = span_tid(s);
+      seen.emplace(pid, tid);
+      extent_s = std::max(extent_s, s.end_s);
+
+      std::string ev = "{\"name\": \"";
+      append_escaped(ev, measure::phase_name(s.phase));
+      if (s.label != nullptr && s.label[0] != '\0') {
+        ev += ':';
+        append_escaped(ev, s.label);
+      }
+      ev += "\", \"cat\": \"";
+      append_escaped(ev, measure::phase_name(s.phase));
+      ev += "\", \"ph\": \"X\", \"pid\": " + std::to_string(pid) +
+            ", \"tid\": " + std::to_string(tid) +
+            ", \"ts\": " + std::to_string(usec(offset_s + s.start_s)) +
+            ", \"dur\": " +
+            std::to_string(std::max<std::int64_t>(
+                usec(s.end_s) - usec(s.start_s), 1)) +
+            ", \"args\": {\"round\": " + std::to_string(t.round) +
+            ", \"scheme\": \"";
+      append_escaped(ev, t.scheme);
+      ev += "\", \"bytes\": " + std::to_string(s.bytes);
+      if (s.phase == Phase::kSend || s.phase == Phase::kRecv) {
+        ev += ", \"tag\": " + std::to_string(s.tag);
+      }
+      ev += "}}";
+      emit(ev);
+    }
+    offset_s += extent_s + kRoundGapS;
+  }
+
+  std::set<std::int64_t> pids;
+  for (const auto& [pid, tid] : seen) pids.insert(pid);
+  for (std::int64_t pid : pids) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid) +
+         ", \"args\": {\"name\": \"rank " + std::to_string(pid) + "\"}}");
+  }
+  for (const auto& [pid, tid] : seen) {
+    std::string name;
+    append_escaped(name, tid_name(tid));
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
+         ", \"args\": {\"name\": \"" + name + "\"}}");
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace gcs::telemetry

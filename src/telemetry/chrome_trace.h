@@ -1,0 +1,43 @@
+// Chrome trace-event export of measurement-layer round traces.
+//
+// Converts the RoundTraces the pipeline already records (src/measure/)
+// into the Chrome trace-event JSON format, loadable in chrome://tracing,
+// Perfetto and catapult. The mapping makes a multi-rank aggregation read
+// like a profiled program:
+//
+//   pid — the rank a span executed on (span.rank for wire spans, the
+//         exporter's default_rank for pipeline spans, which the recorder
+//         leaves unattributed). Each pid gets a process_name metadata
+//         record "rank N".
+//   tid — a synthetic lane per concurrent actor inside the rank:
+//           0             pipeline (round/stage/reduce/decode envelopes)
+//           1 + worker    encode worker lanes (worker -1 = the caller)
+//           100 + 2*peer  wire send lane towards `peer`
+//           101 + 2*peer  wire recv lane from `peer`
+//         so nested pipeline phases stack on lane 0 while per-peer wire
+//         traffic and pool workers render as parallel tracks.
+//   ts  — microseconds. Recorder clocks restart near zero every round
+//         (TraceRecorder::take re-arms the epoch), so rounds are laid out
+//         sequentially on the export timeline with a visual gap between
+//         them; within a round, relative timing is preserved exactly.
+//
+// Every span becomes one complete ("X") event carrying round / scheme /
+// bytes / tag in args. The output is self-contained JSON — no registry
+// or telemetry state involved — so it works on traces loaded back from
+// disk as well as live ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/trace.h"
+
+namespace gcs::telemetry {
+
+/// Renders `traces` as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}). `default_rank` attributes pipeline spans
+/// (recorded with rank -1) to the exporting process's rank.
+std::string chrome_trace_json(const std::vector<measure::RoundTrace>& traces,
+                              int default_rank = 0);
+
+}  // namespace gcs::telemetry

@@ -1,0 +1,68 @@
+#include "telemetry/stats_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <array>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace gcs::telemetry {
+
+StatsServer::StatsServer(int port) {
+  net::Address addr;
+  addr.is_unix = false;
+  addr.host = "127.0.0.1";
+  addr.port = port;
+  listener_ = net::listen_on(addr, /*backlog=*/8);
+  port_ = addr.port;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+StatsServer::~StatsServer() { stop(); }
+
+void StatsServer::stop() noexcept {
+  if (!stop_.exchange(true)) {
+    // The accept loop polls with a short timeout, so it notices stop_
+    // without needing a self-connect wakeup.
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    net::Socket conn;
+    try {
+      conn = net::try_accept_from(listener_, /*timeout_ms=*/100);
+    } catch (...) {
+      return;  // listener died (e.g. fd torn down at shutdown)
+    }
+    if (!conn.valid()) continue;
+
+    try {
+      // Drain whatever request line arrived (best-effort; a scraper that
+      // connects and reads without sending anything still gets metrics).
+      pollfd pfd{conn.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 200) > 0 && (pfd.revents & POLLIN) != 0) {
+        std::array<char, 4096> buf;
+        (void)::recv(conn.fd(), buf.data(), buf.size(), 0);
+      }
+
+      const std::string body = Registry::instance().prometheus_text();
+      std::string response =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n";
+      response += body;
+      conn.write_all(response.data(), response.size());
+      scrapes_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // A client that disconnected mid-response is its own problem; the
+      // endpoint must never take the worker down.
+    }
+  }
+}
+
+}  // namespace gcs::telemetry

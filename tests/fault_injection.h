@@ -44,8 +44,10 @@
 #include "core/aggregation_pipeline.h"
 #include "core/factory.h"
 #include "core/synthetic_grad.h"
+#include "measure/trace.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
+#include "telemetry/chrome_trace.h"
 #include "tensor/layout.h"
 
 namespace gcs::testing {
@@ -216,6 +218,9 @@ class KillSwitchTransport final : public comm::Transport {
   comm::Membership rebuild(std::uint64_t resume_round) override {
     return inner_.rebuild(resume_round);
   }
+  comm::TransportStats stats(int rank) const override {
+    return inner_.stats(rank);
+  }
 
  private:
   comm::Transport& inner_;
@@ -229,7 +234,8 @@ struct WorldResult {
 /// One rank's body: the SPMD loop every worker of the world runs.
 inline RankReport run_rank(const WorldConfig& config, const FaultPlan& fault,
                            int rank, const std::string& rendezvous,
-                           std::ofstream& log) {
+                           std::ofstream& log,
+                           const std::string& trace_path = {}) {
   using Clock = std::chrono::steady_clock;
   const bool victim = fault.victim == rank;
   if (victim && fault.phase == KillPhase::kPreRendezvous) {
@@ -271,6 +277,20 @@ inline RankReport run_rank(const WorldConfig& config, const FaultPlan& fault,
       }
     };
   }
+  // Post-mortem tracing: when the harness logs, it also records per-round
+  // spans and, on failure, dumps a Chrome trace next to the rank's log —
+  // the artefact CI uploads so a kill-matrix failure can be read on a
+  // timeline instead of out of four interleaved logs.
+  measure::TraceRecorder recorder;
+  std::vector<measure::RoundTrace> traces;
+  if (!trace_path.empty()) pc.trace = &recorder;
+  const auto dump_chrome_trace = [&](std::uint64_t round) {
+    if (trace_path.empty()) return;
+    traces.push_back(recorder.take(round, config.scheme, "socket"));
+    std::ofstream chrome(trace_path, std::ios::trunc);
+    chrome << telemetry::chrome_trace_json(traces, rank);
+  };
+
   core::AggregationPipeline pipeline(
       core::make_scheme_codec(config.scheme, layout, config.world), pc);
 
@@ -312,7 +332,11 @@ inline RankReport run_rank(const WorldConfig& config, const FaultPlan& fault,
       log << "round " << r << " failed after " << report.fail_elapsed_ms
           << " ms: " << e.what() << "\n"
           << std::flush;
+      dump_chrome_trace(round);
       return report;
+    }
+    if (!trace_path.empty()) {
+      traces.push_back(recorder.take(round, config.scheme, "socket"));
     }
     RoundRecord rec;
     rec.round = round;
@@ -352,14 +376,17 @@ inline WorldResult run_world(const WorldConfig& config,
   }
   net::ForkedWorkers workers(0, config.world, [&](int rank) {
     std::ofstream log;
+    std::string trace_path;
     if (!config.log_dir.empty()) {
-      log.open(config.log_dir + "/" + config.scheme + "." +
-               to_string(fault.phase) + ".victim" +
-               std::to_string(fault.victim) + ".rank" +
-               std::to_string(rank) + ".log");
+      const std::string stem = config.log_dir + "/" + config.scheme + "." +
+                               to_string(fault.phase) + ".victim" +
+                               std::to_string(fault.victim) + ".rank" +
+                               std::to_string(rank);
+      log.open(stem + ".log");
+      trace_path = stem + ".chrome.json";
     }
     return serialize_report(
-        run_rank(config, fault, rank, rendezvous, log));
+        run_rank(config, fault, rank, rendezvous, log, trace_path));
   });
   WorldResult result;
   result.outcomes = workers.join_outcomes();

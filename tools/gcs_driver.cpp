@@ -57,6 +57,7 @@
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
 #include "sim/cost_model.h"
+#include "telemetry/chrome_trace.h"
 #include "tensor/layout.h"
 
 namespace {
@@ -460,6 +461,16 @@ int run_driver(const DriverConfig& config,
     std::cout << "(traces written to " << trace_path << ")\n";
   } else {
     std::cerr << "warning: cannot write " << trace_path << '\n';
+  }
+  // The same spans on a chrome://tracing / Perfetto timeline.
+  const std::string chrome_path =
+      config.out + "/TRACE_round_traces.chrome.json";
+  std::ofstream chrome_out(chrome_path);
+  if (chrome_out) {
+    chrome_out << telemetry::chrome_trace_json(traces);
+    std::cout << "(chrome trace written to " << chrome_path << ")\n";
+  } else {
+    std::cerr << "warning: cannot write " << chrome_path << '\n';
   }
 
   if (!improves) {

@@ -1,0 +1,311 @@
+// gcs_stat — poll the in-process stats endpoints of a running job and
+// render a live per-rank table.
+//
+// Each rank of a telemetry-enabled run (gcs_worker --stats-port=<p>, or
+// any process that constructed a telemetry::StatsServer) serves the
+// Prometheus text exposition over plain HTTP. This tool scrapes one or
+// more such endpoints and renders the metrics that matter for "is the
+// job healthy" at a glance: rounds completed, codec bytes, wire traffic,
+// stale frames, elastic-membership epoch/world.
+//
+//   gcs_stat --targets=127.0.0.1:9200,127.0.0.1:9201   # poll + table
+//   gcs_stat --targets=... --once                      # one scrape, exit
+//   gcs_stat --targets=... --once --validate
+//            --require=gcs_pipeline_rounds_total       # CI gate
+//   gcs_stat --targets=... --once --dump=snapshot.prom # save raw text
+//
+// Exit status: 0 when every target answered (and, with --validate, every
+// exposition parsed and every --require family was present); 1 otherwise.
+// The scrape path is deliberately dependency-free: a hand-rolled
+// HTTP/1.0 GET over net::connect_to and a line-oriented parse of the
+// text format — the same dialect tests/test_telemetry.cpp locks down.
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "net/socket.h"
+
+namespace {
+
+struct Sample {
+  std::string name;    // metric family name
+  std::string labels;  // raw label block without braces ("" if none)
+  double value = 0.0;
+};
+
+struct Scrape {
+  std::string target;
+  bool ok = false;        // connected and got a 200 with a body
+  bool parse_ok = false;  // every non-comment line parsed
+  std::string error;
+  std::string body;  // raw exposition text
+  std::vector<Sample> samples;
+};
+
+/// One HTTP/1.0 GET /metrics against "host:port". Returns the response
+/// body (after the blank line); throws gcs::Error on connect/read
+/// failure or a non-200 status.
+std::string http_get_metrics(const std::string& target, int timeout_ms) {
+  gcs::net::Address addr;
+  addr.is_unix = false;
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    throw gcs::Error("gcs_stat: target '" + target + "' is not host:port");
+  }
+  addr.host = target.substr(0, colon);
+  addr.port = std::stoi(target.substr(colon + 1));
+
+  gcs::net::Socket sock = gcs::net::connect_to(addr, timeout_ms);
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: " + target + "\r\n\r\n";
+  sock.write_all(request.data(), request.size());
+
+  // Read to EOF: the server closes after one response (HTTP/1.0).
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(sock.fd(), buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw gcs::Error("gcs_stat: read from " + target + " failed: " +
+                       std::strerror(errno));
+    }
+    if (got == 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+
+  const auto eol = response.find("\r\n");
+  const std::string status =
+      eol == std::string::npos ? response : response.substr(0, eol);
+  if (status.find(" 200 ") == std::string::npos) {
+    throw gcs::Error("gcs_stat: " + target + " answered '" + status + "'");
+  }
+  const auto blank = response.find("\r\n\r\n");
+  if (blank == std::string::npos) {
+    throw gcs::Error("gcs_stat: " + target + " sent no header terminator");
+  }
+  return response.substr(blank + 4);
+}
+
+/// Parses one exposition body into samples. Returns false if any
+/// non-comment, non-blank line failed to parse (the samples that did
+/// parse are still kept).
+bool parse_exposition(const std::string& body, std::vector<Sample>* out) {
+  bool all_ok = true;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    // "name{labels} value" or "name value".
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      all_ok = false;
+      continue;
+    }
+    Sample s;
+    std::string key = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    const auto brace = key.find('{');
+    if (brace != std::string::npos) {
+      if (key.back() != '}') {
+        all_ok = false;
+        continue;
+      }
+      s.labels = key.substr(brace + 1, key.size() - brace - 2);
+      key = key.substr(0, brace);
+    }
+    s.name = key;
+    try {
+      std::size_t used = 0;
+      s.value = std::stod(value_text, &used);
+      if (used != value_text.size()) {
+        all_ok = false;
+        continue;
+      }
+    } catch (const std::exception&) {
+      all_ok = false;
+      continue;
+    }
+    out->push_back(std::move(s));
+  }
+  return all_ok;
+}
+
+Scrape scrape_target(const std::string& target, int timeout_ms) {
+  Scrape s;
+  s.target = target;
+  try {
+    s.body = http_get_metrics(target, timeout_ms);
+    s.ok = true;
+    s.parse_ok = parse_exposition(s.body, &s.samples);
+  } catch (const std::exception& e) {
+    s.error = e.what();
+  }
+  return s;
+}
+
+/// Sum of every sample of `name` (all label combinations), or 0.
+double sum_of(const Scrape& s, const std::string& name) {
+  double total = 0.0;
+  for (const auto& sample : s.samples) {
+    if (sample.name == name) total += sample.value;
+  }
+  return total;
+}
+
+/// The single sample of `name` with an empty (or any) label block;
+/// gauges and plain counters have exactly one.
+double value_of(const Scrape& s, const std::string& name) {
+  for (const auto& sample : s.samples) {
+    if (sample.name == name && sample.labels.empty()) return sample.value;
+  }
+  return sum_of(s, name);
+}
+
+std::string fmt_mib(double bytes) {
+  return gcs::format_fixed(bytes / (1024.0 * 1024.0), 2);
+}
+
+std::string fmt_count(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+void render_table(const std::vector<Scrape>& scrapes) {
+  gcs::AsciiTable table({"target", "rounds", "enc MiB", "dec MiB", "sent MiB",
+                         "recv MiB", "stale", "epoch", "world", "peer fail"});
+  for (const auto& s : scrapes) {
+    if (!s.ok) {
+      table.add_row({s.target, "DOWN", "-", "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({
+        s.target,
+        fmt_count(value_of(s, "gcs_pipeline_rounds_total")),
+        fmt_mib(value_of(s, "gcs_codec_encode_bytes_total")),
+        fmt_mib(value_of(s, "gcs_codec_decode_bytes_total")),
+        fmt_mib(value_of(s, "gcs_net_sent_bytes_total")),
+        fmt_mib(value_of(s, "gcs_net_recv_bytes_total")),
+        fmt_count(value_of(s, "gcs_net_stale_frames_rejected_total")),
+        fmt_count(value_of(s, "gcs_net_epoch")),
+        fmt_count(value_of(s, "gcs_net_world_size")),
+        fmt_count(value_of(s, "gcs_net_peer_failures_total")),
+    });
+  }
+  std::cout << table.to_string() << "\n";
+}
+
+void print_usage() {
+  std::cout <<
+      "gcs_stat: scrape and render gcs telemetry endpoints\n"
+      "  --targets=<h:p,...>  endpoints to scrape (required)\n"
+      "  --interval-ms=<t>    polling period (default 1000)\n"
+      "  --timeout-ms=<t>     per-scrape connect/read timeout (default 2000)\n"
+      "  --once               scrape once and exit instead of polling\n"
+      "  --validate           require every exposition to parse cleanly\n"
+      "  --require=<m,...>    metric families that must be present (implies\n"
+      "                       --validate semantics for the exit status)\n"
+      "  --dump=<path>        write the raw exposition text of every target\n"
+      "                       (concatenated, '# gcs_stat target:' headers)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    gcs::CliFlags flags(argc, argv);
+    if (flags.help_requested()) {
+      print_usage();
+      return 0;
+    }
+    const std::string targets_csv = flags.get_string("targets", "");
+    if (targets_csv.empty()) {
+      print_usage();
+      std::cerr << "gcs_stat: --targets is required\n";
+      return 1;
+    }
+    const std::vector<std::string> targets = gcs::split_csv(targets_csv);
+    const int interval_ms =
+        static_cast<int>(flags.get_int("interval-ms", 1000));
+    const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 2000));
+    const bool once = flags.get_bool("once", false);
+    const bool validate = flags.get_bool("validate", false);
+    const std::vector<std::string> required =
+        gcs::split_csv(flags.get_string("require", ""));
+    const std::string dump_path = flags.get_string("dump", "");
+
+    for (;;) {
+      std::vector<Scrape> scrapes;
+      scrapes.reserve(targets.size());
+      for (const auto& target : targets) {
+        scrapes.push_back(scrape_target(target, timeout_ms));
+      }
+
+      render_table(scrapes);
+      for (const auto& s : scrapes) {
+        if (!s.ok) std::cerr << "gcs_stat: " << s.error << "\n";
+      }
+
+      if (!dump_path.empty()) {
+        std::ofstream dump(dump_path, std::ios::trunc);
+        for (const auto& s : scrapes) {
+          dump << "# gcs_stat target: " << s.target << "\n" << s.body;
+        }
+        if (!dump) {
+          std::cerr << "gcs_stat: failed to write " << dump_path << "\n";
+          return 1;
+        }
+      }
+
+      if (once) {
+        bool ok = true;
+        for (const auto& s : scrapes) {
+          if (!s.ok) {
+            ok = false;
+            continue;
+          }
+          if (validate && !s.parse_ok) {
+            std::cerr << "gcs_stat: " << s.target
+                      << ": exposition did not parse cleanly\n";
+            ok = false;
+          }
+          std::set<std::string> families;
+          for (const auto& sample : s.samples) families.insert(sample.name);
+          for (const auto& need : required) {
+            // A histogram family exposes name_bucket/_sum/_count.
+            if (families.count(need) == 0 &&
+                families.count(need + "_bucket") == 0) {
+              std::cerr << "gcs_stat: " << s.target << ": required family '"
+                        << need << "' missing\n";
+              ok = false;
+            }
+          }
+        }
+        return ok ? 0 : 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gcs_stat: " << e.what() << "\n";
+    return 1;
+  }
+}
