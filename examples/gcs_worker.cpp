@@ -34,16 +34,20 @@
 #include <vector>
 
 #include "comm/collectives.h"
+#include "comm/transport_decorators.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/aggregation_pipeline.h"
 #include "core/factory.h"
 #include "core/synthetic_grad.h"
+#include "measure/clock_sync.h"
 #include "measure/trace.h"
+#include "measure/trace_merge.h"
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
 #include "telemetry/chrome_trace.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/stats_server.h"
 #include "tensor/layout.h"
@@ -87,6 +91,20 @@ struct WorkerConfig {
   /// With --trace: also write <prefix>.rank<r>.chrome.json, the Chrome
   /// trace-event export (chrome://tracing / Perfetto-loadable).
   bool chrome_trace = false;
+  /// Straggler injection (the causal profiler's acceptance seam): this
+  /// original rank sleeps --delay-send-ms before every transport send,
+  /// making it artificially late without touching payloads. -1 = nobody.
+  int delay_rank = -1;
+  int delay_send_ms = 0;
+  /// Always-on flight recorder: ring of the last N completed rounds,
+  /// dumped post mortem on peer failure or fatal signal (0 = off).
+  int flight_rounds = 8;
+  /// Directory flight-recorder dumps land in.
+  std::string flight_dir = ".";
+  /// Clock-sync refresh period in rounds (the rendezvous sync always
+  /// runs); 0 = rendezvous only. Periodic refreshes feed the drift
+  /// estimate for long runs.
+  int clock_sync_every = 32;
 };
 
 /// Deterministic per-worker gradients: every process regenerates the same
@@ -140,7 +158,30 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
     fc.rejoin_window_ms = config.rejoin_window_ms;
   }
   gcs::net::SocketFabric fabric(fc);
-  gcs::comm::Communicator comm(fabric, fabric.rank());
+  // Straggler injection: the delayed rank's transport sleeps before every
+  // send. The collectives run over the decorated transport; clock sync
+  // runs over the raw fabric (a sync through the delay would fold the
+  // injected latency into the offset estimate and hide the straggler).
+  gcs::comm::DelayTransport delayed(
+      fabric,
+      std::chrono::microseconds(
+          rank == config.delay_rank
+              ? static_cast<std::int64_t>(config.delay_send_ms) * 1000
+              : 0));
+  gcs::comm::Transport& transport = delayed;
+  gcs::comm::Communicator comm(transport, fabric.rank());
+
+  // Rendezvous clock sync: estimate this rank's offset against rank 0 so
+  // per-rank traces (and flight-recorder dumps) can be merged onto one
+  // timeline by gcs_analyze. Collective — every rank passes here before
+  // any round runs, including ranks that will die or be delayed later.
+  gcs::comm::Communicator sync_comm(fabric, fabric.rank());
+  gcs::measure::ClockSync clock_sync;
+  clock_sync.refresh(sync_comm);
+  // Periodic refreshes (drift tracking) need a stable membership and all
+  // ranks alive at the same round boundary; the demos that violate that
+  // keep the rendezvous model.
+  const bool clock_refresh_ok = !config.elastic && config.die_rank < 0;
 
   const gcs::ModelLayout layout({gcs::LayerSpec{"flat", config.dim, 1}});
   // The spec's own knobs (validated and resolved by the factory — chunk=,
@@ -165,7 +206,24 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
       pipeline_config.bucket_mode == gcs::sched::BucketMode::kLayerBuckets;
   if (!spec_sets_chunk) pipeline_config.chunk_bytes = config.chunk;
   gcs::measure::TraceRecorder recorder;
+  recorder.set_origin_rank(rank);
   if (!config.trace.empty()) pipeline_config.trace = &recorder;
+  // Always-on flight recorder: keeps the last N rounds' spans in a ring
+  // and dumps them post mortem on peer failure or a fatal signal. When
+  // --trace is off the recorder's internal sink feeds the pipeline; with
+  // --trace the user recorder stays the sink and completed rounds are
+  // observe()d into the ring from the round loop below.
+  std::unique_ptr<gcs::telemetry::FlightRecorder> flight;
+  if (config.flight_rounds > 0) {
+    gcs::telemetry::FlightRecorderOptions fo;
+    fo.ring_rounds = static_cast<std::size_t>(config.flight_rounds);
+    fo.dump_dir = config.flight_dir;
+    fo.rank = rank;
+    flight = std::make_unique<gcs::telemetry::FlightRecorder>(fo);
+    flight->set_clock(clock_sync.model());
+    gcs::telemetry::FlightRecorder::arm_process_hooks(flight.get());
+    pipeline_config.flight = flight.get();
+  }
   pipeline_config.elastic = config.elastic;
   pipeline_config.peer_timeout_ms = config.peer_timeout_ms;
   pipeline_config.rejoin_window_ms = config.rejoin_window_ms;
@@ -189,12 +247,17 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   std::vector<gcs::measure::RoundTrace> traces;
   std::uint64_t seen_epoch = 0;
   for (int r = 0; r < config.rounds; ++r) {
+    if (clock_refresh_ok && config.clock_sync_every > 0 && r > 0 &&
+        r % config.clock_sync_every == 0) {
+      clock_sync.refresh(sync_comm);
+      if (flight != nullptr) flight->set_clock(clock_sync.model());
+    }
     const auto grads = make_grads(config, static_cast<std::uint64_t>(r));
     if (config.elastic) {
       // Gradients stay keyed by each worker's immutable original rank:
       // a survivor keeps its own gradient stream across epoch swaps.
       pipeline.aggregate_elastic(
-          fabric,
+          transport,
           [&](int original) {
             return std::span<const float>(
                 grads[static_cast<std::size_t>(original)]);
@@ -219,6 +282,7 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
     if (!config.trace.empty()) {
       traces.push_back(recorder.take(static_cast<std::uint64_t>(r),
                                      config.scheme, "socket"));
+      if (flight != nullptr) flight->observe(traces.back());
     }
   }
   if (!config.trace.empty()) {
@@ -226,7 +290,11 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
         config.trace + ".rank" + std::to_string(rank) + ".json";
     std::ofstream trace_out(path);
     if (trace_out) {
-      trace_out << gcs::measure::traces_to_json(traces);
+      gcs::measure::RankTrace rank_trace;
+      rank_trace.rank = rank;
+      rank_trace.clock = clock_sync.model();
+      rank_trace.traces = traces;
+      trace_out << gcs::measure::rank_trace_to_json(rank_trace);
     } else {
       std::cerr << "gcs_worker: warning: cannot write " << path << '\n';
     }
@@ -235,7 +303,8 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
           config.trace + ".rank" + std::to_string(rank) + ".chrome.json";
       std::ofstream chrome_out(chrome_path);
       if (chrome_out) {
-        chrome_out << gcs::telemetry::chrome_trace_json(traces, rank);
+        chrome_out << gcs::telemetry::chrome_trace_json(traces, rank,
+                                                        clock_sync.model());
       } else {
         std::cerr << "gcs_worker: warning: cannot write " << chrome_path
                   << '\n';
@@ -269,6 +338,10 @@ int launch_all(WorkerConfig config) {
               << " dies at round " << config.die_round
               << (config.elastic ? " (elastic: survivors recover)\n"
                                  : " (elastic off: run fails loudly)\n");
+  }
+  if (config.delay_rank >= 0) {
+    std::cout << "Straggler demo: rank " << config.delay_rank << " sleeps "
+              << config.delay_send_ms << " ms before every send\n";
   }
   // Children inherit stdio buffers copy-on-write; flush before forking so
   // the banner cannot be replayed by a child's own flush.
@@ -370,7 +443,18 @@ int main(int argc, char** argv) {
              "  --rejoin-window-ms=<t> elastic rejoin window (default\n"
              "                        2000)\n"
              "  --die-rank=<r>        fault demo: rank r kills itself\n"
-             "  --die-round=<k>       ... while encoding round k\n";
+             "  --die-round=<k>       ... while encoding round k\n"
+             "  --delay-rank=<r>      straggler demo: rank r sleeps before\n"
+             "                        every send (gcs_analyze names it)\n"
+             "  --delay-send-ms=<t>   ... per-send delay (default 1)\n"
+             "  --flight-rounds=<n>   flight-recorder ring depth — last n\n"
+             "                        rounds dumped post mortem on peer\n"
+             "                        failure / fatal signal (default 8;\n"
+             "                        0 = off)\n"
+             "  --flight-dir=<d>      flight-dump directory (default .)\n"
+             "  --clock-sync-every=<k> refresh the cross-rank clock model\n"
+             "                        every k rounds (default 32; 0 =\n"
+             "                        rendezvous sync only)\n";
       return 0;
     }
     WorkerConfig config;
@@ -397,6 +481,29 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.get_int("rejoin-window-ms", 0));
     config.die_rank = static_cast<int>(flags.get_int("die-rank", -1));
     config.die_round = static_cast<int>(flags.get_int("die-round", 0));
+    config.delay_rank = static_cast<int>(flags.get_int("delay-rank", -1));
+    config.delay_send_ms =
+        static_cast<int>(flags.get_int("delay-send-ms", 1));
+    config.flight_rounds = static_cast<int>(
+        flags.get_int("flight-rounds", config.flight_rounds));
+    config.flight_dir = flags.get_string("flight-dir", config.flight_dir);
+    config.clock_sync_every = static_cast<int>(
+        flags.get_int("clock-sync-every", config.clock_sync_every));
+    if (config.delay_rank >= 0) {
+      if (config.delay_rank >= config.world) {
+        std::cerr << "--delay-rank=" << config.delay_rank
+                  << " is outside --world=" << config.world << "\n";
+        return 2;
+      }
+      if (config.delay_send_ms <= 0) {
+        std::cerr << "--delay-rank needs --delay-send-ms > 0\n";
+        return 2;
+      }
+    }
+    if (config.flight_rounds < 0) {
+      std::cerr << "--flight-rounds must be >= 0\n";
+      return 2;
+    }
     if (config.die_rank >= 0) {
       // A fault demo whose hook can never fire would report a healthy
       // run as "0 rank(s) died unexpectedly" — reject it up front.

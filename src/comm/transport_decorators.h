@@ -1,0 +1,94 @@
+// Transport decorators — wrappers that forward the full Transport
+// contract to an inner transport so fault/latency seams compose with any
+// fabric (DESIGN.md "Fault tolerance", "Analysis layer").
+//
+// ForwardingTransport is the boilerplate once: every virtual delegates to
+// the inner transport, so a decorator overrides only the operation it
+// perturbs. The test harness's kill switch (tests/fault_injection.h) and
+// the straggler-injection DelayTransport below both build on it.
+//
+// DelayTransport generalizes the kill-switch seam from "die on the k-th
+// send" to "be late on every send": it sleeps *before* forwarding, so a
+// wire tap installed on the inner transport times only the real wire
+// operation and the injected latency shows up on the merged timeline as
+// an idle gap in front of the delayed rank's sends — exactly the
+// signature of a slow rank, which is what makes it the acceptance seam
+// for critical-path straggler attribution (gcs_analyze must name the
+// delayed rank and charge the gap to it as stall time).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "comm/transport.h"
+
+namespace gcs::comm {
+
+/// Delegates the entire Transport contract to `inner`. Derive and
+/// override the calls to perturb; everything else stays intact —
+/// including membership, rebuild and the wire tap, so decorated
+/// transports work under elastic recovery and tracing unchanged.
+class ForwardingTransport : public Transport {
+ public:
+  explicit ForwardingTransport(Transport& inner) : inner_(inner) {}
+
+  int world_size() const override { return inner_.world_size(); }
+  void send(int src, int dst, std::uint64_t tag,
+            ByteBuffer payload) override {
+    inner_.send(src, dst, tag, std::move(payload));
+  }
+  Message recv(int dst, int src, std::uint64_t tag) override {
+    return inner_.recv(dst, src, tag);
+  }
+  std::uint64_t bytes_sent(int rank) const override {
+    return inner_.bytes_sent(rank);
+  }
+  std::uint64_t bytes_received(int rank) const override {
+    return inner_.bytes_received(rank);
+  }
+  TransportStats stats(int rank) const override { return inner_.stats(rank); }
+  void reset_counters() override { inner_.reset_counters(); }
+  void set_wire_tap(WireTap* tap) override { inner_.set_wire_tap(tap); }
+  Membership membership() const override { return inner_.membership(); }
+  Membership rebuild(std::uint64_t resume_round) override {
+    return inner_.rebuild(resume_round);
+  }
+
+ protected:
+  Transport& inner() noexcept { return inner_; }
+  const Transport& inner() const noexcept { return inner_; }
+
+ private:
+  Transport& inner_;
+};
+
+/// Makes the owning rank artificially slow: sleeps `send_delay` before
+/// every forwarded send (delay 0 = transparent). The sleep happens
+/// outside the inner transport, so wire-tap spans stay honest and the
+/// latency appears as scheduling gaps on the merged timeline.
+class DelayTransport final : public ForwardingTransport {
+ public:
+  DelayTransport(Transport& inner,
+                 std::chrono::microseconds send_delay)
+      : ForwardingTransport(inner), send_delay_(send_delay) {}
+
+  void send(int src, int dst, std::uint64_t tag,
+            ByteBuffer payload) override {
+    if (send_delay_.count() > 0) std::this_thread::sleep_for(send_delay_);
+    ForwardingTransport::send(src, dst, tag, std::move(payload));
+  }
+
+  void set_send_delay(std::chrono::microseconds delay) noexcept {
+    send_delay_ = delay;
+  }
+  std::chrono::microseconds send_delay() const noexcept {
+    return send_delay_;
+  }
+
+ private:
+  std::chrono::microseconds send_delay_;
+};
+
+}  // namespace gcs::comm

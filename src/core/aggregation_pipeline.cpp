@@ -19,6 +19,7 @@
 #include "net/launcher.h"
 #include "net/socket_fabric.h"
 #include "sched/encode_worker_pool.h"
+#include "telemetry/flight_recorder.h"
 
 namespace gcs::core {
 namespace {
@@ -411,6 +412,18 @@ AggregationPipeline::AggregationPipeline(AggregationPipeline&&) noexcept =
 AggregationPipeline& AggregationPipeline::operator=(
     AggregationPipeline&&) noexcept = default;
 
+measure::TraceRecorder* AggregationPipeline::active_trace() const noexcept {
+  if (config_.trace != nullptr) return config_.trace;
+  if (config_.flight != nullptr) return &config_.flight->recorder();
+  return nullptr;
+}
+
+void AggregationPipeline::commit_flight(std::uint64_t round,
+                                        const char* backend) {
+  if (config_.flight == nullptr || config_.trace != nullptr) return;
+  config_.flight->commit_round(round, codec_->name(), backend);
+}
+
 std::vector<comm::ChunkRange> AggregationPipeline::stage_chunks(
     std::size_t payload_bytes, std::size_t granularity) const {
   if (bucket_plan_ != nullptr) {
@@ -423,7 +436,7 @@ void AggregationPipeline::encode_rest(
     CodecRound& session, std::vector<ByteBuffer>& payloads,
     std::span<const comm::ChunkRange> chunks) {
   const auto n = payloads.size();
-  measure::TraceRecorder* trace = config_.trace;
+  measure::TraceRecorder* trace = active_trace();
   if (pool_ == nullptr) {
     for (std::size_t w = 1; w < n; ++w) {
       measure::ScopedSpan span(trace, measure::Phase::kEncode, "",
@@ -478,7 +491,7 @@ RoundStats AggregationPipeline::aggregate(
     wire_.received.assign(n, 0);
   }
 
-  measure::TraceRecorder* trace = config_.trace;
+  measure::TraceRecorder* trace = active_trace();
   measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
   tel_.rounds.inc();
   telemetry::ScopedUsecTimer round_timer(tel_.round_usec);
@@ -541,9 +554,16 @@ RoundStats AggregationPipeline::aggregate(
     (stage.metadata ? stats.metadata_bytes : stats.payload_bytes) +=
         stage_bytes;
   }
-  measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
-  telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
-  session->finish(out, stats);
+  {
+    measure::ScopedSpan decode_span(trace, measure::Phase::kDecode,
+                                    "finish");
+    telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
+    session->finish(out, stats);
+  }
+  round_span.close();
+  commit_flight(round, backend == PipelineBackend::kThreadedFabric
+                           ? "threaded"
+                           : "local");
   return stats;
 }
 
@@ -559,7 +579,7 @@ RoundStats AggregationPipeline::aggregate_over(
                                         << codec_->world_size());
   const auto rank = static_cast<std::size_t>(comm.rank());
 
-  measure::TraceRecorder* trace = config_.trace;
+  measure::TraceRecorder* trace = active_trace();
   // The caller's transport reports per-chunk send/recv spans for the
   // duration of the round (round boundaries are quiescent points).
   ScopedWireTap tap(comm.transport(), trace);
@@ -707,9 +727,14 @@ RoundStats AggregationPipeline::aggregate_over(
   // exact pre-round state on every survivor.
   if (config_.elastic) commit_barrier(comm, round);
   if (config_.fault_hook) config_.fault_hook("decode", round);
-  measure::ScopedSpan decode_span(trace, measure::Phase::kDecode, "finish");
-  telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
-  session->finish(out, stats);
+  {
+    measure::ScopedSpan decode_span(trace, measure::Phase::kDecode,
+                                    "finish");
+    telemetry::ScopedUsecTimer decode_timer(tel_.decode_usec);
+    session->finish(out, stats);
+  }
+  round_span.close();
+  commit_flight(round, "spmd");
   return stats;
 }
 

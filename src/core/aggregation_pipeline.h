@@ -59,6 +59,10 @@ namespace gcs::sched {
 class EncodeWorkerPool;
 }
 
+namespace gcs::telemetry {
+class FlightRecorder;
+}
+
 namespace gcs::core {
 
 /// Which substrate executes the collectives (see file comment).
@@ -108,6 +112,14 @@ struct PipelineConfig {
   /// untouched. The socket backend traces rank 0's endpoint (the
   /// surviving process); forked peers run untraced.
   measure::TraceRecorder* trace = nullptr;
+  /// Always-on flight recorder (non-owning, see
+  /// telemetry/flight_recorder.h): when set and `trace` is null, the
+  /// recorder's internal TraceRecorder becomes the active span sink and
+  /// every committed round rotates into its bounded ring, so a crash or
+  /// peer failure can dump the last N rounds post mortem. When `trace` is
+  /// also set, the user recorder stays the sink and completed rounds are
+  /// observe()d into the ring from the caller instead. Null = off.
+  telemetry::FlightRecorder* flight = nullptr;
   /// Elastic membership (socket transport only; DESIGN.md "Fault
   /// tolerance"): survive a peer failure by re-rendezvousing the
   /// survivors and retrying the interrupted round via aggregate_elastic.
@@ -234,6 +246,14 @@ class AggregationPipeline {
   /// (byte-identical by the CodecRound contract).
   void encode_rest(CodecRound& session, std::vector<ByteBuffer>& payloads,
                    std::span<const comm::ChunkRange> chunks);
+
+  /// The span sink for this round: the user recorder when set, else the
+  /// flight recorder's internal one, else null (no clock reads).
+  measure::TraceRecorder* active_trace() const noexcept;
+
+  /// Rotates the completed round into the flight recorder's ring when its
+  /// recorder was the active sink (no-op otherwise).
+  void commit_flight(std::uint64_t round, const char* backend);
 
   /// (Re)creates the encode pool per config. Also the fork-safety hook:
   /// the socket backend drops the pool before forking and calls this on

@@ -34,7 +34,7 @@
 namespace gcs::core {
 
 /// How a scheme's traffic is carried (determines scalability and, through
-/// the network model, time). See DESIGN.md section 9.
+/// the network model, time). See DESIGN.md section 10.
 enum class AggregationPath : std::uint8_t {
   kAllReduce,        ///< payload is reducible at intermediate hops
   kAllGather,        ///< every worker must see every worker's payload

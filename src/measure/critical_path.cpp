@@ -1,0 +1,330 @@
+#include "measure/critical_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "telemetry/metrics.h"
+
+namespace gcs::measure {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool is_work(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kEncode:
+    case Phase::kSend:
+    case Phase::kRecv:
+    case Phase::kReduce:
+    case Phase::kDecode:
+      return true;
+    case Phase::kStage:
+    case Phase::kRound:
+      return false;
+  }
+  return false;
+}
+
+/// Chain phases: what a rank's collective thread executes in sequence.
+bool is_chain(Phase phase) noexcept {
+  return phase == Phase::kSend || phase == Phase::kRecv ||
+         phase == Phase::kReduce || phase == Phase::kDecode;
+}
+
+/// Union-overlap of [a, b] with sends into wire destination `dst` from
+/// any sender other than `exclude` — the incast measure: seconds of the
+/// window during which the destination's inbound link was contended.
+double incast_overlap_s(const MergedRound& round, int dst, int exclude,
+                        double a, double b) {
+  if (b - a <= kEps) return 0.0;
+  std::vector<std::pair<double, double>> windows;
+  for (const MergedSpan& s : round.spans) {
+    if (s.phase != Phase::kSend || s.peer != dst) continue;
+    if (s.wire_rank == exclude) continue;
+    const double lo = std::max(a, s.start_s);
+    const double hi = std::min(b, s.end_s);
+    if (hi - lo > kEps) windows.emplace_back(lo, hi);
+  }
+  if (windows.empty()) return 0.0;
+  std::sort(windows.begin(), windows.end());
+  double total = 0.0;
+  double cur_lo = windows[0].first;
+  double cur_hi = windows[0].second;
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].first > cur_hi) {
+      total += cur_hi - cur_lo;
+      cur_lo = windows[i].first;
+      cur_hi = windows[i].second;
+    } else {
+      cur_hi = std::max(cur_hi, windows[i].second);
+    }
+  }
+  return total + (cur_hi - cur_lo);
+}
+
+}  // namespace
+
+const char* bucket_name(CostBucket bucket) noexcept {
+  switch (bucket) {
+    case CostBucket::kCompute: return "compute";
+    case CostBucket::kWire: return "wire";
+    case CostBucket::kIncastWait: return "incast_wait";
+    case CostBucket::kStall: return "stall";
+  }
+  return "?";
+}
+
+RoundReport analyze_round(const MergedRound& round,
+                          const std::vector<int>& ranks) {
+  RoundReport rep;
+  rep.round = round.round;
+  rep.ranks = ranks;
+  rep.rank_attributed_s.assign(ranks.size(), 0.0);
+  rep.rank_slack_s.assign(ranks.size(), 0.0);
+  const auto rank_index = [&ranks](int rank) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i] == rank) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // ---- collect work spans, the per-rank chains, the terminal ----------
+  double first_start = std::numeric_limits<double>::max();
+  double last_end = std::numeric_limits<double>::lowest();
+  int terminal = -1;
+  std::map<int, std::vector<int>> chains;      // rank -> chain span idx
+  std::map<int, std::vector<int>> encodes;     // rank -> encode span idx
+  std::map<int, double> rank_last_end;
+  for (std::size_t i = 0; i < round.spans.size(); ++i) {
+    const MergedSpan& s = round.spans[i];
+    if (!is_work(s.phase)) continue;
+    first_start = std::min(first_start, s.start_s);
+    if (terminal < 0 || s.end_s > last_end) {
+      last_end = s.end_s;
+      terminal = static_cast<int>(i);
+    }
+    auto [it, inserted] = rank_last_end.try_emplace(s.rank, s.end_s);
+    if (!inserted) it->second = std::max(it->second, s.end_s);
+    (is_chain(s.phase) ? chains : encodes)[s.rank].push_back(
+        static_cast<int>(i));
+  }
+  if (terminal < 0) return rep;
+  rep.makespan_s = last_end - first_start;
+  for (const auto& [rank, end_s] : rank_last_end) {
+    const int ri = rank_index(rank);
+    if (ri >= 0) rep.rank_slack_s[static_cast<std::size_t>(ri)] =
+        last_end - end_s;
+  }
+
+  const auto by_start = [&round](int a, int b) {
+    const MergedSpan& sa = round.spans[static_cast<std::size_t>(a)];
+    const MergedSpan& sb = round.spans[static_cast<std::size_t>(b)];
+    if (sa.start_s != sb.start_s) return sa.start_s < sb.start_s;
+    return sa.end_s < sb.end_s;
+  };
+  std::map<int, int> chain_pos;  // span idx -> position in its chain
+  for (auto& [rank, chain] : chains) {
+    (void)rank;
+    std::sort(chain.begin(), chain.end(), by_start);
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      chain_pos[chain[p]] = static_cast<int>(p);
+    }
+  }
+  // Encode spans feed the first chain node that starts at or after they
+  // end (overlapped encodes that outlive every chain start gate nothing).
+  std::map<int, std::vector<int>> encode_preds;  // chain idx -> encodes
+  for (auto& [rank, encs] : encodes) {
+    const auto chain_it = chains.find(rank);
+    if (chain_it == chains.end()) continue;
+    const std::vector<int>& chain = chain_it->second;
+    for (const int e : encs) {
+      const double end_s = round.spans[static_cast<std::size_t>(e)].end_s;
+      for (const int c : chain) {
+        if (round.spans[static_cast<std::size_t>(c)].start_s >=
+            end_s - kEps) {
+          encode_preds[c].push_back(e);
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- backwards walk: always hand control to the gating (latest-
+  // finishing) predecessor -------------------------------------------
+  const auto preds_of = [&](int i, std::vector<int>& out) {
+    out.clear();
+    const MergedSpan& s = round.spans[static_cast<std::size_t>(i)];
+    const auto pos = chain_pos.find(i);
+    if (pos != chain_pos.end() && pos->second > 0) {
+      out.push_back(chains[s.rank][static_cast<std::size_t>(pos->second) - 1]);
+    }
+    if (s.phase == Phase::kRecv && s.flow >= 0) {
+      out.push_back(
+          round.flows[static_cast<std::size_t>(s.flow)].send_index);
+    }
+    const auto enc = encode_preds.find(i);
+    if (enc != encode_preds.end()) {
+      out.insert(out.end(), enc->second.begin(), enc->second.end());
+    }
+  };
+
+  std::vector<PathSegment> reversed;
+  std::vector<int> preds;
+  int cur = terminal;
+  const std::size_t max_steps = 2 * round.spans.size() + 4;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const MergedSpan& s = round.spans[static_cast<std::size_t>(cur)];
+    preds_of(cur, preds);
+    int best = -1;
+    double best_end = std::numeric_limits<double>::lowest();
+    for (const int p : preds) {
+      const double end_s = round.spans[static_cast<std::size_t>(p)].end_s;
+      if (end_s <= s.end_s + kEps && end_s > best_end) {
+        best = p;
+        best_end = end_s;
+      }
+    }
+
+    // The span's own attributed interval: from where its gating
+    // predecessor released it to its end.
+    const double seg_start =
+        best >= 0 ? std::min(std::max(best_end, s.start_s), s.end_s)
+                  : s.start_s;
+    if (s.end_s - seg_start > kEps) {
+      PathSegment seg;
+      seg.span_index = cur;
+      seg.rank = s.rank;
+      seg.start_s = seg_start;
+      seg.end_s = s.end_s;
+      double incast_s = 0.0;
+      if (s.phase == Phase::kSend || s.phase == Phase::kRecv) {
+        // Destination of the transfer; the sender side to exclude from
+        // the contention count.
+        const int dst = s.phase == Phase::kSend ? s.peer : s.wire_rank;
+        const int self_sender =
+            s.phase == Phase::kSend ? s.wire_rank : s.peer;
+        incast_s =
+            incast_overlap_s(round, dst, self_sender, seg_start, s.end_s);
+        seg.bucket = incast_s >= 0.5 * seg.duration_s()
+                         ? CostBucket::kIncastWait
+                         : CostBucket::kWire;
+      } else {
+        seg.bucket = CostBucket::kCompute;
+      }
+      // Bucket totals get the exact split even though the segment label
+      // is the dominant bucket.
+      if (seg.bucket == CostBucket::kCompute) {
+        rep.bucket_s[static_cast<std::size_t>(CostBucket::kCompute)] +=
+            seg.duration_s();
+      } else {
+        rep.bucket_s[static_cast<std::size_t>(CostBucket::kIncastWait)] +=
+            incast_s;
+        rep.bucket_s[static_cast<std::size_t>(CostBucket::kWire)] +=
+            seg.duration_s() - incast_s;
+      }
+      const int ri = rank_index(s.rank);
+      if (ri >= 0) {
+        rep.rank_attributed_s[static_cast<std::size_t>(ri)] +=
+            seg.duration_s();
+      }
+      reversed.push_back(seg);
+    }
+
+    if (best < 0) break;
+    if (best_end < s.start_s - kEps) {
+      // Scheduling gap: the rank sat idle between its predecessor
+      // finishing and this span starting. This is where an artificially
+      // delayed rank's sleeps land.
+      PathSegment gap;
+      gap.span_index = -1;
+      gap.rank = s.rank;
+      gap.bucket = CostBucket::kStall;
+      gap.start_s = best_end;
+      gap.end_s = s.start_s;
+      rep.bucket_s[static_cast<std::size_t>(CostBucket::kStall)] +=
+          gap.duration_s();
+      const int ri = rank_index(s.rank);
+      if (ri >= 0) {
+        rep.rank_attributed_s[static_cast<std::size_t>(ri)] +=
+            gap.duration_s();
+      }
+      reversed.push_back(gap);
+    }
+    cur = best;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  rep.segments = std::move(reversed);
+  for (const PathSegment& seg : rep.segments) {
+    rep.critical_path_s += seg.duration_s();
+  }
+
+  // ---- straggler: who owns the most path time -------------------------
+  for (std::size_t i = 0; i < rep.rank_attributed_s.size(); ++i) {
+    if (rep.straggler < 0 ||
+        rep.rank_attributed_s[i] >
+            rep.rank_attributed_s[static_cast<std::size_t>(
+                rank_index(rep.straggler))]) {
+      rep.straggler = ranks[i];
+    }
+  }
+  if (rep.straggler >= 0 && rep.critical_path_s > 0.0) {
+    rep.straggler_share =
+        rep.rank_attributed_s[static_cast<std::size_t>(
+            rank_index(rep.straggler))] /
+        rep.critical_path_s;
+  }
+  return rep;
+}
+
+AnalysisSummary analyze(const MergeResult& merged) {
+  AnalysisSummary summary;
+  summary.ranks = merged.ranks;
+  summary.rank_attributed_s.assign(merged.ranks.size(), 0.0);
+  for (const MergedRound& round : merged.rounds) {
+    RoundReport rep = analyze_round(round, merged.ranks);
+    for (std::size_t b = 0; b < kCostBuckets; ++b) {
+      summary.bucket_s[b] += rep.bucket_s[b];
+    }
+    for (std::size_t i = 0; i < summary.rank_attributed_s.size(); ++i) {
+      summary.rank_attributed_s[i] += rep.rank_attributed_s[i];
+    }
+    summary.critical_path_s += rep.critical_path_s;
+    summary.rounds.push_back(std::move(rep));
+  }
+  for (std::size_t i = 0; i < summary.rank_attributed_s.size(); ++i) {
+    if (summary.straggler < 0 ||
+        summary.rank_attributed_s[i] >
+            summary.rank_attributed_s[static_cast<std::size_t>(
+                merged.rank_index(summary.straggler))]) {
+      summary.straggler = merged.ranks[i];
+    }
+  }
+  if (summary.straggler >= 0 && summary.critical_path_s > 0.0) {
+    summary.straggler_share =
+        summary.rank_attributed_s[static_cast<std::size_t>(
+            merged.rank_index(summary.straggler))] /
+        summary.critical_path_s;
+  }
+  return summary;
+}
+
+void publish_round_gauges(const RoundReport& report) {
+  if (!telemetry::enabled()) return;
+  telemetry::gauge("gcs_straggler_rank").set(report.straggler);
+  // The actionable number: how much round time the straggler cost over
+  // the runner-up — what the round would save if it caught up.
+  double best = 0.0, second = 0.0;
+  for (const double a : report.rank_attributed_s) {
+    if (a > best) {
+      second = best;
+      best = a;
+    } else if (a > second) {
+      second = a;
+    }
+  }
+  telemetry::float_gauge("gcs_critical_slack_seconds").set(best - second);
+}
+
+}  // namespace gcs::measure

@@ -1,0 +1,98 @@
+// Critical-path analysis of merged round traces — which rank and which
+// phase made the round slow (DESIGN.md "Analysis layer").
+//
+// A merged round is a DAG: within a rank, wire/reduce/decode spans form
+// the collective thread's chain (encode spans feed into it); across
+// ranks, every matched flow is a send -> recv edge. The analyzer walks
+// backwards from the round's last-finishing span, at every node handing
+// control to the *gating* predecessor — the one that finished last — so
+// the walk traces exactly the chain of waits that determined the round's
+// makespan. Each step's time lands in one of four buckets:
+//
+//   compute      encode/reduce/decode work on the owning rank
+//   wire         send occupancy and post-send transfer of a gated recv
+//   incast-wait  the part of a wire segment during which >= 1 other
+//                rank was concurrently sending to the same destination
+//                (the paper's incast critique, measured per round)
+//   stall        scheduling gaps — the path's rank was doing nothing
+//                between its gating predecessor finishing and the next
+//                span starting (a delayed rank shows up here)
+//
+// Per-rank attribution over the path names the straggler; per-rank slack
+// (round end minus the rank's own last completion) shows who could have
+// been slower for free. The live gauges (gcs_straggler_rank,
+// gcs_critical_slack_seconds) publish the same numbers through the
+// telemetry registry for scraping mid-run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "measure/trace_merge.h"
+
+namespace gcs::measure {
+
+enum class CostBucket : std::uint8_t {
+  kCompute = 0,
+  kWire = 1,
+  kIncastWait = 2,
+  kStall = 3,
+};
+constexpr std::size_t kCostBuckets = 4;
+
+const char* bucket_name(CostBucket bucket) noexcept;
+
+/// One segment of the critical path, cause -> effect order.
+struct PathSegment {
+  int span_index = -1;  ///< into MergedRound::spans; -1 = scheduling gap
+  int rank = 0;         ///< rank the segment's time is attributed to
+  CostBucket bucket = CostBucket::kCompute;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  double duration_s() const noexcept { return end_s - start_s; }
+};
+
+/// The analysis of one merged round.
+struct RoundReport {
+  std::uint64_t round = 0;
+  double makespan_s = 0.0;        ///< first start -> last end, all ranks
+  double critical_path_s = 0.0;   ///< sum of path segments (contiguous)
+  std::vector<PathSegment> segments;
+  std::array<double, kCostBuckets> bucket_s{};
+
+  std::vector<int> ranks;                 ///< sorted, as in MergeResult
+  std::vector<double> rank_attributed_s;  ///< path time per ranks[] entry
+  std::vector<double> rank_slack_s;       ///< makespan end - rank's last end
+
+  int straggler = -1;            ///< rank with max attributed path time
+  double straggler_share = 0.0;  ///< attributed / critical_path_s
+};
+
+/// Analyzes one merged round. `ranks` is the merge's sorted rank list
+/// (attribution vectors are indexed against it).
+RoundReport analyze_round(const MergedRound& round,
+                          const std::vector<int>& ranks);
+
+/// Whole-run aggregation: per-round reports plus totals for gating.
+struct AnalysisSummary {
+  std::vector<RoundReport> rounds;
+  std::vector<int> ranks;
+  std::array<double, kCostBuckets> bucket_s{};
+  std::vector<double> rank_attributed_s;
+  int straggler = -1;            ///< rank with max total attributed time
+  double straggler_share = 0.0;  ///< total attributed / total path time
+  double critical_path_s = 0.0;
+};
+
+AnalysisSummary analyze(const MergeResult& merged);
+
+/// Publishes a report's headline numbers as live gauges:
+/// gcs_straggler_rank and gcs_critical_slack_seconds (the straggler's
+/// attributed path time minus the runner-up's — how much the round would
+/// shrink if the straggler caught up). No-ops when telemetry is off.
+void publish_round_gauges(const RoundReport& report);
+
+}  // namespace gcs::measure

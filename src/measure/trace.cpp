@@ -63,7 +63,10 @@ std::string RoundTrace::to_json() const {
   std::ostringstream os;
   os << std::setprecision(9) << std::fixed;
   os << "{\"round\": " << round << ", \"scheme\": \"" << scheme
-     << "\", \"backend\": \"" << backend << "\", \"spans\": [";
+     << "\", \"backend\": \"" << backend << "\"";
+  if (origin_rank >= 0) os << ", \"origin_rank\": " << origin_rank;
+  if (epoch_s > 0.0) os << ", \"epoch_s\": " << epoch_s;
+  os << ", \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const TraceSpan& s = spans[i];
     os << (i == 0 ? "\n" : ",\n") << "  {\"phase\": \""
@@ -118,6 +121,12 @@ RoundTrace TraceRecorder::take(std::uint64_t round, std::string scheme,
   trace.round = round;
   trace.scheme = std::move(scheme);
   trace.backend = std::move(backend);
+  trace.origin_rank = origin_rank_;
+  // The epoch the spans are relative to, on the raw monotonic clock —
+  // the handle a ClockModel needs to place this round on the cluster
+  // reference timeline (the epoch is then re-armed for the next round).
+  trace.epoch_s =
+      std::chrono::duration<double>(epoch_.time_since_epoch()).count();
   {
     std::lock_guard lock(mu_);
     trace.spans = std::move(spans_);
@@ -125,6 +134,15 @@ RoundTrace TraceRecorder::take(std::uint64_t round, std::string scheme,
   }
   epoch_ = std::chrono::steady_clock::now();
   return trace;
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot_spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+double TraceRecorder::epoch_raw_s() const {
+  return std::chrono::duration<double>(epoch_.time_since_epoch()).count();
 }
 
 std::size_t TraceRecorder::size() const {

@@ -67,6 +67,15 @@ struct RoundTrace {
   std::uint64_t round = 0;
   std::string scheme;   ///< factory spec the round ran
   std::string backend;  ///< "local" / "threaded" / "socket"
+  /// The rank whose process recorded this trace (set by take() from
+  /// TraceRecorder::set_origin_rank; -1 = unattributed, single-process).
+  int origin_rank = -1;
+  /// The recorder epoch the spans are relative to, as seconds on the raw
+  /// local monotonic clock (steady_clock time_since_epoch). This is what
+  /// makes per-rank traces mergeable: epoch_s + span.start_s is a local
+  /// monotonic instant a ClockModel (measure/clock_sync.h) can map onto
+  /// the cluster reference timeline. 0 = unknown (pre-merge traces).
+  double epoch_s = 0.0;
   std::vector<TraceSpan> spans;
 
   /// Wall-clock of the round envelope (the kRound span; falls back to the
@@ -96,6 +105,10 @@ class TraceRecorder final : public comm::WireTap {
   /// Seconds since the recorder's epoch, on the monotonic clock.
   double now_s() const;
 
+  /// Attributes subsequently take()n traces to `rank` (their
+  /// RoundTrace::origin_rank). Call once, before recording starts.
+  void set_origin_rank(int rank) noexcept { origin_rank_ = rank; }
+
   /// Appends one finished span (thread-safe).
   void record(TraceSpan span);
 
@@ -113,8 +126,18 @@ class TraceRecorder final : public comm::WireTap {
   /// Number of spans accumulated so far.
   std::size_t size() const;
 
+  /// The spans accumulated so far, copied without re-arming the epoch —
+  /// the flight recorder's post-mortem view of a round that never
+  /// completed (take() is for rounds that did).
+  std::vector<TraceSpan> snapshot_spans() const;
+
+  /// The current epoch as raw monotonic seconds — what take() stamps into
+  /// RoundTrace::epoch_s.
+  double epoch_raw_s() const;
+
  private:
   std::chrono::steady_clock::time_point epoch_;
+  int origin_rank_ = -1;
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
 };
@@ -134,14 +157,20 @@ class ScopedSpan {
     span_.start_s = recorder_->now_s();
   }
 
-  ~ScopedSpan() {
-    if (recorder_ == nullptr) return;
-    span_.end_s = recorder_->now_s();
-    recorder_->record(span_);
-  }
+  ~ScopedSpan() { close(); }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now instead of at scope exit (destruction becomes a
+  /// no-op) — for callers that must flush the recorder before the scope
+  /// closes, e.g. committing a round into the flight recorder's ring.
+  void close() {
+    if (recorder_ == nullptr) return;
+    span_.end_s = recorder_->now_s();
+    recorder_->record(span_);
+    recorder_ = nullptr;
+  }
 
   void set_bytes(std::uint64_t bytes) noexcept { span_.bytes = bytes; }
 

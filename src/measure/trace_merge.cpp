@@ -1,0 +1,312 @@
+#include "measure/trace_merge.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/json.h"
+
+namespace gcs::measure {
+
+namespace {
+
+/// Span labels in live traces are static-string const char*; parsed
+/// labels come from JSON and must outlive the RoundTrace. The label set
+/// is tiny (stage names per scheme), so interning into a process-lifetime
+/// pool keeps TraceSpan a plain struct.
+const char* intern_label(const std::string& label) {
+  if (label.empty()) return "";
+  static std::mutex mu;
+  static std::set<std::string>* pool = new std::set<std::string>();
+  std::lock_guard lock(mu);
+  return pool->insert(label).first->c_str();
+}
+
+Phase phase_from_name(const std::string& name) {
+  for (const Phase p :
+       {Phase::kEncode, Phase::kSend, Phase::kRecv, Phase::kReduce,
+        Phase::kDecode, Phase::kStage, Phase::kRound}) {
+    if (name == phase_name(p)) return p;
+  }
+  throw Error("trace_merge: unknown span phase '" + name + "'");
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+}
+
+ClockModel parse_clock(const json::Value& v) {
+  ClockModel m;
+  m.rank = static_cast<int>(v.num_or("rank", 0));
+  m.offset_s = v.num_or("offset_s", 0.0);
+  m.drift = v.num_or("drift", 0.0);
+  m.base_local_s = v.num_or("base_local_s", 0.0);
+  m.rtt_s = v.num_or("rtt_s", 0.0);
+  return m;
+}
+
+RoundTrace parse_round_trace(const json::Value& v) {
+  RoundTrace t;
+  t.round = static_cast<std::uint64_t>(v.num_or("round", 0));
+  t.scheme = v.str_or("scheme", "");
+  t.backend = v.str_or("backend", "");
+  t.origin_rank = static_cast<int>(v.num_or("origin_rank", -1));
+  t.epoch_s = v.num_or("epoch_s", 0.0);
+  const json::Value* spans = v.find("spans");
+  if (spans == nullptr || !spans->is_array()) return t;
+  t.spans.reserve(spans->items.size());
+  for (const json::Value& sv : spans->items) {
+    TraceSpan s;
+    s.phase = phase_from_name(sv.str_or("phase", "round"));
+    s.label = intern_label(sv.str_or("label", ""));
+    s.rank = static_cast<int>(sv.num_or("rank", -1));
+    s.peer = static_cast<int>(sv.num_or("peer", -1));
+    s.worker = static_cast<int>(sv.num_or("worker", -1));
+    s.tag = static_cast<std::uint64_t>(sv.num_or("tag", 0));
+    s.bytes = static_cast<std::uint64_t>(sv.num_or("bytes", 0));
+    s.start_s = sv.num_or("start_s", 0.0);
+    s.end_s = sv.num_or("end_s", 0.0);
+    t.spans.push_back(std::move(s));
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string rank_trace_to_json(const RankTrace& rank_trace) {
+  std::ostringstream os;
+  os << "{\"rank\": " << rank_trace.rank
+     << ", \"clock\": " << rank_trace.clock.to_json();
+  if (!rank_trace.dump_reason.empty()) {
+    std::string escaped;
+    append_escaped(escaped, rank_trace.dump_reason);
+    os << ", \"dump_reason\": \"" << escaped << "\"";
+  }
+  os << ", \"traces\": [";
+  for (std::size_t i = 0; i < rank_trace.traces.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << rank_trace.traces[i].to_json();
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+RankTrace parse_rank_trace_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  const json::Value* root = &doc;
+  RankTrace out;
+  if (const json::Value* flight = doc.find("flight_recorder")) {
+    root = flight;
+    out.dump_reason = flight->str_or("reason", "unknown");
+    out.source = "flight_recorder";
+  }
+  if (!root->is_object() || root->find("traces") == nullptr) {
+    throw Error("trace_merge: document has no \"traces\" array");
+  }
+  out.rank = static_cast<int>(root->num_or("rank", -1));
+  if (const json::Value* clock = root->find("clock")) {
+    out.clock = parse_clock(*clock);
+  }
+  const json::Value& traces = *root->find("traces");
+  if (!traces.is_array()) {
+    throw Error("trace_merge: \"traces\" is not an array");
+  }
+  for (const json::Value& tv : traces.items) {
+    out.traces.push_back(parse_round_trace(tv));
+  }
+  if (out.rank < 0) {
+    // Legacy {"traces":[..]} documents: fall back to the traces' own
+    // origin stamp, then to rank 0.
+    out.rank = 0;
+    for (const RoundTrace& t : out.traces) {
+      if (t.origin_rank >= 0) {
+        out.rank = t.origin_rank;
+        break;
+      }
+    }
+  }
+  out.clock.rank = out.rank;
+  return out;
+}
+
+int MergeResult::rank_index(int rank) const noexcept {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+MergeResult merge_rank_traces(const std::vector<RankTrace>& rank_traces,
+                              const MergeOptions& options) {
+  MergeResult out;
+  for (const RankTrace& rt : rank_traces) out.ranks.push_back(rt.rank);
+  std::sort(out.ranks.begin(), out.ranks.end());
+  out.ranks.erase(std::unique(out.ranks.begin(), out.ranks.end()),
+                  out.ranks.end());
+  out.shift_s.assign(out.ranks.size(), 0.0);
+
+  // ---- 1. align every span onto the reference timeline ----------------
+  std::map<std::uint64_t, MergedRound> rounds;
+  for (const RankTrace& rt : rank_traces) {
+    for (const RoundTrace& t : rt.traces) {
+      MergedRound& mr = rounds[t.round];
+      mr.round = t.round;
+      if (mr.scheme.empty()) mr.scheme = t.scheme;
+      for (const TraceSpan& s : t.spans) {
+        MergedSpan m;
+        m.rank = rt.rank;
+        m.phase = s.phase;
+        m.label = s.label != nullptr ? s.label : "";
+        m.peer = s.peer;
+        m.wire_rank = s.rank;
+        m.worker = s.worker;
+        m.tag = s.tag;
+        m.bytes = s.bytes;
+        // epoch_s anchors the round on the rank's raw monotonic clock;
+        // legacy traces without it stay on their recorder-relative time
+        // (correct only when all ranks shared one recorder).
+        m.start_s = rt.clock.to_reference(t.epoch_s + s.start_s);
+        m.end_s = rt.clock.to_reference(t.epoch_s + s.end_s);
+        mr.spans.push_back(std::move(m));
+      }
+    }
+  }
+
+  // ---- 2. pair flows: (src, dst, tag), k-th send <-> k-th recv --------
+  // Exact because transport channels are per-(src, dst) FIFO and each
+  // (src, dst, tag) stream is issued by one thread in start order.
+  using FlowKey = std::tuple<int, int, std::uint64_t>;
+  for (auto& [round_num, mr] : rounds) {
+    (void)round_num;
+    std::map<FlowKey, std::vector<int>> sends;
+    std::map<FlowKey, std::vector<int>> recvs;
+    for (std::size_t i = 0; i < mr.spans.size(); ++i) {
+      const MergedSpan& s = mr.spans[i];
+      if (s.phase == Phase::kSend) {
+        sends[{s.wire_rank, s.peer, s.tag}].push_back(static_cast<int>(i));
+      } else if (s.phase == Phase::kRecv) {
+        recvs[{s.peer, s.wire_rank, s.tag}].push_back(static_cast<int>(i));
+      }
+    }
+    const auto by_start = [&mr](int a, int b) {
+      return mr.spans[static_cast<std::size_t>(a)].start_s <
+             mr.spans[static_cast<std::size_t>(b)].start_s;
+    };
+    for (auto& [key, send_list] : sends) {
+      auto it = recvs.find(key);
+      if (it == recvs.end()) continue;
+      auto& recv_list = it->second;
+      std::stable_sort(send_list.begin(), send_list.end(), by_start);
+      std::stable_sort(recv_list.begin(), recv_list.end(), by_start);
+      const std::size_t n = std::min(send_list.size(), recv_list.size());
+      for (std::size_t k = 0; k < n; ++k) {
+        Flow flow;
+        flow.send_index = send_list[k];
+        flow.recv_index = recv_list[k];
+        const int id = static_cast<int>(mr.flows.size());
+        mr.spans[static_cast<std::size_t>(flow.send_index)].flow = id;
+        mr.spans[static_cast<std::size_t>(flow.recv_index)].flow = id;
+        mr.flows.push_back(flow);
+      }
+    }
+    out.flow_count += mr.flows.size();
+  }
+
+  // ---- 3. measure violations, repair by per-rank shifts ---------------
+  constexpr double kEps = 1e-9;
+  struct Constraint {
+    int src_ri;
+    int dst_ri;
+    double min_gap_s;  // shift[dst] - shift[src] >= min_gap_s
+  };
+  std::vector<Constraint> constraints;
+  for (auto& [round_num, mr] : rounds) {
+    (void)round_num;
+    for (const Flow& f : mr.flows) {
+      const MergedSpan& send =
+          mr.spans[static_cast<std::size_t>(f.send_index)];
+      const MergedSpan& recv =
+          mr.spans[static_cast<std::size_t>(f.recv_index)];
+      const double gap = send.start_s - recv.end_s;
+      if (gap > kEps) {
+        ++out.violations_before;
+        out.max_violation_before_s =
+            std::max(out.max_violation_before_s, gap);
+      }
+      constraints.push_back(Constraint{out.rank_index(send.rank),
+                                       out.rank_index(recv.rank), gap});
+    }
+  }
+
+  if (options.repair_causality && !constraints.empty()) {
+    // Bellman-Ford-style relaxation over the rank-pair difference
+    // constraints; |ranks| passes suffice for a consistent system, extra
+    // passes change nothing. Same-rank constraints (self-flows) carry no
+    // freedom and stay as residuals if violated.
+    for (std::size_t pass = 0; pass <= out.ranks.size(); ++pass) {
+      bool changed = false;
+      for (const Constraint& c : constraints) {
+        if (c.src_ri < 0 || c.dst_ri < 0 || c.src_ri == c.dst_ri) continue;
+        const double need = out.shift_s[static_cast<std::size_t>(c.src_ri)] +
+                            c.min_gap_s;
+        double& shift = out.shift_s[static_cast<std::size_t>(c.dst_ri)];
+        if (shift < need - kEps) {
+          shift = need;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    // Normalize so the first (lowest) rank stays fixed — shifts are only
+    // meaningful relative to each other.
+    const double base = out.shift_s.empty() ? 0.0 : out.shift_s[0];
+    for (double& s : out.shift_s) s -= base;
+    for (auto& [round_num, mr] : rounds) {
+      (void)round_num;
+      for (MergedSpan& s : mr.spans) {
+        const int ri = out.rank_index(s.rank);
+        if (ri < 0) continue;
+        s.start_s += out.shift_s[static_cast<std::size_t>(ri)];
+        s.end_s += out.shift_s[static_cast<std::size_t>(ri)];
+      }
+    }
+  }
+
+  for (auto& [round_num, mr] : rounds) {
+    (void)round_num;
+    for (Flow& f : mr.flows) {
+      const MergedSpan& send =
+          mr.spans[static_cast<std::size_t>(f.send_index)];
+      const MergedSpan& recv =
+          mr.spans[static_cast<std::size_t>(f.recv_index)];
+      f.violation_s = std::max(send.start_s - recv.end_s, 0.0);
+      if (f.violation_s > kEps) {
+        ++out.violations_after;
+        out.max_violation_after_s =
+            std::max(out.max_violation_after_s, f.violation_s);
+      }
+    }
+  }
+
+  out.rounds.reserve(rounds.size());
+  for (auto& [round_num, mr] : rounds) {
+    (void)round_num;
+    out.rounds.push_back(std::move(mr));
+  }
+  return out;
+}
+
+}  // namespace gcs::measure

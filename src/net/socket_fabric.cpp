@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "net/framing.h"
 #include "net/rendezvous.h"
+#include "telemetry/flight_recorder.h"
 
 namespace gcs::net {
 
@@ -201,7 +202,7 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
     } catch (const Error& e) {
       // A write onto a dead peer's connection is the send-side face of
       // the same failure recv sees as EOF.
-      note_peer_failure();
+      note_peer_failure(dst);
       throw comm::PeerFailure(
           "SocketFabric::send to rank " + std::to_string(dst) +
               " failed: " + e.what(),
@@ -277,7 +278,7 @@ comm::Message SocketFabric::recv(int dst, int src,
       // Typed as a peer failure either way: an EOF names the peer
       // directly, and a silent timeout is the same condition without the
       // courtesy of a FIN — elastic callers recover from both.
-      note_peer_failure();
+      note_peer_failure(src);
       throw comm::PeerFailure(os.str(), src);
     }
     payload = std::move(it->second.front());
@@ -307,12 +308,15 @@ comm::Message SocketFabric::recv(int dst, int src,
   return comm::Message{expected_tag, std::move(payload)};
 }
 
-void SocketFabric::note_peer_failure() noexcept {
+void SocketFabric::note_peer_failure(int peer) noexcept {
   {
     std::lock_guard lock(counter_mu_);
     ++peer_failures_;
   }
   tel_.peer_failures.inc();
+  // Post-mortem hook: an armed flight recorder dumps its ring on the
+  // first failure (rate-limited inside), before the PeerFailure unwinds.
+  telemetry::notify_peer_failure(peer);
 }
 
 comm::TransportStats SocketFabric::stats(int rank) const {

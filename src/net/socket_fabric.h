@@ -148,8 +148,10 @@ class SocketFabric final : public comm::Transport {
   void teardown_mesh();
   void reader_loop(int peer_rank, std::uint64_t epoch);
   Peer& peer(int rank) const;
-  /// Counts a typed PeerFailure about to be thrown (meter + telemetry).
-  void note_peer_failure() noexcept;
+  /// Counts a typed PeerFailure about to be thrown (meter + telemetry)
+  /// and triggers the flight recorder's post-mortem dump when one is
+  /// armed. `peer` is the current-epoch rank whose channel failed.
+  void note_peer_failure(int peer) noexcept;
 
   SocketFabricConfig config_;
   comm::Membership membership_;

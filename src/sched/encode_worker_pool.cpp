@@ -11,6 +11,7 @@ EncodeWorkerPool::EncodeWorkerPool(int workers) : workers_(workers) {
   }
   queue_depth_ = telemetry::gauge("gcs_sched_queue_depth");
   handoff_usec_ = telemetry::histogram("gcs_sched_handoff_usec");
+  queue_wait_s_ = telemetry::float_gauge("gcs_sched_queue_wait_seconds");
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -51,6 +52,11 @@ void EncodeWorkerPool::wait_idle() {
   }
 }
 
+double EncodeWorkerPool::cumulative_queue_wait_s() const {
+  std::lock_guard lock(mu_);
+  return total_wait_s_;
+}
+
 void EncodeWorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -68,6 +74,10 @@ void EncodeWorkerPool::worker_loop() {
         handoff_usec_.observe(
             static_cast<std::uint64_t>(waited.count() < 0 ? 0
                                                           : waited.count()));
+        if (waited.count() > 0) {
+          total_wait_s_ += static_cast<double>(waited.count()) * 1e-6;
+          queue_wait_s_.set(total_wait_s_);
+        }
       }
       ++next_task_;
       ++in_flight_;

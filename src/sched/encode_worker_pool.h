@@ -50,6 +50,12 @@ class EncodeWorkerPool {
   /// first captured task exception, if any.
   void wait_idle();
 
+  /// Cumulative submit -> claim queue wait across the pool's lifetime,
+  /// in seconds. Only accumulates while telemetry is live (the clock
+  /// reads are gated with the hand-off histogram); the causal profiler
+  /// cross-checks its compute-bucket stalls against this.
+  double cumulative_queue_wait_s() const;
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -61,7 +67,7 @@ class EncodeWorkerPool {
 
   int workers_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::vector<Task> queue_;
@@ -69,12 +75,14 @@ class EncodeWorkerPool {
   std::size_t in_flight_ = 0;
   std::exception_ptr first_error_;
   bool stop_ = false;
+  double total_wait_s_ = 0.0;  ///< under mu_; see cumulative_queue_wait_s
 
-  /// Telemetry (dead handles when off): unclaimed-queue depth and the
-  /// submit -> claim hand-off latency. Updated under mu_, which the pool
-  /// already holds at both sites.
+  /// Telemetry (dead handles when off): unclaimed-queue depth, the
+  /// submit -> claim hand-off latency, and the lifetime wait total.
+  /// Updated under mu_, which the pool already holds at both sites.
   telemetry::GaugeHandle queue_depth_;
   telemetry::HistogramHandle handoff_usec_;
+  telemetry::FloatGaugeHandle queue_wait_s_;
 };
 
 }  // namespace gcs::sched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -10,6 +11,8 @@ namespace gcs::telemetry {
 
 namespace {
 
+using measure::ClockModel;
+using measure::MergedSpan;
 using measure::Phase;
 using measure::RoundTrace;
 using measure::TraceSpan;
@@ -18,14 +21,14 @@ constexpr std::int64_t kPipelineTid = 0;
 constexpr std::int64_t kEncodeTidBase = 1;
 constexpr std::int64_t kWireTidBase = 100;
 
-std::int64_t span_tid(const TraceSpan& s) noexcept {
-  switch (s.phase) {
+std::int64_t lane_tid(Phase phase, int worker, int peer) noexcept {
+  switch (phase) {
     case Phase::kEncode:
-      return kEncodeTidBase + (s.worker >= 0 ? s.worker + 1 : 0);
+      return kEncodeTidBase + (worker >= 0 ? worker + 1 : 0);
     case Phase::kSend:
-      return kWireTidBase + 2 * std::max(s.peer, 0);
+      return kWireTidBase + 2 * std::max(peer, 0);
     case Phase::kRecv:
-      return kWireTidBase + 2 * std::max(s.peer, 0) + 1;
+      return kWireTidBase + 2 * std::max(peer, 0) + 1;
     case Phase::kRound:
     case Phase::kStage:
     case Phase::kReduce:
@@ -33,6 +36,10 @@ std::int64_t span_tid(const TraceSpan& s) noexcept {
       break;
   }
   return kPipelineTid;
+}
+
+std::int64_t span_tid(const TraceSpan& s) noexcept {
+  return lane_tid(s.phase, s.worker, s.peer);
 }
 
 std::string tid_name(std::int64_t tid) {
@@ -65,76 +72,166 @@ std::int64_t usec(double seconds) noexcept {
   return static_cast<std::int64_t>(seconds * 1e6);
 }
 
+/// Accumulates trace events and the (pid, tid) metadata they imply.
+struct EventSink {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;  // (pid, tid)
+
+  void emit(const std::string& event) {
+    out += first ? "\n" : ",\n";
+    out += event;
+    first = false;
+  }
+
+  /// One complete ("X") span event.
+  void emit_span(std::int64_t pid, std::int64_t tid, Phase phase,
+                 const std::string& label, std::int64_t ts_us,
+                 std::int64_t dur_us, std::uint64_t round,
+                 const std::string& scheme, std::uint64_t bytes,
+                 bool with_tag, std::uint64_t tag) {
+    seen.emplace(pid, tid);
+    std::string ev = "{\"name\": \"";
+    append_escaped(ev, measure::phase_name(phase));
+    if (!label.empty()) {
+      ev += ':';
+      append_escaped(ev, label);
+    }
+    ev += "\", \"cat\": \"";
+    append_escaped(ev, measure::phase_name(phase));
+    ev += "\", \"ph\": \"X\", \"pid\": " + std::to_string(pid) +
+          ", \"tid\": " + std::to_string(tid) +
+          ", \"ts\": " + std::to_string(ts_us) +
+          ", \"dur\": " + std::to_string(std::max<std::int64_t>(dur_us, 1)) +
+          ", \"args\": {\"round\": " + std::to_string(round) +
+          ", \"scheme\": \"";
+    append_escaped(ev, scheme);
+    ev += "\", \"bytes\": " + std::to_string(bytes);
+    if (with_tag) ev += ", \"tag\": " + std::to_string(tag);
+    ev += "}}";
+    emit(ev);
+  }
+
+  std::string finish() {
+    std::set<std::int64_t> pids;
+    for (const auto& [pid, tid] : seen) pids.insert(pid);
+    for (std::int64_t pid : pids) {
+      emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(pid) +
+           ", \"args\": {\"name\": \"rank " + std::to_string(pid) + "\"}}");
+    }
+    for (const auto& [pid, tid] : seen) {
+      std::string name;
+      append_escaped(name, tid_name(tid));
+      emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
+           ", \"args\": {\"name\": \"" + name + "\"}}");
+    }
+    out += "\n]}\n";
+    return std::move(out);
+  }
+};
+
+std::string render_traces(const std::vector<RoundTrace>& traces,
+                          int default_rank, const ClockModel* clock) {
+  EventSink sink;
+
+  // Aligned traces share the reference timeline; normalize so the export
+  // starts near ts 0 (Chrome renders absolute monotonic stamps far off
+  // screen otherwise).
+  double t0_ref = std::numeric_limits<double>::max();
+  if (clock != nullptr) {
+    for (const RoundTrace& t : traces) {
+      if (t.epoch_s > 0.0) {
+        t0_ref = std::min(t0_ref, clock->to_reference(t.epoch_s));
+      }
+    }
+  }
+
+  // Legacy traces restart their clocks near zero every round; lay them
+  // out back to back with a 50us gap so round N+1 never overlaps round N.
+  constexpr double kRoundGapS = 50e-6;
+  double offset_s = 0.0;
+
+  for (const RoundTrace& t : traces) {
+    const bool aligned = clock != nullptr && t.epoch_s > 0.0;
+    double extent_s = 0.0;
+    for (const TraceSpan& s : t.spans) {
+      const std::int64_t pid = s.rank >= 0 ? s.rank : default_rank;
+      extent_s = std::max(extent_s, s.end_s);
+      const double start =
+          aligned ? clock->to_reference(t.epoch_s + s.start_s) - t0_ref
+                  : offset_s + s.start_s;
+      const double end =
+          aligned ? clock->to_reference(t.epoch_s + s.end_s) - t0_ref
+                  : offset_s + s.end_s;
+      const bool wire = s.phase == Phase::kSend || s.phase == Phase::kRecv;
+      sink.emit_span(pid, span_tid(s), s.phase,
+                     s.label != nullptr ? s.label : "", usec(start),
+                     usec(end) - usec(start), t.round, t.scheme, s.bytes,
+                     wire, s.tag);
+    }
+    if (!aligned) offset_s += extent_s + kRoundGapS;
+  }
+  return sink.finish();
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<RoundTrace>& traces,
                               int default_rank) {
-  std::string out = "{\"traceEvents\": [";
-  bool first = true;
-  const auto emit = [&](const std::string& event) {
-    out += first ? "\n" : ",\n";
-    out += event;
-    first = false;
-  };
+  return render_traces(traces, default_rank, nullptr);
+}
 
-  // Rounds restart their clocks near zero; lay them out back to back with
-  // a 50us gap so round N+1 never overlaps round N on the timeline.
-  constexpr double kRoundGapS = 50e-6;
-  double offset_s = 0.0;
+std::string chrome_trace_json(const std::vector<RoundTrace>& traces,
+                              int default_rank, const ClockModel& clock) {
+  return render_traces(traces, default_rank, &clock);
+}
 
-  std::set<std::pair<std::int64_t, std::int64_t>> seen;  // (pid, tid)
-  for (const RoundTrace& t : traces) {
-    double extent_s = 0.0;
-    for (const TraceSpan& s : t.spans) {
-      const std::int64_t pid = s.rank >= 0 ? s.rank : default_rank;
-      const std::int64_t tid = span_tid(s);
-      seen.emplace(pid, tid);
-      extent_s = std::max(extent_s, s.end_s);
+std::string merged_chrome_trace_json(const measure::MergeResult& merged) {
+  EventSink sink;
 
-      std::string ev = "{\"name\": \"";
-      append_escaped(ev, measure::phase_name(s.phase));
-      if (s.label != nullptr && s.label[0] != '\0') {
-        ev += ':';
-        append_escaped(ev, s.label);
-      }
-      ev += "\", \"cat\": \"";
-      append_escaped(ev, measure::phase_name(s.phase));
-      ev += "\", \"ph\": \"X\", \"pid\": " + std::to_string(pid) +
-            ", \"tid\": " + std::to_string(tid) +
-            ", \"ts\": " + std::to_string(usec(offset_s + s.start_s)) +
-            ", \"dur\": " +
-            std::to_string(std::max<std::int64_t>(
-                usec(s.end_s) - usec(s.start_s), 1)) +
-            ", \"args\": {\"round\": " + std::to_string(t.round) +
-            ", \"scheme\": \"";
-      append_escaped(ev, t.scheme);
-      ev += "\", \"bytes\": " + std::to_string(s.bytes);
-      if (s.phase == Phase::kSend || s.phase == Phase::kRecv) {
-        ev += ", \"tag\": " + std::to_string(s.tag);
-      }
-      ev += "}}";
-      emit(ev);
+  double t0 = std::numeric_limits<double>::max();
+  for (const measure::MergedRound& round : merged.rounds) {
+    for (const MergedSpan& s : round.spans) t0 = std::min(t0, s.start_s);
+  }
+  if (merged.rounds.empty()) t0 = 0.0;
+
+  int flow_id = 0;
+  for (const measure::MergedRound& round : merged.rounds) {
+    for (const MergedSpan& s : round.spans) {
+      const bool wire = s.phase == Phase::kSend || s.phase == Phase::kRecv;
+      sink.emit_span(s.rank, lane_tid(s.phase, s.worker, s.peer), s.phase,
+                     s.label, usec(s.start_s - t0),
+                     usec(s.end_s - t0) - usec(s.start_s - t0), round.round,
+                     round.scheme, s.bytes, wire, s.tag);
     }
-    offset_s += extent_s + kRoundGapS;
+    for (const measure::Flow& f : round.flows) {
+      const MergedSpan& send =
+          round.spans[static_cast<std::size_t>(f.send_index)];
+      const MergedSpan& recv =
+          round.spans[static_cast<std::size_t>(f.recv_index)];
+      const std::string id = std::to_string(flow_id++);
+      const std::int64_t s_ts = usec(send.start_s - t0);
+      // Never draw an arrow backwards in time: a residual causality
+      // violation is reported by the merge stats, not rendered inverted.
+      const std::int64_t f_ts = std::max(usec(recv.end_s - t0), s_ts);
+      sink.emit(
+          "{\"name\": \"wire\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": " +
+          id + ", \"pid\": " + std::to_string(send.rank) +
+          ", \"tid\": " + std::to_string(lane_tid(send.phase, send.worker,
+                                                  send.peer)) +
+          ", \"ts\": " + std::to_string(s_ts) + "}");
+      sink.emit(
+          "{\"name\": \"wire\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": "
+          "\"e\", \"id\": " +
+          id + ", \"pid\": " + std::to_string(recv.rank) +
+          ", \"tid\": " + std::to_string(lane_tid(recv.phase, recv.worker,
+                                                  recv.peer)) +
+          ", \"ts\": " + std::to_string(f_ts) + "}");
+    }
   }
-
-  std::set<std::int64_t> pids;
-  for (const auto& [pid, tid] : seen) pids.insert(pid);
-  for (std::int64_t pid : pids) {
-    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
-         std::to_string(pid) +
-         ", \"args\": {\"name\": \"rank " + std::to_string(pid) + "\"}}");
-  }
-  for (const auto& [pid, tid] : seen) {
-    std::string name;
-    append_escaped(name, tid_name(tid));
-    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
-         std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
-         ", \"args\": {\"name\": \"" + name + "\"}}");
-  }
-
-  out += "\n]}\n";
-  return out;
+  return sink.finish();
 }
 
 }  // namespace gcs::telemetry

@@ -16,28 +16,55 @@
 //           101 + 2*peer  wire recv lane from `peer`
 //         so nested pipeline phases stack on lane 0 while per-peer wire
 //         traffic and pool workers render as parallel tracks.
-//   ts  — microseconds. Recorder clocks restart near zero every round
-//         (TraceRecorder::take re-arms the epoch), so rounds are laid out
-//         sequentially on the export timeline with a visual gap between
-//         them; within a round, relative timing is preserved exactly.
+//   ts  — microseconds. Two layouts:
+//           * legacy: recorder clocks restart near zero every round
+//             (TraceRecorder::take re-arms the epoch), so rounds are laid
+//             out sequentially with a visual gap between them; within a
+//             round, relative timing is preserved exactly.
+//           * aligned: with a ClockModel and traces that carry epoch_s,
+//             every span sits at its real instant on the reference
+//             timeline (normalized so the export starts near ts 0) —
+//             rounds keep their true spacing and multi-rank exports from
+//             different processes land on one consistent time base.
+//             Traces without epoch_s fall back to the legacy layout.
 //
 // Every span becomes one complete ("X") event carrying round / scheme /
-// bytes / tag in args. The output is self-contained JSON — no registry
-// or telemetry state involved — so it works on traces loaded back from
-// disk as well as live ones.
+// bytes / tag in args. merged_chrome_trace_json additionally emits one
+// flow-event pair ("ph":"s"/"f") per matched send/recv, drawing the wire
+// causality arrows across rank pids. The output is self-contained JSON —
+// no registry or telemetry state involved — so it works on traces loaded
+// back from disk as well as live ones.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "measure/trace.h"
+#include "measure/trace_merge.h"
 
 namespace gcs::telemetry {
 
 /// Renders `traces` as a Chrome trace-event JSON document
-/// ({"traceEvents":[...]}). `default_rank` attributes pipeline spans
-/// (recorded with rank -1) to the exporting process's rank.
+/// ({"traceEvents":[...]}) using the legacy sequential round layout.
+/// `default_rank` attributes pipeline spans (recorded with rank -1) to
+/// the exporting process's rank.
 std::string chrome_trace_json(const std::vector<measure::RoundTrace>& traces,
                               int default_rank = 0);
+
+/// Aligned layout: spans of traces carrying epoch_s are placed at their
+/// ClockModel-mapped reference instants (normalized to start near ts 0);
+/// traces without epoch_s keep the sequential fallback layout.
+std::string chrome_trace_json(const std::vector<measure::RoundTrace>& traces,
+                              int default_rank,
+                              const measure::ClockModel& clock);
+
+/// Flow-annotated export of a merged multi-rank timeline: every merged
+/// span is an "X" event under its origin rank's pid, and every matched
+/// flow becomes a "s"/"f" pair (binding point "e") from the send span to
+/// its recv — the causality arrows in chrome://tracing. Flow finish
+/// timestamps are clamped to never precede their start (residual
+/// violations are the merge result's to report, not the viewer's to
+/// render backwards).
+std::string merged_chrome_trace_json(const measure::MergeResult& merged);
 
 }  // namespace gcs::telemetry

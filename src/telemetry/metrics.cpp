@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace gcs::telemetry {
@@ -143,6 +144,9 @@ Registry::Entry* Registry::find_or_create(std::string_view name,
       case MetricKind::kGauge:
         e->gauge = std::make_unique<Gauge>();
         break;
+      case MetricKind::kFloatGauge:
+        e->float_gauge = std::make_unique<FloatGauge>();
+        break;
       case MetricKind::kHistogram:
         e->histogram = std::make_unique<Histogram>();
         break;
@@ -166,6 +170,13 @@ GaugeHandle Registry::gauge(std::string_view name,
   if (!enabled()) return GaugeHandle{};
   Entry* e = find_or_create(name, labels, MetricKind::kGauge);
   return GaugeHandle{e != nullptr ? e->gauge.get() : nullptr};
+}
+
+FloatGaugeHandle Registry::float_gauge(std::string_view name,
+                                       std::string_view labels) noexcept {
+  if (!enabled()) return FloatGaugeHandle{};
+  Entry* e = find_or_create(name, labels, MetricKind::kFloatGauge);
+  return FloatGaugeHandle{e != nullptr ? e->float_gauge.get() : nullptr};
 }
 
 HistogramHandle Registry::histogram(std::string_view name,
@@ -202,6 +213,9 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
         break;
       case MetricKind::kGauge:
         s.gauge_value = e->gauge->value();
+        break;
+      case MetricKind::kFloatGauge:
+        s.float_gauge_value = e->float_gauge->value();
         break;
       case MetricKind::kHistogram:
         s.histogram = e->histogram->snapshot();
@@ -267,6 +281,7 @@ std::string to_prometheus_text(const std::vector<MetricSnapshot>& metrics) {
           out += " counter\n";
           break;
         case MetricKind::kGauge:
+        case MetricKind::kFloatGauge:
           out += " gauge\n";
           break;
         case MetricKind::kHistogram:
@@ -288,6 +303,13 @@ std::string to_prometheus_text(const std::vector<MetricSnapshot>& metrics) {
         out += std::to_string(m.gauge_value);
         out += '\n';
         break;
+      case MetricKind::kFloatGauge: {
+        append_labeled(out, m.name, m.labels);
+        char value[48];
+        std::snprintf(value, sizeof(value), " %.9g\n", m.float_gauge_value);
+        out += value;
+        break;
+      }
       case MetricKind::kHistogram: {
         // Cumulative buckets; zero-count buckets are skipped (legal in the
         // exposition format — `le` bounds stay increasing, counts stay

@@ -133,6 +133,24 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Point-in-time real value (ratios, seconds). Same contract as Gauge but
+/// double-valued: the analysis layer publishes fractional seconds
+/// (gcs_critical_slack_seconds) that an integer gauge would truncate to
+/// zero. Stored as the bit pattern in one atomic word — set/value are
+/// lock-free and never torn.
+class FloatGauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
 /// Log-bucketed histogram with per-thread shards (see bucket_index).
 /// `sum` accumulates with wrap-around u64 arithmetic so the cross-shard
 /// merge stays deterministic (no float addition-order dependence).
@@ -204,6 +222,21 @@ class GaugeHandle {
   friend class Registry;
 };
 
+class FloatGaugeHandle {
+ public:
+  FloatGaugeHandle() = default;
+  void set(double v) noexcept {
+    if (m_ != nullptr) m_->set(v);
+  }
+  bool live() const noexcept { return m_ != nullptr; }
+  double value() const noexcept { return m_ != nullptr ? m_->value() : 0.0; }
+
+ private:
+  explicit FloatGaugeHandle(FloatGauge* m) noexcept : m_(m) {}
+  FloatGauge* m_ = nullptr;
+  friend class Registry;
+};
+
 class HistogramHandle {
  public:
   HistogramHandle() = default;
@@ -246,7 +279,12 @@ class ScopedUsecTimer {
 
 // ------------------------------------------------------------- registry
 
-enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+enum class MetricKind : std::uint8_t {
+  kCounter,
+  kGauge,
+  kFloatGauge,
+  kHistogram,
+};
 
 /// One metric's merged state at scrape time.
 struct MetricSnapshot {
@@ -255,6 +293,7 @@ struct MetricSnapshot {
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t counter_value = 0;
   std::int64_t gauge_value = 0;
+  double float_gauge_value = 0.0;
   Histogram::Snapshot histogram;
 };
 
@@ -272,6 +311,8 @@ class Registry {
                         std::string_view labels = {}) noexcept;
   GaugeHandle gauge(std::string_view name,
                     std::string_view labels = {}) noexcept;
+  FloatGaugeHandle float_gauge(std::string_view name,
+                               std::string_view labels = {}) noexcept;
   HistogramHandle histogram(std::string_view name,
                             std::string_view labels = {}) noexcept;
 
@@ -295,6 +336,7 @@ class Registry {
     MetricKind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FloatGauge> float_gauge;
     std::unique_ptr<Histogram> histogram;
   };
   Entry* find_or_create(std::string_view name, std::string_view labels,
@@ -312,6 +354,10 @@ inline CounterHandle counter(std::string_view name,
 inline GaugeHandle gauge(std::string_view name,
                          std::string_view labels = {}) noexcept {
   return Registry::instance().gauge(name, labels);
+}
+inline FloatGaugeHandle float_gauge(std::string_view name,
+                                    std::string_view labels = {}) noexcept {
+  return Registry::instance().float_gauge(name, labels);
 }
 inline HistogramHandle histogram(std::string_view name,
                                  std::string_view labels = {}) noexcept {

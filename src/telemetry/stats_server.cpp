@@ -41,20 +41,51 @@ void StatsServer::serve_loop() {
     if (!conn.valid()) continue;
 
     try {
-      // Drain whatever request line arrived (best-effort; a scraper that
-      // connects and reads without sending anything still gets metrics).
+      // Read the request line (best-effort; a scraper that connects and
+      // reads without sending anything still gets metrics — the original
+      // single-endpoint contract).
+      std::string request;
       pollfd pfd{conn.fd(), POLLIN, 0};
       if (::poll(&pfd, 1, 200) > 0 && (pfd.revents & POLLIN) != 0) {
         std::array<char, 4096> buf;
-        (void)::recv(conn.fd(), buf.data(), buf.size(), 0);
+        const auto n = ::recv(conn.fd(), buf.data(), buf.size(), 0);
+        if (n > 0) request.assign(buf.data(), static_cast<std::size_t>(n));
       }
 
-      const std::string body = Registry::instance().prometheus_text();
-      std::string response =
-          "HTTP/1.0 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) + "\r\n\r\n";
+      // Route on the request target: /metrics (and the legacy empty
+      // request) serve the exposition text, /healthz answers liveness
+      // probes without touching the registry, anything else is a 404.
+      std::string target = "/metrics";
+      const auto sp = request.find(' ');
+      if (sp != std::string::npos) {
+        const auto end = request.find_first_of(" ?\r\n", sp + 1);
+        target = request.substr(sp + 1, end == std::string::npos
+                                            ? std::string::npos
+                                            : end - sp - 1);
+      }
+
+      std::string status = "200 OK";
+      std::string content_type =
+          "text/plain; version=0.0.4; charset=utf-8";
+      std::string body;
+      if (target == "/metrics" || target.empty() || target == "/") {
+        body = Registry::instance().prometheus_text();
+      } else if (target == "/healthz") {
+        content_type = "text/plain; charset=utf-8";
+        body = "ok\n";
+      } else {
+        status = "404 Not Found";
+        content_type = "text/plain; charset=utf-8";
+        body = "not found\n";
+      }
+
+      std::string response = "HTTP/1.0 " + status +
+                             "\r\n"
+                             "Content-Type: " +
+                             content_type +
+                             "\r\n"
+                             "Content-Length: " +
+                             std::to_string(body.size()) + "\r\n\r\n";
       response += body;
       conn.write_all(response.data(), response.size());
       scrapes_.fetch_add(1, std::memory_order_relaxed);

@@ -4,7 +4,9 @@
 // the telemetry registry's merged snapshot to anything that connects —
 // `curl`, a Prometheus scraper, or tools/gcs_stat. One accept thread,
 // one request per connection, response written and the connection
-// closed; no keep-alive, no routing (every path returns the metrics).
+// closed; no keep-alive, and exactly three routes: /metrics (also "/"
+// and the legacy empty request) returns the exposition text, /healthz
+// answers liveness probes with "ok", anything else is a 404.
 // That is deliberately minimal: the endpoint runs *inside* a training
 // worker, so it must never hold state per client or block the hot path —
 // a scrape costs one registry snapshot on the server thread and nothing

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "comm/transport.h"
+#include "comm/transport_decorators.h"
 #include "core/aggregation_pipeline.h"
 #include "core/factory.h"
 #include "core/synthetic_grad.h"
@@ -186,44 +187,21 @@ inline RankReport parse_report(const ByteBuffer& buf) {
 /// Transport wrapper that kills the process after a configured number of
 /// further sends — the only way to die deterministically *inside* a
 /// chunked collective, with frames of the stream already on peers' wires.
-class KillSwitchTransport final : public comm::Transport {
+class KillSwitchTransport final : public comm::ForwardingTransport {
  public:
-  explicit KillSwitchTransport(comm::Transport& inner) : inner_(inner) {}
+  explicit KillSwitchTransport(comm::Transport& inner)
+      : comm::ForwardingTransport(inner) {}
 
   /// The next `sends` sends go through; the one after _exit(9)s.
   void arm(int sends) { remaining_ = sends; }
 
-  int world_size() const override { return inner_.world_size(); }
   void send(int src, int dst, std::uint64_t tag,
             ByteBuffer payload) override {
     if (remaining_ >= 0 && remaining_-- == 0) _exit(9);
-    inner_.send(src, dst, tag, std::move(payload));
-  }
-  comm::Message recv(int dst, int src, std::uint64_t tag) override {
-    return inner_.recv(dst, src, tag);
-  }
-  std::uint64_t bytes_sent(int rank) const override {
-    return inner_.bytes_sent(rank);
-  }
-  std::uint64_t bytes_received(int rank) const override {
-    return inner_.bytes_received(rank);
-  }
-  void reset_counters() override { inner_.reset_counters(); }
-  void set_wire_tap(comm::WireTap* tap) override {
-    inner_.set_wire_tap(tap);
-  }
-  comm::Membership membership() const override {
-    return inner_.membership();
-  }
-  comm::Membership rebuild(std::uint64_t resume_round) override {
-    return inner_.rebuild(resume_round);
-  }
-  comm::TransportStats stats(int rank) const override {
-    return inner_.stats(rank);
+    comm::ForwardingTransport::send(src, dst, tag, std::move(payload));
   }
 
  private:
-  comm::Transport& inner_;
   int remaining_ = -1;
 };
 

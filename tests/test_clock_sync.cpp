@@ -1,0 +1,167 @@
+// Tests for measure/clock_sync: NTP-style offset recovery over the
+// threaded fabric with planted clock errors. The injectable local_clock
+// lets each rank lie about its time in a controlled way; the assertions
+// are the honest error bounds (asymmetry <= rtt/2), not exact equality.
+#include "measure/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "comm/group.h"
+#include "comm/transport_decorators.h"
+
+namespace gcs::measure {
+namespace {
+
+constexpr int kWorld = 4;
+
+ClockSyncOptions options_with_clock(std::function<double()> clock) {
+  ClockSyncOptions o;
+  o.local_clock = std::move(clock);
+  return o;
+}
+
+TEST(ClockSync, RankZeroIsIdentityAndPeersStayWithinRtt) {
+  comm::Fabric fabric(kWorld);
+  std::vector<ClockModel> models(kWorld);
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    models[static_cast<std::size_t>(comm.rank())] = sync_clocks(comm);
+  });
+
+  EXPECT_EQ(models[0].offset_s, 0.0);
+  EXPECT_EQ(models[0].drift, 0.0);
+  for (int r = 1; r < kWorld; ++r) {
+    const ClockModel& m = models[static_cast<std::size_t>(r)];
+    EXPECT_EQ(m.rank, r);
+    EXPECT_GT(m.rtt_s, 0.0);
+    // All ranks share one true clock here, so the estimated offset IS the
+    // estimation error — bounded by the winning probe's asymmetry.
+    EXPECT_LE(std::abs(m.offset_s), m.rtt_s / 2 + 1e-6)
+        << "rank " << r << " offset " << m.offset_s << " rtt " << m.rtt_s;
+  }
+}
+
+TEST(ClockSync, RecoversPlantedConstantOffsets) {
+  // Rank r's clock reads 0.25 * r seconds ahead of true time. A constant
+  // shift cancels out of the rtt, so recovery error is exactly the path
+  // asymmetry of the winning probe: |offset + planted| <= rtt / 2.
+  comm::Fabric fabric(kWorld);
+  std::vector<ClockModel> models(kWorld);
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    const double planted = 0.25 * comm.rank();
+    models[static_cast<std::size_t>(comm.rank())] = sync_clocks(
+        comm, options_with_clock([planted] {
+          return monotonic_now_s() + planted;
+        }));
+  });
+
+  for (int r = 1; r < kWorld; ++r) {
+    const ClockModel& m = models[static_cast<std::size_t>(r)];
+    const double planted = 0.25 * r;
+    EXPECT_LE(std::abs(m.offset_s + planted), m.rtt_s / 2 + 1e-6)
+        << "rank " << r << " recovered " << m.offset_s << " for planted "
+        << -planted << " (rtt " << m.rtt_s << ")";
+    // And the model maps a local instant back onto the reference within
+    // the same bound.
+    const double local = monotonic_now_s() + planted;
+    EXPECT_LE(std::abs(m.to_reference(local) - (local - planted)),
+              m.rtt_s / 2 + 1e-6);
+  }
+}
+
+/// Delays only the ping direction (sends into rank 0), making the probe
+/// path asymmetric on purpose.
+class PingDelayTransport final : public comm::ForwardingTransport {
+ public:
+  PingDelayTransport(comm::Transport& inner, std::chrono::microseconds d)
+      : comm::ForwardingTransport(inner), delay_(d) {}
+
+  void send(int src, int dst, std::uint64_t tag,
+            ByteBuffer payload) override {
+    if (dst == 0) std::this_thread::sleep_for(delay_);
+    comm::ForwardingTransport::send(src, dst, tag, std::move(payload));
+  }
+
+ private:
+  std::chrono::microseconds delay_;
+};
+
+TEST(ClockSync, AsymmetricPathErrorStaysWithinReportedRttHalf) {
+  // 2 ms extra on every ping, nothing on the pong: the classic NTP
+  // failure mode. The estimate is biased (by ~asymmetry/2), but the
+  // reported rtt absorbs the asymmetry, so the rtt/2 bound must hold —
+  // that is what makes rtt_s an honest error bar.
+  comm::Fabric fabric(2);
+  PingDelayTransport delayed(fabric, std::chrono::microseconds(2000));
+  ClockModel peer;
+  comm::run_workers(delayed, [&](comm::Communicator& comm) {
+    const ClockModel m = sync_clocks(comm);
+    if (comm.rank() == 1) peer = m;
+  });
+
+  EXPECT_GE(peer.rtt_s, 2e-3);  // the injected delay is inside the rtt
+  EXPECT_LE(std::abs(peer.offset_s), peer.rtt_s / 2 + 1e-6);
+  // The bias is real, not noise: the ping-side delay pushes the estimate
+  // positive by about half the asymmetry.
+  EXPECT_GT(peer.offset_s, 0.5e-3);
+}
+
+TEST(ClockSync, RefreshEstimatesPlantedDrift) {
+  // Rank 1's clock runs fast by 1000 ppm. Two refreshes ~120 ms apart
+  // give the slope; probe noise contributes at most rtt/dt, far below
+  // the planted rate on an in-process fabric.
+  constexpr double kRate = 1e-3;
+  comm::Fabric fabric(2);
+  ClockModel peer;
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    const double anchor = monotonic_now_s();
+    ClockSyncOptions o;
+    if (comm.rank() == 1) {
+      o.local_clock = [anchor] {
+        const double t = monotonic_now_s();
+        return t + kRate * (t - anchor);
+      };
+    }
+    ClockSync sync(o);
+    sync.refresh(comm);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    const ClockModel m = sync.refresh(comm);
+    if (comm.rank() == 1) peer = m;
+  });
+
+  // to_reference must cancel the rate: drift ~ -kRate.
+  EXPECT_LT(std::abs(peer.drift + kRate), 5e-4)
+      << "estimated drift " << peer.drift << " for planted " << kRate;
+}
+
+TEST(ClockSync, InsaneSlopeIsRejectedAsArtefact) {
+  // 1% per second is no quartz crystal — the drift estimator must treat
+  // it as a measurement artefact and keep the previous (zero) estimate.
+  comm::Fabric fabric(2);
+  ClockModel peer;
+  comm::run_workers(fabric, [&](comm::Communicator& comm) {
+    const double anchor = monotonic_now_s();
+    ClockSyncOptions o;
+    if (comm.rank() == 1) {
+      o.local_clock = [anchor] {
+        const double t = monotonic_now_s();
+        return t + 1e-2 * (t - anchor);
+      };
+    }
+    ClockSync sync(o);
+    sync.refresh(comm);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    const ClockModel m = sync.refresh(comm);
+    if (comm.rank() == 1) peer = m;
+  });
+
+  EXPECT_EQ(peer.drift, 0.0);
+}
+
+}  // namespace
+}  // namespace gcs::measure

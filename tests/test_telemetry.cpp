@@ -278,6 +278,66 @@ TEST(StatsServer, ServesOnEphemeralTestPort) {
   EXPECT_NE(body.find(cname + " 9"), std::string::npos);
 }
 
+/// Raw HTTP/1.0 exchange returning the full response (status line
+/// included), for the routing assertions scrape() hides.
+std::string raw_request(int port, const std::string& request) {
+  net::Address addr;
+  addr.is_unix = false;
+  addr.host = "127.0.0.1";
+  addr.port = port;
+  net::Socket sock = net::connect_to(addr, 2000);
+  sock.write_all(request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(sock.fd(), buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  return response;
+}
+
+TEST(StatsServer, RoutesHealthzRootAndUnknownTargets) {
+  EnabledGuard guard(true);
+  const std::string cname = unique_name("routed");
+  counter(cname).inc(1);
+
+  StatsServer server(0);
+  ASSERT_GT(server.port(), 0);
+
+  // /healthz is a liveness probe: 200 "ok" without the registry text.
+  const std::string health =
+      raw_request(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+  EXPECT_EQ(health.find(cname), std::string::npos);
+
+  // "/" and a bare (legacy) request both serve the exposition text.
+  const std::string root =
+      raw_request(server.port(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_NE(root.find("200 OK"), std::string::npos);
+  EXPECT_NE(root.find(cname), std::string::npos);
+  const std::string legacy = raw_request(server.port(), "\r\n\r\n");
+  EXPECT_NE(legacy.find(cname), std::string::npos);
+
+  // Query strings do not change the route.
+  const std::string query = raw_request(
+      server.port(), "GET /metrics?x=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(query.find("200 OK"), std::string::npos);
+  EXPECT_NE(query.find(cname), std::string::npos);
+
+  // Anything else is a 404, not a metrics dump.
+  const std::string missing =
+      raw_request(server.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("not found\n"), std::string::npos);
+  EXPECT_EQ(missing.find(cname), std::string::npos);
+}
+
 // --------------------------------------------------------- chrome trace
 
 measure::RoundTrace example_trace(std::uint64_t round, int rank) {

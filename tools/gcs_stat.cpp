@@ -53,6 +53,7 @@ struct Scrape {
   bool parse_ok = false;  // every non-comment line parsed
   std::string error;
   std::string body;  // raw exposition text
+  double duration_ms = 0.0;  // connect -> body fully read
   std::vector<Sample> samples;
 };
 
@@ -152,6 +153,7 @@ bool parse_exposition(const std::string& body, std::vector<Sample>* out) {
 Scrape scrape_target(const std::string& target, int timeout_ms) {
   Scrape s;
   s.target = target;
+  const auto start = std::chrono::steady_clock::now();
   try {
     s.body = http_get_metrics(target, timeout_ms);
     s.ok = true;
@@ -159,6 +161,9 @@ Scrape scrape_target(const std::string& target, int timeout_ms) {
   } catch (const std::exception& e) {
     s.error = e.what();
   }
+  s.duration_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
   return s;
 }
 
@@ -225,7 +230,9 @@ void print_usage() {
       "  --require=<m,...>    metric families that must be present (implies\n"
       "                       --validate semantics for the exit status)\n"
       "  --dump=<path>        write the raw exposition text of every target\n"
-      "                       (concatenated, '# gcs_stat target:' headers)\n";
+      "                       (concatenated; '# gcs_stat' provenance headers\n"
+      "                       carry target, scrape duration and a dump\n"
+      "                       sequence number)\n";
 }
 
 }  // namespace
@@ -252,6 +259,7 @@ int main(int argc, char** argv) {
     const std::vector<std::string> required =
         gcs::split_csv(flags.get_string("require", ""));
     const std::string dump_path = flags.get_string("dump", "");
+    std::uint64_t dump_seq = 0;
 
     for (;;) {
       std::vector<Scrape> scrapes;
@@ -266,9 +274,17 @@ int main(int argc, char** argv) {
       }
 
       if (!dump_path.empty()) {
+        // Provenance headers: which target each block came from, how long
+        // the scrape took, and a monotonic sequence number so successive
+        // dumps of a polling session are orderable after the fact.
         std::ofstream dump(dump_path, std::ios::trunc);
+        dump << "# gcs_stat dump seq: " << dump_seq++ << "\n";
         for (const auto& s : scrapes) {
-          dump << "# gcs_stat target: " << s.target << "\n" << s.body;
+          char duration[32];
+          std::snprintf(duration, sizeof(duration), "%.3f", s.duration_ms);
+          dump << "# gcs_stat target: " << s.target << "\n"
+               << "# gcs_stat scrape duration_ms: " << duration << "\n"
+               << s.body;
         }
         if (!dump) {
           std::cerr << "gcs_stat: failed to write " << dump_path << "\n";
