@@ -41,6 +41,9 @@
 #include "core/aggregation_pipeline.h"
 #include "core/factory.h"
 #include "core/synthetic_grad.h"
+#include "health/health_monitor.h"
+#include "health/monitored_transport.h"
+#include "health/watchdog.h"
 #include "measure/clock_sync.h"
 #include "measure/trace.h"
 #include "measure/trace_merge.h"
@@ -105,6 +108,32 @@ struct WorkerConfig {
   /// runs); 0 = rendezvous only. Periodic refreshes feed the drift
   /// estimate for long runs.
   int clock_sync_every = 32;
+  /// Health plane (src/health/): hang watchdog + anomaly detectors +
+  /// /health on the stats endpoint. Implies --telemetry.
+  bool health = false;
+  /// Anomaly-detector sampling period.
+  int health_interval_ms = 200;
+  /// Watchdog armed-lane deadline (default 5000 with --health).
+  int watchdog_ms = 0;
+  /// On a per-peer reader-lane stall, administratively fail the stuck
+  /// peer's channel (SocketFabric::fail_peer) so the round aborts with a
+  /// PeerFailure and elastic recovery engages. Implies --health.
+  bool watchdog_abort = false;
+  /// Hang injection (the watchdog's acceptance seam): this original rank
+  /// freezes — stops sending, connections left open, total silence —
+  /// after its --freeze-after-sends-th send. -1 = nobody freezes.
+  int freeze_rank = -1;
+  int freeze_after_sends = 8;
+  /// How long the frozen rank holds before hard-exiting (bounds the
+  /// demo even if nobody aborts it).
+  int freeze_hold_ms = 30000;
+  /// Deferred straggler: --delay-rank starts sleeping only at this round
+  /// (-1 = from round 0). Lets the detectors build a clean baseline
+  /// before the regression is injected.
+  int delay_after_round = -1;
+  /// Sleep between rounds on every rank: paces the round rate so the
+  /// per-tick detector sampling sees enough windows to warm up.
+  int round_gap_ms = 0;
 };
 
 /// Deterministic per-worker gradients: every process regenerates the same
@@ -140,13 +169,8 @@ struct WorkerResult {
 WorkerResult run_worker(const WorkerConfig& config, int rank) {
   // Telemetry must be on before any instrumented object is constructed —
   // handles are resolved at construction time (src/telemetry/metrics.h).
-  if (config.telemetry || config.stats_port >= 0) {
+  if (config.telemetry || config.stats_port >= 0 || config.health) {
     gcs::telemetry::set_enabled(true);
-  }
-  std::unique_ptr<gcs::telemetry::StatsServer> stats;
-  if (config.stats_port >= 0) {
-    stats = std::make_unique<gcs::telemetry::StatsServer>(config.stats_port +
-                                                          rank);
   }
   gcs::net::SocketFabricConfig fc;
   fc.rendezvous = config.rendezvous;
@@ -158,17 +182,37 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
     fc.rejoin_window_ms = config.rejoin_window_ms;
   }
   gcs::net::SocketFabric fabric(fc);
-  // Straggler injection: the delayed rank's transport sleeps before every
-  // send. The collectives run over the decorated transport; clock sync
-  // runs over the raw fabric (a sync through the delay would fold the
-  // injected latency into the offset estimate and hide the straggler).
-  gcs::comm::DelayTransport delayed(
+  // Decorator stack, innermost first: freeze (hang injection) directly on
+  // the fabric, then the straggler delay, then — outermost, health only —
+  // the send-latency monitor, so the monitored time *includes* injected
+  // delay and the slow rank sees its own regression as a local signal.
+  // Clock sync runs over the raw fabric (a sync through the delay would
+  // fold the injected latency into the offset estimate and hide the
+  // straggler).
+  gcs::comm::FreezeTransport frozen(
       fabric,
+      rank == config.freeze_rank
+          ? static_cast<std::uint64_t>(config.freeze_after_sends)
+          : ~std::uint64_t{0},
+      std::chrono::milliseconds(config.freeze_hold_ms), [] {
+        std::cerr << "frozen rank: hold expired, exiting\n";
+        _exit(7);
+      });
+  // Deferred straggler (--delay-after-round) starts transparent; the
+  // round loop flips the delay on at the configured boundary.
+  gcs::comm::DelayTransport delayed(
+      frozen,
       std::chrono::microseconds(
-          rank == config.delay_rank
+          rank == config.delay_rank && config.delay_after_round < 0
               ? static_cast<std::int64_t>(config.delay_send_ms) * 1000
               : 0));
-  gcs::comm::Transport& transport = delayed;
+  std::unique_ptr<gcs::health::MonitoredTransport> monitored;
+  if (config.health) {
+    monitored = std::make_unique<gcs::health::MonitoredTransport>(delayed);
+  }
+  gcs::comm::Transport& transport =
+      monitored != nullptr ? static_cast<gcs::comm::Transport&>(*monitored)
+                           : delayed;
   gcs::comm::Communicator comm(transport, fabric.rank());
 
   // Rendezvous clock sync: estimate this rank's offset against rank 0 so
@@ -224,6 +268,62 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
     gcs::telemetry::FlightRecorder::arm_process_hooks(flight.get());
     pipeline_config.flight = flight.get();
   }
+  // Health plane: watchdog over the heartbeat lanes plus the anomaly
+  // monitor feeding /health. Started before the round loop so detector
+  // baselines cover the run from its first window.
+  std::unique_ptr<gcs::health::Watchdog> watchdog;
+  std::unique_ptr<gcs::health::HealthMonitor> monitor;
+  if (config.health) {
+    gcs::health::WatchdogConfig wc;
+    wc.deadline_ms = config.watchdog_ms > 0
+                         ? static_cast<std::uint64_t>(config.watchdog_ms)
+                         : 5000;
+    if (wc.deadline_ms / 4 < wc.poll_interval_ms) {
+      wc.poll_interval_ms = wc.deadline_ms / 4 + 1;
+    }
+    const bool abort_on_stall = config.watchdog_abort;
+    wc.on_stall = [&fabric, rank,
+                   abort_on_stall](const gcs::health::StallReport& s) {
+      std::cerr << "rank " << rank << ": WATCHDOG STALL lane=" << s.lane
+                << " peer=" << s.peer << " silent_ms=" << s.silent_ms
+                << " progress=" << s.progress << "\n";
+      if (abort_on_stall && s.peer >= 0 && s.lane == "net.reader") {
+        const bool cut = fabric.fail_peer(s.peer);
+        std::cerr << "rank " << rank << ": watchdog abort: "
+                  << (cut ? "failed channel to peer "
+                          : "peer already out of the mesh: ")
+                  << s.peer << "\n";
+      }
+    };
+    wc.on_recover = [rank](const gcs::health::StallReport& s) {
+      std::cerr << "rank " << rank << ": watchdog recovered lane=" << s.lane
+                << " peer=" << s.peer << "\n";
+    };
+    watchdog = std::make_unique<gcs::health::Watchdog>(wc);
+    watchdog->start();
+
+    gcs::health::HealthMonitorConfig hc;
+    hc.rank = rank;
+    hc.interval_ms = static_cast<std::uint64_t>(
+        config.health_interval_ms > 0 ? config.health_interval_ms : 200);
+    hc.watchdog = watchdog.get();
+    if (!config.trace.empty()) hc.trace = &recorder;
+    monitor = std::make_unique<gcs::health::HealthMonitor>(hc);
+    monitor->start();
+  }
+  // Declared after fabric/watchdog/monitor on purpose: teardown must run
+  // stats -> monitor -> watchdog -> fabric, since the server may be
+  // mid-/health off the monitor, and the watchdog's abort callback
+  // reaches into the fabric.
+  std::unique_ptr<gcs::telemetry::StatsServer> stats;
+  if (config.stats_port >= 0) {
+    stats = std::make_unique<gcs::telemetry::StatsServer>(config.stats_port +
+                                                          rank);
+    if (monitor != nullptr) {
+      stats->set_health_provider(
+          [m = monitor.get()] { return m->health_json(); });
+    }
+  }
   pipeline_config.elastic = config.elastic;
   pipeline_config.peer_timeout_ms = config.peer_timeout_ms;
   pipeline_config.rejoin_window_ms = config.rejoin_window_ms;
@@ -247,6 +347,19 @@ WorkerResult run_worker(const WorkerConfig& config, int rank) {
   std::vector<gcs::measure::RoundTrace> traces;
   std::uint64_t seen_epoch = 0;
   for (int r = 0; r < config.rounds; ++r) {
+    if (config.round_gap_ms > 0 && r > 0) {
+      // All ranks pace identically, so the gap shifts the round rate
+      // without skewing any one rank.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.round_gap_ms));
+    }
+    if (rank == config.delay_rank && config.delay_after_round >= 0 &&
+        r == config.delay_after_round) {
+      delayed.set_send_delay(std::chrono::microseconds(
+          static_cast<std::int64_t>(config.delay_send_ms) * 1000));
+      std::cerr << "rank " << rank << ": injecting " << config.delay_send_ms
+                << " ms per-send delay from round " << r << "\n";
+    }
     if (clock_refresh_ok && config.clock_sync_every > 0 && r > 0 &&
         r % config.clock_sync_every == 0) {
       clock_sync.refresh(sync_comm);
@@ -341,7 +454,19 @@ int launch_all(WorkerConfig config) {
   }
   if (config.delay_rank >= 0) {
     std::cout << "Straggler demo: rank " << config.delay_rank << " sleeps "
-              << config.delay_send_ms << " ms before every send\n";
+              << config.delay_send_ms << " ms before every send";
+    if (config.delay_after_round >= 0) {
+      std::cout << " from round " << config.delay_after_round;
+    }
+    std::cout << "\n";
+  }
+  if (config.freeze_rank >= 0) {
+    std::cout << "Hang demo: rank " << config.freeze_rank
+              << " freezes (silent, connections open) after "
+              << config.freeze_after_sends << " sends"
+              << (config.watchdog_abort
+                      ? " (watchdog abort: survivors recover)\n"
+                      : "\n");
   }
   // Children inherit stdio buffers copy-on-write; flush before forking so
   // the banner cannot be replayed by a child's own flush.
@@ -390,7 +515,8 @@ int launch_all(WorkerConfig config) {
   }
   std::cout << table.to_string();
 
-  const int expected_dead = config.die_rank >= 0 ? 1 : 0;
+  const int expected_dead =
+      (config.die_rank >= 0 ? 1 : 0) + (config.freeze_rank >= 0 ? 1 : 0);
   if (dead != expected_dead || results.empty()) {
     std::cout << dead << " rank(s) died unexpectedly.\n";
     return 1;
@@ -454,7 +580,29 @@ int main(int argc, char** argv) {
              "  --flight-dir=<d>      flight-dump directory (default .)\n"
              "  --clock-sync-every=<k> refresh the cross-rank clock model\n"
              "                        every k rounds (default 32; 0 =\n"
-             "                        rendezvous sync only)\n";
+             "                        rendezvous sync only)\n"
+             "  --health              health plane (src/health/): hang\n"
+             "                        watchdog + anomaly detectors + the\n"
+             "                        /health endpoint (scrape with\n"
+             "                        gcs_top); implies --telemetry\n"
+             "  --health-interval-ms=<t> detector sampling period\n"
+             "                        (default 200)\n"
+             "  --watchdog-ms=<t>     armed-lane stall deadline (default\n"
+             "                        5000); implies --health\n"
+             "  --watchdog-abort      on a reader-lane stall, fail the\n"
+             "                        stuck peer's channel so elastic\n"
+             "                        recovery engages; implies --health\n"
+             "  --freeze-rank=<r>     hang demo: rank r goes silent\n"
+             "                        (connections open, no FIN) after\n"
+             "                        --freeze-after-sends sends\n"
+             "  --freeze-after-sends=<n> ... sends before the freeze\n"
+             "                        (default 8)\n"
+             "  --freeze-hold-ms=<t>  ... frozen rank hard-exits after\n"
+             "                        this hold (default 30000)\n"
+             "  --delay-after-round=<k> start --delay-rank's delay only\n"
+             "                        at round k (clean baseline first)\n"
+             "  --round-gap-ms=<t>    sleep between rounds on all ranks\n"
+             "                        (paces detector sampling windows)\n";
       return 0;
     }
     WorkerConfig config;
@@ -489,6 +637,38 @@ int main(int argc, char** argv) {
     config.flight_dir = flags.get_string("flight-dir", config.flight_dir);
     config.clock_sync_every = static_cast<int>(
         flags.get_int("clock-sync-every", config.clock_sync_every));
+    config.health = flags.get_bool("health", false);
+    config.health_interval_ms = static_cast<int>(
+        flags.get_int("health-interval-ms", config.health_interval_ms));
+    config.watchdog_ms =
+        static_cast<int>(flags.get_int("watchdog-ms", config.watchdog_ms));
+    config.watchdog_abort = flags.get_bool("watchdog-abort", false);
+    config.freeze_rank =
+        static_cast<int>(flags.get_int("freeze-rank", -1));
+    config.freeze_after_sends = static_cast<int>(
+        flags.get_int("freeze-after-sends", config.freeze_after_sends));
+    config.freeze_hold_ms = static_cast<int>(
+        flags.get_int("freeze-hold-ms", config.freeze_hold_ms));
+    config.delay_after_round =
+        static_cast<int>(flags.get_int("delay-after-round", -1));
+    config.round_gap_ms =
+        static_cast<int>(flags.get_int("round-gap-ms", 0));
+    // A watchdog or abort request is a health-plane request.
+    if (config.watchdog_ms > 0 || config.watchdog_abort) {
+      config.health = true;
+    }
+    if (config.freeze_rank >= 0) {
+      if (config.freeze_rank >= config.world) {
+        std::cerr << "--freeze-rank=" << config.freeze_rank
+                  << " is outside --world=" << config.world << "\n";
+        return 2;
+      }
+      if (config.freeze_after_sends < 0 || config.freeze_hold_ms <= 0) {
+        std::cerr << "--freeze-rank needs --freeze-after-sends >= 0 and "
+                     "--freeze-hold-ms > 0\n";
+        return 2;
+      }
+    }
     if (config.delay_rank >= 0) {
       if (config.delay_rank >= config.world) {
         std::cerr << "--delay-rank=" << config.delay_rank

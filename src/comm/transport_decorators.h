@@ -17,8 +17,10 @@
 // delayed rank and charge the gap to it as stall time).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <utility>
 
@@ -89,6 +91,51 @@ class DelayTransport final : public ForwardingTransport {
 
  private:
   std::chrono::microseconds send_delay_;
+};
+
+/// Hang-injection seam for the watchdog acceptance gate: forwards the
+/// first `freeze_after` sends normally, then *stops making progress* —
+/// each further send blocks for `hold`, then invokes `on_expire` (the
+/// worker harness passes a hard process exit) or, with no callback,
+/// throws. Unlike the kill switch this leaves every connection formally
+/// open while frozen: no FIN, no error, just silence — exactly the
+/// failure mode only a deadline-based watchdog can detect. The frozen
+/// rank's *receive* side keeps working (recv is untouched), so its peers'
+/// sends never block on backpressure; they hang purely in recv, with
+/// their per-peer reader lanes armed, which is the stall the watchdog
+/// must name. `hold` bounds the freeze so a CI run cannot hang even if
+/// escalation fails.
+class FreezeTransport final : public ForwardingTransport {
+ public:
+  FreezeTransport(Transport& inner, std::uint64_t freeze_after,
+                  std::chrono::milliseconds hold,
+                  std::function<void()> on_expire = {})
+      : ForwardingTransport(inner),
+        freeze_after_(freeze_after),
+        hold_(hold),
+        on_expire_(std::move(on_expire)) {}
+
+  void send(int src, int dst, std::uint64_t tag,
+            ByteBuffer payload) override {
+    const std::uint64_t n = sends_.fetch_add(1, std::memory_order_relaxed);
+    if (n >= freeze_after_) {
+      std::this_thread::sleep_for(hold_);
+      if (on_expire_) on_expire_();
+      throw Error("FreezeTransport: frozen send held past " +
+                  std::to_string(hold_.count()) + " ms");
+    }
+    ForwardingTransport::send(src, dst, tag, std::move(payload));
+  }
+
+  std::uint64_t sends() const noexcept {
+    return sends_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint64_t freeze_after_;
+  const std::chrono::milliseconds hold_;
+  const std::function<void()> on_expire_;
+  std::atomic<std::uint64_t> sends_{0};
 };
 
 }  // namespace gcs::comm

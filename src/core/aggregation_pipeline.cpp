@@ -383,6 +383,7 @@ AggregationPipeline::AggregationPipeline(SchemeCodecPtr codec,
   tel_.round_usec = telemetry::histogram("gcs_pipeline_round_usec");
   tel_.stage_usec = telemetry::histogram("gcs_pipeline_stage_usec");
   tel_.decode_usec = telemetry::histogram("gcs_pipeline_decode_usec");
+  lane_ = health::lane("pipeline.round");
   if (config_.bucket_mode == sched::BucketMode::kLayerBuckets) {
     if (config_.layout.total_size() != codec_->dimension()) {
       throw Error(
@@ -495,12 +496,15 @@ RoundStats AggregationPipeline::aggregate(
   measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
   tel_.rounds.inc();
   telemetry::ScopedUsecTimer round_timer(tel_.round_usec);
+  health::ArmedScope armed(lane_);
+  lane_.beat();
 
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
+    lane_.beat();
     measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
                                    stage.name);
     telemetry::ScopedUsecTimer stage_timer(tel_.stage_usec);
@@ -586,12 +590,15 @@ RoundStats AggregationPipeline::aggregate_over(
   measure::ScopedSpan round_span(trace, measure::Phase::kRound, "aggregate");
   tel_.rounds.inc();
   telemetry::ScopedUsecTimer round_timer(tel_.round_usec);
+  health::ArmedScope armed(lane_);
+  lane_.beat();
 
   auto session = codec_->begin_round(grads, round);
   RoundStats stats;
   WireStage stage;
   std::vector<ByteBuffer> payloads(n);
   while (session->next_stage(stage)) {
+    lane_.beat();
     measure::ScopedSpan stage_span(trace, measure::Phase::kStage,
                                    stage.name);
     telemetry::ScopedUsecTimer stage_timer(tel_.stage_usec);

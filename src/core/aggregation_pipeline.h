@@ -43,6 +43,7 @@
 
 #include "comm/transport.h"
 #include "core/codec.h"
+#include "health/heartbeat.h"
 #include "sched/bucket_planner.h"
 #include "telemetry/metrics.h"
 #include "tensor/layout.h"
@@ -281,6 +282,12 @@ class AggregationPipeline {
     telemetry::HistogramHandle round_usec, stage_usec, decode_usec;
   };
   PipelineTelemetry tel_;
+
+  /// Watchdog heartbeat for the round loop: armed for the duration of an
+  /// aggregate call, beating at round and stage entry — a round that
+  /// wedges between stage boundaries (e.g. every peer silent) leaves the
+  /// lane armed and silent past the deadline.
+  health::LaneHandle lane_;
 };
 
 /// Wraps a codec + pipeline behind the legacy Compressor interface. This

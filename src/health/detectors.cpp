@@ -1,0 +1,141 @@
+#include "health/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcs::health {
+
+CusumDetector::CusumDetector(DetectorConfig config, Direction direction)
+    : config_(config), direction_(direction) {}
+
+double CusumDetector::sigma() const {
+  const double floor = std::max(config_.min_sigma_abs,
+                                config_.min_sigma_frac * std::fabs(mean_));
+  return std::max(std::sqrt(std::max(var_, 0.0)), floor);
+}
+
+double CusumDetector::score() const noexcept {
+  switch (direction_) {
+    case Direction::kHigh:
+      return s_hi_;
+    case Direction::kLow:
+      return s_lo_;
+    case Direction::kBoth:
+      return std::max(s_hi_, s_lo_);
+  }
+  return 0.0;
+}
+
+bool CusumDetector::observe(double x) {
+  ++samples_;
+  if (samples_ == 1) {
+    mean_ = x;
+    var_ = 0.0;
+    return false;
+  }
+  const bool warm = samples_ > static_cast<std::uint64_t>(config_.warmup);
+  if (warm) {
+    double z = (x - mean_) / sigma();
+    // Winsorize (see DetectorConfig::z_clip): one heavy-tail window must
+    // not carry the score across `h` by itself.
+    if (config_.z_clip > 0.0) {
+      z = std::clamp(z, -config_.z_clip, config_.z_clip);
+    }
+    const auto step = [this](double s, double delta) {
+      return std::clamp(s + delta - config_.k, 0.0, config_.cap);
+    };
+    s_hi_ = step(s_hi_, z);
+    s_lo_ = step(s_lo_, -z);
+    // Effect-size gate (see DetectorConfig::min_effect): an immaterial
+    // sample may keep the CUSUM saturated but cannot fire the trip; the
+    // un-frozen baseline then absorbs a persistent immaterial shift and
+    // the score decays on its own.
+    const bool material =
+        config_.min_effect <= 0.0 ||
+        std::fabs(x - mean_) >=
+            config_.min_effect * std::max(std::fabs(mean_),
+                                          config_.min_sigma_abs);
+    bool fired = false;
+    if (!tripped_ && score() >= config_.h && material) {
+      tripped_ = true;
+      ++detections_;
+      fired = true;
+    } else if (tripped_ && std::max(s_hi_, s_lo_) <= config_.rearm) {
+      tripped_ = false;
+    }
+    // The baseline freezes while tripped: a persistent shift stays an
+    // active anomaly instead of becoming the new normal. (The CUSUM cap
+    // bounds re-arm latency once the signal truly returns.)
+    if (tripped_) return fired;
+  }
+  const double a = config_.alpha;
+  const double dev = x - mean_;
+  mean_ += a * dev;
+  var_ = (1.0 - a) * (var_ + a * dev * dev);
+  return false;
+}
+
+DetectorBank::DetectorBank(DetectorConfig config) : config_(config) {}
+
+bool DetectorBank::observe(const std::string& name, int peer, bool local,
+                           Direction direction, double value,
+                           std::uint64_t round, double min_effect) {
+  std::lock_guard lock(mu_);
+  DetectorConfig config = config_;
+  if (min_effect > 0.0) config.min_effect = min_effect;
+  auto [it, inserted] =
+      entries_.try_emplace({name, peer}, Entry{CusumDetector(config, direction),
+                                               AnomalyState{}, {}, {}});
+  Entry& e = it->second;
+  if (inserted) {
+    e.state.signal = name;
+    e.state.peer = peer;
+    e.state.local = local;
+    if (telemetry::enabled()) {
+      std::string labels = telemetry::label_kv("signal", name);
+      if (peer >= 0) {
+        labels += ',';
+        labels += telemetry::label_kv("peer", peer);
+      }
+      e.total = telemetry::counter("gcs_anomaly_total", labels);
+      e.active = telemetry::gauge("gcs_anomaly_active", labels);
+    }
+  }
+  const bool fired = e.detector.observe(value);
+  e.state.active = e.detector.tripped();
+  e.state.detections = e.detector.detections();
+  e.state.last_value = value;
+  e.state.baseline = e.detector.mean();
+  if (fired) {
+    if (e.state.detections == 1) e.state.first_round = round;
+    e.state.last_round = round;
+    e.total.inc();
+  }
+  e.active.set(e.state.active ? 1 : 0);
+  return fired;
+}
+
+std::vector<AnomalyState> DetectorBank::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<AnomalyState> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.push_back(e.state);
+  return out;
+}
+
+std::uint64_t DetectorBank::total_detections() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, e] : entries_) total += e.state.detections;
+  return total;
+}
+
+bool DetectorBank::any_active(bool local_only) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, e] : entries_) {
+    if (e.state.active && (!local_only || e.state.local)) return true;
+  }
+  return false;
+}
+
+}  // namespace gcs::health

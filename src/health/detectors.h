@@ -1,0 +1,157 @@
+// Online anomaly detectors: EWMA baseline + two-sided CUSUM drift
+// scoring over streaming health signals (DESIGN.md "Health layer").
+//
+// Each detector watches one scalar series (round latency, a peer's send
+// latency, encode queue wait, ...) and answers "has this signal drifted
+// from its own recent baseline" without storing history:
+//
+//   baseline   mean <- (1-a)*mean + a*x          (EWMA, weight `alpha`)
+//              var  <- (1-a)*var  + a*(x-mean)^2
+//   score      z    = (x - mean) / sigma,  sigma floored (min_sigma_*),
+//                     winsorized to +-z_clip (one outlier can't trip)
+//              s_hi <- clamp(s_hi + z - k, 0, cap)   (upward drift)
+//              s_lo <- clamp(s_lo - z - k, 0, cap)   (downward drift)
+//   detect     trip when the watched side's s crosses `h`; re-arm only
+//              after it decays below `rearm` (hysteresis, so a signal
+//              hovering at the threshold emits one detection, not one
+//              per sample).
+//
+// Warm-up suppression: the first `warmup` samples only feed the baseline
+// — a cold detector must never fire on its own initialization transient.
+// While tripped, the baseline freezes: a persistent shift stays an
+// *active* anomaly instead of being absorbed into a new normal; the CUSUM
+// cap bounds how long re-arming takes once the signal actually returns
+// ((cap - rearm)/k samples).
+//
+// DetectorBank keys detectors by (signal, peer), emits
+// gcs_anomaly_total{signal,peer} counters and gcs_anomaly_active gauges,
+// and stamps detections with the round they fired in so gcs_top and the
+// CI gate can bound detection latency in rounds. Detections are also
+// annotated into the trace stream (health_monitor.cpp) so gcs_analyze
+// timelines show when the regression began.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace gcs::health {
+
+struct DetectorConfig {
+  double alpha = 0.1;   ///< EWMA weight for the mean/variance baseline
+  double k = 0.5;       ///< CUSUM slack, in sigmas (drift below k is free)
+  double h = 8.0;       ///< CUSUM trip threshold, in sigma-samples
+  double rearm = 4.0;   ///< hysteresis: re-arm once s decays below this
+  double cap = 16.0;    ///< CUSUM saturation (bounds re-arm latency)
+  int warmup = 8;       ///< baseline-only samples before scoring starts
+  /// Sigma floor: max of the absolute floor and this fraction of |mean|,
+  /// so a near-constant series (variance ~ 0) doesn't turn measurement
+  /// jitter into infinite z-scores.
+  double min_sigma_frac = 0.05;
+  double min_sigma_abs = 1e-9;
+  /// Effect-size gate: a trip additionally requires
+  /// |x - mean| >= min_effect * |mean|, i.e. the sample must be a
+  /// *material* move, not just a statistically significant one. Window
+  /// means over a low-variance baseline make tiny shifts look like huge
+  /// z-scores (a 58us -> 150us send-latency blip under ring backpressure
+  /// scores the same as a genuine 100x regression); with the gate, the
+  /// CUSUM still accumulates but the detection only fires on samples
+  /// whose magnitude matters. 0 disables the gate (pure CUSUM).
+  double min_effect = 0.0;
+  /// Winsorization: each sample's z contribution is clamped to
+  /// [-z_clip, z_clip] before entering the CUSUM. Real telemetry has
+  /// heavy tails (one 5ms send outlier in an otherwise-2us window), and
+  /// an unclipped outlier saturates the CUSUM in a single sample — the
+  /// detector would fire on one bad window. Clipped, a trip needs
+  /// ceil(h / (z_clip - k)) consecutive elevated windows, which only a
+  /// *persistent* regression produces. 0 disables clipping.
+  double z_clip = 4.0;
+};
+
+/// Which drift direction is anomalous for the watched signal.
+enum class Direction : std::uint8_t {
+  kHigh,  ///< rising is bad (latency, queue wait)
+  kLow,   ///< falling is bad (throughput)
+  kBoth,
+};
+
+class CusumDetector {
+ public:
+  explicit CusumDetector(DetectorConfig config = {},
+                         Direction direction = Direction::kBoth);
+
+  /// Feeds one sample; returns true when a NEW detection fires (the
+  /// trip edge, not the tripped state).
+  bool observe(double x);
+
+  bool tripped() const noexcept { return tripped_; }
+  std::uint64_t detections() const noexcept { return detections_; }
+  std::uint64_t samples() const noexcept { return samples_; }
+  double mean() const noexcept { return mean_; }
+  double sigma() const;
+  /// The watched side's current CUSUM score (max of sides for kBoth).
+  double score() const noexcept;
+
+ private:
+  DetectorConfig config_;
+  Direction direction_;
+  std::uint64_t samples_ = 0;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  double s_hi_ = 0.0;
+  double s_lo_ = 0.0;
+  bool tripped_ = false;
+  std::uint64_t detections_ = 0;
+};
+
+/// One (signal, peer) detector's rolled-up state, for /health and tests.
+struct AnomalyState {
+  std::string signal;
+  int peer = -1;        ///< original rank; -1 = process-wide signal
+  bool local = false;   ///< rank-local cause (see HealthMonitor)
+  bool active = false;  ///< currently tripped
+  std::uint64_t detections = 0;
+  std::uint64_t first_round = 0;  ///< round counter when it first fired
+  std::uint64_t last_round = 0;
+  double last_value = 0.0;
+  double baseline = 0.0;
+};
+
+/// Keyed detector pool with telemetry emission. Thread-safe (one mutex;
+/// callers are the monitor thread and /health snapshots).
+class DetectorBank {
+ public:
+  explicit DetectorBank(DetectorConfig config = {});
+
+  /// Feeds signal `name` (peer -1 = process-wide). `round` stamps
+  /// detections (pass the current round counter); `local` marks the
+  /// signal as rank-local-cause for the health rollup. `min_effect`
+  /// overrides DetectorConfig::min_effect for this signal (applied when
+  /// the detector is first created). Returns true on the trip edge.
+  bool observe(const std::string& name, int peer, bool local,
+               Direction direction, double value, std::uint64_t round,
+               double min_effect = 0.0);
+
+  std::vector<AnomalyState> snapshot() const;
+  std::uint64_t total_detections() const;
+  bool any_active(bool local_only) const;
+
+ private:
+  struct Entry {
+    CusumDetector detector;
+    AnomalyState state;
+    telemetry::CounterHandle total;   ///< gcs_anomaly_total{signal,peer}
+    telemetry::GaugeHandle active;    ///< gcs_anomaly_active{signal,peer}
+  };
+
+  DetectorConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, Entry> entries_;
+};
+
+}  // namespace gcs::health

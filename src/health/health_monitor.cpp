@@ -1,0 +1,304 @@
+#include "health/health_monitor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace gcs::health {
+namespace {
+
+/// Extracts the peer="N" label value, -1 when absent.
+int parse_peer(const std::string& labels) {
+  const auto pos = labels.find("peer=\"");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(labels.c_str() + pos + 6);
+}
+
+std::string metric_key(const telemetry::MetricSnapshot& m) {
+  return m.name + '{' + m.labels + '}';
+}
+
+/// Effect-size gate for the rank-local latency signals: a detection must
+/// be at least a 3x move (|x - mean| >= 2|mean|) before it can flip this
+/// rank to "degraded". Global signals stay pure CUSUM — they only warn.
+constexpr double kLocalMinEffect = 2.0;
+
+/// TraceSpan::label must be a static string; the signal set is closed.
+const char* anomaly_label(const std::string& signal) {
+  if (signal == "round_latency") return "anomaly:round_latency";
+  if (signal == "queue_wait") return "anomaly:queue_wait";
+  if (signal == "send_latency") return "anomaly:send_latency";
+  if (signal == "send_throughput") return "anomaly:send_throughput";
+  if (signal == "recv_throughput") return "anomaly:recv_throughput";
+  if (signal == "straggler_share") return "anomaly:straggler_share";
+  return "anomaly";
+}
+
+void append_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(HealthMonitorConfig config)
+    : config_(std::move(config)), bank_(config_.detector) {
+  score_gauge_ = telemetry::float_gauge("gcs_health_score");
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void HealthMonitor::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::run_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    tick(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now).count()));
+    std::uint64_t slept = 0;
+    while (slept < config_.interval_ms &&
+           !stop_.load(std::memory_order_acquire)) {
+      const std::uint64_t slice =
+          config_.interval_ms - slept < 50 ? config_.interval_ms - slept : 50;
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+void HealthMonitor::feed(const std::string& signal, int peer, bool local,
+                         Direction direction, double value,
+                         std::uint64_t round, double min_effect) {
+  const bool fired = bank_.observe(signal, peer, local, direction, value,
+                                   round, min_effect);
+  if (fired && config_.trace != nullptr) {
+    measure::TraceSpan span;
+    span.phase = measure::Phase::kStage;  // non-work: invisible to the
+                                          // critical-path attribution
+    span.label = anomaly_label(signal);
+    span.peer = peer;
+    span.rank = config_.rank;
+    span.start_s = span.end_s = config_.trace->now_s();
+    config_.trace->record(span);
+  }
+}
+
+void HealthMonitor::tick(std::uint64_t now_ms) {
+  const std::vector<telemetry::MetricSnapshot> snap =
+      telemetry::Registry::instance().snapshot();
+
+  std::lock_guard lock(mu_);
+
+  std::uint64_t rounds = 0;
+  for (const auto& m : snap) {
+    if (m.name == "gcs_pipeline_rounds_total") rounds = m.counter_value;
+  }
+  rounds_total_ = rounds;
+
+  if (!primed_) {
+    primed_ = true;
+    prev_ms_ = now_ms;
+    prev_rounds_ = rounds;
+    for (const auto& m : snap) {
+      if (m.kind == telemetry::MetricKind::kHistogram) {
+        prev_hist_[metric_key(m)] = {m.histogram.count, m.histogram.sum};
+      } else if (m.kind == telemetry::MetricKind::kCounter) {
+        prev_counter_[metric_key(m)] = m.counter_value;
+      }
+    }
+    return;
+  }
+
+  const double dt_s =
+      now_ms > prev_ms_ ? static_cast<double>(now_ms - prev_ms_) / 1e3 : 0.0;
+  const std::uint64_t d_rounds = rounds - prev_rounds_;
+  if (dt_s > 0.0) round_rate_hz_ = static_cast<double>(d_rounds) / dt_s;
+
+  double tx_rate = 0.0;
+  double rx_rate = 0.0;
+  bool saw_peer_bytes = false;
+
+  for (const auto& m : snap) {
+    const std::string key = metric_key(m);
+    if (m.kind == telemetry::MetricKind::kHistogram) {
+      HistWindow& prev = prev_hist_[key];
+      const std::uint64_t d_count = m.histogram.count - prev.count;
+      const std::uint64_t d_sum = m.histogram.sum - prev.sum;
+      prev = {m.histogram.count, m.histogram.sum};
+      if (d_count == 0) continue;  // quiet is not slow
+      const double mean = static_cast<double>(d_sum) /
+                          static_cast<double>(d_count);
+      if (m.name == "gcs_pipeline_round_usec") {
+        feed("round_latency", -1, /*local=*/false, Direction::kHigh, mean,
+             rounds);
+      } else if (m.name == "gcs_sched_handoff_usec") {
+        // Local signals carry an effect-size gate (kLocalMinEffect): they
+        // flip status to "degraded" and are what CI asserts clean on
+        // undelayed ranks, so a statistically-loud-but-immaterial window
+        // (ring backpressure reshuffling the per-window frame mix) must
+        // not fire them.
+        feed("queue_wait", -1, /*local=*/true, Direction::kHigh, mean,
+             rounds, kLocalMinEffect);
+      } else if (m.name == "gcs_health_send_usec") {
+        feed("send_latency", parse_peer(m.labels), /*local=*/true,
+             Direction::kHigh, mean, rounds, kLocalMinEffect);
+      }
+    } else if (m.kind == telemetry::MetricKind::kCounter) {
+      std::uint64_t& prev = prev_counter_[key];
+      const std::uint64_t delta = m.counter_value - prev;
+      prev = m.counter_value;
+      if (dt_s <= 0.0) continue;
+      const double rate = static_cast<double>(delta) / dt_s;
+      if (m.name == "gcs_net_peer_sent_bytes_total") {
+        tx_rate += rate;
+        saw_peer_bytes = true;
+        // Gate on rounds advancing: end-of-run drain must not score as a
+        // throughput collapse.
+        if (d_rounds > 0) {
+          feed("send_throughput", parse_peer(m.labels), /*local=*/false,
+               Direction::kLow, rate, rounds);
+        }
+      } else if (m.name == "gcs_net_peer_recv_bytes_total") {
+        rx_rate += rate;
+        saw_peer_bytes = true;
+        if (d_rounds > 0) {
+          feed("recv_throughput", parse_peer(m.labels), /*local=*/false,
+               Direction::kLow, rate, rounds);
+        }
+      }
+    } else if (m.kind == telemetry::MetricKind::kFloatGauge) {
+      if (m.name == "gcs_critical_slack_seconds" && d_rounds > 0) {
+        feed("straggler_share", -1, /*local=*/false, Direction::kHigh,
+             m.float_gauge_value, rounds);
+      }
+    }
+  }
+  if (saw_peer_bytes) {
+    tx_bytes_per_s_ = tx_rate;
+    rx_bytes_per_s_ = rx_rate;
+  }
+
+  prev_ms_ = now_ms;
+  prev_rounds_ = rounds;
+  score_gauge_.set(score());
+}
+
+std::string HealthMonitor::status() const {
+  if (config_.watchdog != nullptr && config_.watchdog->any_stalled()) {
+    return "stalled";
+  }
+  if (bank_.any_active(/*local_only=*/true)) return "degraded";
+  if (bank_.any_active(/*local_only=*/false)) return "warn";
+  return "ok";
+}
+
+double HealthMonitor::score() const {
+  const std::string s = status();
+  if (s == "stalled") return 0.0;
+  if (s == "degraded") return 0.3;
+  if (s == "warn") return 0.7;
+  return 1.0;
+}
+
+std::string HealthMonitor::health_json() const {
+  // Gauges that are cheap to re-read at scrape time come straight from
+  // the registry; windowed rates come from the sampler's last tick.
+  std::int64_t queue_depth = 0;
+  std::int64_t epoch = 0;
+  std::int64_t world = 0;
+  for (const auto& m : telemetry::Registry::instance().snapshot()) {
+    if (m.name == "gcs_sched_queue_depth") queue_depth = m.gauge_value;
+    if (m.name == "gcs_net_epoch") epoch = m.gauge_value;
+    if (m.name == "gcs_net_world_size") world = m.gauge_value;
+  }
+
+  std::string out;
+  out.reserve(1024);
+  out += "{\"rank\":";
+  out += std::to_string(config_.rank);
+  out += ",\"status\":\"";
+  out += status();
+  out += "\",\"score\":";
+  append_num(out, score());
+  {
+    std::lock_guard lock(mu_);
+    out += ",\"rounds_total\":";
+    out += std::to_string(rounds_total_);
+    out += ",\"round_rate_hz\":";
+    append_num(out, round_rate_hz_);
+    out += ",\"tx_bytes_per_s\":";
+    append_num(out, tx_bytes_per_s_);
+    out += ",\"rx_bytes_per_s\":";
+    append_num(out, rx_bytes_per_s_);
+  }
+  out += ",\"queue_depth\":";
+  out += std::to_string(queue_depth);
+  out += ",\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"world_size\":";
+  out += std::to_string(world);
+
+  out += ",\"watchdog\":{\"stalls_total\":";
+  out += std::to_string(config_.watchdog != nullptr
+                            ? config_.watchdog->stalls_total()
+                            : 0);
+  out += ",\"active\":[";
+  if (config_.watchdog != nullptr) {
+    bool first = true;
+    for (const StallReport& r : config_.watchdog->active_stalls()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"lane\":\"";
+      out += r.lane;
+      out += "\",\"peer\":";
+      out += std::to_string(r.peer);
+      out += ",\"silent_ms\":";
+      out += std::to_string(r.silent_ms);
+      out += '}';
+    }
+  }
+  out += "]}";
+
+  out += ",\"anomalies\":[";
+  bool first = true;
+  for (const AnomalyState& a : bank_.snapshot()) {
+    if (a.detections == 0) continue;  // never fired: not worth a row
+    if (!first) out += ',';
+    first = false;
+    out += "{\"signal\":\"";
+    out += a.signal;
+    out += "\",\"peer\":";
+    out += std::to_string(a.peer);
+    out += ",\"local\":";
+    out += a.local ? "true" : "false";
+    out += ",\"active\":";
+    out += a.active ? "true" : "false";
+    out += ",\"count\":";
+    out += std::to_string(a.detections);
+    out += ",\"first_round\":";
+    out += std::to_string(a.first_round);
+    out += ",\"last_round\":";
+    out += std::to_string(a.last_round);
+    out += ",\"value\":";
+    append_num(out, a.last_value);
+    out += ",\"baseline\":";
+    append_num(out, a.baseline);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gcs::health

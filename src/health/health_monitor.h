@@ -1,0 +1,130 @@
+// Health monitor: the per-rank rollup that turns raw telemetry into
+// "is this rank healthy" (DESIGN.md "Health layer").
+//
+// A sampler thread snapshots the metric registry every `interval_ms` and
+// converts windowed deltas into detector samples:
+//
+//   signal            source metric                      dir    scope
+//   round_latency     gcs_pipeline_round_usec  Δsum/Δcnt  high  global
+//   queue_wait        gcs_sched_handoff_usec   Δsum/Δcnt  high  local
+//   send_latency      gcs_health_send_usec{peer} Δ        high  local
+//   send_throughput   gcs_net_peer_sent_bytes_total Δ/Δt  low   global
+//   recv_throughput   gcs_net_peer_recv_bytes_total Δ/Δt  low   global
+//   straggler_share   gcs_critical_slack_seconds gauge    high  global
+//
+// "local" means the signal implicates *this* rank as the cause;
+// "global" signals fire cluster-wide when any rank degrades (in a
+// synchronous collective, one slow rank inflates everyone's round time)
+// and so only downgrade status to "warn". Local signals additionally
+// carry an effect-size gate (a trip needs a >=3x move, not just a
+// significant one) so lockstep backpressure from someone ELSE's
+// slowness cannot flip an innocent rank to "degraded". Signals that
+// merely stop (no
+// new samples in the window — e.g. the run ended) are skipped, never
+// scored: quiet is not slow. Throughput signals are additionally gated
+// on rounds advancing in the window so end-of-run drain doesn't read as
+// collapse.
+//
+// Detections annotate the trace stream as zero-length kStage spans
+// labelled "anomaly:<signal>", so merged timelines show when the
+// regression began, and roll up into:
+//
+//   * status: "stalled" (watchdog has an active stall) > "degraded"
+//     (local anomaly active) > "warn" (global anomaly only) > "ok";
+//   * score in [0,1] (gcs_health_score gauge);
+//   * the /health JSON document served by StatsServer — what
+//     tools/gcs_top scrapes.
+//
+// tick(now_ms) is public and clock-free so tests drive the sampling loop
+// deterministically, exactly like Watchdog::poll_once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "health/detectors.h"
+#include "health/watchdog.h"
+#include "measure/trace.h"
+#include "telemetry/metrics.h"
+
+namespace gcs::health {
+
+struct HealthMonitorConfig {
+  /// This process's original (epoch-0) rank, echoed in /health.
+  int rank = -1;
+  /// Sampling period for the background thread.
+  std::uint64_t interval_ms = 200;
+  DetectorConfig detector;
+  /// Borrowed, may be null: folded into status ("stalled") and the
+  /// watchdog section of /health.
+  Watchdog* watchdog = nullptr;
+  /// Borrowed, may be null: detections become annotation spans.
+  measure::TraceRecorder* trace = nullptr;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthMonitorConfig config);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Spawns the sampling thread (idempotent). Tests skip start() and
+  /// drive tick() with their own clock.
+  void start();
+  void stop();
+
+  /// One sampling pass at `now_ms` (any monotonic origin, one origin per
+  /// monitor). The first call only establishes the baseline window.
+  void tick(std::uint64_t now_ms);
+
+  /// "ok" | "warn" | "degraded" | "stalled".
+  std::string status() const;
+  /// [0,1]: ok=1.0, warn=0.7, degraded=0.3, stalled=0.0.
+  double score() const;
+
+  /// The /health document (application/json).
+  std::string health_json() const;
+
+  DetectorBank& bank() noexcept { return bank_; }
+  const DetectorBank& bank() const noexcept { return bank_; }
+
+ private:
+  struct HistWindow {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  void run_loop();
+  /// Feeds one detector sample and, on the trip edge, annotates the
+  /// trace stream. `min_effect` forwards to DetectorBank::observe (the
+  /// effect-size gate for rank-local signals).
+  void feed(const std::string& signal, int peer, bool local,
+            Direction direction, double value, std::uint64_t round,
+            double min_effect = 0.0);
+
+  HealthMonitorConfig config_;
+  DetectorBank bank_;
+
+  mutable std::mutex mu_;  ///< guards the windowing state below
+  bool primed_ = false;
+  std::uint64_t prev_ms_ = 0;
+  std::uint64_t prev_rounds_ = 0;
+  std::map<std::string, HistWindow> prev_hist_;     ///< keyed name{labels}
+  std::map<std::string, std::uint64_t> prev_counter_;
+  double round_rate_hz_ = 0.0;
+  double tx_bytes_per_s_ = 0.0;
+  double rx_bytes_per_s_ = 0.0;
+  std::uint64_t rounds_total_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  telemetry::FloatGaugeHandle score_gauge_;  ///< gcs_health_score
+};
+
+}  // namespace gcs::health

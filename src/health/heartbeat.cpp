@@ -1,0 +1,48 @@
+#include "health/heartbeat.h"
+
+namespace gcs::health {
+
+LaneRegistry& LaneRegistry::instance() noexcept {
+  static LaneRegistry* registry = new LaneRegistry();
+  return *registry;
+}
+
+LaneHandle LaneRegistry::lane(std::string_view name, int peer) noexcept {
+  try {
+    std::lock_guard lock(mu_);
+    for (const auto& l : lanes_) {
+      if (l->peer == peer && l->name == name) return LaneHandle(l.get());
+    }
+    auto l = std::make_unique<detail::Lane>();
+    l->id = static_cast<std::uint64_t>(lanes_.size());
+    l->name.assign(name);
+    l->peer = peer;
+    lanes_.push_back(std::move(l));
+    return LaneHandle(lanes_.back().get());
+  } catch (...) {
+    return LaneHandle{};  // dead handle, never an exception into a codec
+  }
+}
+
+std::size_t LaneRegistry::lane_count() const noexcept {
+  std::lock_guard lock(mu_);
+  return lanes_.size();
+}
+
+std::vector<LaneState> LaneRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<LaneState> out;
+  out.reserve(lanes_.size());
+  for (const auto& l : lanes_) {
+    LaneState s;
+    s.id = l->id;
+    s.name = l->name;
+    s.peer = l->peer;
+    s.progress = l->progress.load(std::memory_order_relaxed);
+    s.armed = l->armed.load(std::memory_order_acquire) > 0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace gcs::health

@@ -1,0 +1,125 @@
+// Heartbeat lanes — the watchdog's cheap progress stamps (DESIGN.md
+// "Health layer").
+//
+// A *lane* is one thing that must keep advancing for the process to be
+// healthy: the aggregation pipeline's round loop, the encode worker
+// pool's task claim, each socket reader's frame stream. Instrumented code
+// holds a LaneHandle and calls beat() at its natural progress points;
+// the watchdog (health/watchdog.h) samples every lane's progress counter
+// and declares a stall when an *armed* lane stops advancing past its
+// deadline.
+//
+// Design constraints, mirroring the telemetry registry:
+//   * A beat is one relaxed fetch_add on a process-lifetime counter — no
+//     clock read, no lock, no allocation. The hot path never learns what
+//     time it is; the watchdog thread tracks last-change times itself.
+//   * Arming is explicit. An idle lane (no round in flight, no recv
+//     blocked, empty encode queue) is *disarmed* and can legally sit
+//     still forever — only an armed lane that stops beating is a stall.
+//     Arming nests (an atomic count), so overlapping waiters compose.
+//   * Handles stay valid for the process lifetime: lanes are created on
+//     first acquisition, keyed by (name, peer), and never destroyed —
+//     the exact ownership rule telemetry handles follow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcs::health {
+
+/// One lane's sampled state (what the watchdog scans).
+struct LaneState {
+  std::uint64_t id = 0;  ///< stable per-process lane identity
+  std::string name;      ///< e.g. "pipeline.round", "net.reader"
+  int peer = -1;         ///< original rank for per-peer lanes; -1 = none
+  std::uint64_t progress = 0;
+  bool armed = false;
+};
+
+namespace detail {
+struct Lane {
+  std::uint64_t id = 0;
+  std::string name;
+  int peer = -1;
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> armed{0};
+};
+}  // namespace detail
+
+/// What instrumented code holds. Default-constructed handles are dead
+/// (every operation is one inlined null check).
+class LaneHandle {
+ public:
+  LaneHandle() = default;
+
+  /// Marks forward progress. Hot-path safe: one relaxed fetch_add.
+  void beat() noexcept {
+    if (lane_ != nullptr) {
+      lane_->progress.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  /// Enters a watched region (nests). While armed, a lane that stops
+  /// beating past the watchdog deadline is a stall.
+  void arm() noexcept {
+    if (lane_ != nullptr) lane_->armed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void disarm() noexcept {
+    if (lane_ != nullptr) lane_->armed.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool live() const noexcept { return lane_ != nullptr; }
+  std::uint64_t progress() const noexcept {
+    return lane_ != nullptr ? lane_->progress.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+ private:
+  explicit LaneHandle(detail::Lane* lane) noexcept : lane_(lane) {}
+  detail::Lane* lane_ = nullptr;
+  friend class LaneRegistry;
+};
+
+/// RAII arm/disarm for blocking regions — exception-safe, so a recv that
+/// throws PeerFailure still disarms its lane on unwind.
+class ArmedScope {
+ public:
+  explicit ArmedScope(LaneHandle lane) noexcept : lane_(lane) { lane_.arm(); }
+  ~ArmedScope() { lane_.disarm(); }
+  ArmedScope(const ArmedScope&) = delete;
+  ArmedScope& operator=(const ArmedScope&) = delete;
+
+ private:
+  LaneHandle lane_;
+};
+
+/// Process-wide lane registry. Lanes are created on first acquisition and
+/// never destroyed; all methods are thread-safe.
+class LaneRegistry {
+ public:
+  static LaneRegistry& instance() noexcept;
+
+  /// Find-or-create the lane (name, peer). Never throws into
+  /// instrumented code: an allocation failure yields a dead handle.
+  LaneHandle lane(std::string_view name, int peer = -1) noexcept;
+
+  std::size_t lane_count() const noexcept;
+
+  /// Sampled state of every lane — the watchdog's scan input.
+  std::vector<LaneState> snapshot() const;
+
+ private:
+  LaneRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::Lane>> lanes_;  // stable addresses
+};
+
+/// Convenience over LaneRegistry::instance().
+inline LaneHandle lane(std::string_view name, int peer = -1) noexcept {
+  return LaneRegistry::instance().lane(name, peer);
+}
+
+}  // namespace gcs::health

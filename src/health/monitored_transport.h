@@ -1,0 +1,74 @@
+// Send-latency probe for the anomaly detectors (DESIGN.md "Health
+// layer").
+//
+// Round latency is a *symmetric* signal: in a synchronous collective one
+// slow rank inflates every rank's round time, so it can flag that
+// something is wrong but not where. MonitoredTransport provides the
+// rank-local counterpart: stacked OUTERMOST on the decorator chain
+// (above straggler-injection DelayTransport, above the fabric), it times
+// each outbound send into gcs_health_send_usec{peer=<orank>} — so the
+// injected delay of a slow *sender* shows up only in that sender's own
+// histogram, and HealthMonitor can classify the anomaly as local to this
+// rank. Peers are keyed by original (epoch-0) rank, matching the
+// transport's per-peer byte counters, so rows survive elastic re-ranking.
+//
+// Install only when health monitoring is on: with telemetry disabled the
+// wrapper degenerates to plain forwarding (no clock reads, no lock).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "comm/transport_decorators.h"
+#include "telemetry/metrics.h"
+
+namespace gcs::health {
+
+class MonitoredTransport final : public comm::ForwardingTransport {
+ public:
+  explicit MonitoredTransport(comm::Transport& inner)
+      : ForwardingTransport(inner), enabled_(telemetry::enabled()) {
+    refresh(inner.membership());
+  }
+
+  void send(int src, int dst, std::uint64_t tag,
+            ByteBuffer payload) override {
+    telemetry::ScopedUsecTimer timer(handle_for(dst));
+    ForwardingTransport::send(src, dst, tag, std::move(payload));
+  }
+
+  comm::Membership rebuild(std::uint64_t resume_round) override {
+    comm::Membership m = ForwardingTransport::rebuild(resume_round);
+    refresh(m);
+    return m;
+  }
+
+ private:
+  telemetry::HistogramHandle handle_for(int dst) {
+    if (!enabled_) return {};
+    std::lock_guard lock(mu_);
+    const auto idx = static_cast<std::size_t>(dst);
+    const int orank =
+        dst >= 0 && idx < original_ranks_.size() ? original_ranks_[idx] : dst;
+    auto it = by_orank_.find(orank);
+    if (it != by_orank_.end()) return it->second;
+    auto h = telemetry::histogram("gcs_health_send_usec",
+                                  telemetry::label_kv("peer", orank));
+    by_orank_.emplace(orank, h);
+    return h;
+  }
+
+  void refresh(const comm::Membership& m) {
+    std::lock_guard lock(mu_);
+    original_ranks_ = m.original_ranks;
+  }
+
+  const bool enabled_;
+  std::mutex mu_;
+  std::vector<int> original_ranks_;  ///< current rank -> original rank
+  std::map<int, telemetry::HistogramHandle> by_orank_;
+};
+
+}  // namespace gcs::health

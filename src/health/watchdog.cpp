@@ -1,0 +1,132 @@
+#include "health/watchdog.h"
+
+#include <chrono>
+
+#include "telemetry/flight_recorder.h"
+
+namespace gcs::health {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+  stalls_total_ = telemetry::counter("gcs_watchdog_stalls_total");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Watchdog::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::run_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    poll_once(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now).count()));
+    // Sleep in short slices so stop() is honored promptly even with a
+    // coarse poll interval.
+    std::uint64_t slept = 0;
+    while (slept < config_.poll_interval_ms &&
+           !stop_.load(std::memory_order_acquire)) {
+      const std::uint64_t slice = config_.poll_interval_ms - slept < 50
+                                      ? config_.poll_interval_ms - slept
+                                      : 50;
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+std::vector<StallReport> Watchdog::poll_once(std::uint64_t now_ms) {
+  const std::vector<LaneState> lanes = LaneRegistry::instance().snapshot();
+  std::vector<StallReport> fired;
+  std::vector<StallReport> recovered;
+  {
+    std::lock_guard lock(mu_);
+    last_scan_ = lanes;
+    for (const LaneState& lane : lanes) {
+      Track& t = tracks_[lane.id];
+      if (!lane.armed) {
+        // Disarmed lanes may legally sit still; a stall episode ends the
+        // moment the waiter gives up (e.g. recv unwound with PeerFailure).
+        if (t.stalled) {
+          t.stalled = false;
+          active_.fetch_sub(1, std::memory_order_relaxed);
+          t.stalled_gauge.set(0);
+          recovered.push_back(
+              {lane.name, lane.peer, t.silent_ms, lane.progress});
+        }
+        t.seen = false;
+        continue;
+      }
+      if (!t.seen || lane.progress != t.last_progress) {
+        if (t.stalled) {
+          t.stalled = false;
+          active_.fetch_sub(1, std::memory_order_relaxed);
+          t.stalled_gauge.set(0);
+          recovered.push_back(
+              {lane.name, lane.peer, t.silent_ms, lane.progress});
+        }
+        t.seen = true;
+        t.last_progress = lane.progress;
+        t.last_change_ms = now_ms;
+        continue;
+      }
+      const std::uint64_t silent =
+          now_ms >= t.last_change_ms ? now_ms - t.last_change_ms : 0;
+      t.silent_ms = silent;
+      if (!t.stalled && silent >= config_.deadline_ms) {
+        t.stalled = true;
+        active_.fetch_add(1, std::memory_order_relaxed);
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        stalls_total_.inc();
+        if (!t.stalled_gauge.live() && telemetry::enabled()) {
+          std::string labels = telemetry::label_kv("lane", lane.name);
+          if (lane.peer >= 0) {
+            labels += ',';
+            labels += telemetry::label_kv("peer", lane.peer);
+          }
+          t.stalled_gauge = telemetry::gauge("gcs_stalled_lane", labels);
+        }
+        t.stalled_gauge.set(1);
+        fired.push_back({lane.name, lane.peer, silent, lane.progress});
+      }
+    }
+  }
+  // Escalate outside mu_: callbacks may take their own locks (transport
+  // mesh mutex, stdio) and must not deadlock against active_stalls().
+  for (const StallReport& r : fired) {
+    if (config_.flight_dump) {
+      if (auto* flight = telemetry::FlightRecorder::process_instance()) {
+        flight->dump("watchdog stall: lane " + r.lane +
+                     (r.peer >= 0 ? " peer " + std::to_string(r.peer) : "") +
+                     " silent " + std::to_string(r.silent_ms) + " ms");
+      }
+    }
+    if (config_.on_stall) config_.on_stall(r);
+  }
+  if (config_.on_recover) {
+    for (const StallReport& r : recovered) config_.on_recover(r);
+  }
+  return fired;
+}
+
+std::vector<StallReport> Watchdog::active_stalls() const {
+  std::lock_guard lock(mu_);
+  std::vector<StallReport> out;
+  for (const LaneState& lane : last_scan_) {
+    const auto it = tracks_.find(lane.id);
+    if (it != tracks_.end() && it->second.stalled) {
+      out.push_back({lane.name, lane.peer, it->second.silent_ms,
+                     it->second.last_progress});
+    }
+  }
+  return out;
+}
+
+}  // namespace gcs::health

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "health/heartbeat.h"
 #include "net/framing.h"
 #include "net/rendezvous.h"
 #include "telemetry/flight_recorder.h"
@@ -39,6 +40,7 @@ SocketFabric::~SocketFabric() { teardown_mesh(); }
 void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
                                std::vector<int> original_ranks, int self,
                                std::uint64_t epoch) {
+  std::lock_guard mesh_lock(mesh_mu_);
   membership_.epoch = epoch;
   membership_.original_ranks = std::move(original_ranks);
   membership_.self = self;
@@ -51,6 +53,11 @@ void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
     if (r == self) continue;
     auto p = std::make_unique<Peer>();
     p->sock = std::move(sockets[static_cast<std::size_t>(r)]);
+    // Lane keyed by original rank so the stall report names the same
+    // identity across re-rankings as the per-peer byte counters.
+    p->lane = health::lane(
+        "net.reader",
+        membership_.original_ranks[static_cast<std::size_t>(r)]);
     peers_[static_cast<std::size_t>(r)] = std::move(p);
   }
   // Readers start only after the whole mesh is up; from here on every
@@ -63,6 +70,7 @@ void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
 }
 
 void SocketFabric::teardown_mesh() {
+  std::lock_guard mesh_lock(mesh_mu_);
   for (auto& p : peers_) {
     if (p != nullptr) p->sock.shutdown();
   }
@@ -126,6 +134,22 @@ std::uint64_t SocketFabric::stale_frames_rejected() const {
   return stale_rejected_;
 }
 
+bool SocketFabric::fail_peer(int original_rank) {
+  std::lock_guard mesh_lock(mesh_mu_);
+  for (std::size_t r = 0; r < peers_.size(); ++r) {
+    if (peers_[r] == nullptr) continue;
+    if (r < membership_.original_ranks.size() &&
+        membership_.original_ranks[r] == original_rank) {
+      // The shutdown is the manufactured EOF: the reader unblocks, marks
+      // the channel closed, and the stuck recv throws PeerFailure naming
+      // this peer — from where the normal elastic path takes over.
+      peers_[r]->sock.shutdown();
+      return true;
+    }
+  }
+  return false;
+}
+
 SocketFabric::Peer& SocketFabric::peer(int rank) const {
   GCS_CHECK(rank >= 0 && rank < membership_.world_size() &&
             rank != membership_.self);
@@ -164,6 +188,7 @@ void SocketFabric::reader_loop(int peer_rank, std::uint64_t epoch) {
         p.by_tag[header.tag].push_back(std::move(payload));
         ++p.buffered;
       }
+      p.lane.beat();
       p.cv.notify_all();
       payload = ByteBuffer{};
     }
@@ -258,6 +283,10 @@ comm::Message SocketFabric::recv(int dst, int src,
     --self_buffered_;
   } else {
     Peer& p = peer(src);
+    // Armed for the whole blocking window (ArmedScope disarms on the
+    // PeerFailure unwind too): a recv waiting on a silent peer is the
+    // stall signature the watchdog names.
+    health::ArmedScope armed(p.lane);
     std::unique_lock lock(p.mu);
     const bool got = p.cv.wait_until(lock, deadline, [&] {
       const auto it = p.by_tag.find(expected_tag);

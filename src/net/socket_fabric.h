@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "comm/transport.h"
+#include "health/heartbeat.h"
 #include "net/socket.h"
 #include "telemetry/metrics.h"
 
@@ -128,6 +129,16 @@ class SocketFabric final : public comm::Transport {
   /// discarded at rebuilds — the "rejected, not mis-delivered" meter.
   std::uint64_t stale_frames_rejected() const;
 
+  /// Administrative channel failure: shuts down the connection to the
+  /// peer holding `original_rank`, so the blocked recv on that channel
+  /// wakes with a PeerFailure naming it. This is the watchdog's opt-in
+  /// round abort (--watchdog-abort): a peer that went *silent* — frozen
+  /// mid-send, connection formally open — never produces the EOF elastic
+  /// recovery keys on, so the watchdog manufactures it. Thread-safe
+  /// against concurrent rebuild/teardown (callable from the watchdog
+  /// thread); returns false when that peer is not in the current mesh.
+  bool fail_peer(int original_rank);
+
  private:
   struct Peer {
     Socket sock;
@@ -140,6 +151,11 @@ class SocketFabric final : public comm::Transport {
     std::size_t buffered = 0;  ///< messages currently parked in by_tag
     bool closed = false;
     std::string close_reason;
+    /// Watchdog heartbeat, keyed by the peer's original rank: the reader
+    /// beats per frame parked, recv arms it while blocked — so "armed
+    /// and silent" means exactly "waiting on this peer and nothing is
+    /// arriving".
+    health::LaneHandle lane;
   };
 
   void adopt_epoch(std::vector<Socket> sockets,
@@ -156,6 +172,10 @@ class SocketFabric final : public comm::Transport {
   SocketFabricConfig config_;
   comm::Membership membership_;
   std::vector<std::unique_ptr<Peer>> peers_;  // self slot has no socket
+  /// Serializes mesh mutation (adopt_epoch/teardown_mesh, both on the
+  /// collective thread) against fail_peer (watchdog thread). Reader
+  /// threads never take it, so teardown can join them while holding it.
+  std::mutex mesh_mu_;
 
   // Loopback (self-send) queue, same reassembly semantics.
   mutable std::mutex self_mu_;

@@ -12,6 +12,7 @@ EncodeWorkerPool::EncodeWorkerPool(int workers) : workers_(workers) {
   queue_depth_ = telemetry::gauge("gcs_sched_queue_depth");
   handoff_usec_ = telemetry::histogram("gcs_sched_handoff_usec");
   queue_wait_s_ = telemetry::float_gauge("gcs_sched_queue_wait_seconds");
+  lane_ = health::lane("sched.worker");
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -36,6 +37,8 @@ void EncodeWorkerPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(t));
     queue_depth_.set(static_cast<std::int64_t>(queue_.size() - next_task_));
   }
+  lane_.arm();
+  lane_.beat();
   work_cv_.notify_one();
 }
 
@@ -83,6 +86,7 @@ void EncodeWorkerPool::worker_loop() {
       ++in_flight_;
       queue_depth_.set(static_cast<std::int64_t>(queue_.size() - next_task_));
     }
+    lane_.beat();
     try {
       task();
     } catch (...) {
@@ -93,6 +97,8 @@ void EncodeWorkerPool::worker_loop() {
       std::lock_guard lock(mu_);
       --in_flight_;
     }
+    lane_.beat();
+    lane_.disarm();
     idle_cv_.notify_all();
   }
 }

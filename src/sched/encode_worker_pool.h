@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "health/heartbeat.h"
 #include "telemetry/metrics.h"
 
 namespace gcs::sched {
@@ -83,6 +84,13 @@ class EncodeWorkerPool {
   telemetry::GaugeHandle queue_depth_;
   telemetry::HistogramHandle handoff_usec_;
   telemetry::FloatGaugeHandle queue_wait_s_;
+
+  /// Watchdog heartbeat: armed once per outstanding task (submit arms,
+  /// completion disarms — so an idle pool is disarmed and may sit still
+  /// forever), beating at submit, claim and completion. A task that
+  /// wedges inside a codec leaves the lane armed and silent, which is
+  /// exactly what the watchdog escalates.
+  health::LaneHandle lane_;
 };
 
 }  // namespace gcs::sched

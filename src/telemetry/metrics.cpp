@@ -237,6 +237,30 @@ std::string Registry::prometheus_text() const {
 
 // ------------------------------------------------------------ rendering
 
+double histogram_quantile(const Histogram::Snapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) *
+                        static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) >= target) {
+      // Linear interpolation inside the log bucket: the bucket bounds cap
+      // the error at the histogram's quantization (<= 25% relative).
+      const double lower = static_cast<double>(bucket_lower_bound(i));
+      const double upper = static_cast<double>(bucket_upper_bound(i));
+      const double frac = std::clamp(
+          (target - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+  }
+  return static_cast<double>(
+      bucket_upper_bound(kHistogramBuckets - 1));  // unreachable: count > 0
+}
+
 std::string label_kv(std::string_view key, std::int64_t value) {
   std::string out(key);
   out += "=\"";
@@ -339,6 +363,26 @@ std::string to_prometheus_text(const std::vector<MetricSnapshot>& metrics) {
         out += ' ';
         out += std::to_string(m.histogram.count);
         out += '\n';
+        // Estimated quantiles as gauge-style companion lines: dashboards
+        // (tools/gcs_stat, gcs_top) get tail latency without re-deriving
+        // it from 252 cumulative buckets client-side.
+        if (m.histogram.count > 0) {
+          static constexpr struct {
+            double q;
+            const char* label;
+          } kQuantiles[] = {
+              {0.5, "quantile=\"0.5\""},
+              {0.9, "quantile=\"0.9\""},
+              {0.99, "quantile=\"0.99\""},
+          };
+          for (const auto& spec : kQuantiles) {
+            append_labeled(out, m.name + "_quantile", m.labels, spec.label);
+            char value[48];
+            std::snprintf(value, sizeof(value), " %.9g\n",
+                          histogram_quantile(m.histogram, spec.q));
+            out += value;
+          }
+        }
         break;
       }
     }

@@ -364,6 +364,13 @@ inline HistogramHandle histogram(std::string_view name,
   return Registry::instance().histogram(name, labels);
 }
 
+/// Estimated q-quantile (q in [0,1]) of a log-bucketed snapshot: walks
+/// the cumulative distribution to the target bucket and interpolates
+/// linearly inside it, so the error is bounded by the bucket width
+/// (<= 25% relative). Returns 0 for an empty histogram. The exposition
+/// renders p50/p90/p99 as `<name>_quantile{quantile="..."}` lines.
+double histogram_quantile(const Histogram::Snapshot& h, double q);
+
 /// Formats one label pair for the `labels` argument: label_kv("peer", 2)
 /// == `peer="2"`. Join multiple pairs with ','.
 std::string label_kv(std::string_view key, std::int64_t value);

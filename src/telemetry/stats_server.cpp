@@ -22,6 +22,12 @@ StatsServer::StatsServer(int port) {
 
 StatsServer::~StatsServer() { stop(); }
 
+void StatsServer::set_health_provider(
+    std::function<std::string()> provider) {
+  std::lock_guard lock(health_mu_);
+  health_provider_ = std::move(provider);
+}
+
 void StatsServer::stop() noexcept {
   if (!stop_.exchange(true)) {
     // The accept loop polls with a short timeout, so it notices stop_
@@ -73,6 +79,20 @@ void StatsServer::serve_loop() {
       } else if (target == "/healthz") {
         content_type = "text/plain; charset=utf-8";
         body = "ok\n";
+      } else if (target == "/health") {
+        std::function<std::string()> provider;
+        {
+          std::lock_guard lock(health_mu_);
+          provider = health_provider_;
+        }
+        if (provider) {
+          content_type = "application/json";
+          body = provider();
+        } else {
+          status = "503 Service Unavailable";
+          content_type = "text/plain; charset=utf-8";
+          body = "no health provider\n";
+        }
       } else {
         status = "404 Not Found";
         content_type = "text/plain; charset=utf-8";

@@ -4,9 +4,11 @@
 // the telemetry registry's merged snapshot to anything that connects —
 // `curl`, a Prometheus scraper, or tools/gcs_stat. One accept thread,
 // one request per connection, response written and the connection
-// closed; no keep-alive, and exactly three routes: /metrics (also "/"
+// closed; no keep-alive, and exactly four routes: /metrics (also "/"
 // and the legacy empty request) returns the exposition text, /healthz
-// answers liveness probes with "ok", anything else is a 404.
+// answers liveness probes with "ok", /health serves the health plane's
+// JSON document (set_health_provider; 503 until a provider is
+// installed), anything else is a 404.
 // That is deliberately minimal: the endpoint runs *inside* a training
 // worker, so it must never hold state per client or block the hot path —
 // a scrape costs one registry snapshot on the server thread and nothing
@@ -20,6 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "net/socket.h"
@@ -44,11 +49,19 @@ class StatsServer {
     return scrapes_.load(std::memory_order_relaxed);
   }
 
+  /// Installs the /health JSON document builder (the health monitor's
+  /// health_json). Called from the server thread per scrape; must be
+  /// thread-safe. Until one is installed, /health answers 503.
+  void set_health_provider(std::function<std::string()> provider);
+
   /// Stops the accept loop and joins the thread (idempotent).
   void stop() noexcept;
 
  private:
   void serve_loop();
+
+  std::mutex health_mu_;
+  std::function<std::string()> health_provider_;
 
   net::Socket listener_;
   int port_ = 0;

@@ -1,0 +1,627 @@
+// Tests for the health layer (src/health/ + DESIGN.md "Health layer"):
+//   * detector math — a planted step-change is caught within a bounded
+//     number of samples, a slow drift is caught eventually, and a noisy
+//     stationary series across several seeds yields zero false
+//     positives; hysteresis emits one detection per episode; warm-up
+//     suppresses the initialization transient; direction gating;
+//   * heartbeat lanes — identity by (name, peer), nested arming, dead
+//     handles;
+//   * the watchdog driven by a fake clock through poll_once() — stall
+//     fires once per episode, names lane and peer, recovers on progress
+//     or disarm, and a disarmed lane never fires;
+//   * DetectorBank rollup state and telemetry emission;
+//   * histogram_quantile estimation and the _quantile exposition lines;
+//   * HealthMonitor's /health JSON document and status rollup.
+//
+// Everything here is clock-free: watchdog and monitor are driven through
+// their poll_once()/tick() seams, never via their background threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "health/detectors.h"
+#include "health/health_monitor.h"
+#include "health/heartbeat.h"
+#include "health/watchdog.h"
+#include "telemetry/metrics.h"
+
+namespace gcs::health {
+namespace {
+
+/// Restores the telemetry enable state on scope exit (process-global).
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) { telemetry::set_enabled(on); }
+  ~EnabledGuard() { telemetry::set_enabled(false); }
+};
+
+/// Unique names per test: the lane and metric registries are append-only
+/// for the process lifetime, so tests must not collide.
+std::string unique_name(const std::string& stem) {
+  static std::atomic<int> seq{0};
+  return "test_health_" + stem + "_" + std::to_string(seq.fetch_add(1));
+}
+
+/// Deterministic noise: a tiny LCG shaped roughly gaussian (sum of four
+/// uniforms, centred). No <random> so the sequences are stable across
+/// libstdc++ versions.
+class Noise {
+ public:
+  explicit Noise(std::uint64_t seed) : state_(seed * 2862933555777941757ull + 1)
+  {}
+  double uniform() {  // in [0, 1)
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state_ >> 11) / 9007199254740992.0;
+  }
+  double gaussian() {  // mean 0, sigma ~0.577
+    return uniform() + uniform() + uniform() + uniform() - 2.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// --------------------------------------------------------- detector math
+
+TEST(CusumDetector, StepChangeCaughtWithinBoundedLatency) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull, 99991ull}) {
+    Noise noise(seed);
+    CusumDetector det({}, Direction::kHigh);
+    // 50 baseline samples around 100 with sigma ~3.
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_FALSE(det.observe(100.0 + 5.0 * noise.gaussian()))
+          << "false positive on baseline, seed " << seed << " sample " << i;
+    }
+    // Planted step to 200: a 20-sigma shift must be caught within a
+    // handful of samples (z is winsorized to z_clip per sample, so the
+    // fastest possible trip is ceil(h / (z_clip - k)) = 3 samples).
+    int latency = -1;
+    for (int i = 0; i < 10; ++i) {
+      if (det.observe(200.0 + 5.0 * noise.gaussian())) {
+        latency = i;
+        break;
+      }
+    }
+    ASSERT_GE(latency, 0) << "step never detected, seed " << seed;
+    EXPECT_LE(latency, 3) << "detection latency too high, seed " << seed;
+    EXPECT_TRUE(det.tripped());
+    EXPECT_EQ(det.detections(), 1u);
+  }
+}
+
+TEST(CusumDetector, SlowDriftCaughtEventually) {
+  for (std::uint64_t seed : {3ull, 42ull, 777ull}) {
+    Noise noise(seed);
+    CusumDetector det({}, Direction::kHigh);
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_FALSE(det.observe(100.0 + 4.0 * noise.gaussian()));
+    }
+    // 1% of the base value per sample — slow enough that any single
+    // sample looks almost normal, so only accumulation catches it.
+    int latency = -1;
+    for (int i = 0; i < 200; ++i) {
+      const double x = 100.0 + 1.0 * i + 4.0 * noise.gaussian();
+      if (det.observe(x)) {
+        latency = i;
+        break;
+      }
+    }
+    ASSERT_GE(latency, 0) << "drift never detected, seed " << seed;
+    EXPECT_LE(latency, 100) << "drift detection too slow, seed " << seed;
+  }
+}
+
+TEST(CusumDetector, NoisyStationarySeriesNeverFires) {
+  for (std::uint64_t seed : {2ull, 17ull, 2026ull, 31337ull, 555ull}) {
+    Noise noise(seed);
+    CusumDetector det({}, Direction::kBoth);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_FALSE(det.observe(50.0 + 10.0 * noise.gaussian()))
+          << "false positive, seed " << seed << " sample " << i;
+    }
+    EXPECT_EQ(det.detections(), 0u);
+  }
+}
+
+TEST(CusumDetector, HysteresisEmitsOneDetectionPerEpisode) {
+  CusumDetector det({}, Direction::kHigh);
+  for (int i = 0; i < 30; ++i) det.observe(100.0);
+  // A persistent shift: exactly one detection while it lasts — the
+  // baseline freezes while tripped, so the shift is never absorbed.
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (det.observe(300.0)) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(det.tripped());
+  EXPECT_EQ(det.detections(), 1u);
+  // Recovery: scores decay below `rearm` once the signal returns, then a
+  // second episode fires a second detection.
+  for (int i = 0; i < 80 && det.tripped(); ++i) det.observe(100.0);
+  EXPECT_FALSE(det.tripped()) << "detector never re-armed after recovery";
+  fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (det.observe(300.0)) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(det.detections(), 2u);
+}
+
+TEST(CusumDetector, WarmupSuppressesInitializationTransient) {
+  DetectorConfig config;
+  config.warmup = 8;
+  CusumDetector det(config, Direction::kBoth);
+  // Wild swings inside the warm-up window must never fire.
+  const double wild[] = {1.0, 1000.0, 2.0, 900.0, 5.0, 800.0, 1.0, 700.0};
+  for (double x : wild) {
+    EXPECT_FALSE(det.observe(x)) << "fired during warm-up on " << x;
+  }
+  EXPECT_EQ(det.detections(), 0u);
+}
+
+TEST(CusumDetector, DirectionGatesWhichDriftsFire) {
+  // kLow (throughput): a surge does not fire...
+  CusumDetector surged({}, Direction::kLow);
+  for (int i = 0; i < 30; ++i) surged.observe(100.0);
+  for (int i = 0; i < 5; ++i) surged.observe(500.0);  // surge: not anomalous
+  EXPECT_EQ(surged.detections(), 0u);
+  // ...but a collapse against a clean baseline does.
+  CusumDetector low({}, Direction::kLow);
+  for (int i = 0; i < 30; ++i) low.observe(100.0);
+  bool fired = false;
+  for (int i = 0; i < 5; ++i) fired = low.observe(10.0) || fired;
+  EXPECT_TRUE(fired) << "collapse not caught by a kLow detector";
+
+  // kHigh (latency): a drop is fine, a rise fires.
+  CusumDetector high({}, Direction::kHigh);
+  for (int i = 0; i < 30; ++i) high.observe(100.0);
+  for (int i = 0; i < 5; ++i) high.observe(10.0);  // speedup: not anomalous
+  EXPECT_EQ(high.detections(), 0u);
+}
+
+TEST(CusumDetector, EffectSizeGateSuppressesImmaterialShifts) {
+  DetectorConfig gated;
+  gated.min_effect = 2.0;  // a trip needs a >=3x move
+  // A statistically loud but immaterial shift (100 -> 160 over a tight
+  // baseline — huge z-scores, only 1.6x) must not fire...
+  CusumDetector det(gated, Direction::kHigh);
+  for (int i = 0; i < 30; ++i) det.observe(100.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(det.observe(160.0)) << "immaterial shift fired at " << i;
+  }
+  // ...and because the baseline never froze, it is absorbed as the new
+  // normal (scores decay; the detector is not stuck saturated).
+  EXPECT_NEAR(det.mean(), 160.0, 1.0);
+  EXPECT_LT(det.score(), 8.0);
+  // A material move (>=3x the adapted baseline) still fires.
+  bool fired = false;
+  for (int i = 0; i < 5; ++i) fired = det.observe(1000.0) || fired;
+  EXPECT_TRUE(fired) << "material regression suppressed by the gate";
+
+  // Same series with the gate off: the immaterial shift fires (this is
+  // exactly the false positive the gate exists to kill).
+  CusumDetector ungated({}, Direction::kHigh);
+  for (int i = 0; i < 30; ++i) ungated.observe(100.0);
+  bool ungated_fired = false;
+  for (int i = 0; i < 50; ++i) {
+    ungated_fired = ungated.observe(160.0) || ungated_fired;
+  }
+  EXPECT_TRUE(ungated_fired);
+}
+
+TEST(CusumDetector, WinsorizationIgnoresIsolatedOutliers) {
+  // Real telemetry windows have heavy tails: one 5ms send in an
+  // otherwise-microsecond stream. A single outlier window — however
+  // extreme — must never fire; only persistence may.
+  CusumDetector det({}, Direction::kHigh);
+  for (int i = 0; i < 30; ++i) det.observe(100.0);
+  EXPECT_FALSE(det.observe(100000.0)) << "one outlier tripped the CUSUM";
+  // A couple of quiet samples later a second isolated outlier still
+  // can't finish the job.
+  det.observe(100.0);
+  det.observe(100.0);
+  det.observe(100.0);
+  EXPECT_FALSE(det.observe(100000.0));
+  EXPECT_EQ(det.detections(), 0u);
+  // The same magnitude *sustained* fires within a handful of windows
+  // (the isolated outliers above already widened the baseline, so this
+  // takes a few more than the cold-start minimum of 3).
+  bool fired = false;
+  for (int i = 0; i < 6; ++i) fired = det.observe(100000.0) || fired;
+  EXPECT_TRUE(fired) << "persistent regression not caught";
+}
+
+TEST(CusumDetector, SigmaFloorTamesConstantSeries) {
+  // A perfectly constant series has variance zero; the sigma floor must
+  // keep z finite and a tiny wobble must not fire.
+  CusumDetector det({}, Direction::kBoth);
+  for (int i = 0; i < 50; ++i) det.observe(100.0);
+  EXPECT_GT(det.sigma(), 0.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(det.observe(100.0 + (i % 2 == 0 ? 0.5 : -0.5)));
+  }
+}
+
+// ------------------------------------------------------- heartbeat lanes
+
+TEST(HeartbeatLanes, IdentityIsNamePlusPeer) {
+  const std::string name = unique_name("lane_identity");
+  LaneHandle a = lane(name, 3);
+  LaneHandle b = lane(name, 3);
+  LaneHandle c = lane(name, 4);
+  ASSERT_TRUE(a.live());
+  ASSERT_TRUE(c.live());
+  const std::uint64_t before = a.progress();
+  b.beat();
+  EXPECT_EQ(a.progress(), before + 1) << "same (name, peer) must share state";
+  EXPECT_EQ(c.progress(), 0u) << "different peer must be a different lane";
+}
+
+TEST(HeartbeatLanes, DeadHandleIsSafe) {
+  LaneHandle dead;
+  EXPECT_FALSE(dead.live());
+  dead.beat();
+  dead.arm();
+  dead.disarm();
+  EXPECT_EQ(dead.progress(), 0u);
+}
+
+TEST(HeartbeatLanes, ArmingNests) {
+  const std::string name = unique_name("lane_nesting");
+  LaneHandle h = lane(name);
+  h.arm();
+  {
+    ArmedScope inner(h);
+    ArmedScope inner2(h);
+  }
+  // Still armed from the outer arm(): visible in the registry snapshot.
+  bool armed = false;
+  for (const auto& state : LaneRegistry::instance().snapshot()) {
+    if (state.name == name) armed = state.armed;
+  }
+  EXPECT_TRUE(armed);
+  h.disarm();
+  for (const auto& state : LaneRegistry::instance().snapshot()) {
+    if (state.name == name) armed = state.armed;
+  }
+  EXPECT_FALSE(armed);
+}
+
+// -------------------------------------------------- watchdog, fake clock
+
+/// Stalls among `reports` for lane `name` (the lane registry is
+/// process-global, so assertions filter to the test's own lanes).
+std::vector<StallReport> for_lane(const std::vector<StallReport>& reports,
+                                  const std::string& name) {
+  std::vector<StallReport> mine;
+  for (const auto& r : reports) {
+    if (r.lane == name) mine.push_back(r);
+  }
+  return mine;
+}
+
+TEST(Watchdog, ArmedSilentLaneFiresOncePerEpisode) {
+  const std::string name = unique_name("wd_stall");
+  LaneHandle h = lane(name, 7);
+  h.beat();
+  h.arm();
+
+  WatchdogConfig config;
+  config.deadline_ms = 1000;
+  config.flight_dump = false;
+  Watchdog wd(config);  // no start(): the test is the clock
+
+  EXPECT_TRUE(for_lane(wd.poll_once(0), name).empty());
+  EXPECT_TRUE(for_lane(wd.poll_once(900), name).empty())
+      << "fired before the deadline";
+
+  const auto fired = for_lane(wd.poll_once(1100), name);
+  ASSERT_EQ(fired.size(), 1u) << "armed silent lane must fire at deadline";
+  EXPECT_EQ(fired[0].lane, name);
+  EXPECT_EQ(fired[0].peer, 7);
+  EXPECT_GE(fired[0].silent_ms, 1000u);
+  EXPECT_EQ(fired[0].progress, h.progress());
+
+  // Same episode: never re-fires, but stays listed as active.
+  EXPECT_TRUE(for_lane(wd.poll_once(2000), name).empty());
+  EXPECT_TRUE(wd.any_stalled());
+  EXPECT_EQ(for_lane(wd.active_stalls(), name).size(), 1u);
+
+  // Progress resumes: the stall clears, and a *new* silence is a new
+  // episode with a new report.
+  h.beat();
+  EXPECT_TRUE(for_lane(wd.poll_once(2100), name).empty());
+  EXPECT_TRUE(for_lane(wd.active_stalls(), name).empty());
+  ASSERT_EQ(for_lane(wd.poll_once(3200), name).size(), 1u)
+      << "a fresh stall after recovery is a new episode";
+  h.disarm();
+}
+
+TEST(Watchdog, DisarmedLaneNeverFires) {
+  const std::string name = unique_name("wd_idle");
+  LaneHandle h = lane(name);
+  h.beat();  // idle lane: beats once, never armed
+
+  WatchdogConfig config;
+  config.deadline_ms = 100;
+  config.flight_dump = false;
+  Watchdog wd(config);
+  EXPECT_TRUE(for_lane(wd.poll_once(0), name).empty());
+  EXPECT_TRUE(for_lane(wd.poll_once(100000), name).empty())
+      << "a disarmed lane can legally sit still forever";
+}
+
+TEST(Watchdog, DisarmClearsAnActiveStall) {
+  const std::string name = unique_name("wd_disarm");
+  LaneHandle h = lane(name, 2);
+  h.beat();
+  h.arm();
+
+  WatchdogConfig config;
+  config.deadline_ms = 500;
+  config.flight_dump = false;
+  std::vector<StallReport> recovered;
+  config.on_recover = [&](const StallReport& r) {
+    if (r.lane == name) recovered.push_back(r);
+  };
+  Watchdog wd(config);
+  wd.poll_once(0);
+  ASSERT_EQ(for_lane(wd.poll_once(600), name).size(), 1u);
+
+  // The waiter gives up (e.g. recv unwound via PeerFailure): disarm must
+  // clear the stall without any progress.
+  h.disarm();
+  EXPECT_TRUE(for_lane(wd.poll_once(700), name).empty());
+  EXPECT_TRUE(for_lane(wd.active_stalls(), name).empty());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].peer, 2);
+}
+
+TEST(Watchdog, OnStallCallbackSeesTheReport) {
+  const std::string name = unique_name("wd_callback");
+  LaneHandle h = lane(name, 5);
+  h.beat();
+  h.arm();
+
+  WatchdogConfig config;
+  config.deadline_ms = 250;
+  config.flight_dump = false;
+  std::vector<StallReport> seen;
+  config.on_stall = [&](const StallReport& r) {
+    if (r.lane == name) seen.push_back(r);
+  };
+  Watchdog wd(config);
+  wd.poll_once(0);
+  wd.poll_once(300);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].lane, name);
+  EXPECT_EQ(seen[0].peer, 5);
+  h.disarm();
+}
+
+// ----------------------------------------------------------- DetectorBank
+
+TEST(DetectorBank, RollsUpStateAndEmitsTelemetry) {
+  EnabledGuard guard(true);
+  DetectorBank bank;
+  const std::string signal = unique_name("bank_signal");
+
+  // Baseline, then a sustained step from round 31 — one detection,
+  // stamped with the round the winsorized CUSUM finally tripped in.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FALSE(bank.observe(signal, 2, /*local=*/true, Direction::kHigh,
+                              100.0, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_FALSE(bank.any_active(/*local_only=*/false));
+  std::uint64_t trip_round = 0;
+  for (std::uint64_t r = 31; r <= 40 && trip_round == 0; ++r) {
+    if (bank.observe(signal, 2, true, Direction::kHigh, 900.0, r)) {
+      trip_round = r;
+    }
+  }
+  ASSERT_GT(trip_round, 0u) << "sustained step never detected";
+  EXPECT_EQ(bank.total_detections(), 1u);
+  EXPECT_TRUE(bank.any_active(/*local_only=*/true));
+
+  bool found = false;
+  for (const auto& state : bank.snapshot()) {
+    if (state.signal != signal) continue;
+    found = true;
+    EXPECT_EQ(state.peer, 2);
+    EXPECT_TRUE(state.local);
+    EXPECT_TRUE(state.active);
+    EXPECT_EQ(state.detections, 1u);
+    EXPECT_EQ(state.first_round, trip_round);
+    EXPECT_EQ(state.last_round, trip_round);
+    EXPECT_DOUBLE_EQ(state.last_value, 900.0);
+    EXPECT_GT(state.baseline, 0.0);
+  }
+  ASSERT_TRUE(found);
+
+  // gcs_anomaly_total{signal,peer} must be registered and at 1.
+  const std::string want_labels =
+      telemetry::label_kv("signal", signal) + "," +
+      telemetry::label_kv("peer", 2);
+  bool counter_found = false;
+  for (const auto& m : telemetry::Registry::instance().snapshot()) {
+    if (m.name == "gcs_anomaly_total" && m.labels == want_labels) {
+      counter_found = true;
+      EXPECT_EQ(m.counter_value, 1u);
+    }
+  }
+  EXPECT_TRUE(counter_found);
+}
+
+TEST(DetectorBank, GlobalSignalsDoNotCountAsLocal) {
+  DetectorBank bank;
+  const std::string signal = unique_name("bank_global");
+  for (int i = 0; i < 30; ++i) {
+    bank.observe(signal, -1, /*local=*/false, Direction::kHigh, 10.0, i);
+  }
+  bool fired = false;
+  for (std::uint64_t r = 30; r <= 40 && !fired; ++r) {
+    fired = bank.observe(signal, -1, false, Direction::kHigh, 500.0, r);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_TRUE(bank.any_active(/*local_only=*/false));
+  EXPECT_FALSE(bank.any_active(/*local_only=*/true))
+      << "a global anomaly must not read as a rank-local cause";
+}
+
+// ---------------------------------------------------- quantile estimation
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  telemetry::Histogram::Snapshot empty;
+  EXPECT_EQ(telemetry::histogram_quantile(empty, 0.5), 0.0);
+  EXPECT_EQ(telemetry::histogram_quantile(empty, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketStaysInsideItsBounds) {
+  telemetry::Histogram::Snapshot snap;
+  const std::size_t idx = telemetry::bucket_index(1000);
+  snap.buckets[idx] = 100;
+  snap.count = 100;
+  snap.sum = 100 * 1000;
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double est = telemetry::histogram_quantile(snap, q);
+    EXPECT_GE(est, static_cast<double>(telemetry::bucket_lower_bound(idx)));
+    EXPECT_LE(est, static_cast<double>(telemetry::bucket_upper_bound(idx)));
+  }
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotoneAcrossBuckets) {
+  telemetry::Histogram::Snapshot snap;
+  snap.buckets[telemetry::bucket_index(10)] = 50;
+  snap.buckets[telemetry::bucket_index(1000)] = 40;
+  snap.buckets[telemetry::bucket_index(100000)] = 10;
+  snap.count = 100;
+  const double p50 = telemetry::histogram_quantile(snap, 0.5);
+  const double p90 = telemetry::histogram_quantile(snap, 0.9);
+  const double p99 = telemetry::histogram_quantile(snap, 0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // p99 lands in the top bucket; p50 must not.
+  EXPECT_GE(p99,
+            static_cast<double>(telemetry::bucket_lower_bound(
+                telemetry::bucket_index(100000))));
+  EXPECT_LE(p50, static_cast<double>(telemetry::bucket_upper_bound(
+                     telemetry::bucket_index(1000))));
+}
+
+TEST(HistogramQuantile, ExpositionRendersQuantileLines) {
+  EnabledGuard guard(true);
+  const std::string name = unique_name("quantile_metric");
+  telemetry::HistogramHandle h = telemetry::histogram(name);
+  for (int i = 0; i < 100; ++i) h.observe(1000);
+  const std::string text =
+      telemetry::to_prometheus_text(telemetry::Registry::instance().snapshot());
+  EXPECT_NE(text.find(name + "_quantile{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find(name + "_quantile{quantile=\"0.9\"}"), std::string::npos);
+  EXPECT_NE(text.find(name + "_quantile{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- HealthMonitor
+
+TEST(HealthMonitor, HealthJsonParsesAndCarriesIdentity) {
+  EnabledGuard guard(true);
+  HealthMonitorConfig config;
+  config.rank = 3;
+  HealthMonitor monitor(config);  // no start(): the test is the clock
+  monitor.tick(0);
+  monitor.tick(200);
+
+  const std::string body = monitor.health_json();
+  const json::Value doc = json::parse(body);
+  ASSERT_TRUE(doc.is_object()) << body;
+  EXPECT_EQ(doc.num_or("rank", -1), 3.0);
+  EXPECT_EQ(doc.str_or("status", ""), "ok");
+  EXPECT_EQ(doc.num_or("score", 0.0), 1.0);
+  ASSERT_NE(doc.find("watchdog"), nullptr);
+  EXPECT_EQ(doc.find("watchdog")->num_or("stalls_total", -1), 0.0);
+  ASSERT_NE(doc.find("anomalies"), nullptr);
+  EXPECT_TRUE(doc.find("anomalies")->is_array());
+}
+
+TEST(HealthMonitor, LocalAnomalyDegradesGlobalOnlyWarns) {
+  HealthMonitorConfig config;
+  config.rank = 0;
+  HealthMonitor monitor(config);
+  EXPECT_EQ(monitor.status(), "ok");
+  EXPECT_EQ(monitor.score(), 1.0);
+
+  // A tripped *global* detector only warns (one slow rank inflates
+  // everyone's round latency — not this rank's fault).
+  const std::string global_sig = unique_name("mon_global");
+  for (int i = 0; i < 30; ++i) {
+    monitor.bank().observe(global_sig, -1, false, Direction::kHigh, 10.0, i);
+  }
+  bool g_fired = false;
+  for (std::uint64_t r = 30; r <= 40 && !g_fired; ++r) {
+    g_fired =
+        monitor.bank().observe(global_sig, -1, false, Direction::kHigh,
+                               400.0, r);
+  }
+  ASSERT_TRUE(g_fired);
+  EXPECT_EQ(monitor.status(), "warn");
+  EXPECT_EQ(monitor.score(), 0.7);
+
+  // A tripped *local* detector names this rank as the cause.
+  const std::string local_sig = unique_name("mon_local");
+  for (int i = 0; i < 30; ++i) {
+    monitor.bank().observe(local_sig, 1, true, Direction::kHigh, 10.0, i);
+  }
+  bool l_fired = false;
+  for (std::uint64_t r = 30; r <= 40 && !l_fired; ++r) {
+    l_fired = monitor.bank().observe(local_sig, 1, true, Direction::kHigh,
+                                     400.0, r);
+  }
+  ASSERT_TRUE(l_fired);
+  EXPECT_EQ(monitor.status(), "degraded");
+  EXPECT_EQ(monitor.score(), 0.3);
+}
+
+TEST(HealthMonitor, ActiveWatchdogStallMeansStalled) {
+  const std::string name = unique_name("mon_stall");
+  LaneHandle h = lane(name, 1);
+  h.beat();
+  h.arm();
+
+  WatchdogConfig wd_config;
+  wd_config.deadline_ms = 100;
+  wd_config.flight_dump = false;
+  Watchdog wd(wd_config);
+  wd.poll_once(0);
+  ASSERT_EQ(for_lane(wd.poll_once(200), name).size(), 1u);
+
+  HealthMonitorConfig config;
+  config.rank = 0;
+  config.watchdog = &wd;
+  HealthMonitor monitor(config);
+  EXPECT_EQ(monitor.status(), "stalled");
+  EXPECT_EQ(monitor.score(), 0.0);
+  const json::Value doc = json::parse(monitor.health_json());
+  const json::Value* watchdog = doc.find("watchdog");
+  ASSERT_NE(watchdog, nullptr);
+  const json::Value* active = watchdog->find("active");
+  ASSERT_NE(active, nullptr);
+  bool listed = false;
+  for (const auto& stall : active->items) {
+    if (stall.str_or("lane", "") == name) {
+      listed = true;
+      EXPECT_EQ(stall.num_or("peer", -1), 1.0);
+    }
+  }
+  EXPECT_TRUE(listed) << "active stall missing from /health";
+
+  h.disarm();
+  wd.poll_once(300);  // recovery, so later suites see a quiet watchdog
+  EXPECT_EQ(monitor.status(), "ok");
+}
+
+}  // namespace
+}  // namespace gcs::health

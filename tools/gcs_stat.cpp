@@ -16,9 +16,15 @@
 //
 // Exit status: 0 when every target answered (and, with --validate, every
 // exposition parsed and every --require family was present); 1 otherwise.
+// Exit-status rules apply to --once only: the polling mode is a monitor,
+// so an unreachable target renders as DOWN and is retried with
+// exponential backoff (0.5 s doubling to a 5 s cap) until it answers
+// again — restarting a rank mid-watch resumes its row, and a transient
+// dump-write failure warns instead of killing the session.
 // The scrape path is deliberately dependency-free: a hand-rolled
 // HTTP/1.0 GET over net::connect_to and a line-oriented parse of the
 // text format — the same dialect tests/test_telemetry.cpp locks down.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -150,6 +156,32 @@ bool parse_exposition(const std::string& body, std::vector<Sample>* out) {
   return all_ok;
 }
 
+/// Per-target reconnect state for the polling mode. A target that stops
+/// answering is not scraped on every tick — consecutive failures double
+/// the retry delay from 500 ms up to a 5 s cap, so a watch session over
+/// a half-dead job does not spend its whole interval in connect
+/// timeouts. Any successful scrape resets the backoff.
+struct Backoff {
+  int failures = 0;
+  std::chrono::steady_clock::time_point next_attempt{};
+
+  bool should_attempt(std::chrono::steady_clock::time_point now) const {
+    return failures == 0 || now >= next_attempt;
+  }
+  void on_failure(std::chrono::steady_clock::time_point now) {
+    constexpr int kBaseMs = 500;
+    constexpr int kCapMs = 5000;
+    const int shift = failures < 4 ? failures : 4;  // 500ms << 4 > cap
+    const int delay_ms = std::min(kBaseMs << shift, kCapMs);
+    ++failures;
+    next_attempt = now + std::chrono::milliseconds(delay_ms);
+  }
+  void on_success() {
+    failures = 0;
+    next_attempt = {};
+  }
+};
+
 Scrape scrape_target(const std::string& target, int timeout_ms) {
   Scrape s;
   s.target = target;
@@ -261,11 +293,30 @@ int main(int argc, char** argv) {
     const std::string dump_path = flags.get_string("dump", "");
     std::uint64_t dump_seq = 0;
 
+    std::vector<Backoff> backoffs(targets.size());
+
     for (;;) {
+      const auto now = std::chrono::steady_clock::now();
       std::vector<Scrape> scrapes;
       scrapes.reserve(targets.size());
-      for (const auto& target : targets) {
-        scrapes.push_back(scrape_target(target, timeout_ms));
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        // --once always attempts: a one-shot gate must report reality,
+        // not a cached backoff verdict.
+        if (!once && !backoffs[i].should_attempt(now)) {
+          Scrape skipped;
+          skipped.target = targets[i];
+          skipped.error = "gcs_stat: " + targets[i] +
+                          " down, backing off before reconnect";
+          scrapes.push_back(std::move(skipped));
+          continue;
+        }
+        Scrape s = scrape_target(targets[i], timeout_ms);
+        if (s.ok) {
+          backoffs[i].on_success();
+        } else {
+          backoffs[i].on_failure(now);
+        }
+        scrapes.push_back(std::move(s));
       }
 
       render_table(scrapes);
@@ -287,8 +338,10 @@ int main(int argc, char** argv) {
                << s.body;
         }
         if (!dump) {
+          // Fatal only as a one-shot gate; a polling session keeps
+          // watching (the disk filling up should not end the watch).
           std::cerr << "gcs_stat: failed to write " << dump_path << "\n";
-          return 1;
+          if (once) return 1;
         }
       }
 
