@@ -1,0 +1,251 @@
+// World-size sweep: the epoll reactor vs the thread-per-peer engine
+// (ISSUE 10 acceptance).
+//
+// Spins up in-process SocketFabric worlds over Unix-domain sockets — one
+// real endpoint per rank, full-mesh rendezvous, real frames on real
+// sockets — and times a ring exchange at growing world sizes. The
+// reactor ladder climbs to 64 ranks; the legacy threaded engine stops at
+// 8 (its thread bill is the point: world-1 reader threads per rank,
+// O(N^2) across the world, where the reactor holds one I/O thread per
+// rank at any N).
+//
+// Three numbers matter downstream:
+//   * ring_throughput (rounds/s, per engine x world row) — reported for
+//     the record, deliberately NOT gated: absolute loopback throughput
+//     is machine noise across CI hosts.
+//   * reactor_vs_threads_speedup_w4 / _w8 (summary row) — gated in CI
+//     against bench/baselines/BENCH_world_scaling.json; the reactor must
+//     stay within tolerance of the threaded engine where both run.
+//   * reactor_io_threads_per_rank (summary row) — gated with
+//     --lower=...: the whole point of the rewrite, O(1) I/O threads in
+//     world size. Also enforced structurally (exit code) per rank per
+//     world, so the ctest fails even where bench_compare never runs.
+//
+// Gate:
+//   bench_compare bench/baselines/BENCH_world_scaling.json
+//       BENCH_world_scaling.json
+//       --lower=reactor_io_threads_per_rank --tolerance=0.10
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/bytes.h"
+#include "net/launcher.h"
+#include "net/socket_fabric.h"
+
+namespace {
+
+using namespace gcs;
+using namespace gcs::bench;
+
+/// Reusable generation barrier for the rank threads (start/stop lines of
+/// the timed window must be crossed together or the clock measures
+/// rendezvous stragglers, not the exchange).
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int n_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+struct SweepPoint {
+  double rounds_per_s = 0.0;
+  int io_threads_per_rank = 0;   ///< max observed across ranks
+  bool io_threads_ok = true;     ///< matched the engine's contract
+};
+
+const char* engine_name(net::SocketIoMode io) {
+  return io == net::SocketIoMode::kReactor ? "reactor" : "threads";
+}
+
+/// One sweep point: an n-rank UDS world rings `rounds` times with
+/// `payload_bytes` messages; every rank is a genuine SocketFabric
+/// endpoint on its own thread.
+SweepPoint run_world(net::SocketIoMode io, int n, int rounds,
+                     std::size_t payload_bytes, int warmup) {
+  const std::string rendezvous = net::unique_unix_rendezvous();
+  Barrier barrier(n);
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::chrono::steady_clock::time_point t0, t1;
+  std::atomic<int> max_io_threads{0};
+  std::atomic<bool> io_threads_ok{true};
+
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        net::SocketFabricConfig config;
+        config.rendezvous = rendezvous;
+        config.world_size = n;
+        config.rank = rank;
+        config.io = io;
+        config.recv_timeout_ms = 60000;
+        net::SocketFabric fabric(config);
+
+        const int expect =
+            io == net::SocketIoMode::kReactor ? 1 : n - 1;
+        const int got = fabric.io_threads();
+        if (got != expect) io_threads_ok = false;
+        int seen = max_io_threads.load();
+        while (got > seen && !max_io_threads.compare_exchange_weak(seen, got)) {
+        }
+
+        const int next = (rank + 1) % n;
+        const int prev = (rank + n - 1) % n;
+        const ByteBuffer payload(payload_bytes);
+        const auto ring_round = [&](std::uint64_t tag) {
+          fabric.send(rank, next, tag, payload);
+          (void)fabric.recv(rank, prev, tag);
+        };
+        for (int r = 0; r < warmup; ++r) {
+          ring_round(static_cast<std::uint64_t>(r));
+        }
+        barrier.arrive_and_wait();
+        if (rank == 0) t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r) {
+          ring_round(1000 + static_cast<std::uint64_t>(r));
+        }
+        barrier.arrive_and_wait();
+        if (rank == 0) t1 = std::chrono::steady_clock::now();
+        barrier.arrive_and_wait();  // keep every endpoint alive until t1
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  SweepPoint point;
+  const double seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  point.rounds_per_s = seconds > 0.0 ? rounds / seconds : 0.0;
+  point.io_threads_per_rank = max_io_threads.load();
+  point.io_threads_ok = io_threads_ok.load();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << "world_scaling: --max-world=<n> --rounds=<n> "
+                 "--payload=<bytes> --warmup=<n> --quick\n"
+                 "Ring-exchange throughput and I/O-thread census for the\n"
+                 "reactor vs thread-per-peer socket engines at growing\n"
+                 "world sizes (reactor up to --max-world, threads to 8).\n";
+    return 0;
+  }
+  const bool quick = flags.has("quick");
+  const int max_world =
+      static_cast<int>(flags.get_int("max-world", quick ? 8 : 64));
+  const int rounds = static_cast<int>(flags.get_int("rounds", quick ? 10 : 40));
+  const auto payload = static_cast<std::size_t>(
+      flags.get_int("payload", quick ? 16384 : 65536));
+  const int warmup = static_cast<int>(flags.get_int("warmup", quick ? 1 : 3));
+
+  print_header("World scaling",
+               "Ring rounds/s and I/O threads per rank vs world size: "
+               "epoll reactor (O(1) threads) vs thread-per-peer readers");
+
+  auto& json = bench_json();
+  AsciiTable table(
+      {"engine", "world", "rounds/s", "io threads/rank", "contract"});
+  bool structural_ok = true;
+  int reactor_max_io_threads = 0;
+  double reactor_w4 = 0.0, reactor_w8 = 0.0;
+  double threads_w4 = 0.0, threads_w8 = 0.0;
+
+  for (const net::SocketIoMode io :
+       {net::SocketIoMode::kThreads, net::SocketIoMode::kReactor}) {
+    // The threaded ladder stops at 8 ranks: beyond that it spends
+    // world*(world-1) reader threads on one host, which is the pathology
+    // the reactor removes — not a regime worth timing.
+    const int cap = io == net::SocketIoMode::kThreads
+                        ? std::min(8, max_world)
+                        : max_world;
+    for (int world = 2; world <= cap; world *= 2) {
+      const SweepPoint point = run_world(io, world, rounds, payload, warmup);
+      const std::string row =
+          std::string(engine_name(io)) + " w=" + std::to_string(world);
+      json.set(row, "engine", std::string(engine_name(io)));
+      json.set(row, "world", static_cast<double>(world));
+      json.set(row, "ring_throughput", point.rounds_per_s);
+      json.set(row, "io_threads_per_rank",
+               static_cast<double>(point.io_threads_per_rank));
+      table.add_row({engine_name(io), std::to_string(world),
+                     format_sig(point.rounds_per_s, 3),
+                     std::to_string(point.io_threads_per_rank),
+                     point.io_threads_ok ? "ok" : "VIOLATED"});
+      structural_ok = structural_ok && point.io_threads_ok;
+      if (io == net::SocketIoMode::kReactor) {
+        reactor_max_io_threads =
+            std::max(reactor_max_io_threads, point.io_threads_per_rank);
+        if (world == 4) reactor_w4 = point.rounds_per_s;
+        if (world == 8) reactor_w8 = point.rounds_per_s;
+      } else {
+        if (world == 4) threads_w4 = point.rounds_per_s;
+        if (world == 8) threads_w8 = point.rounds_per_s;
+      }
+    }
+  }
+  std::cout << table.to_string();
+
+  // The gated figures: relative speedups where both engines ran (CI
+  // hosts disagree on absolute loopback numbers but agree on ratios),
+  // and the O(1) thread census.
+  const double speedup_w4 = threads_w4 > 0.0 ? reactor_w4 / threads_w4 : 0.0;
+  const double speedup_w8 = threads_w8 > 0.0 ? reactor_w8 / threads_w8 : 0.0;
+  std::cout << "\nreactor vs threads speedup: w4 "
+            << format_sig(speedup_w4, 3) << "x, w8 "
+            << format_sig(speedup_w8, 3) << "x\n"
+            << "reactor io threads per rank (max over worlds): "
+            << reactor_max_io_threads << "\n";
+  json.set("summary", "reactor_vs_threads_speedup_w4", speedup_w4);
+  json.set("summary", "reactor_vs_threads_speedup_w8", speedup_w8);
+  json.set("summary", "reactor_io_threads_per_rank",
+           static_cast<double>(reactor_max_io_threads));
+  json.set("summary", "max_world", static_cast<double>(max_world));
+  json.write();
+
+  if (!structural_ok) {
+    std::cerr << "FAIL: an engine's io_threads() broke its contract "
+                 "(reactor must be 1, threads must be world-1)\n";
+    return 1;
+  }
+  if (reactor_max_io_threads != 1) {
+    std::cerr << "FAIL: reactor I/O threads grew with world size ("
+              << reactor_max_io_threads << " at some world)\n";
+    return 1;
+  }
+  std::cout << "world-scaling structural checks passed (reactor I/O "
+               "threads O(1) in world size)\n";
+  return 0;
+}

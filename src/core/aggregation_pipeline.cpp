@@ -322,6 +322,8 @@ net::SocketFabricConfig socket_fabric_config(const PipelineConfig& config,
   if (config.rejoin_window_ms > 0) {
     fc.rejoin_window_ms = config.rejoin_window_ms;
   }
+  fc.io = config.socket_io_threads ? net::SocketIoMode::kThreads
+                                   : net::SocketIoMode::kReactor;
   return fc;
 }
 

@@ -90,6 +90,10 @@ struct PipelineConfig {
   int socket_port = 0;
   /// Socket backend: TCP host/interface address; empty = 127.0.0.1.
   std::string socket_iface;
+  /// Socket backend I/O engine: false = one epoll reactor loop per
+  /// endpoint (the default, O(1) I/O threads in world size); true = the
+  /// legacy thread-per-peer readers. Factory knob: "io=reactor|threads".
+  bool socket_io_threads = false;
   /// How stage payloads split into chunks: fixed-size (`chunk_bytes`,
   /// the default) or layer-aligned DDP-style buckets from the sched/
   /// planner (requires `layout`). Values are bit-identical either way.

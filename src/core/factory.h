@@ -38,8 +38,11 @@
 //   "port=<1..65535>"        socket backend over TCP at this rendezvous
 //                            port (default: Unix-domain sockets in /tmp)
 //   "iface=<host>"           socket backend TCP host (default 127.0.0.1)
-// port=/iface= are only meaningful — and only accepted — together with
-// fabric=socket.
+//   "io=reactor|threads"     socket backend I/O engine: one epoll reactor
+//                            loop per process (default) or the legacy
+//                            thread-per-peer readers
+// port=/iface=/io= are only meaningful — and only accepted — together
+// with fabric=socket.
 //
 // Elastic membership (see DESIGN.md "Fault tolerance"):
 //   "elastic=on|off"         survive a peer failure by re-rendezvousing

@@ -38,14 +38,39 @@ std::uint64_t get_u64(const std::byte* in) {
 
 }  // namespace
 
+void encode_frame_header(std::byte* out, std::uint32_t src_rank,
+                         std::uint64_t epoch, std::uint64_t tag,
+                         std::uint64_t length) {
+  put_u32(out, kFrameMagic);
+  put_u32(out + 4, src_rank);
+  put_u64(out + 8, epoch);
+  put_u64(out + 16, tag);
+  put_u64(out + 24, length);
+}
+
+std::uint64_t decode_frame_header(const std::byte* in, FrameHeader& header) {
+  const std::uint32_t magic = get_u32(in);
+  if (magic != kFrameMagic) {
+    std::ostringstream os;
+    os << "frame desync: bad magic 0x" << std::hex << magic;
+    throw Error(os.str());
+  }
+  header.src_rank = get_u32(in + 4);
+  header.epoch = get_u64(in + 8);
+  header.tag = get_u64(in + 16);
+  const std::uint64_t length = get_u64(in + 24);
+  if (length > kMaxFramePayload) {
+    throw Error("frame desync: implausible payload length " +
+                std::to_string(length));
+  }
+  return length;
+}
+
 void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t epoch,
                  std::uint64_t tag, std::span<const std::byte> payload) {
   std::byte header[kFrameHeaderBytes];
-  put_u32(header, kFrameMagic);
-  put_u32(header + 4, src_rank);
-  put_u64(header + 8, epoch);
-  put_u64(header + 16, tag);
-  put_u64(header + 24, static_cast<std::uint64_t>(payload.size()));
+  encode_frame_header(header, src_rank, epoch, tag,
+                      static_cast<std::uint64_t>(payload.size()));
   // Header and payload leave in one scatter-gather syscall: at real line
   // rates the two-write version costs a syscall + a potential small
   // TCP segment per frame. On-wire bytes are identical either way
@@ -57,20 +82,7 @@ void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t epoch,
 bool read_frame(Socket& sock, FrameHeader& header, ByteBuffer& payload) {
   std::byte raw[kFrameHeaderBytes];
   if (!sock.read_exact(raw, sizeof(raw))) return false;
-  const std::uint32_t magic = get_u32(raw);
-  if (magic != kFrameMagic) {
-    std::ostringstream os;
-    os << "frame desync: bad magic 0x" << std::hex << magic;
-    throw Error(os.str());
-  }
-  header.src_rank = get_u32(raw + 4);
-  header.epoch = get_u64(raw + 8);
-  header.tag = get_u64(raw + 16);
-  const std::uint64_t length = get_u64(raw + 24);
-  if (length > kMaxFramePayload) {
-    throw Error("frame desync: implausible payload length " +
-                std::to_string(length));
-  }
+  const std::uint64_t length = decode_frame_header(raw, header);
   payload.resize(static_cast<std::size_t>(length));
   if (length > 0 && !sock.read_exact(payload.data(), payload.size())) {
     throw Error("socket closed between frame header and payload");

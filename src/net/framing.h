@@ -46,6 +46,18 @@ struct FrameHeader {
   std::uint64_t tag = 0;
 };
 
+/// Serializes one header (magic included) into exactly kFrameHeaderBytes
+/// at `out`. Shared by the blocking write_frame path and the reactor's
+/// send-queue encoder, so both emit byte-identical wire headers.
+void encode_frame_header(std::byte* out, std::uint32_t src_rank,
+                         std::uint64_t epoch, std::uint64_t tag,
+                         std::uint64_t length);
+
+/// Parses kFrameHeaderBytes at `in`, validating the magic and the
+/// payload-length plausibility bound (throws gcs::Error — a
+/// desynchronized stream must fail loudly). Returns the payload length.
+std::uint64_t decode_frame_header(const std::byte* in, FrameHeader& header);
+
 /// Writes one frame (header + payload) to `sock`.
 void write_frame(Socket& sock, std::uint32_t src_rank, std::uint64_t epoch,
                  std::uint64_t tag, std::span<const std::byte> payload);

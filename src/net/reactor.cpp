@@ -1,0 +1,375 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gcs::net {
+namespace {
+
+/// Readv syscalls per channel per wakeup. Level-triggered epoll re-fires
+/// while data remains, so the cap costs nothing in throughput — it only
+/// stops one firehose channel from starving its siblings in a wakeup.
+constexpr int kMaxReadvPerEvent = 16;
+
+/// Iovec budget per coalescing writev: up to 16 whole frames (header +
+/// payload each) leave in one syscall.
+constexpr int kMaxFlushIov = 32;
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    throw Error(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw Error(std::string("eventfd: ") + std::strerror(err));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
+  GCS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  loop_lane_ = health::lane("net.reactor");
+  tel_.wakeups = telemetry::counter("gcs_reactor_wakeups_total");
+  tel_.readv_calls = telemetry::counter("gcs_reactor_readv_calls_total");
+  tel_.readv_bytes = telemetry::counter("gcs_reactor_readv_bytes_total");
+  tel_.flush_calls = telemetry::counter("gcs_reactor_flush_writev_total");
+  tel_.frames_flushed =
+      telemetry::counter("gcs_reactor_flushed_frames_total");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Reactor::~Reactor() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  // Wake any sender still parked on backpressure; its channel is dead.
+  {
+    std::lock_guard lock(channels_mu_);
+    for (auto& ch : channels_) {
+      std::lock_guard slock(ch->send_mu);
+      ch->broken = true;
+      if (ch->broken_reason.empty()) ch->broken_reason = "reactor stopped";
+      ch->send_cv.notify_all();
+    }
+  }
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+}
+
+int Reactor::add_channel(Socket sock, Sink* sink) {
+  GCS_CHECK(sink != nullptr);
+  auto ch = std::make_unique<Channel>();
+  sock.set_nonblocking(true);
+  ch->sock = std::move(sock);
+  ch->sink = sink;
+  Channel* raw = ch.get();
+  int id = -1;
+  {
+    std::lock_guard lock(channels_mu_);
+    id = static_cast<int>(channels_.size());
+    channels_.push_back(std::move(ch));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = raw;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, raw->sock.fd(), &ev) != 0) {
+    throw Error(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  return id;
+}
+
+void Reactor::shutdown_channel(int channel) noexcept {
+  std::lock_guard lock(channels_mu_);
+  if (channel < 0 || channel >= static_cast<int>(channels_.size())) return;
+  // The shutdown is the manufactured EOF: the loop wakes with EPOLLHUP,
+  // closes the channel and fires on_close.
+  channels_[static_cast<std::size_t>(channel)]->sock.shutdown();
+}
+
+void Reactor::send(int channel, std::uint32_t src_rank, std::uint64_t epoch,
+                   std::uint64_t tag, ByteBuffer payload) {
+  Channel* ch = nullptr;
+  {
+    std::lock_guard lock(channels_mu_);
+    GCS_CHECK(channel >= 0 &&
+              channel < static_cast<int>(channels_.size()));
+    ch = channels_[static_cast<std::size_t>(channel)].get();
+  }
+  const std::size_t frame_bytes = kFrameHeaderBytes + payload.size();
+  std::unique_lock lock(ch->send_mu);
+  // Backpressure: the blocking fabric's send parked in the kernel when
+  // the peer stopped draining; here the queue cap parks it. Channel
+  // failure (watchdog abort, peer death) wakes it loudly.
+  ch->send_cv.wait(lock, [&] {
+    return ch->broken || ch->queue_bytes < kMaxQueuedBytes;
+  });
+  if (ch->broken) {
+    throw Error("send on closed channel: " + ch->broken_reason);
+  }
+  PendingFrame frame;
+  encode_frame_header(frame.header, src_rank, epoch, tag,
+                      static_cast<std::uint64_t>(payload.size()));
+  frame.payload = std::move(payload);
+  ch->queue.push_back(std::move(frame));
+  ch->queue_bytes += frame_bytes;
+  // Opportunistic inline flush: on an undersubscribed socket the frame
+  // leaves on the caller's thread in this very call; only the EAGAIN
+  // residue is deferred to the loop.
+  const bool drained = flush_locked(*ch);
+  if (!drained && !ch->epollout) {
+    ch->epollout = true;
+    update_epoll(*ch, /*want_out=*/true);
+  }
+}
+
+Reactor::Stats Reactor::stats() const noexcept {
+  Stats s;
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.readv_calls = readv_calls_.load(std::memory_order_relaxed);
+  s.readv_bytes = readv_bytes_.load(std::memory_order_relaxed);
+  s.flush_calls = flush_calls_.load(std::memory_order_relaxed);
+  s.frames_flushed = frames_flushed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Reactor::update_epoll(Channel& ch, bool want_out) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+  ev.data.ptr = &ch;
+  // A concurrently-closing channel may have been deregistered already
+  // (ENOENT); the loop owns the close, nothing to do here.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, ch.sock.fd(), &ev);
+}
+
+void Reactor::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself died: the destructor is the only cause
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    tel_.wakeups.inc();
+    loop_lane_.beat();
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        std::uint64_t junk = 0;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      auto& ch = *static_cast<Channel*>(events[i].data.ptr);
+      const std::uint32_t ev = events[i].events;
+      // Read before write: an EPOLLHUP carries a final burst of frames
+      // plus the EOF, and all of it must reach the sink before on_close.
+      if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) handle_readable(ch);
+      if (!ch.closed && (ev & EPOLLOUT)) handle_writable(ch);
+    }
+  }
+}
+
+void Reactor::handle_readable(Channel& ch) {
+  if (ch.closed) return;
+  int calls = 0;
+  for (;;) {
+    // Drain buffered state before touching the socket again: a finished
+    // header transitions to payload, a finished payload is delivered.
+    if (!ch.in_payload && ch.head_have == kFrameHeaderBytes) {
+      std::uint64_t length = 0;
+      try {
+        length = decode_frame_header(ch.head, ch.header);
+      } catch (const std::exception& e) {
+        close_channel(ch, e.what());
+        return;
+      }
+      ch.head_have = 0;
+      ch.payload.resize(static_cast<std::size_t>(length));
+      ch.payload_have = 0;
+      ch.in_payload = true;
+    }
+    if (ch.in_payload && ch.payload_have == ch.payload.size()) {
+      try {
+        ch.sink->on_frame(ch.header, std::move(ch.payload));
+      } catch (const std::exception& e) {
+        // The sink rejected the stream (future epoch, wrong source):
+        // a protocol violation closes the channel like a torn frame.
+        close_channel(ch, e.what());
+        return;
+      }
+      ch.payload = ByteBuffer{};
+      ch.payload_have = 0;
+      ch.in_payload = false;
+      continue;  // the last readv may have buffered the next header whole
+    }
+    // Invariant at this point: buffered state is strictly incomplete, so
+    // returning (cap or EAGAIN) is always resumable by the next event.
+    if (calls >= kMaxReadvPerEvent) return;
+    ++calls;
+    ssize_t n = 0;
+    try {
+      if (!ch.in_payload) {
+        const iovec iov{ch.head + ch.head_have,
+                        kFrameHeaderBytes - ch.head_have};
+        n = ch.sock.readv_some(&iov, 1);
+      } else {
+        // The zero-copy readv: the payload remainder lands straight in
+        // its final reassembly buffer while the spare iovec snatches the
+        // next frame's header out of the same syscall.
+        const iovec iov[2] = {
+            {ch.payload.data() + ch.payload_have,
+             ch.payload.size() - ch.payload_have},
+            {ch.head, sizeof(ch.head)}};
+        n = ch.sock.readv_some(iov, 2);
+      }
+    } catch (const std::exception& e) {
+      close_channel(ch, e.what());
+      return;
+    }
+    if (n < 0) return;  // EAGAIN: socket drained, epoll re-arms us
+    if (n == 0) {
+      std::string reason;
+      if (!ch.in_payload && ch.head_have == 0) {
+        reason = "peer exited";  // clean EOF at a frame boundary
+      } else if (!ch.in_payload) {
+        reason = "socket closed mid-read (" + std::to_string(ch.head_have) +
+                 "/" + std::to_string(kFrameHeaderBytes) +
+                 " bytes of a frame header)";
+      } else {
+        reason = "socket closed between frame header and payload";
+      }
+      close_channel(ch, reason);
+      return;
+    }
+    readv_calls_.fetch_add(1, std::memory_order_relaxed);
+    readv_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+    tel_.readv_calls.inc();
+    tel_.readv_bytes.inc(static_cast<std::uint64_t>(n));
+    if (!ch.in_payload) {
+      ch.head_have += static_cast<std::size_t>(n);
+    } else {
+      const std::size_t pay = std::min(static_cast<std::size_t>(n),
+                                       ch.payload.size() - ch.payload_have);
+      ch.payload_have += pay;
+      ch.head_have = static_cast<std::size_t>(n) - pay;
+    }
+  }
+}
+
+void Reactor::handle_writable(Channel& ch) {
+  std::string err;
+  {
+    std::lock_guard lock(ch.send_mu);
+    if (ch.broken) return;
+    try {
+      if (flush_locked(ch)) {
+        ch.epollout = false;
+        update_epoll(ch, /*want_out=*/false);
+      }
+    } catch (const Error& e) {
+      err = e.what();
+    }
+  }
+  if (!err.empty()) close_channel(ch, err);
+}
+
+bool Reactor::flush_locked(Channel& ch) {
+  while (!ch.queue.empty()) {
+    iovec iov[kMaxFlushIov];
+    int iovcnt = 0;
+    std::size_t skip = ch.front_offset;
+    for (auto it = ch.queue.begin();
+         it != ch.queue.end() && iovcnt + 2 <= kMaxFlushIov; ++it) {
+      const std::size_t head_skip = std::min(skip, kFrameHeaderBytes);
+      if (head_skip < kFrameHeaderBytes) {
+        iov[iovcnt++] = {it->header + head_skip,
+                         kFrameHeaderBytes - head_skip};
+      }
+      const std::size_t pay_skip = skip - head_skip;
+      if (pay_skip < it->payload.size()) {
+        iov[iovcnt++] = {it->payload.data() + pay_skip,
+                         it->payload.size() - pay_skip};
+      }
+      skip = 0;  // only the front frame can be partially on the wire
+    }
+    ssize_t n = 0;
+    try {
+      n = ch.sock.writev_some(iov, iovcnt);
+    } catch (const Error& e) {
+      // A write onto a dead peer's connection: poison the channel and
+      // manufacture the EOF so the loop's read side runs the close path
+      // (on_close exactly once, from the reactor thread).
+      ch.broken = true;
+      ch.broken_reason = e.what();
+      ch.queue.clear();
+      ch.queue_bytes = 0;
+      ch.front_offset = 0;
+      ch.send_cv.notify_all();
+      ch.sock.shutdown();
+      throw;
+    }
+    if (n < 0) return false;  // EAGAIN: kernel buffer full, arm EPOLLOUT
+    flush_calls_.fetch_add(1, std::memory_order_relaxed);
+    tel_.flush_calls.inc();
+    ch.queue_bytes -= static_cast<std::size_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    std::uint64_t completed = 0;
+    while (left > 0) {
+      PendingFrame& front = ch.queue.front();
+      const std::size_t frame_size =
+          kFrameHeaderBytes + front.payload.size();
+      const std::size_t remaining = frame_size - ch.front_offset;
+      if (left >= remaining) {
+        left -= remaining;
+        ch.queue.pop_front();
+        ch.front_offset = 0;
+        ++completed;
+      } else {
+        ch.front_offset += left;
+        left = 0;
+      }
+    }
+    if (completed > 0) {
+      frames_flushed_.fetch_add(completed, std::memory_order_relaxed);
+      tel_.frames_flushed.inc(completed);
+    }
+    if (ch.queue_bytes < kMaxQueuedBytes) ch.send_cv.notify_all();
+  }
+  return true;
+}
+
+void Reactor::close_channel(Channel& ch, const std::string& reason) {
+  if (ch.closed) return;  // reactor thread only; at-most-once on_close
+  ch.closed = true;
+  {
+    std::lock_guard lock(ch.send_mu);
+    ch.broken = true;
+    if (ch.broken_reason.empty()) ch.broken_reason = reason;
+    ch.queue.clear();
+    ch.queue_bytes = 0;
+    ch.front_offset = 0;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ch.sock.fd(), nullptr);
+  }
+  ch.send_cv.notify_all();
+  ch.sock.shutdown();
+  ch.sink->on_close(reason);
+}
+
+}  // namespace gcs::net

@@ -1,11 +1,13 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -201,6 +203,39 @@ bool Socket::read_exact(void* data, std::size_t size) {
   return true;
 }
 
+void Socket::set_nonblocking(bool on) {
+  GCS_CHECK(valid());
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) fail_errno("fcntl(F_SETFL)");
+}
+
+ssize_t Socket::readv_some(const iovec* iov, int iovcnt) {
+  GCS_CHECK(valid());
+  for (;;) {
+    const ssize_t n = ::readv(fd_, iov, iovcnt);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    fail_errno("socket readv failed");
+  }
+}
+
+ssize_t Socket::writev_some(const iovec* iov, int iovcnt) {
+  GCS_CHECK(valid());
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    fail_errno("socket writev failed");
+  }
+}
+
 Socket listen_on(Address& addr, int backlog) {
   if (addr.is_unix) {
     Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
@@ -221,6 +256,12 @@ Socket listen_on(Address& addr, int backlog) {
   if (!sock.valid()) fail_errno("socket(TCP)");
   const int one = 1;
   (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // SO_REUSEPORT pairs with the reserve-and-hold port helper in
+  // tests/net_test_util.h: a test can keep a non-listening socket bound
+  // to the port it reserved while the fabric's listener binds the same
+  // port (same UID), closing the release-then-rebind race under
+  // `ctest -j`. Connections only ever land on the listening socket.
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&target.storage),
              target.len) != 0) {
     fail_errno("bind(" + addr.to_string() + ")");

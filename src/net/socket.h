@@ -13,9 +13,13 @@
 // bug.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <span>
 #include <string>
+
+struct iovec;  // <sys/uio.h>; kept out of this header's public surface
 
 namespace gcs::net {
 
@@ -63,6 +67,22 @@ class Socket {
   /// Reads exactly `size` bytes. Returns false on a clean EOF before the
   /// first byte; throws gcs::Error on a mid-read EOF or I/O error.
   bool read_exact(void* data, std::size_t size);
+
+  // --- nonblocking primitives (the reactor's I/O surface) ---
+
+  /// Toggles O_NONBLOCK. The blocking helpers above assume it is off;
+  /// the reactor flips it on once when it adopts the socket.
+  void set_nonblocking(bool on);
+
+  /// One nonblocking scatter read (readv). Returns the byte count (> 0),
+  /// 0 on EOF, or -1 when nothing is readable right now (EAGAIN).
+  /// Throws gcs::Error on an I/O error.
+  ssize_t readv_some(const iovec* iov, int iovcnt);
+
+  /// One nonblocking gather write (sendmsg, SIGPIPE suppressed). Returns
+  /// the byte count (>= 0) or -1 when the kernel buffer is full (EAGAIN).
+  /// Throws gcs::Error on a broken pipe or I/O error.
+  ssize_t writev_some(const iovec* iov, int iovcnt);
 
  private:
   int fd_ = -1;

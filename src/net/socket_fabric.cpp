@@ -60,17 +60,34 @@ void SocketFabric::adopt_epoch(std::vector<Socket> sockets,
         membership_.original_ranks[static_cast<std::size_t>(r)]);
     peers_[static_cast<std::size_t>(r)] = std::move(p);
   }
-  // Readers start only after the whole mesh is up; from here on every
-  // connection is permanently drained (until the epoch ends).
-  for (int r = 0; r < world; ++r) {
-    if (r == self) continue;
-    Peer& p = *peers_[static_cast<std::size_t>(r)];
-    p.reader = std::thread([this, r, epoch] { reader_loop(r, epoch); });
+  // The I/O engine starts only after the whole mesh is up; from here on
+  // every connection is permanently drained (until the epoch ends).
+  if (config_.io == SocketIoMode::kReactor) {
+    reactor_ = std::make_unique<Reactor>();
+    for (int r = 0; r < world; ++r) {
+      if (r == self) continue;
+      Peer& p = *peers_[static_cast<std::size_t>(r)];
+      p.sink.fabric = this;
+      p.sink.peer = &p;
+      p.sink.rank = r;
+      p.sink.epoch = epoch;
+      p.channel = reactor_->add_channel(std::move(p.sock), &p.sink);
+    }
+  } else {
+    for (int r = 0; r < world; ++r) {
+      if (r == self) continue;
+      Peer& p = *peers_[static_cast<std::size_t>(r)];
+      p.reader = std::thread([this, r, epoch] { reader_loop(r, epoch); });
+    }
   }
 }
 
 void SocketFabric::teardown_mesh() {
   std::lock_guard mesh_lock(mesh_mu_);
+  // Reactor mode: joining the loop closes every channel socket — the
+  // same abort broadcast the per-peer shutdowns below perform. The
+  // reactor must die before peers_ (sinks point into it).
+  reactor_.reset();
   for (auto& p : peers_) {
     if (p != nullptr) p->sock.shutdown();
   }
@@ -140,14 +157,77 @@ bool SocketFabric::fail_peer(int original_rank) {
     if (peers_[r] == nullptr) continue;
     if (r < membership_.original_ranks.size() &&
         membership_.original_ranks[r] == original_rank) {
-      // The shutdown is the manufactured EOF: the reader unblocks, marks
-      // the channel closed, and the stuck recv throws PeerFailure naming
-      // this peer — from where the normal elastic path takes over.
-      peers_[r]->sock.shutdown();
+      // The shutdown is the manufactured EOF: the I/O engine unblocks,
+      // marks the channel closed, and the stuck recv throws PeerFailure
+      // naming this peer — from where the normal elastic path takes over.
+      if (reactor_ != nullptr && peers_[r]->channel >= 0) {
+        reactor_->shutdown_channel(peers_[r]->channel);
+      } else {
+        peers_[r]->sock.shutdown();
+      }
       return true;
     }
   }
   return false;
+}
+
+int SocketFabric::io_threads() const {
+  std::lock_guard mesh_lock(const_cast<std::mutex&>(mesh_mu_));
+  if (config_.io == SocketIoMode::kReactor) {
+    return reactor_ != nullptr ? reactor_->io_threads() : 0;
+  }
+  int readers = 0;
+  for (const auto& p : peers_) {
+    if (p != nullptr && p->reader.joinable()) ++readers;
+  }
+  return readers;
+}
+
+Reactor::Stats SocketFabric::reactor_stats() const {
+  std::lock_guard mesh_lock(const_cast<std::mutex&>(mesh_mu_));
+  return reactor_ != nullptr ? reactor_->stats() : Reactor::Stats{};
+}
+
+void SocketFabric::count_stale_frame() {
+  {
+    std::lock_guard lock(counter_mu_);
+    ++stale_rejected_;
+  }
+  tel_.stale_frames.inc();
+}
+
+void SocketFabric::PeerSink::on_frame(const FrameHeader& header,
+                                      ByteBuffer payload) {
+  if (header.epoch < epoch) {
+    // A straggler of an aborted epoch: reject it — parking it would let
+    // a same-tag recv of this epoch mis-deliver old data.
+    fabric->count_stale_frame();
+    return;
+  }
+  if (header.epoch > epoch) {
+    throw Error("frame from future epoch " + std::to_string(header.epoch) +
+                " on an epoch-" + std::to_string(epoch) + " connection");
+  }
+  if (static_cast<int>(header.src_rank) != rank) {
+    throw Error("frame from rank " + std::to_string(header.src_rank) +
+                " on the connection to rank " + std::to_string(rank));
+  }
+  {
+    std::lock_guard lock(peer->mu);
+    peer->by_tag[header.tag].push_back(std::move(payload));
+    ++peer->buffered;
+  }
+  peer->lane.beat();
+  peer->cv.notify_all();
+}
+
+void SocketFabric::PeerSink::on_close(const std::string& reason) {
+  {
+    std::lock_guard lock(peer->mu);
+    peer->closed = true;
+    peer->close_reason = reason;
+  }
+  peer->cv.notify_all();
 }
 
 SocketFabric::Peer& SocketFabric::peer(int rank) const {
@@ -220,10 +300,17 @@ void SocketFabric::send(int src, int dst, std::uint64_t tag,
     self_cv_.notify_all();
   } else {
     Peer& p = peer(dst);
-    std::lock_guard lock(p.send_mu);
     try {
-      write_frame(p.sock, static_cast<std::uint32_t>(src),
-                  membership_.epoch, tag, payload);
+      if (reactor_ != nullptr) {
+        // The reactor serializes per-channel sends itself (frame queue
+        // FIFO + coalescing flush); no per-peer send lock needed here.
+        reactor_->send(p.channel, static_cast<std::uint32_t>(src),
+                       membership_.epoch, tag, std::move(payload));
+      } else {
+        std::lock_guard lock(p.send_mu);
+        write_frame(p.sock, static_cast<std::uint32_t>(src),
+                    membership_.epoch, tag, payload);
+      }
     } catch (const Error& e) {
       // A write onto a dead peer's connection is the send-side face of
       // the same failure recv sees as EOF.

@@ -3,12 +3,22 @@
 // SocketFabric implements comm::Transport over TCP or Unix-domain sockets
 // so the chunked hop-interleaved collectives run unmodified across
 // processes and hosts. Construction performs the full-mesh rendezvous
-// (net/rendezvous.h) and then starts one receive loop per peer: each loop
-// drains its connection into tag-indexed reassembly buckets, which keeps
-// the socket readable at all times (no cross-rank send/recv deadlock —
-// a blocked writer always has a draining reader on the other end) and
-// lets interleaved chunk streams be received in whatever order the
-// collective asks for.
+// (net/rendezvous.h) and then starts the I/O engine selected by
+// config.io:
+//
+//   * kReactor (default) — ONE epoll loop (net/reactor.h) drains every
+//     peer connection into the tag-indexed reassembly buckets: O(1) I/O
+//     threads per process regardless of world size, zero-copy readv
+//     reassembly, coalescing writev sends. This is what makes
+//     hundred-rank worlds affordable (bench/world_scaling.cpp).
+//   * kThreads — the legacy engine, one blocking receive loop per peer:
+//     O(N) threads per process, kept as the conformance reference
+//     (tests/test_transport_conformance.cpp pins both to one contract).
+//
+// Either way every connection is permanently drained (no cross-rank
+// send/recv deadlock — a blocked writer always has a draining reader on
+// the other end) and interleaved chunk streams can be received in
+// whatever order the collective asks for.
 //
 // Semantics vs the in-process Fabric:
 //   * recv matches by (peer, tag). Where Fabric throws on a tag mismatch
@@ -55,10 +65,18 @@
 
 #include "comm/transport.h"
 #include "health/heartbeat.h"
+#include "net/framing.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 #include "telemetry/metrics.h"
 
 namespace gcs::net {
+
+/// The fabric's I/O engine (see the file comment).
+enum class SocketIoMode {
+  kReactor,  ///< one epoll loop for all peers (default)
+  kThreads,  ///< legacy: one blocking reader thread per peer
+};
 
 struct SocketFabricConfig {
   /// Rank 0's rendezvous address: "unix:<path>" or "tcp:<host>:<port>".
@@ -79,6 +97,8 @@ struct SocketFabricConfig {
   /// Elastic: rendezvous keeps its doors open this long for further
   /// members before closing an epoch's membership.
   int rejoin_window_ms = 2000;
+  /// I/O engine. The factory's `io=` knob lands here.
+  SocketIoMode io = SocketIoMode::kReactor;
 };
 
 class SocketFabric final : public comm::Transport {
@@ -139,11 +159,35 @@ class SocketFabric final : public comm::Transport {
   /// thread); returns false when that peer is not in the current mesh.
   bool fail_peer(int original_rank);
 
+  /// Internal I/O threads serving the current mesh: 1 in reactor mode,
+  /// world-1 reader threads in legacy mode. The world-size sweep
+  /// (bench/world_scaling.cpp) gates that this stays O(1) by default.
+  int io_threads() const;
+
+  /// Reactor loop counters (zeroed Stats in kThreads mode).
+  Reactor::Stats reactor_stats() const;
+
  private:
+  struct Peer;
+
+  /// Reactor-mode frame consumer for one peer: runs the same epoch /
+  /// source validation the legacy reader_loop runs, then parks the
+  /// payload in the peer's tag bucket. Reactor-thread callbacks.
+  struct PeerSink final : Reactor::Sink {
+    SocketFabric* fabric = nullptr;
+    Peer* peer = nullptr;
+    int rank = -1;  ///< current-epoch rank this channel belongs to
+    std::uint64_t epoch = 0;
+    void on_frame(const FrameHeader& header, ByteBuffer payload) override;
+    void on_close(const std::string& reason) override;
+  };
+
   struct Peer {
-    Socket sock;
+    Socket sock;  ///< kThreads mode; in reactor mode moved into the loop
     std::mutex send_mu;
     std::thread reader;
+    int channel = -1;  ///< reactor channel id (kReactor mode)
+    PeerSink sink;
     // Reassembly state, guarded by mu.
     std::mutex mu;
     std::condition_variable cv;
@@ -151,10 +195,10 @@ class SocketFabric final : public comm::Transport {
     std::size_t buffered = 0;  ///< messages currently parked in by_tag
     bool closed = false;
     std::string close_reason;
-    /// Watchdog heartbeat, keyed by the peer's original rank: the reader
-    /// beats per frame parked, recv arms it while blocked — so "armed
-    /// and silent" means exactly "waiting on this peer and nothing is
-    /// arriving".
+    /// Watchdog heartbeat, keyed by the peer's original rank: the I/O
+    /// engine beats per frame parked, recv arms it while blocked — so
+    /// "armed and silent" means exactly "waiting on this peer and
+    /// nothing is arriving".
     health::LaneHandle lane;
   };
 
@@ -163,6 +207,7 @@ class SocketFabric final : public comm::Transport {
                    std::uint64_t epoch);
   void teardown_mesh();
   void reader_loop(int peer_rank, std::uint64_t epoch);
+  void count_stale_frame();
   Peer& peer(int rank) const;
   /// Counts a typed PeerFailure about to be thrown (meter + telemetry)
   /// and triggers the flight recorder's post-mortem dump when one is
@@ -172,6 +217,9 @@ class SocketFabric final : public comm::Transport {
   SocketFabricConfig config_;
   comm::Membership membership_;
   std::vector<std::unique_ptr<Peer>> peers_;  // self slot has no socket
+  /// The epoch's event loop (kReactor mode); rebuilt with the mesh. Must
+  /// be destroyed before peers_ is cleared (sinks point into peers_).
+  std::unique_ptr<Reactor> reactor_;
   /// Serializes mesh mutation (adopt_epoch/teardown_mesh, both on the
   /// collective thread) against fail_peer (watchdog thread). Reader
   /// threads never take it, so teardown can join them while holding it.

@@ -1,12 +1,24 @@
 // Shared helpers for socket-touching test suites.
 //
 // Hardcoded TCP port constants make socket suites collide under
-// `ctest -j` (two test processes picking the same port race on bind);
-// ephemeral_tcp_port() asks the kernel instead: bind port 0, read the
-// assignment back, release it. The tiny window between release and the
-// test's own bind is tolerated by SO_REUSEADDR (net/socket.cpp sets it on
-// every TCP listener) and by the kernel's preference for fresh ephemeral
-// ports over just-released ones.
+// `ctest -j` (two test processes picking the same port race on bind).
+// Two remedies live here, in order of strength:
+//
+//   * ephemeral_tcp_port() asks the kernel: bind port 0, read the
+//     assignment back, release it. The tiny window between release and
+//     the test's own bind is tolerated by SO_REUSEADDR, but a parallel
+//     test can still steal the port in that window.
+//
+//   * ReservedTcpPort closes the window entirely (reserve-and-hold): it
+//     binds port 0 with SO_REUSEADDR|SO_REUSEPORT and KEEPS the socket
+//     open — never listening — while the test hands the port number to
+//     the code under test. net/socket.cpp sets the same two options on
+//     every TCP listener, and Linux allows multiple SO_REUSEPORT binds
+//     to one port by the same UID, so the real listener's bind succeeds
+//     while any unrelated process (which did not set SO_REUSEPORT on
+//     this port) is locked out. Because the reservation socket never
+//     calls listen(), the kernel routes every incoming connection to
+//     the one socket that does — the listener under test.
 #pragma once
 
 #include <netinet/in.h>
@@ -17,7 +29,8 @@
 
 namespace gcs::net {
 
-/// A TCP port that was free a moment ago, unique per call.
+/// A TCP port that was free a moment ago, unique per call. Prefer
+/// ReservedTcpPort when the port must stay yours until the test binds it.
 inline int ephemeral_tcp_port() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("ephemeral_tcp_port: socket failed");
@@ -38,5 +51,51 @@ inline int ephemeral_tcp_port() {
   ::close(fd);
   return port;
 }
+
+/// Reserve-and-hold ephemeral port: the kernel-assigned port stays bound
+/// (SO_REUSEPORT, not listening) for the lifetime of this object, so no
+/// other process can take it between port() and the test's own bind.
+class ReservedTcpPort {
+ public:
+  ReservedTcpPort() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("ReservedTcpPort: socket failed");
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("ReservedTcpPort: setsockopt failed");
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = 0;  // kernel picks
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("ReservedTcpPort: bind failed");
+    }
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("ReservedTcpPort: getsockname failed");
+    }
+    port_ = ntohs(sa.sin_port);
+  }
+
+  ReservedTcpPort(const ReservedTcpPort&) = delete;
+  ReservedTcpPort& operator=(const ReservedTcpPort&) = delete;
+
+  ~ReservedTcpPort() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// The held port. Valid to hand to a listener that sets SO_REUSEPORT
+  /// (net::Socket::listen_on does) while this object is alive.
+  int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
 
 }  // namespace gcs::net

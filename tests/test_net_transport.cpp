@@ -439,10 +439,13 @@ TEST(SocketFabric, TcpMeshWithWildcardListenerRewrite) {
   // the peer-map hosts to where each HELLO actually came from (here
   // 127.0.0.1) or the r<->s mesh connections cannot form. A 3-rank mesh
   // forces at least one non-rank-0 connection (1<->2). The port comes
-  // from the kernel, not a constant, so socket suites can run under
-  // `ctest -j` without colliding.
+  // from the kernel and stays reserved (bound, never listening) until the
+  // fabric's own SO_REUSEPORT listener takes over, so socket suites can
+  // run under `ctest -j` without colliding or losing the port in the
+  // close-then-rebind window.
+  ReservedTcpPort reserved;
   const std::string rendezvous =
-      "tcp:127.0.0.1:" + std::to_string(ephemeral_tcp_port());
+      "tcp:127.0.0.1:" + std::to_string(reserved.port());
   const int n = 3;
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
